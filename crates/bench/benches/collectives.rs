@@ -1,0 +1,53 @@
+//! End-to-end restricted collectives over the thread runtime — the real
+//! cost of a tree-routed broadcast/reduction at small (intra-node) scale,
+//! where the paper observes Flat-Tree can win (motivating the hybrid).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pselinv_mpisim::collectives::{tree_bcast, tree_reduce};
+use pselinv_trees::{TreeBuilder, TreeScheme};
+use std::hint::black_box;
+
+fn bench_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpisim_bcast");
+    g.sample_size(10);
+    let p = 8usize;
+    let payload = 4096usize; // 32 KiB of f64
+    for (name, scheme) in [
+        ("flat", TreeScheme::Flat),
+        ("shifted", TreeScheme::ShiftedBinary),
+        ("hybrid16", TreeScheme::Hybrid { flat_threshold: 16 }),
+    ] {
+        let tree = TreeBuilder::new(scheme, 1).build(0, &(1..p).collect::<Vec<_>>(), 9);
+        g.bench_with_input(BenchmarkId::new(name, p), &p, |b, _| {
+            b.iter(|| {
+                pselinv_mpisim::run(p, |ctx| {
+                    let data =
+                        (ctx.rank() == 0).then(|| black_box(vec![1.0f64; payload]));
+                    tree_bcast(ctx, &tree, 0, data).len()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpisim_reduce");
+    g.sample_size(10);
+    let p = 8usize;
+    let payload = 4096usize;
+    for (name, scheme) in [("flat", TreeScheme::Flat), ("shifted", TreeScheme::ShiftedBinary)] {
+        let tree = TreeBuilder::new(scheme, 1).build(0, &(1..p).collect::<Vec<_>>(), 5);
+        g.bench_with_input(BenchmarkId::new(name, p), &p, |b, _| {
+            b.iter(|| {
+                pselinv_mpisim::run(p, |ctx| {
+                    tree_reduce(ctx, &tree, 0, black_box(vec![1.0f64; payload])).is_some()
+                })
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bcast, bench_reduce);
+criterion_main!(benches);

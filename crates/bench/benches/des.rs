@@ -1,0 +1,31 @@
+//! Task-graph generation and discrete-event replay cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pselinv_bench::workloads;
+use pselinv_des::simulate;
+use pselinv_dist::taskgraph::{selinv_graph, GraphOptions};
+use pselinv_dist::Layout;
+use pselinv_mpisim::Grid2D;
+use pselinv_trees::TreeScheme;
+use std::hint::black_box;
+
+fn bench_des(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.sample_size(10);
+    let a = workloads::dg_water_volume();
+    for &p in &[256usize, 1024] {
+        let layout = Layout::new(a.symbolic.clone(), Grid2D::square_for(p));
+        let opts = GraphOptions { scheme: TreeScheme::ShiftedBinary, ..Default::default() };
+        g.bench_with_input(BenchmarkId::new("graph_gen", p), &p, |b, _| {
+            b.iter(|| selinv_graph(black_box(&layout), &opts));
+        });
+        let graph = selinv_graph(&layout, &opts);
+        g.bench_with_input(BenchmarkId::new("simulate", p), &p, |b, _| {
+            b.iter(|| simulate(black_box(&graph), workloads::des_machine(0)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_des);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Dense block kernels — the per-task costs the DES's flop model abstracts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pselinv_dense::{gemm, ldlt_factor, ldlt_invert, Mat, Transpose};
+use std::hint::black_box;
+
+fn mat(n: usize, m: usize, seed: u64) -> Mat {
+    let mut state = seed | 1;
+    let mut out = Mat::zeros(n, m);
+    for j in 0..m {
+        for i in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            out[(i, j)] = (state as f64 / u64::MAX as f64) - 0.5;
+        }
+    }
+    out
+}
+
+fn spd(n: usize, seed: u64) -> Mat {
+    let mut a = mat(n, n, seed);
+    for j in 0..n {
+        for i in 0..j {
+            let v = a[(i, j)];
+            a[(j, i)] = v;
+        }
+        a[(j, j)] = n as f64 + 1.0;
+    }
+    a
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for &n in &[16usize, 32, 64] {
+        let a = mat(n, n, 1);
+        let b = mat(n, n, 2);
+        g.bench_with_input(BenchmarkId::new("nn", n), &n, |bch, _| {
+            let mut cmat = Mat::zeros(n, n);
+            bch.iter(|| {
+                gemm(1.0, black_box(&a), Transpose::No, &b, Transpose::No, 0.0, &mut cmat)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("tn", n), &n, |bch, _| {
+            let mut cmat = Mat::zeros(n, n);
+            bch.iter(|| {
+                gemm(1.0, black_box(&a), Transpose::Yes, &b, Transpose::No, 0.0, &mut cmat)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_ldlt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ldlt");
+    for &n in &[16usize, 32, 64] {
+        let a = spd(n, 3);
+        g.bench_with_input(BenchmarkId::new("factor", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut f = a.clone();
+                ldlt_factor(black_box(&mut f)).unwrap();
+                f
+            });
+        });
+        let mut f = a.clone();
+        ldlt_factor(&mut f).unwrap();
+        g.bench_with_input(BenchmarkId::new("invert", n), &n, |bch, _| {
+            bch.iter(|| ldlt_invert(black_box(&f)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_ldlt);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Sequential numeric pipeline: factorization and selected inversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pselinv_factor::factorize;
+use pselinv_order::{analyze, AnalyzeOptions, OrderingChoice};
+use pselinv_selinv::selinv_ldlt;
+use pselinv_sparse::gen;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequential");
+    g.sample_size(10);
+    for &nx in &[8usize, 12] {
+        let w = gen::grid_laplacian_3d(nx, nx, nx);
+        let opts = AnalyzeOptions {
+            ordering: OrderingChoice::NestedDissection(w.geometry, Default::default()),
+            ..Default::default()
+        };
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &opts));
+        g.bench_with_input(BenchmarkId::new("factorize", nx * nx * nx), &nx, |b, _| {
+            b.iter(|| factorize(black_box(&w.matrix), sf.clone()).unwrap());
+        });
+        let f = factorize(&w.matrix, sf.clone()).unwrap();
+        g.bench_with_input(BenchmarkId::new("selinv", nx * nx * nx), &nx, |b, _| {
+            b.iter(|| selinv_ldlt(black_box(&f)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

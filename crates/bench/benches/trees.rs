@@ -1,0 +1,33 @@
+//! Tree construction cost per scheme — the paper's requirement that
+//! restricted collectives be "dynamically created with very little
+//! overhead" (no communicator creation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pselinv_trees::{TreeBuilder, TreeScheme};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_build");
+    for &p in &[8usize, 64, 512] {
+        let receivers: Vec<usize> = (1..p).collect();
+        for (name, scheme) in [
+            ("flat", TreeScheme::Flat),
+            ("binary", TreeScheme::Binary),
+            ("shifted", TreeScheme::ShiftedBinary),
+            ("randperm", TreeScheme::RandomPerm),
+        ] {
+            let builder = TreeBuilder::new(scheme, 42);
+            g.bench_with_input(BenchmarkId::new(name, p), &p, |b, _| {
+                let mut key = 0u64;
+                b.iter(|| {
+                    key += 1;
+                    builder.build(0, black_box(&receivers), key)
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Structure-only volume replay cost (Tables I/II machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pselinv_bench::workloads;
+use pselinv_dist::{replay_volumes, Layout};
+use pselinv_mpisim::Grid2D;
+use pselinv_trees::{TreeBuilder, TreeScheme};
+use std::hint::black_box;
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("volume_replay");
+    g.sample_size(10);
+    let a = workloads::dg_water_volume();
+    for &p in &[256usize, 2116] {
+        let layout = Layout::new(a.symbolic.clone(), Grid2D::square_for(p));
+        for (name, scheme) in [
+            ("flat", TreeScheme::Flat),
+            ("shifted", TreeScheme::ShiftedBinary),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, p), &p, |b, _| {
+                b.iter(|| replay_volumes(black_box(&layout), TreeBuilder::new(scheme, 1)));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

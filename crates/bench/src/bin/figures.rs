@@ -1,0 +1,72 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p pselinv-bench --bin figures -- all
+//! cargo run --release -p pselinv-bench --bin figures -- table1 fig8a
+//! cargo run --release -p pselinv-bench --bin figures -- --out results/ fig9
+//! ```
+//!
+//! Artifacts (text + JSON/CSV) land in `target/figures/` by default.
+
+use pselinv_bench::experiments::{self, OutDir};
+use pselinv_bench::workloads;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "target/figures".to_string();
+    let mut targets: Vec<String> = Vec::new();
+    let mut seeds: u64 = 6;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a path"),
+            "--seeds" => {
+                seeds = it.next().expect("--seeds needs a number").parse().expect("bad seed count")
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!(
+            "usage: figures [--out DIR] [--seeds N] \
+             {{all|table1|table2|fig4|fig5|fig6|fig7|fig8a|fig8b|fig9|ablation-nic|ablation-shift}}+"
+        );
+        std::process::exit(2);
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = [
+            "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9",
+            "ablation-nic", "ablation-shift", "ablation-arity",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    let out = OutDir::new(&out_path).expect("cannot create output directory");
+    for t in &targets {
+        let t0 = Instant::now();
+        let txt = match t.as_str() {
+            "table1" => experiments::table1(&out),
+            "table2" => experiments::table2(&out),
+            "fig4" => experiments::fig4(&out),
+            "fig5" => experiments::fig5(&out),
+            "fig6" => experiments::fig6(&out),
+            "fig7" => experiments::fig7(&out),
+            "fig8a" => experiments::fig8(&workloads::dg_pnf_des(), seeds, &out, "a"),
+            "fig8b" => experiments::fig8(&workloads::audikw_des(), seeds, &out, "b"),
+            "fig9" => experiments::fig9(&out),
+            "ablation-nic" => experiments::ablation_nic(&out),
+            "ablation-shift" => experiments::ablation_shift(&out),
+            "ablation-arity" => experiments::ablation_arity(&out),
+            other => {
+                eprintln!("unknown target: {other}");
+                std::process::exit(2);
+            }
+        }
+        .unwrap_or_else(|e| panic!("experiment {t} failed: {e}"));
+        println!("{txt}");
+        eprintln!("[{t} done in {:.1?}; artifacts in {out_path}]", t0.elapsed());
+    }
+}

@@ -1,0 +1,536 @@
+//! Experiment runners — one per paper artifact.
+//!
+//! Every runner prints a human-readable rendition of the table/figure and
+//! writes machine-readable JSON/CSV next to it (default `target/figures/`).
+
+use crate::workloads::{self, Analyzed};
+use pselinv_des::{simulate, SimResult};
+use pselinv_dist::taskgraph::{factorization_graph, selinv_graph, GraphOptions};
+use pselinv_dist::{replay_volumes, Layout, VolumeReport};
+use pselinv_mpisim::Grid2D;
+use pselinv_trees::{TreeBuilder, TreeScheme, VolumeStats};
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Seed used for every deterministic tree construction in the experiments.
+pub const TREE_SEED: u64 = 0x5e11;
+
+/// Output directory helper.
+pub struct OutDir(PathBuf);
+
+impl OutDir {
+    /// Creates (if needed) and wraps an output directory.
+    pub fn new(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        fs::create_dir_all(&path)?;
+        Ok(Self(path.as_ref().to_path_buf()))
+    }
+
+    /// Writes a text artifact.
+    pub fn write_text(&self, name: &str, content: &str) -> std::io::Result<()> {
+        fs::write(self.0.join(name), content)
+    }
+
+    /// Writes a JSON artifact.
+    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) -> std::io::Result<()> {
+        fs::write(self.0.join(name), serde_json::to_string_pretty(value).unwrap())
+    }
+}
+
+fn schemes_with_names() -> Vec<(&'static str, TreeScheme)> {
+    vec![
+        ("Flat-Tree", TreeScheme::Flat),
+        ("Binary-Tree", TreeScheme::Binary),
+        ("Shifted Binary-Tree", TreeScheme::ShiftedBinary),
+    ]
+}
+
+fn replay(a: &Analyzed, grid: Grid2D, scheme: TreeScheme) -> VolumeReport {
+    let layout = Layout::new(a.symbolic.clone(), grid);
+    replay_volumes(&layout, TreeBuilder::new(scheme, TREE_SEED))
+}
+
+#[derive(Serialize)]
+struct StatsRow {
+    scheme: String,
+    min_mb: f64,
+    max_mb: f64,
+    median_mb: f64,
+    std_dev_mb: f64,
+}
+
+fn stats_row(name: &str, s: &VolumeStats) -> StatsRow {
+    StatsRow {
+        scheme: name.to_string(),
+        min_mb: s.min,
+        max_mb: s.max,
+        median_mb: s.median,
+        std_dev_mb: s.std_dev,
+    }
+}
+
+fn render_stats_table(title: &str, rows: &[StatsRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>10} {:>10} {:>10}",
+        "Communication tree", "Min", "Max", "Median", "Std. dev"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10.4} {:>10.4} {:>10.4} {:>10.4}",
+            r.scheme, r.min_mb, r.max_mb, r.median_mb, r.std_dev_mb
+        );
+    }
+    out
+}
+
+/// Table I: volume *sent* during Col-Bcast (MB) for the audikw_1 proxy on
+/// a 46×46 grid, per tree scheme (plus the rejected random-permutation
+/// baseline discussed in §III).
+pub fn table1(out: &OutDir) -> std::io::Result<String> {
+    let a = workloads::audikw_volume();
+    let grid = Grid2D::new(46, 46);
+    let mut rows = Vec::new();
+    for (name, scheme) in schemes_with_names() {
+        let rep = replay(&a, grid, scheme);
+        rows.push(stats_row(name, &rep.col_bcast_stats_mb()));
+    }
+    let rep = replay(&a, grid, TreeScheme::RandomPerm);
+    rows.push(stats_row("Random-Permutation Tree", &rep.col_bcast_stats_mb()));
+    let txt = render_stats_table(
+        &format!("Table I: volume sent during Col-Bcast (MB), {}, 46x46 grid", a.name),
+        &rows,
+    );
+    out.write_json("table1.json", &rows)?;
+    out.write_text("table1.txt", &txt)?;
+    Ok(txt)
+}
+
+/// Table II: volume *received* during Row-Reduce (MB) for the six
+/// evaluation matrices on a 46×46 grid.
+pub fn table2(out: &OutDir) -> std::io::Result<String> {
+    let grid = Grid2D::new(46, 46);
+    let mut txt = String::new();
+    let mut all: Vec<(String, Vec<StatsRow>)> = Vec::new();
+    for a in workloads::table2_workloads() {
+        let mut rows = Vec::new();
+        for (name, scheme) in schemes_with_names() {
+            let rep = replay(&a, grid, scheme);
+            rows.push(stats_row(name, &rep.row_reduce_stats_mb()));
+        }
+        txt.push_str(&render_stats_table(
+            &format!(
+                "{}\n  n = {}, nnz(A) = {}, nnz(L) = {}",
+                a.name, a.n, a.nnz_a, a.nnz_l
+            ),
+            &rows,
+        ));
+        txt.push('\n');
+        all.push((a.name.clone(), rows));
+    }
+    let txt = format!("Table II: volume received during Row-Reduce (MB), 46x46 grid\n\n{txt}");
+    out.write_json("table2.json", &all)?;
+    out.write_text("table2.txt", &txt)?;
+    Ok(txt)
+}
+
+/// Fig. 4: per-rank Col-Bcast sent-volume histograms, per scheme.
+pub fn fig4(out: &OutDir) -> std::io::Result<String> {
+    let a = workloads::audikw_volume();
+    let grid = Grid2D::new(46, 46);
+    let mut txt = String::from("Fig. 4: Col-Bcast sent-volume distribution (MB)\n");
+    #[derive(Serialize)]
+    struct Hist {
+        scheme: String,
+        bin_edges_mb: Vec<f64>,
+        counts: Vec<usize>,
+    }
+    let mut hists = Vec::new();
+    for (name, scheme) in schemes_with_names() {
+        let rep = replay(&a, grid, scheme);
+        let (edges, counts) = VolumeReport::histogram_mb(&rep.col_bcast_sent, 24);
+        let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+        let _ = writeln!(txt, "\n  {name}:");
+        for (i, &c) in counts.iter().enumerate() {
+            let bar = "#".repeat((c * 48).div_ceil(peak).min(48));
+            let _ = writeln!(txt, "  {:>8.3}-{:<8.3} {:>5} {}", edges[i], edges[i + 1], c, bar);
+        }
+        hists.push(Hist { scheme: name.to_string(), bin_edges_mb: edges, counts });
+    }
+    out.write_json("fig4.json", &hists)?;
+    out.write_text("fig4.txt", &txt)?;
+    Ok(txt)
+}
+
+fn heatmap_csv(hm: &[Vec<f64>]) -> String {
+    hm.iter()
+        .map(|row| row.iter().map(|v| format!("{v:.6}")).collect::<Vec<_>>().join(","))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn heatmap_summary(name: &str, hm: &[Vec<f64>]) -> String {
+    let flat: Vec<f64> = hm.iter().flatten().copied().collect();
+    let mean = flat.iter().sum::<f64>() / flat.len() as f64;
+    let max = flat.iter().cloned().fold(0.0, f64::max);
+    let min = flat.iter().cloned().fold(f64::INFINITY, f64::min);
+    let var = flat.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / flat.len() as f64;
+    format!(
+        "  {name}: min {:.3} MB, max {:.3} MB, mean {:.3} MB, std {:.3} MB ({:.1}% of mean)\n",
+        min,
+        max,
+        mean,
+        var.sqrt(),
+        100.0 * var.sqrt() / mean
+    )
+}
+
+/// Fig. 5: Col-Bcast sent-volume heat maps on the 46×46 grid (CSV per
+/// scheme) plus summary statistics.
+pub fn fig5(out: &OutDir) -> std::io::Result<String> {
+    let a = workloads::audikw_volume();
+    let grid = Grid2D::new(46, 46);
+    let mut txt = String::from("Fig. 5: Col-Bcast sent-volume heat maps, 46x46 grid\n");
+    for (name, scheme) in schemes_with_names() {
+        let rep = replay(&a, grid, scheme);
+        let hm = rep.col_bcast_heatmap_mb();
+        let slug = name.to_lowercase().replace([' ', '-'], "_");
+        out.write_text(&format!("fig5_{slug}.csv"), &heatmap_csv(&hm))?;
+        txt.push_str(&heatmap_summary(name, &hm));
+    }
+    out.write_text("fig5.txt", &txt)?;
+    Ok(txt)
+}
+
+/// Fig. 6: Flat-Tree Col-Bcast heat map on a 16×16 grid, and the paper's
+/// observation that the relative spread shrinks at small scale.
+pub fn fig6(out: &OutDir) -> std::io::Result<String> {
+    let a = workloads::audikw_volume();
+    let small = replay(&a, Grid2D::new(16, 16), TreeScheme::Flat);
+    let large = replay(&a, Grid2D::new(46, 46), TreeScheme::Flat);
+    let hm = small.col_bcast_heatmap_mb();
+    out.write_text("fig6_flat_16x16.csv", &heatmap_csv(&hm))?;
+    let s16 = small.col_bcast_stats_mb();
+    let s46 = large.col_bcast_stats_mb();
+    let rel16 = 100.0 * s16.std_dev / s16.mean;
+    let rel46 = 100.0 * s46.std_dev / s46.mean;
+    let txt = format!(
+        "Fig. 6: Flat-Tree Col-Bcast heat map on 16x16 ({})\n\
+         {}  relative std dev: {:.1}% on 16x16 vs {:.1}% on 46x46\n",
+        a.name,
+        heatmap_summary("Flat-Tree 16x16", &hm),
+        rel16,
+        rel46
+    );
+    out.write_text("fig6.txt", &txt)?;
+    Ok(txt)
+}
+
+/// Fig. 7: Row-Reduce received-volume heat maps, Flat vs Shifted.
+pub fn fig7(out: &OutDir) -> std::io::Result<String> {
+    let a = workloads::audikw_volume();
+    let grid = Grid2D::new(46, 46);
+    let mut txt = String::from("Fig. 7: Row-Reduce received-volume heat maps, 46x46 grid\n");
+    for (name, scheme) in
+        [("Flat-Tree", TreeScheme::Flat), ("Shifted Binary-Tree", TreeScheme::ShiftedBinary)]
+    {
+        let rep = replay(&a, grid, scheme);
+        let hm = rep.row_reduce_heatmap_mb();
+        let slug = name.to_lowercase().replace([' ', '-'], "_");
+        out.write_text(&format!("fig7_{slug}.csv"), &heatmap_csv(&hm))?;
+        txt.push_str(&heatmap_summary(name, &hm));
+    }
+    out.write_text("fig7.txt", &txt)?;
+    Ok(txt)
+}
+
+/// One strong-scaling series of Fig. 8.
+#[derive(Clone, Serialize)]
+pub struct ScalingPoint {
+    /// Processor count.
+    pub p: usize,
+    /// Mean makespan over the seeds (seconds).
+    pub mean_s: f64,
+    /// Standard deviation over the seeds.
+    pub std_s: f64,
+}
+
+/// A named Fig. 8 curve.
+#[derive(Clone, Serialize)]
+pub struct ScalingSeries {
+    /// Variant label (as in the paper's legend).
+    pub label: String,
+    /// One point per processor count.
+    pub points: Vec<ScalingPoint>,
+}
+
+fn run_seeds(g: &pselinv_dist::taskgraph::TaskGraph, seeds: u64) -> (f64, f64, SimResult) {
+    let mut times = Vec::new();
+    let mut last = None;
+    for seed in 0..seeds {
+        let r = simulate(g, workloads::des_machine(seed));
+        times.push(r.makespan);
+        last = Some(r);
+    }
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let var = times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / times.len() as f64;
+    (mean, var.sqrt(), last.unwrap())
+}
+
+/// Fig. 8: strong scaling of the selected inversion for one matrix, over
+/// the five variants of the paper (SuperLU_DIST reference, v0.7.3
+/// Flat-Tree, Flat-Tree, Binary-Tree, Shifted Binary-Tree).
+pub fn fig8(a: &Analyzed, seeds: u64, out: &OutDir, tag: &str) -> std::io::Result<String> {
+    let plist = workloads::fig8_processor_counts();
+    let variants: Vec<(&str, TreeScheme, bool, bool)> = vec![
+        // (label, scheme, pipelining, is_factorization)
+        ("SuperLU_DIST (reference)", TreeScheme::ShiftedBinary, true, true),
+        ("PSelInv v0.7.3 Flat-Tree", TreeScheme::Flat, false, false),
+        ("PSelInv Flat-Tree", TreeScheme::Flat, true, false),
+        ("PSelInv Binary-Tree", TreeScheme::Binary, true, false),
+        ("PSelInv Shifted Binary-Tree", TreeScheme::ShiftedBinary, true, false),
+    ];
+    let mut series: Vec<ScalingSeries> = Vec::new();
+    for (label, scheme, pipelining, is_fact) in &variants {
+        let mut points = Vec::new();
+        for &p in &plist {
+            let grid = Grid2D::square_for(p);
+            let layout = Layout::new(a.symbolic.clone(), grid);
+            let opts = GraphOptions { scheme: *scheme, seed: TREE_SEED, pipelining: *pipelining };
+            let g = if *is_fact {
+                factorization_graph(&layout, &opts)
+            } else {
+                selinv_graph(&layout, &opts)
+            };
+            let (mean, std, _) = run_seeds(&g, seeds);
+            points.push(ScalingPoint { p, mean_s: mean, std_s: std });
+        }
+        series.push(ScalingSeries { label: label.to_string(), points });
+    }
+
+    let mut txt = format!("Fig. 8{tag}: strong scaling, {} ({} seeds/point)\n", a.name, seeds);
+    let _ = write!(txt, "{:>7}", "P");
+    for s in &series {
+        let _ = write!(txt, " | {:>28}", s.label);
+    }
+    txt.push('\n');
+    for (i, &p) in plist.iter().enumerate() {
+        let _ = write!(txt, "{p:>7}");
+        for s in &series {
+            let pt = &s.points[i];
+            let _ = write!(txt, " | {:>17.4}s ±{:>7.4}", pt.mean_s, pt.std_s);
+        }
+        txt.push('\n');
+    }
+
+    // Headline numbers (paper §IV-B): speedup of Shifted over Flat, and
+    // run-to-run σ reduction.
+    let flat = &series[2];
+    let shifted = &series[4];
+    let mut best_speedup: f64 = 0.0;
+    for (f, s) in flat.points.iter().zip(&shifted.points) {
+        best_speedup = best_speedup.max(f.mean_s / s.mean_s);
+    }
+    let sigma_ratio: f64 = {
+        let large: Vec<usize> =
+            plist.iter().enumerate().filter(|(_, &p)| p >= 2116).map(|(i, _)| i).collect();
+        let fsum: f64 = large.iter().map(|&i| flat.points[i].std_s).sum();
+        let ssum: f64 = large.iter().map(|&i| shifted.points[i].std_s).sum();
+        fsum / ssum.max(1e-12)
+    };
+    let _ = writeln!(
+        txt,
+        "\n  max Flat/Shifted speedup over the sweep: {best_speedup:.2}x\n  \
+         run-to-run sigma ratio Flat/Shifted (P >= 2116): {sigma_ratio:.2}x"
+    );
+
+    out.write_json(&format!("fig8{tag}.json"), &series)?;
+    out.write_text(&format!("fig8{tag}.txt"), &txt)?;
+    Ok(txt)
+}
+
+/// Fig. 9: computation vs communication time at P = 256 and P = 4,096,
+/// Flat vs Shifted, for the DG proxy.
+pub fn fig9(out: &OutDir) -> std::io::Result<String> {
+    let a = workloads::dg_pnf_des();
+    let mut txt = format!("Fig. 9: computation vs communication breakdown, {}\n", a.name);
+    #[derive(Serialize)]
+    struct Row {
+        scheme: String,
+        p: usize,
+        compute_s: f64,
+        comm_s: f64,
+        ratio: f64,
+    }
+    let mut rows = Vec::new();
+    for (name, scheme) in
+        [("Flat-Tree", TreeScheme::Flat), ("Shifted Binary-Tree", TreeScheme::ShiftedBinary)]
+    {
+        for p in [256usize, 4096] {
+            let grid = Grid2D::square_for(p);
+            let layout = Layout::new(a.symbolic.clone(), grid);
+            let g = selinv_graph(
+                &layout,
+                &GraphOptions { scheme, seed: TREE_SEED, pipelining: true },
+            );
+            let r = simulate(&g, workloads::des_machine(0));
+            let _ = writeln!(
+                txt,
+                "  {name:<22} P={p:<5}: computation {:.4}s, communication {:.4}s (ratio {:.2})",
+                r.compute_time_mean(),
+                r.comm_time_mean(),
+                r.comm_to_comp()
+            );
+            rows.push(Row {
+                scheme: name.to_string(),
+                p,
+                compute_s: r.compute_time_mean(),
+                comm_s: r.comm_time_mean(),
+                ratio: r.comm_to_comp(),
+            });
+        }
+    }
+    out.write_json("fig9.json", &rows)?;
+    out.write_text("fig9.txt", &txt)?;
+    Ok(txt)
+}
+
+/// Ablation: NIC contention on/off (shows end-point contention is what
+/// separates the schemes), on the DG proxy at P = 2,116.
+pub fn ablation_nic(out: &OutDir) -> std::io::Result<String> {
+    let a = workloads::dg_pnf_des();
+    let grid = Grid2D::new(46, 46);
+    let layout = Layout::new(a.symbolic.clone(), grid);
+    let mut txt = String::from("Ablation: NIC contention, P = 2116\n");
+    for (name, scheme) in schemes_with_names() {
+        let g = selinv_graph(
+            &layout,
+            &GraphOptions { scheme, seed: TREE_SEED, pipelining: true },
+        );
+        let on = simulate(&g, workloads::des_machine(0)).makespan;
+        let mut cfg = workloads::des_machine(0);
+        cfg.nic_contention = false;
+        let off = simulate(&g, cfg).makespan;
+        let _ = writeln!(
+            txt,
+            "  {name:<22}: contention on {on:.4}s, off {off:.4}s (inflation {:.2}x)",
+            on / off
+        );
+    }
+    out.write_text("ablation_nic.txt", &txt)?;
+    Ok(txt)
+}
+
+/// Ablation: shift strategy — none (plain binary), circular shift, full
+/// random permutation, hybrid threshold — measured on Col-Bcast volume
+/// balance (the paper's §III argument for the circular shift).
+pub fn ablation_shift(out: &OutDir) -> std::io::Result<String> {
+    let a = workloads::audikw_volume();
+    let grid = Grid2D::new(46, 46);
+    let mut txt = String::from("Ablation: shift strategy (Col-Bcast sent volume, MB)\n");
+    let mut rows = Vec::new();
+    for (name, scheme) in [
+        ("Binary (no shift)", TreeScheme::Binary),
+        ("Shifted Binary", TreeScheme::ShiftedBinary),
+        ("Random permutation", TreeScheme::RandomPerm),
+        ("Hybrid (flat <= 8)", TreeScheme::Hybrid { flat_threshold: 8 }),
+        ("Hybrid (flat <= 24)", TreeScheme::Hybrid { flat_threshold: 24 }),
+    ] {
+        let rep = replay(&a, grid, scheme);
+        let s = rep.col_bcast_stats_mb();
+        rows.push(stats_row(name, &s));
+    }
+    txt.push_str(&render_stats_table("", &rows));
+    out.write_json("ablation_shift.json", &rows)?;
+    out.write_text("ablation_shift.txt", &txt)?;
+    Ok(txt)
+}
+
+/// Ablation: tree arity — depth vs root fan-out, both on volume balance
+/// and on simulated time at P = 2,116 (DESIGN.md §5).
+pub fn ablation_arity(out: &OutDir) -> std::io::Result<String> {
+    let a = workloads::dg_pnf_des();
+    let grid = Grid2D::new(46, 46);
+    let layout = Layout::new(a.symbolic.clone(), grid);
+    let mut txt = String::from("Ablation: tree arity, P = 2116\n");
+    let mut rows = Vec::new();
+    for arity in [2usize, 3, 4, 8, 16] {
+        let scheme = TreeScheme::ShiftedKary { arity };
+        let rep = replay_volumes(&layout, TreeBuilder::new(scheme, TREE_SEED));
+        let s = rep.col_bcast_stats_mb();
+        let g = selinv_graph(
+            &layout,
+            &GraphOptions { scheme, seed: TREE_SEED, pipelining: true },
+        );
+        let (mean, _, _) = run_seeds(&g, 3);
+        let _ = writeln!(
+            txt,
+            "  shifted {arity:>2}-ary: time {mean:.4}s, col-bcast max {:.3} MB, std {:.3} MB",
+            s.max, s.std_dev
+        );
+        rows.push((arity, mean, s.max, s.std_dev));
+    }
+    #[derive(Serialize)]
+    struct Row {
+        arity: usize,
+        time_s: f64,
+        max_mb: f64,
+        std_mb: f64,
+    }
+    let json: Vec<Row> = rows
+        .into_iter()
+        .map(|(arity, time_s, max_mb, std_mb)| Row { arity, time_s, max_mb, std_mb })
+        .collect();
+    out.write_json("ablation_arity.json", &json)?;
+    out.write_text("ablation_arity.txt", &txt)?;
+    Ok(txt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp() -> OutDir {
+        OutDir::new(std::env::temp_dir().join("pselinv_fig_test")).unwrap()
+    }
+
+    #[test]
+    fn table1_shape_matches_paper() {
+        // The structural claims of Table I: Binary has the smallest min and
+        // the largest max (striping); Shifted has the smallest std dev.
+        let out = tmp();
+        let _ = table1(&out).unwrap();
+        let json = std::fs::read_to_string(out.0.join("table1.json")).unwrap();
+        let rows: Vec<serde_json::Value> = serde_json::from_str(&json).unwrap();
+        let get = |i: usize, f: &str| rows[i][f].as_f64().unwrap();
+        // rows: 0 = Flat, 1 = Binary, 2 = Shifted, 3 = RandomPerm
+        assert!(get(1, "max_mb") > get(0, "max_mb"), "binary max must exceed flat");
+        assert!(get(2, "min_mb") > get(0, "min_mb"), "shifted must lift the minimum load");
+        assert!(
+            get(2, "std_dev_mb") < get(0, "std_dev_mb"),
+            "shifted std dev must beat flat"
+        );
+        assert!(
+            get(2, "std_dev_mb") < get(1, "std_dev_mb"),
+            "shifted std dev must beat binary"
+        );
+        assert!(get(2, "max_mb") < get(0, "max_mb"), "shifted max must beat flat");
+    }
+
+    #[test]
+    fn fig6_small_grid_is_relatively_balanced() {
+        let out = tmp();
+        let txt = fig6(&out).unwrap();
+        // the rendered text carries both percentages; parse them
+        let pct: Vec<f64> = txt
+            .split('%')
+            .filter_map(|s| s.split_whitespace().last().and_then(|w| w.parse().ok()))
+            .collect();
+        assert!(pct.len() >= 2);
+        assert!(pct[0] < pct[1], "16x16 relative spread must be below 46x46: {txt}");
+    }
+}

@@ -1,0 +1,353 @@
+//! GEMM and triangular solves.
+
+use crate::mat::Mat;
+
+/// Transpose flag for [`gemm`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transpose {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// Shapes: `op(A)` is `m×k`, `op(B)` is `k×n`, `C` is `m×n`.
+pub fn gemm(alpha: f64, a: &Mat, ta: Transpose, b: &Mat, tb: Transpose, beta: f64, c: &mut Mat) {
+    let (m, ka) = match ta {
+        Transpose::No => (a.nrows(), a.ncols()),
+        Transpose::Yes => (a.ncols(), a.nrows()),
+    };
+    let (kb, n) = match tb {
+        Transpose::No => (b.nrows(), b.ncols()),
+        Transpose::Yes => (b.ncols(), b.nrows()),
+    };
+    assert_eq!(ka, kb, "gemm inner dimensions differ: {ka} vs {kb}");
+    assert_eq!(c.nrows(), m, "gemm C row mismatch");
+    assert_eq!(c.ncols(), n, "gemm C col mismatch");
+    let k = ka;
+
+    if beta != 1.0 {
+        for v in c.data_mut() {
+            *v *= beta;
+        }
+    }
+    if alpha == 0.0 || k == 0 {
+        return;
+    }
+
+    match (ta, tb) {
+        (Transpose::No, Transpose::No) => {
+            // jki order: stream down columns of A and C.
+            for j in 0..n {
+                for p in 0..k {
+                    let bpj = alpha * b[(p, j)];
+                    if bpj == 0.0 {
+                        continue;
+                    }
+                    let acol = a.col(p);
+                    let ccol = c.col_mut(j);
+                    for i in 0..m {
+                        ccol[i] += acol[i] * bpj;
+                    }
+                }
+            }
+        }
+        (Transpose::Yes, Transpose::No) => {
+            // C_ij += Aᵀ_ip B_pj = A_pi B_pj : dot products of columns.
+            for j in 0..n {
+                for i in 0..m {
+                    let acol = a.col(i);
+                    let mut s = 0.0;
+                    for p in 0..k {
+                        s += acol[p] * b[(p, j)];
+                    }
+                    c[(i, j)] += alpha * s;
+                }
+            }
+        }
+        (Transpose::No, Transpose::Yes) => {
+            for j in 0..n {
+                for p in 0..k {
+                    let bpj = alpha * b[(j, p)];
+                    if bpj == 0.0 {
+                        continue;
+                    }
+                    let acol = a.col(p);
+                    let ccol = c.col_mut(j);
+                    for i in 0..m {
+                        ccol[i] += acol[i] * bpj;
+                    }
+                }
+            }
+        }
+        (Transpose::Yes, Transpose::Yes) => {
+            for j in 0..n {
+                for i in 0..m {
+                    let acol = a.col(i);
+                    let mut s = 0.0;
+                    for p in 0..k {
+                        s += acol[p] * b[(j, p)];
+                    }
+                    c[(i, j)] += alpha * s;
+                }
+            }
+        }
+    }
+}
+
+/// Solves `X · L = B` in place (`B` becomes `X`), where `L` is lower
+/// triangular. With `unit = true` the diagonal of `L` is taken as 1.
+///
+/// This computes `X = B · L⁻¹`, the panel normalization `L̂ = L_{C,K} ·
+/// (L_{K,K})⁻¹` from step 2 of Algorithm 1.
+pub fn trsm_right_lower(b: &mut Mat, l: &Mat, unit: bool) {
+    let w = l.nrows();
+    assert_eq!(l.ncols(), w);
+    assert_eq!(b.ncols(), w);
+    let m = b.nrows();
+    for j in (0..w).rev() {
+        if !unit {
+            let d = l[(j, j)];
+            assert!(d != 0.0, "singular triangular block");
+            let bj = b.col_mut(j);
+            for v in bj.iter_mut() {
+                *v /= d;
+            }
+        }
+        // B_{:,i} -= X_{:,j} * L_{j,i} for i < j
+        for i in 0..j {
+            let lji = l[(j, i)];
+            if lji == 0.0 {
+                continue;
+            }
+            for r in 0..m {
+                let xj = b[(r, j)];
+                b[(r, i)] -= xj * lji;
+            }
+        }
+    }
+}
+
+/// Solves `X · Lᵀ = B` in place (`B` becomes `X`), `L` lower triangular.
+/// With `unit = true` the diagonal of `L` is taken as 1.
+pub fn trsm_right_lower_trans(b: &mut Mat, l: &Mat, unit: bool) {
+    let w = l.nrows();
+    assert_eq!(l.ncols(), w);
+    assert_eq!(b.ncols(), w);
+    let m = b.nrows();
+    for j in 0..w {
+        // B_{:,j} -= X_{:,k} * (Lᵀ)_{k,j} = X_{:,k} * L_{j,k}, k < j
+        for k in 0..j {
+            let ljk = l[(j, k)];
+            if ljk == 0.0 {
+                continue;
+            }
+            for r in 0..m {
+                let xk = b[(r, k)];
+                b[(r, j)] -= xk * ljk;
+            }
+        }
+        if !unit {
+            let d = l[(j, j)];
+            assert!(d != 0.0, "singular triangular block");
+            for v in b.col_mut(j) {
+                *v /= d;
+            }
+        }
+    }
+}
+
+/// Solves `L · X = B` in place (`B` becomes `X`), `L` lower triangular.
+/// With `unit = true` the diagonal of `L` is taken as 1.
+pub fn trsm_left_lower(l: &Mat, b: &mut Mat, unit: bool) {
+    let w = l.nrows();
+    assert_eq!(l.ncols(), w);
+    assert_eq!(b.nrows(), w);
+    let n = b.ncols();
+    for j in 0..n {
+        for i in 0..w {
+            let mut s = b[(i, j)];
+            for k in 0..i {
+                s -= l[(i, k)] * b[(k, j)];
+            }
+            b[(i, j)] = if unit { s } else { s / l[(i, i)] };
+        }
+    }
+}
+
+/// Solves `Lᵀ · X = B` in place, `L` lower triangular (so `Lᵀ` is upper).
+/// With `unit = true` the diagonal is taken as 1.
+pub fn trsm_left_lower_trans(l: &Mat, b: &mut Mat, unit: bool) {
+    let w = l.nrows();
+    assert_eq!(l.ncols(), w);
+    assert_eq!(b.nrows(), w);
+    let n = b.ncols();
+    for j in 0..n {
+        for i in (0..w).rev() {
+            let mut s = b[(i, j)];
+            for k in (i + 1)..w {
+                s -= l[(k, i)] * b[(k, j)];
+            }
+            b[(i, j)] = if unit { s } else { s / l[(i, i)] };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Mat, b: &Mat, tol: f64) {
+        assert_eq!(a.nrows(), b.nrows());
+        assert_eq!(a.ncols(), b.ncols());
+        for j in 0..a.ncols() {
+            for i in 0..a.nrows() {
+                assert!(
+                    (a[(i, j)] - b[(i, j)]).abs() < tol,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    a[(i, j)],
+                    b[(i, j)]
+                );
+            }
+        }
+    }
+
+    fn naive_gemm(a: &Mat, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(a.nrows(), b.ncols());
+        for i in 0..a.nrows() {
+            for j in 0..b.ncols() {
+                let mut s = 0.0;
+                for k in 0..a.ncols() {
+                    s += a[(i, k)] * b[(k, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Mat {
+        // xorshift-ish deterministic fill; no rand dependency needed here
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let mut a = Mat::zeros(m, n);
+        for j in 0..n {
+            for i in 0..m {
+                a[(i, j)] = next();
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn gemm_no_no_matches_naive() {
+        let a = rand_mat(5, 4, 1);
+        let b = rand_mat(4, 3, 2);
+        let mut c = Mat::zeros(5, 3);
+        gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+        assert_close(&c, &naive_gemm(&a, &b), 1e-13);
+    }
+
+    #[test]
+    fn gemm_transpose_variants() {
+        let a = rand_mat(4, 5, 3);
+        let b = rand_mat(4, 3, 4);
+        // AᵀB
+        let mut c = Mat::zeros(5, 3);
+        gemm(1.0, &a, Transpose::Yes, &b, Transpose::No, 0.0, &mut c);
+        assert_close(&c, &naive_gemm(&a.transpose(), &b), 1e-13);
+        // AᵀBᵀ with b' 3x4
+        let b2 = rand_mat(3, 4, 5);
+        let mut c = Mat::zeros(5, 3);
+        gemm(1.0, &a, Transpose::Yes, &b2, Transpose::Yes, 0.0, &mut c);
+        assert_close(&c, &naive_gemm(&a.transpose(), &b2.transpose()), 1e-13);
+        // ABᵀ
+        let a2 = rand_mat(5, 4, 6);
+        let mut c = Mat::zeros(5, 3);
+        gemm(1.0, &a2, Transpose::No, &b2, Transpose::Yes, 0.0, &mut c);
+        assert_close(&c, &naive_gemm(&a2, &b2.transpose()), 1e-13);
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = rand_mat(3, 3, 7);
+        let b = rand_mat(3, 3, 8);
+        let c0 = rand_mat(3, 3, 9);
+        let mut c = c0.clone();
+        gemm(2.0, &a, Transpose::No, &b, Transpose::No, -1.0, &mut c);
+        let mut expect = naive_gemm(&a, &b);
+        for j in 0..3 {
+            for i in 0..3 {
+                expect[(i, j)] = 2.0 * expect[(i, j)] - c0[(i, j)];
+            }
+        }
+        assert_close(&c, &expect, 1e-13);
+    }
+
+    fn lower_of(m: &Mat, unit: bool) -> Mat {
+        let n = m.nrows();
+        let mut l = Mat::zeros(n, n);
+        for j in 0..n {
+            for i in j..n {
+                l[(i, j)] = m[(i, j)];
+            }
+            if unit {
+                l[(j, j)] = 1.0;
+            } else {
+                l[(j, j)] = m[(j, j)].abs() + 2.0; // well-conditioned
+            }
+        }
+        l
+    }
+
+    #[test]
+    fn trsm_right_lower_solves() {
+        for unit in [true, false] {
+            let l = lower_of(&rand_mat(4, 4, 10), unit);
+            let b = rand_mat(6, 4, 11);
+            let mut x = b.clone();
+            trsm_right_lower(&mut x, &l, unit);
+            assert_close(&naive_gemm(&x, &l), &b, 1e-12);
+        }
+    }
+
+    #[test]
+    fn trsm_right_lower_trans_solves() {
+        for unit in [true, false] {
+            let l = lower_of(&rand_mat(4, 4, 12), unit);
+            let b = rand_mat(5, 4, 13);
+            let mut x = b.clone();
+            trsm_right_lower_trans(&mut x, &l, unit);
+            assert_close(&naive_gemm(&x, &l.transpose()), &b, 1e-12);
+        }
+    }
+
+    #[test]
+    fn trsm_left_lower_solves() {
+        for unit in [true, false] {
+            let l = lower_of(&rand_mat(4, 4, 14), unit);
+            let b = rand_mat(4, 3, 15);
+            let mut x = b.clone();
+            trsm_left_lower(&l, &mut x, unit);
+            assert_close(&naive_gemm(&l, &x), &b, 1e-12);
+        }
+    }
+
+    #[test]
+    fn trsm_left_lower_trans_solves() {
+        for unit in [true, false] {
+            let l = lower_of(&rand_mat(4, 4, 16), unit);
+            let b = rand_mat(4, 3, 17);
+            let mut x = b.clone();
+            trsm_left_lower_trans(&l, &mut x, unit);
+            assert_close(&naive_gemm(&l.transpose(), &x), &b, 1e-12);
+        }
+    }
+}

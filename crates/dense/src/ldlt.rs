@@ -1,0 +1,215 @@
+//! LDLᵀ factorization and symmetric inversion of dense diagonal blocks.
+
+use crate::kernels::{trsm_left_lower, trsm_left_lower_trans};
+use crate::mat::Mat;
+
+/// Error for a numerically singular diagonal block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SingularBlock {
+    /// Index of the offending pivot within the block.
+    pub pivot: usize,
+    /// Its value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for SingularBlock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "singular diagonal block: pivot {} = {:e}", self.pivot, self.value)
+    }
+}
+
+impl std::error::Error for SingularBlock {}
+
+/// In-place LDLᵀ factorization without pivoting of a symmetric block.
+///
+/// On return, the strictly lower part of `a` holds the unit lower factor
+/// `L` and the diagonal holds `D`. The strictly upper part is left
+/// untouched. No pivoting is performed: the supernodal driver guarantees
+/// (via the SPD workload generators) that pivots stay away from zero; a
+/// tiny pivot returns [`SingularBlock`].
+pub fn ldlt_factor(a: &mut Mat) -> Result<(), SingularBlock> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "ldlt_factor requires a square block");
+    for j in 0..n {
+        // d_j = a_jj - sum_k l_jk^2 d_k
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            let l = a[(j, k)];
+            d -= l * l * a[(k, k)];
+        }
+        if d.abs() < f64::EPSILON * 16.0 {
+            return Err(SingularBlock { pivot: j, value: d });
+        }
+        a[(j, j)] = d;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= a[(i, k)] * a[(j, k)] * a[(k, k)];
+            }
+            a[(i, j)] = s / d;
+        }
+    }
+    Ok(())
+}
+
+/// Solves `A X = B` in place given the output of [`ldlt_factor`].
+pub fn ldlt_solve(factored: &Mat, b: &mut Mat) {
+    let n = factored.nrows();
+    assert_eq!(b.nrows(), n);
+    // L y = b
+    trsm_left_lower(factored, b, true);
+    // D z = y
+    for j in 0..b.ncols() {
+        for i in 0..n {
+            b[(i, j)] /= factored[(i, i)];
+        }
+    }
+    // Lᵀ x = z
+    trsm_left_lower_trans(factored, b, true);
+}
+
+/// Computes the full symmetric inverse `A⁻¹ = L⁻ᵀ D⁻¹ L⁻¹` from the output
+/// of [`ldlt_factor`]. This initializes the diagonal block of the selected
+/// inverse (step 4 of Algorithm 1).
+pub fn ldlt_invert(factored: &Mat) -> Mat {
+    let n = factored.nrows();
+    let mut inv = Mat::identity(n);
+    ldlt_solve(factored, &mut inv);
+    // Symmetrize to wash out rounding asymmetry.
+    for j in 0..n {
+        for i in (j + 1)..n {
+            let v = 0.5 * (inv[(i, j)] + inv[(j, i)]);
+            inv[(i, j)] = v;
+            inv[(j, i)] = v;
+        }
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{gemm, Transpose};
+
+    fn spd(n: usize, seed: u64) -> Mat {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let mut a = Mat::zeros(n, n);
+        for j in 0..n {
+            for i in 0..j {
+                let v = next();
+                a[(i, j)] = v;
+                a[(j, i)] = v;
+            }
+            a[(j, j)] = n as f64 + 1.0;
+        }
+        a
+    }
+
+    fn reconstruct(f: &Mat) -> Mat {
+        let n = f.nrows();
+        let mut l = Mat::identity(n);
+        let mut d = Mat::zeros(n, n);
+        for j in 0..n {
+            d[(j, j)] = f[(j, j)];
+            for i in (j + 1)..n {
+                l[(i, j)] = f[(i, j)];
+            }
+        }
+        let mut ld = Mat::zeros(n, n);
+        gemm(1.0, &l, Transpose::No, &d, Transpose::No, 0.0, &mut ld);
+        let mut a = Mat::zeros(n, n);
+        gemm(1.0, &ld, Transpose::No, &l, Transpose::Yes, 0.0, &mut a);
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        for n in [1, 2, 5, 12] {
+            let a = spd(n, 42 + n as u64);
+            let mut f = a.clone();
+            ldlt_factor(&mut f).unwrap();
+            let r = reconstruct(&f);
+            for j in 0..n {
+                for i in 0..n {
+                    assert!((r[(i, j)] - a[(i, j)]).abs() < 1e-10, "n={n} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_is_inverse_application() {
+        let n = 7;
+        let a = spd(n, 5);
+        let mut f = a.clone();
+        ldlt_factor(&mut f).unwrap();
+        let b = spd(n, 9);
+        let mut x = b.clone();
+        ldlt_solve(&f, &mut x);
+        let mut ax = Mat::zeros(n, n);
+        gemm(1.0, &a, Transpose::No, &x, Transpose::No, 0.0, &mut ax);
+        for j in 0..n {
+            for i in 0..n {
+                assert!((ax[(i, j)] - b[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn invert_gives_identity() {
+        let n = 9;
+        let a = spd(n, 13);
+        let mut f = a.clone();
+        ldlt_factor(&mut f).unwrap();
+        let inv = ldlt_invert(&f);
+        let mut prod = Mat::zeros(n, n);
+        gemm(1.0, &a, Transpose::No, &inv, Transpose::No, 0.0, &mut prod);
+        for j in 0..n {
+            for i in 0..n {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+        // symmetric by construction
+        for j in 0..n {
+            for i in 0..n {
+                assert_eq!(inv[(i, j)], inv[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_block_detected() {
+        let mut a = Mat::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(1, 0)] = 1.0;
+        a[(0, 1)] = 1.0;
+        a[(1, 1)] = 1.0; // rank 1
+        let err = ldlt_factor(&mut a).unwrap_err();
+        assert_eq!(err.pivot, 1);
+    }
+
+    #[test]
+    fn indefinite_but_nonsingular_factors() {
+        // LDLᵀ without pivoting handles negative pivots fine.
+        let mut a = Mat::zeros(2, 2);
+        a[(0, 0)] = -2.0;
+        a[(1, 1)] = 3.0;
+        a[(1, 0)] = 1.0;
+        a[(0, 1)] = 1.0;
+        let orig = a.clone();
+        ldlt_factor(&mut a).unwrap();
+        let r = reconstruct(&a);
+        for j in 0..2 {
+            for i in 0..2 {
+                assert!((r[(i, j)] - orig[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+}

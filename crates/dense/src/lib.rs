@@ -1,0 +1,24 @@
+//! Column-major dense block kernels.
+//!
+//! The supernodal numeric factorization and the selected inversion operate
+//! on dense panels; this crate provides the BLAS-3-style kernels they need
+//! (no external BLAS dependency):
+//!
+//! * [`Mat`] — an owned column-major matrix with views into raw slices;
+//! * [`gemm`] — general matrix multiply with transpose flags;
+//! * [`trsm_right_lower`] / [`trsm_left_lower`] — triangular solves against
+//!   unit/non-unit lower-triangular blocks;
+//! * [`ldlt_factor`] / [`ldlt_invert`] — LDLᵀ of a symmetric diagonal block
+//!   and the symmetric inverse `L⁻ᵀ D⁻¹ L⁻¹`;
+//! * [`lu_factor`] / [`lu_invert`] — partially pivoted LU for the
+//!   unsymmetric path.
+
+pub mod kernels;
+pub mod ldlt;
+pub mod lu;
+pub mod mat;
+
+pub use kernels::{gemm, trsm_left_lower, trsm_right_lower, Transpose};
+pub use ldlt::{ldlt_factor, ldlt_invert, ldlt_solve};
+pub use lu::{lu_factor, lu_invert, lu_solve};
+pub use mat::Mat;

@@ -1,0 +1,205 @@
+//! Owned column-major dense matrix.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense column-major matrix of `f64`.
+///
+/// Element `(i, j)` is stored at `data[j * nrows + i]`, matching the layout
+/// of supernodal panels so kernels can run directly on panel storage.
+#[derive(Clone, PartialEq)]
+pub struct Mat {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, data: vec![0.0; nrows * ncols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds from a column-major slice.
+    pub fn from_col_major(nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols);
+        Self { nrows, ncols, data: data.to_vec() }
+    }
+
+    /// Builds from a row-major slice (converts to column-major).
+    pub fn from_row_major(nrows: usize, ncols: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), nrows * ncols);
+        let mut m = Self::zeros(nrows, ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                m[(i, j)] = data[i * ncols + j];
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Raw column-major storage.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw column-major storage.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Column `j` as a slice.
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Column `j` as a mutable slice.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        &mut self.data[j * self.nrows..(j + 1) * self.nrows]
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Mat {
+        let mut t = Mat::zeros(self.ncols, self.nrows);
+        for j in 0..self.ncols {
+            for i in 0..self.nrows {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Max-abs norm.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+    }
+
+    /// `self += alpha * other` (same shape).
+    pub fn axpy(&mut self, alpha: f64, other: &Mat) {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Copies the `r×c` sub-matrix at `(row, col)` into a new matrix.
+    pub fn submatrix(&self, row: usize, col: usize, r: usize, c: usize) -> Mat {
+        assert!(row + r <= self.nrows && col + c <= self.ncols);
+        let mut m = Mat::zeros(r, c);
+        for j in 0..c {
+            for i in 0..r {
+                m[(i, j)] = self[(row + i, col + j)];
+            }
+        }
+        m
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &self.data[j * self.nrows + i]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        &mut self.data[j * self.nrows + i]
+    }
+}
+
+impl fmt::Debug for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{} [", self.nrows, self.ncols)?;
+        for i in 0..self.nrows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.ncols.min(8) {
+                write!(f, "{:10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_column_major() {
+        let m = Mat::from_col_major(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 0)], 2.0);
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn row_major_conversion() {
+        let m = Mat::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Mat::from_row_major(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Mat::from_col_major(1, 2, &[3.0, -4.0]);
+        assert!((m.norm_fro() - 5.0).abs() < 1e-15);
+        assert_eq!(m.norm_max(), 4.0);
+    }
+
+    #[test]
+    fn submatrix_extracts() {
+        let m = Mat::from_row_major(3, 3, &[1., 2., 3., 4., 5., 6., 7., 8., 9.]);
+        let s = m.submatrix(1, 1, 2, 2);
+        assert_eq!(s[(0, 0)], 5.0);
+        assert_eq!(s[(1, 1)], 9.0);
+    }
+
+    #[test]
+    fn axpy_adds() {
+        let mut a = Mat::identity(2);
+        let b = Mat::from_col_major(2, 2, &[1.0, 1.0, 1.0, 1.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a[(0, 0)], 3.0);
+        assert_eq!(a[(1, 0)], 2.0);
+    }
+}

@@ -1,0 +1,482 @@
+//! The event-driven execution engine.
+
+use crate::machine::{MachineConfig, Topology};
+use pselinv_dist::taskgraph::{TaskGraph, TaskId, TaskKind};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of one simulated run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Wall-clock makespan (seconds).
+    pub makespan: f64,
+    /// Per-rank time spent executing compute-kind tasks.
+    pub compute_busy: Vec<f64>,
+    /// Per-rank count of executed tasks.
+    pub tasks_run: Vec<u64>,
+    /// Total messages transferred.
+    pub messages: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+}
+
+impl SimResult {
+    /// Mean per-rank compute time.
+    pub fn compute_time_mean(&self) -> f64 {
+        self.compute_busy.iter().sum::<f64>() / self.compute_busy.len() as f64
+    }
+
+    /// Mean per-rank "communication" time: makespan minus compute busy
+    /// time (transfer + wait), the quantity Fig. 9 stacks against
+    /// computation.
+    pub fn comm_time_mean(&self) -> f64 {
+        self.makespan - self.compute_time_mean()
+    }
+
+    /// Communication-to-computation ratio (paper §IV-B quotes 11.8 → 1.9
+    /// at P = 4,096 for Flat vs Shifted).
+    pub fn comm_to_comp(&self) -> f64 {
+        self.comm_time_mean() / self.compute_time_mean().max(1e-30)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Event {
+    /// A task's final dependency was satisfied at this time.
+    Ready(TaskId),
+    /// A task finishes executing at this time.
+    TaskDone(TaskId),
+    /// A message reaches the destination rank's receive NIC at this time.
+    Arrive {
+        /// Destination task whose dependency the message satisfies.
+        dst_task: TaskId,
+        /// Source rank (for transfer-time lookup).
+        src_rank: u32,
+        /// Message size.
+        bytes: u64,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Timed {
+    time: f64,
+    seq: u64, // tie-breaker for determinism
+    ev: Event,
+}
+
+impl PartialEq for Timed {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Timed {}
+impl PartialOrd for Timed {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Timed {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // reversed for a min-heap over (time, seq)
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Per-rank ready queue ordered by (priority, task id).
+#[derive(Default)]
+struct ReadyQueue(BinaryHeap<std::cmp::Reverse<(i64, TaskId)>>);
+
+impl ReadyQueue {
+    fn push(&mut self, prio: i64, t: TaskId) {
+        self.0.push(std::cmp::Reverse((prio, t)));
+    }
+
+    fn pop(&mut self) -> Option<TaskId> {
+        self.0.pop().map(|std::cmp::Reverse((_, t))| t)
+    }
+}
+
+/// Simulates the execution of `graph` on a machine described by `cfg`.
+pub fn simulate(graph: &TaskGraph, cfg: MachineConfig) -> SimResult {
+    let n = graph.num_tasks();
+    let p = graph.nranks;
+    let topo = Topology::new(p, cfg);
+
+    let mut deps: Vec<u32> = graph.task_deps.clone();
+    let mut ready: Vec<ReadyQueue> = (0..p).map(|_| ReadyQueue::default()).collect();
+    let mut rank_busy_until = vec![0.0f64; p];
+    let mut rank_running: Vec<bool> = vec![false; p];
+    // Two-level NIC model: every rank injects its sends serially (an MPI
+    // rank issues sends one at a time — this is what makes a flat-tree
+    // root a hot spot), and optionally all ranks of a node share one
+    // aggregate node NIC for inter-node traffic.
+    let nodes = p.div_ceil(cfg.ranks_per_node);
+    let node_of = |rank: usize| -> usize { rank / cfg.ranks_per_node };
+    let node_bw = cfg.bw_inter * cfg.node_bw_factor;
+    let mut rank_send_free = vec![0.0f64; p];
+    let mut rank_recv_free = vec![0.0f64; p];
+    let mut node_send_free = vec![0.0f64; nodes];
+    let mut node_recv_free = vec![0.0f64; nodes];
+    let mut compute_busy = vec![0.0f64; p];
+    let mut tasks_run = vec![0u64; p];
+    let mut messages = 0u64;
+    let mut bytes_total = 0u64;
+
+    let mut heap: BinaryHeap<Timed> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Timed>, time: f64, ev: Event, seq: &mut u64| {
+        heap.push(Timed { time, seq: *seq, ev });
+        *seq += 1;
+    };
+
+    for t in 0..n as u32 {
+        if deps[t as usize] == 0 {
+            push(&mut heap, 0.0, Event::Ready(t), &mut seq);
+        }
+    }
+
+    let mut makespan = 0.0f64;
+    let mut done = 0usize;
+
+    // Dispatch the next ready task on `rank` if it is idle.
+    macro_rules! dispatch {
+        ($rank:expr, $now:expr) => {{
+            let r = $rank;
+            if !rank_running[r] {
+                if let Some(t) = ready[r].pop() {
+                    rank_running[r] = true;
+                    let dur =
+                        graph.task_flops[t as usize] / cfg.flops_per_sec + cfg.task_overhead;
+                    let start = $now.max(rank_busy_until[r]);
+                    let end = start + dur;
+                    rank_busy_until[r] = end;
+                    if graph.task_kind[t as usize] == TaskKind::Compute {
+                        compute_busy[r] += dur;
+                    }
+                    tasks_run[r] += 1;
+                    push(&mut heap, end, Event::TaskDone(t), &mut seq);
+                }
+            }
+        }};
+    }
+
+    // Forwarding tasks model the MPI progress engine: they relay a message
+    // without occupying the compute core (the NIC occupancy of the relayed
+    // message is still charged when their out-edges are processed).
+    let is_forward = |t: TaskId| -> bool {
+        !cfg.forward_on_core && graph.task_kind[t as usize] == TaskKind::Forward
+    };
+
+    while let Some(Timed { time, ev, .. }) = heap.pop() {
+        match ev {
+            Event::Ready(t) => {
+                if is_forward(t) {
+                    // executes off-core, immediately
+                    let r = graph.task_rank[t as usize] as usize;
+                    tasks_run[r] += 1;
+                    push(&mut heap, time + cfg.task_overhead, Event::TaskDone(t), &mut seq);
+                } else {
+                    let r = graph.task_rank[t as usize] as usize;
+                    ready[r].push(graph.task_prio[t as usize], t);
+                    dispatch!(r, time);
+                }
+            }
+            Event::TaskDone(t) => {
+                let r = graph.task_rank[t as usize] as usize;
+                if !is_forward(t) {
+                    rank_running[r] = false;
+                }
+                makespan = makespan.max(time);
+                done += 1;
+                // CPU cost of issuing this task's sends: stalls the core
+                // (flat-tree roots issue many sends back to back).
+                if cfg.cpu_per_msg > 0.0 {
+                    let nmsgs = graph.out_edges(t).filter(|&(_, b)| b > 0).count();
+                    if nmsgs > 0 {
+                        rank_busy_until[r] =
+                            rank_busy_until[r].max(time) + cfg.cpu_per_msg * nmsgs as f64;
+                    }
+                }
+                for (s, b) in graph.out_edges(t) {
+                    if b == 0 {
+                        // pure dependency (possibly cross-rank barrier edge)
+                        deps[s as usize] -= 1;
+                        if deps[s as usize] == 0 {
+                            push(&mut heap, time, Event::Ready(s), &mut seq);
+                        }
+                    } else {
+                        let dst = graph.task_rank[s as usize] as usize;
+                        messages += 1;
+                        bytes_total += b;
+                        let tt = topo.transfer_time(r, dst, b);
+                        let arrive = if cfg.nic_contention {
+                            // per-rank injection serialization
+                            let st = time.max(rank_send_free[r]);
+                            rank_send_free[r] = st + tt;
+                            let injected = st + tt;
+                            if cfg.nic_per_node && !topo.same_node(r, dst) {
+                                // shared node NIC for inter-node traffic
+                                let ntt = b as f64 / node_bw * topo.pair_cost_factor(r, dst);
+                                let nn = node_of(r);
+                                let ns = injected.max(node_send_free[nn]);
+                                node_send_free[nn] = ns + ntt;
+                                ns + ntt + topo.latency(r, dst)
+                            } else {
+                                injected + topo.latency(r, dst)
+                            }
+                        } else {
+                            time + tt + topo.latency(r, dst)
+                        };
+                        push(
+                            &mut heap,
+                            arrive,
+                            Event::Arrive { dst_task: s, src_rank: r as u32, bytes: b },
+                            &mut seq,
+                        );
+                    }
+                }
+                dispatch!(r, time);
+            }
+            Event::Arrive { dst_task, src_rank, bytes } => {
+                let dst = graph.task_rank[dst_task as usize] as usize;
+                let deliver = if cfg.nic_contention {
+                    let src = src_rank as usize;
+                    let mut t = time;
+                    if cfg.nic_per_node && !topo.same_node(src, dst) {
+                        let ntt = bytes as f64 / node_bw * topo.pair_cost_factor(src, dst);
+                        let nn = node_of(dst);
+                        let d = t.max(node_recv_free[nn]) + ntt;
+                        node_recv_free[nn] = d;
+                        t = d;
+                    }
+                    // per-rank receive drain
+                    let tt = topo.transfer_time(src, dst, bytes);
+                    let d = t.max(rank_recv_free[dst]) + tt;
+                    rank_recv_free[dst] = d;
+                    d
+                } else {
+                    time
+                };
+                deps[dst_task as usize] -= 1;
+                if deps[dst_task as usize] == 0 {
+                    push(&mut heap, deliver, Event::Ready(dst_task), &mut seq);
+                } else {
+                    // ensure makespan accounting continues even if this was
+                    // not the final dependency
+                    makespan = makespan.max(deliver);
+                }
+            }
+        }
+    }
+
+    assert_eq!(done, n, "deadlock: {done}/{n} tasks completed");
+    SimResult { makespan, compute_busy, tasks_run, messages, bytes: bytes_total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pselinv_dist::taskgraph::{selinv_graph, GraphOptions};
+    use pselinv_dist::Layout;
+    use pselinv_mpisim::Grid2D;
+    use pselinv_order::{analyze, AnalyzeOptions};
+    use pselinv_sparse::gen;
+    use pselinv_trees::TreeScheme;
+    use std::sync::Arc;
+
+    fn flat_cfg() -> MachineConfig {
+        MachineConfig {
+            ranks_per_node: 1,
+            jitter: 0.0,
+            msg_overhead: 0.0,
+            task_overhead: 0.0,
+            latency_intra: 0.0,
+            latency_inter: 0.0,
+            cpu_per_msg: 0.0,
+            nic_per_node: false,
+            ..Default::default()
+        }
+    }
+
+    /// Hand-built graphs for engine unit tests.
+    mod toy {
+        use pselinv_dist::taskgraph::{TaskGraph, TaskKind};
+
+        pub struct Builder {
+            pub rank: Vec<u32>,
+            pub flops: Vec<f64>,
+            pub edges: Vec<(u32, u32, u64)>,
+        }
+
+        impl Builder {
+            pub fn new() -> Self {
+                Self { rank: Vec::new(), flops: Vec::new(), edges: Vec::new() }
+            }
+
+            pub fn task(&mut self, rank: usize, flops: f64) -> u32 {
+                self.rank.push(rank as u32);
+                self.flops.push(flops);
+                (self.rank.len() - 1) as u32
+            }
+
+            pub fn edge(&mut self, a: u32, b: u32, bytes: u64) {
+                self.edges.push((a, b, bytes));
+            }
+
+            pub fn build(self, nranks: usize) -> TaskGraph {
+                let n = self.rank.len();
+                let mut deps = vec![0u32; n];
+                let mut counts = vec![0u32; n];
+                for &(_, to, _) in &self.edges {
+                    deps[to as usize] += 1;
+                }
+                for &(from, _, _) in &self.edges {
+                    counts[from as usize] += 1;
+                }
+                let mut ptr = vec![0u32; n + 1];
+                for i in 0..n {
+                    ptr[i + 1] = ptr[i] + counts[i];
+                }
+                let mut heads = ptr[..n].to_vec();
+                let mut succ = vec![0u32; self.edges.len()];
+                let mut bytes = vec![0u64; self.edges.len()];
+                for &(from, to, b) in &self.edges {
+                    let s = heads[from as usize] as usize;
+                    heads[from as usize] += 1;
+                    succ[s] = to;
+                    bytes[s] = b;
+                }
+                TaskGraph {
+                    nranks,
+                    task_prio: vec![0; n],
+                    task_kind: vec![TaskKind::Compute; n],
+                    task_deps: deps,
+                    task_rank: self.rank,
+                    task_flops: self.flops,
+                    succ_ptr: ptr,
+                    succ,
+                    succ_bytes: bytes,
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_tasks_sum_up() {
+        let mut b = toy::Builder::new();
+        let t1 = b.task(0, 10e9); // 1 s at 10 GF/s
+        let t2 = b.task(0, 20e9); // 2 s
+        b.edge(t1, t2, 0);
+        let g = b.build(1);
+        let r = simulate(&g, flat_cfg());
+        assert!((r.makespan - 3.0).abs() < 1e-9, "makespan {}", r.makespan);
+        assert!((r.compute_busy[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_tasks_overlap() {
+        let mut b = toy::Builder::new();
+        b.task(0, 10e9);
+        b.task(1, 10e9);
+        let g = b.build(2);
+        let r = simulate(&g, flat_cfg());
+        assert!((r.makespan - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn message_adds_transfer_time() {
+        let mut b = toy::Builder::new();
+        let t1 = b.task(0, 10e9);
+        let t2 = b.task(1, 10e9);
+        b.edge(t1, t2, 3_000_000_000); // 1 s on the wire at 3 GB/s, twice (send+recv NIC)
+        let g = b.build(2);
+        let r = simulate(&g, flat_cfg());
+        // 1 s compute + 2 s transfer (store-and-forward send + recv) + 1 s compute
+        assert!((r.makespan - 4.0).abs() < 1e-6, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn send_nic_serializes_fanout() {
+        // Root sends to 8 children directly: last child can only start
+        // after 8 serialized sends.
+        let mut b = toy::Builder::new();
+        let root = b.task(0, 0.0);
+        for i in 1..=8 {
+            let c = b.task(i, 0.0);
+            b.edge(root, c, 3_000_000_000); // 1 s each on the send NIC
+        }
+        let g = b.build(9);
+        let r = simulate(&g, flat_cfg());
+        assert!(r.makespan >= 8.0, "fan-out not serialized: {}", r.makespan);
+        // Without contention the same graph finishes in ~2 s.
+        let mut cfg = flat_cfg();
+        cfg.nic_contention = false;
+        let r2 = simulate(&g, cfg);
+        assert!(r2.makespan < 2.5, "no-contention run too slow: {}", r2.makespan);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let w = gen::grid_laplacian_2d(12, 12);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let layout = Layout::new(sf, Grid2D::new(4, 4));
+        let g = selinv_graph(&layout, &GraphOptions::default());
+        let cfg = MachineConfig { seed: 5, ..Default::default() };
+        let a = simulate(&g, cfg);
+        let b = simulate(&g, cfg);
+        assert_eq!(a.makespan, b.makespan);
+        assert!(a.makespan > 0.0);
+    }
+
+    #[test]
+    fn jitter_produces_run_to_run_variation() {
+        let w = gen::grid_laplacian_2d(16, 16);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let layout = Layout::new(sf, Grid2D::new(6, 6));
+        let g = selinv_graph(&layout, &GraphOptions::default());
+        let times: Vec<f64> = (0..5)
+            .map(|s| {
+                simulate(
+                    &g,
+                    MachineConfig { seed: s, ranks_per_node: 4, ..Default::default() },
+                )
+                .makespan
+            })
+            .collect();
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min, "expected run-to-run variation, got {times:?}");
+    }
+
+    #[test]
+    fn all_selinv_tasks_complete_on_every_scheme() {
+        let w = gen::grid_laplacian_2d(12, 10);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let layout = Layout::new(sf, Grid2D::new(3, 4));
+        for scheme in [TreeScheme::Flat, TreeScheme::Binary, TreeScheme::ShiftedBinary] {
+            let g = selinv_graph(&layout, &GraphOptions { scheme, ..Default::default() });
+            let r = simulate(&g, MachineConfig::default());
+            assert_eq!(r.tasks_run.iter().sum::<u64>() as usize, g.num_tasks(), "{scheme:?}");
+            assert_eq!(r.bytes, g.total_message_bytes());
+        }
+    }
+
+    #[test]
+    fn compute_time_independent_of_scheme() {
+        // Tree routing must not change the arithmetic performed.
+        let w = gen::grid_laplacian_2d(14, 12);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let layout = Layout::new(sf, Grid2D::new(4, 4));
+        let comp = |scheme| {
+            let g = selinv_graph(&layout, &GraphOptions { scheme, ..Default::default() });
+            simulate(&g, MachineConfig::default()).compute_time_mean()
+        };
+        let a = comp(TreeScheme::Flat);
+        let b = comp(TreeScheme::ShiftedBinary);
+        assert!((a - b).abs() / a < 0.05, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Distributed-memory parallel selected inversion (PSelInv).
+//!
+//! This crate is the paper's system proper. It combines:
+//!
+//! * [`layout`] — the 2-D block-cyclic mapping of the supernodal factor
+//!   onto a `Pr × Pc` process grid (identical to SuperLU_DIST's);
+//! * [`plan`] — the preprocessing step: for every supernode `K`, the
+//!   participant lists and [`pselinv_trees::CollectiveTree`]s of each
+//!   restricted collective (`Col-Bcast` per ancestor block, `Row-Reduce`
+//!   per target block, the diagonal reduction, and the transpose
+//!   point-to-points);
+//! * [`numeric`] — a real distributed execution of the selected inversion
+//!   over the thread-based `pselinv-mpisim` runtime, verified element-wise
+//!   against the sequential algorithm;
+//! * [`volume`] — structure-only replay that accumulates per-rank
+//!   communication volumes at arbitrary grid sizes (Tables I/II, the heat
+//!   maps and histograms of Figs. 4–7);
+//! * [`taskgraph`] — generation of the full asynchronous task DAG (compute
+//!   tasks + messages) consumed by the `pselinv-des` machine simulator for
+//!   the strong-scaling and time-breakdown experiments (Figs. 8–9), plus a
+//!   SuperLU-style factorization DAG for the reference curve.
+
+pub mod layout;
+pub mod numeric;
+pub mod plan;
+pub mod taskgraph;
+pub mod volume;
+
+pub use layout::Layout;
+pub use numeric::{distributed_selinv, DistOptions};
+pub use plan::{CommPlan, SupernodePlan};
+pub use volume::{replay_volumes, VolumeReport};

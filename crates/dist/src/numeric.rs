@@ -1,0 +1,510 @@
+//! Numeric distributed selected inversion over the `pselinv-mpisim`
+//! runtime.
+//!
+//! Every rank executes the same deterministic schedule (supernodes in
+//! descending order; within a supernode: transpose sends, `Col-Bcast`s,
+//! local GEMMs, `Row-Reduce`s, the diagonal reduction, and the step-5
+//! `A⁻¹` transposes), restricted to the collectives it participates in.
+//! Sends are buffered and never block, so a schedule that is a restriction
+//! of one global order is deadlock-free. The asynchronous *timing* behaviour
+//! at scale is modeled separately by `pselinv-des`; this module establishes
+//! the numerical correctness of the tree-routed communication.
+
+use crate::layout::Layout;
+use crate::plan::CommPlan;
+use pselinv_dense::kernels::trsm_right_lower;
+use pselinv_dense::{gemm, ldlt_invert, Mat, Transpose};
+use pselinv_factor::{LdlFactor, Panel};
+use pselinv_mpisim::collectives::{tree_bcast, tree_reduce};
+use pselinv_mpisim::{Grid2D, RankCtx, RankVolume};
+use pselinv_order::symbolic::SnBlock;
+use pselinv_order::SymbolicFactor;
+use pselinv_selinv::SelectedInverse;
+use pselinv_trees::TreeBuilder;
+use std::collections::HashMap;
+
+
+/// Options for a distributed run.
+#[derive(Clone, Copy, Debug)]
+pub struct DistOptions {
+    /// Tree routing scheme for every restricted collective.
+    pub scheme: pselinv_trees::TreeScheme,
+    /// Global seed for the shifted/random schemes.
+    pub seed: u64,
+}
+
+impl Default for DistOptions {
+    fn default() -> Self {
+        Self { scheme: pselinv_trees::TreeScheme::ShiftedBinary, seed: 0x5e11 }
+    }
+}
+
+const PHASE_DIAG_BCAST: u64 = 1 << 56;
+const PHASE_TRANSPOSE: u64 = 2 << 56;
+const PHASE_COL_BCAST: u64 = 3 << 56;
+const PHASE_ROW_REDUCE: u64 = 4 << 56;
+const PHASE_DIAG_REDUCE: u64 = 5 << 56;
+const PHASE_AINV_TRANS: u64 = 6 << 56;
+
+fn tag(phase: u64, k: usize, bi: usize) -> u64 {
+    phase | ((k as u64) << 24) | bi as u64
+}
+
+/// Finds the block of supernode `col_sn` whose ancestor is `row_sn`
+/// (i.e. block `(row_sn, col_sn)`), returning `(global block index, block)`.
+fn find_block(sf: &SymbolicFactor, row_sn: usize, col_sn: usize) -> (usize, SnBlock) {
+    let blocks = sf.blocks_of(col_sn);
+    let i = blocks
+        .binary_search_by_key(&row_sn, |b| b.sn)
+        .unwrap_or_else(|_| panic!("block ({row_sn},{col_sn}) not in structure"));
+    (sf.blocks_ptr[col_sn] + i, blocks[i])
+}
+
+fn flatten(m: &Mat) -> Vec<f64> {
+    m.data().to_vec()
+}
+
+fn unflatten(nrows: usize, ncols: usize, data: &[f64]) -> Mat {
+    Mat::from_col_major(nrows, ncols, data)
+}
+
+/// One rank's state during the distributed inversion.
+struct RankState<'a> {
+    sf: &'a SymbolicFactor,
+    factor: &'a LdlFactor,
+    layout: &'a Layout,
+    me: usize,
+    /// `L̂` blocks this rank owns, keyed by global block index.
+    lhat: HashMap<usize, Mat>,
+    /// Computed `A⁻¹` lower blocks, keyed by global block index.
+    ainv_lower: HashMap<usize, Mat>,
+    /// Computed `A⁻¹` upper blocks (stored transposed), keyed by the
+    /// corresponding lower block's global index.
+    ainv_upper: HashMap<usize, Mat>,
+    /// Computed `A⁻¹` diagonal blocks, keyed by supernode.
+    ainv_diag: HashMap<usize, Mat>,
+}
+
+impl<'a> RankState<'a> {
+    /// Reads the factor's block `(b.sn, k)` as a dense matrix; only legal
+    /// on the owning rank (asserted) — the discipline that turns shared
+    /// memory into distributed memory.
+    fn factor_block(&self, k: usize, bi: usize, b: &SnBlock) -> Mat {
+        assert_eq!(self.layout.lower_owner(b, k), self.me, "reading a non-owned block");
+        let _ = bi;
+        let lb = b.rows_begin - self.sf.rows_ptr[k];
+        self.factor.panels[k].below.submatrix(lb, 0, b.nrows(), self.sf.width(k))
+    }
+
+    fn factor_diag(&self, k: usize) -> Mat {
+        assert_eq!(self.layout.diag_owner(k), self.me, "reading a non-owned diagonal");
+        self.factor.panels[k].diag.clone()
+    }
+
+    /// Extracts `A⁻¹[RJ, RI]` for the GEMM of target block `bj` with
+    /// ancestor block `bi` (both blocks of supernode `k`).
+    fn gather_sub(&self, _k: usize, bj: &SnBlock, bi: &SnBlock) -> Mat {
+        let sf = self.sf;
+        let rj = sf.block_rows(bj);
+        let ri = sf.block_rows(bi);
+        let (jsn, isn) = (bj.sn, bi.sn);
+        let mut s = Mat::zeros(rj.len(), ri.len());
+        if jsn > isn {
+            // lower storage: block (J, I) of supernode I
+            let (bid, blk) = find_block(sf, jsn, isn);
+            let src = &self.ainv_lower[&bid];
+            let brows = sf.block_rows(&blk);
+            let first_i = sf.first_col(isn);
+            for (p, &r) in rj.iter().enumerate() {
+                let pp = brows.binary_search(&r).expect("row containment");
+                for (q, &c) in ri.iter().enumerate() {
+                    s[(p, q)] = src[(pp, c - first_i)];
+                }
+            }
+        } else if jsn < isn {
+            // upper storage: transpose of block (I, J) of supernode J
+            let (bid, blk) = find_block(sf, isn, jsn);
+            let src = &self.ainv_upper[&bid];
+            let brows = sf.block_rows(&blk);
+            let first_j = sf.first_col(jsn);
+            for (q, &c) in ri.iter().enumerate() {
+                let qq = brows.binary_search(&c).expect("row containment");
+                for (p, &r) in rj.iter().enumerate() {
+                    s[(p, q)] = src[(qq, r - first_j)];
+                }
+            }
+        } else {
+            // within the diagonal block of supernode J == I
+            let src = &self.ainv_diag[&jsn];
+            let first = sf.first_col(jsn);
+            for (p, &r) in rj.iter().enumerate() {
+                for (q, &c) in ri.iter().enumerate() {
+                    s[(p, q)] = src[(r - first, c - first)];
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Output of one rank: its owned pieces of the selected inverse.
+type RankOutput = (HashMap<usize, Mat>, HashMap<usize, Mat>);
+
+/// Runs the distributed selected inversion on `grid.size()` rank threads
+/// and assembles the result. Panics propagate from rank threads.
+///
+/// Also returns the per-rank communication volumes measured by the runtime.
+pub fn distributed_selinv(
+    factor: &LdlFactor,
+    grid: Grid2D,
+    opts: &DistOptions,
+) -> (SelectedInverse, Vec<RankVolume>) {
+    let sf = factor.symbolic.clone();
+    let layout = Layout::new(sf.clone(), grid);
+    let builder = TreeBuilder::new(opts.scheme, opts.seed);
+    let plan = CommPlan::new(layout.clone(), builder);
+
+    let (outputs, volumes): (Vec<RankOutput>, Vec<RankVolume>) =
+        pselinv_mpisim::run(grid.size(), |ctx| rank_main(ctx, factor, &layout, &plan));
+
+    // Assemble the distributed pieces into a SelectedInverse.
+    let mut panels: Vec<Panel> = (0..sf.num_supernodes()).map(|s| Panel::zeros(&sf, s)).collect();
+    for (rank, (diags, lowers)) in outputs.into_iter().enumerate() {
+        for (k, d) in diags {
+            assert_eq!(layout.diag_owner(k), rank);
+            panels[k].diag = d;
+        }
+        for (bid, m) in lowers {
+            // find the supernode owning this global block index
+            let k = sf
+                .blocks_ptr
+                .partition_point(|&p| p <= bid)
+                .saturating_sub(1);
+            let b = sf.blocks[bid];
+            let lb = b.rows_begin - sf.rows_ptr[k];
+            for q in 0..sf.width(k) {
+                for p in 0..b.nrows() {
+                    panels[k].below[(lb + p, q)] = m[(p, q)];
+                }
+            }
+        }
+    }
+    (SelectedInverse { symbolic: sf, panels }, volumes)
+}
+
+fn rank_main(
+    ctx: &mut RankCtx,
+    factor: &LdlFactor,
+    layout: &Layout,
+    plan: &CommPlan,
+) -> RankOutput {
+    let sf = &*factor.symbolic;
+    let me = ctx.rank();
+    let ns = sf.num_supernodes();
+    let mut st = RankState {
+        sf,
+        factor,
+        layout,
+        me,
+        lhat: HashMap::new(),
+        ainv_lower: HashMap::new(),
+        ainv_upper: HashMap::new(),
+        ainv_diag: HashMap::new(),
+    };
+
+    // ---- Phase 1 (ascending): normalize panels, L̂ = L_{R,K} L_{K,K}⁻¹. ----
+    for k in 0..ns {
+        let sp = plan.supernode_plan(k);
+        let blocks = sf.blocks_of(k);
+        let w = sf.width(k);
+        let my_blocks: Vec<usize> = (0..blocks.len())
+            .filter(|&bi| layout.lower_owner(&blocks[bi], k) == me)
+            .collect();
+        let in_bcast = sp.diag_bcast.members().contains(&me);
+        if !in_bcast && my_blocks.is_empty() {
+            continue;
+        }
+        // Obtain the diagonal block (unit-lower L_{K,K} in its strict lower
+        // part; the diagonal holds D and is ignored by the unit trsm).
+        let diag = if layout.diag_owner(k) == me {
+            let d = st.factor_diag(k);
+            if !sp.diag_bcast.is_empty() {
+                tree_bcast(ctx, &sp.diag_bcast, tag(PHASE_DIAG_BCAST, k, 0), Some(flatten(&d)));
+            }
+            Some(d)
+        } else if in_bcast {
+            let data = tree_bcast(ctx, &sp.diag_bcast, tag(PHASE_DIAG_BCAST, k, 0), None);
+            Some(unflatten(w, w, &data))
+        } else {
+            None
+        };
+        if let Some(d) = diag {
+            for bi in my_blocks {
+                let b = blocks[bi];
+                let mut m = st.factor_block(k, bi, &b);
+                trsm_right_lower(&mut m, &d, true);
+                st.lhat.insert(sf.blocks_ptr[k] + bi, m);
+            }
+        }
+    }
+
+    // ---- Phase 2 (descending): Algorithm 1, steps 3–5. ----
+    for k in (0..ns).rev() {
+        let sp = plan.supernode_plan(k);
+        let blocks = sf.blocks_of(k);
+        let w = sf.width(k);
+
+        // Step a': transpose sends L̂_{I,K} → Û position (K, I).
+        let mut ucur: HashMap<usize, Mat> = HashMap::new(); // key: bi
+        for (bi, b) in blocks.iter().enumerate() {
+            let (src, dst) = sp.transposes[bi];
+            let bid = sf.blocks_ptr[k] + bi;
+            if src == dst {
+                if me == src {
+                    ucur.insert(bi, st.lhat[&bid].clone());
+                }
+            } else if me == src {
+                let data = flatten(&st.lhat[&bid]);
+                ctx.send(dst, tag(PHASE_TRANSPOSE, k, bi), data);
+            } else if me == dst {
+                let data = ctx.recv(src, tag(PHASE_TRANSPOSE, k, bi));
+                ucur.insert(bi, unflatten(b.nrows(), w, &data));
+            }
+        }
+
+        // Step a: Col-Bcast of Û_{K,I} within pc(I).
+        for (bi, b) in blocks.iter().enumerate() {
+            let tree = &sp.col_bcasts[bi];
+            if !tree.members().contains(&me) {
+                continue;
+            }
+            let payload = if me == tree.root() {
+                Some(flatten(&ucur[&bi]))
+            } else {
+                None
+            };
+            let data = tree_bcast(ctx, tree, tag(PHASE_COL_BCAST, k, bi), payload);
+            ucur.entry(bi).or_insert_with(|| unflatten(b.nrows(), w, &data));
+        }
+
+        // Step 1 (local GEMMs): contributions −A⁻¹[RJ,RI]·L̂_{I,K}.
+        let mut contrib: HashMap<usize, Mat> = HashMap::new(); // key: bj index
+        for (bj_i, bj) in blocks.iter().enumerate() {
+            let prow_j = layout.grid.prow_of_block(bj.sn);
+            for (bi_i, bi) in blocks.iter().enumerate() {
+                let pcol_i = layout.grid.pcol_of_block(bi.sn);
+                if layout.grid.rank_of(prow_j, pcol_i) != me {
+                    continue;
+                }
+                let s = st.gather_sub(k, bj, bi);
+                let y = &ucur[&bi_i];
+                let c = contrib
+                    .entry(bj_i)
+                    .or_insert_with(|| Mat::zeros(bj.nrows(), w));
+                gemm(-1.0, &s, Transpose::No, y, Transpose::No, 1.0, c);
+            }
+        }
+
+        // Step b: Row-Reduce each target block onto the owner of A⁻¹_{J,K}.
+        for (bj_i, bj) in blocks.iter().enumerate() {
+            let tree = &sp.row_reduces[bj_i];
+            if !tree.members().contains(&me) {
+                continue;
+            }
+            let local = contrib
+                .remove(&bj_i)
+                .unwrap_or_else(|| Mat::zeros(bj.nrows(), w));
+            let total = tree_reduce(ctx, tree, tag(PHASE_ROW_REDUCE, k, bj_i), flatten(&local));
+            if let Some(t) = total {
+                st.ainv_lower
+                    .insert(sf.blocks_ptr[k] + bj_i, unflatten(bj.nrows(), w, &t));
+            }
+        }
+
+        // Steps 2 + c: diagonal contributions L̂ᵀ_{I,K} A⁻¹_{I,K}, reduced
+        // onto the diagonal owner; then A⁻¹_{K,K} = (LDLᵀ)⁻¹ − Σ.
+        let is_diag_owner = layout.diag_owner(k) == me;
+        let in_dreduce = sp.diag_reduce.members().contains(&me);
+        if is_diag_owner || in_dreduce {
+            let mut dcon = Mat::zeros(w, w);
+            for (bi, b) in blocks.iter().enumerate() {
+                if layout.lower_owner(b, k) != me {
+                    continue;
+                }
+                let bid = sf.blocks_ptr[k] + bi;
+                gemm(
+                    1.0,
+                    &st.lhat[&bid],
+                    Transpose::Yes,
+                    &st.ainv_lower[&bid],
+                    Transpose::No,
+                    1.0,
+                    &mut dcon,
+                );
+            }
+            let total = if sp.diag_reduce.is_empty() {
+                Some(flatten(&dcon))
+            } else if in_dreduce {
+                tree_reduce(ctx, &sp.diag_reduce, tag(PHASE_DIAG_REDUCE, k, 0), flatten(&dcon))
+            } else {
+                None
+            };
+            if is_diag_owner {
+                let mut diag = ldlt_invert(&st.factor_diag(k));
+                let t = unflatten(w, w, &total.expect("diag owner must receive the reduction"));
+                diag.axpy(-1.0, &t);
+                // symmetrize
+                for jl in 0..w {
+                    for il in (jl + 1)..w {
+                        let v = 0.5 * (diag[(il, jl)] + diag[(jl, il)]);
+                        diag[(il, jl)] = v;
+                        diag[(jl, il)] = v;
+                    }
+                }
+                st.ainv_diag.insert(k, diag);
+            }
+        }
+
+        // Step 3': A⁻¹ transposes for the upper storage.
+        for (bj_i, bj) in blocks.iter().enumerate() {
+            let (src, dst) = sp.ainv_transposes[bj_i];
+            let bid = sf.blocks_ptr[k] + bj_i;
+            if src == dst {
+                if me == src {
+                    let m = st.ainv_lower[&bid].clone();
+                    st.ainv_upper.insert(bid, m);
+                }
+            } else if me == src {
+                ctx.send(dst, tag(PHASE_AINV_TRANS, k, bj_i), flatten(&st.ainv_lower[&bid]));
+            } else if me == dst {
+                let data = ctx.recv(src, tag(PHASE_AINV_TRANS, k, bj_i));
+                st.ainv_upper.insert(bid, unflatten(bj.nrows(), w, &data));
+            }
+        }
+    }
+
+    (st.ainv_diag, st.ainv_lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pselinv_order::{analyze, AnalyzeOptions};
+    use pselinv_selinv::selinv_ldlt;
+    use pselinv_sparse::gen;
+    use pselinv_trees::TreeScheme;
+    use std::sync::Arc;
+
+    fn check_matches_sequential(
+        a: &pselinv_sparse::SparseMatrix,
+        grid: Grid2D,
+        scheme: TreeScheme,
+    ) {
+        let sf = Arc::new(analyze(&a.pattern(), &AnalyzeOptions::default()));
+        let f = pselinv_factor::factorize(a, sf.clone()).unwrap();
+        let seq = selinv_ldlt(&f);
+        let (dist, _) = distributed_selinv(&f, grid, &DistOptions { scheme, seed: 7 });
+        for s in 0..sf.num_supernodes() {
+            let d = (&seq.panels[s].diag, &dist.panels[s].diag);
+            for j in 0..sf.width(s) {
+                for i in 0..sf.width(s) {
+                    assert!(
+                        (d.0[(i, j)] - d.1[(i, j)]).abs() < 1e-9,
+                        "diag {s} ({i},{j}): {} vs {}",
+                        d.0[(i, j)],
+                        d.1[(i, j)]
+                    );
+                }
+            }
+            let b = (&seq.panels[s].below, &dist.panels[s].below);
+            for j in 0..sf.width(s) {
+                for i in 0..sf.rows_of(s).len() {
+                    assert!(
+                        (b.0[(i, j)] - b.1[(i, j)]).abs() < 1e-9,
+                        "below {s} ({i},{j}): {} vs {}",
+                        b.0[(i, j)],
+                        b.1[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_matches_sequential() {
+        let w = gen::grid_laplacian_2d(8, 8);
+        check_matches_sequential(&w.matrix, Grid2D::new(1, 1), TreeScheme::Flat);
+    }
+
+    #[test]
+    fn small_grids_all_schemes() {
+        let w = gen::grid_laplacian_2d(9, 8);
+        for scheme in [
+            TreeScheme::Flat,
+            TreeScheme::Binary,
+            TreeScheme::ShiftedBinary,
+            TreeScheme::RandomPerm,
+            TreeScheme::Hybrid { flat_threshold: 3 },
+        ] {
+            check_matches_sequential(&w.matrix, Grid2D::new(2, 2), scheme);
+        }
+    }
+
+    #[test]
+    fn rectangular_grids() {
+        let w = gen::grid_laplacian_2d(10, 7);
+        check_matches_sequential(&w.matrix, Grid2D::new(2, 3), TreeScheme::ShiftedBinary);
+        check_matches_sequential(&w.matrix, Grid2D::new(3, 2), TreeScheme::Binary);
+        check_matches_sequential(&w.matrix, Grid2D::new(1, 4), TreeScheme::ShiftedBinary);
+        check_matches_sequential(&w.matrix, Grid2D::new(4, 1), TreeScheme::Flat);
+    }
+
+    #[test]
+    fn grid3d_larger_grid() {
+        let w = gen::grid_laplacian_3d(4, 4, 3);
+        check_matches_sequential(&w.matrix, Grid2D::new(3, 3), TreeScheme::ShiftedBinary);
+    }
+
+    #[test]
+    fn dg_matrix_with_wide_supernodes() {
+        let w = gen::dg_hamiltonian(3, 2, 1, 8, 2);
+        check_matches_sequential(&w.matrix, Grid2D::new(2, 3), TreeScheme::ShiftedBinary);
+    }
+
+    #[test]
+    fn runtime_volumes_match_structural_replay() {
+        // The mpisim byte counters of the numeric run must agree exactly
+        // with the structure-only replay used for the paper tables.
+        let w = gen::grid_laplacian_2d(10, 10);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let f = pselinv_factor::factorize(&w.matrix, sf.clone()).unwrap();
+        let grid = Grid2D::new(3, 3);
+        let opts = DistOptions { scheme: TreeScheme::ShiftedBinary, seed: 7 };
+        let (_, volumes) = distributed_selinv(&f, grid, &opts);
+        let layout = Layout::new(sf, grid);
+        let rep = crate::volume::replay_volumes(&layout, TreeBuilder::new(opts.scheme, opts.seed));
+        let measured_total: u64 = volumes.iter().map(|v| v.sent).sum();
+        assert_eq!(measured_total, rep.total_bytes());
+    }
+
+    #[test]
+    fn get_api_matches_dense_inverse_through_distribution() {
+        let w = gen::grid_laplacian_2d(6, 6);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let f = pselinv_factor::factorize(&w.matrix, sf.clone()).unwrap();
+        let (dist, _) = distributed_selinv(
+            &f,
+            Grid2D::new(2, 3),
+            &DistOptions::default(),
+        );
+        // verify against dense inverse
+        let n = w.matrix.nrows();
+        let mut dm = Mat::from_col_major(n, n, &w.matrix.to_dense_col_major());
+        let piv = pselinv_dense::lu_factor(&mut dm).unwrap();
+        let dinv = pselinv_dense::lu_invert(&dm, &piv);
+        for (i, j, _) in w.matrix.iter() {
+            let v = dist.get(i, j).expect("selected entry");
+            assert!((v - dinv[(i, j)]).abs() < 1e-9, "({i},{j})");
+        }
+    }
+}

@@ -1,0 +1,649 @@
+//! Task-graph generation for the discrete-event machine simulator.
+//!
+//! The paper's PSelInv is "expressed in an asynchronous task model": no
+//! barriers, synchronization only through data dependencies. This module
+//! materializes exactly that task DAG — compute tasks on ranks, connected
+//! by local dependencies and by messages — so `pselinv-des` can replay it
+//! on a simulated machine at the paper's scales (64 … 12,100 ranks).
+//!
+//! Two graphs are produced:
+//!
+//! * [`selinv_graph`] — the selected inversion itself (both loops of
+//!   Algorithm 1, with the `Col-Bcast` / `Row-Reduce` / diagonal-reduce
+//!   collectives routed along the configured tree scheme);
+//! * [`factorization_graph`] — a right-looking supernodal factorization in
+//!   the style of SuperLU_DIST (panel broadcasts + ancestor updates), used
+//!   for the reference curve in Fig. 8.
+
+use crate::layout::Layout;
+use crate::plan::CommPlan;
+use pselinv_order::symbolic::SnBlock;
+use pselinv_order::SymbolicFactor;
+use pselinv_trees::{CollectiveTree, TreeBuilder, TreeScheme};
+use std::collections::HashMap;
+
+/// Task identifier.
+pub type TaskId = u32;
+
+/// Task classification, used for the computation/communication breakdown
+/// of Fig. 9 (forwarding tasks spend no compute time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TaskKind {
+    /// Dense kernel execution (GEMM/TRSM/inversion).
+    Compute = 0,
+    /// Message forwarding / bookkeeping (zero or negligible flops).
+    Forward = 1,
+}
+
+/// Options controlling graph generation.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphOptions {
+    /// Tree scheme for every restricted collective.
+    pub scheme: TreeScheme,
+    /// Seed for shifted/random schemes.
+    pub seed: u64,
+    /// When `false`, a global barrier is inserted between consecutive
+    /// supernodes of the selected inversion — modeling the limited
+    /// inter-supernode pipelining of the v0.7.3 release used as the
+    /// second baseline in Fig. 8.
+    pub pipelining: bool,
+}
+
+impl Default for GraphOptions {
+    fn default() -> Self {
+        Self { scheme: TreeScheme::ShiftedBinary, seed: 0x5e11, pipelining: true }
+    }
+}
+
+/// A static task DAG over `nranks` ranks, in CSR form.
+///
+/// Edges carry `bytes`: `0` means a purely local dependency; a positive
+/// value is a message of that size from the source task's rank to the
+/// destination task's rank.
+#[derive(Clone, Debug)]
+pub struct TaskGraph {
+    /// Number of ranks.
+    pub nranks: usize,
+    /// Executing rank of each task.
+    pub task_rank: Vec<u32>,
+    /// Floating-point work of each task.
+    pub task_flops: Vec<f64>,
+    /// Scheduling priority (lower runs first among ready tasks).
+    pub task_prio: Vec<i64>,
+    /// Task kind (compute vs forward).
+    pub task_kind: Vec<TaskKind>,
+    /// Number of incoming dependencies (local + messages) per task.
+    pub task_deps: Vec<u32>,
+    /// CSR offsets into `succ` / `succ_bytes`.
+    pub succ_ptr: Vec<u32>,
+    /// Successor task ids.
+    pub succ: Vec<TaskId>,
+    /// Bytes carried on each successor edge (0 = local).
+    pub succ_bytes: Vec<u64>,
+}
+
+impl TaskGraph {
+    /// Number of tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.task_rank.len()
+    }
+
+    /// Out-edges of `t` as `(successor, bytes)` pairs.
+    pub fn out_edges(&self, t: TaskId) -> impl Iterator<Item = (TaskId, u64)> + '_ {
+        let lo = self.succ_ptr[t as usize] as usize;
+        let hi = self.succ_ptr[t as usize + 1] as usize;
+        self.succ[lo..hi].iter().copied().zip(self.succ_bytes[lo..hi].iter().copied())
+    }
+
+    /// Total flops across all tasks.
+    pub fn total_flops(&self) -> f64 {
+        self.task_flops.iter().sum()
+    }
+
+    /// Total message bytes across all edges.
+    pub fn total_message_bytes(&self) -> u64 {
+        self.succ_bytes.iter().sum()
+    }
+
+    /// Validates that every task can execute (the graph is acyclic and
+    /// dependency counts are consistent); returns the topological order
+    /// length, which must equal `num_tasks()`.
+    pub fn validate(&self) -> usize {
+        let mut deps = self.task_deps.clone();
+        let mut ready: Vec<TaskId> =
+            (0..self.num_tasks() as u32).filter(|&t| deps[t as usize] == 0).collect();
+        let mut done = 0usize;
+        while let Some(t) = ready.pop() {
+            done += 1;
+            for (s, _) in self.out_edges(t) {
+                deps[s as usize] -= 1;
+                if deps[s as usize] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        done
+    }
+}
+
+struct GraphBuilder {
+    rank: Vec<u32>,
+    flops: Vec<f64>,
+    prio: Vec<i64>,
+    kind: Vec<TaskKind>,
+    edges: Vec<(u32, u32, u64)>,
+}
+
+impl GraphBuilder {
+    fn new() -> Self {
+        Self { rank: Vec::new(), flops: Vec::new(), prio: Vec::new(), kind: Vec::new(), edges: Vec::new() }
+    }
+
+    fn task(&mut self, rank: usize, flops: f64, prio: i64, kind: TaskKind) -> TaskId {
+        let id = self.rank.len() as u32;
+        self.rank.push(rank as u32);
+        self.flops.push(flops);
+        self.prio.push(prio);
+        self.kind.push(kind);
+        id
+    }
+
+    fn edge(&mut self, from: TaskId, to: TaskId, bytes: u64) {
+        self.edges.push((from, to, bytes));
+    }
+
+    /// Adds tree-forwarding tasks for a broadcast: `root_task` already
+    /// holds the payload; returns a map rank → task id whose completion
+    /// means "payload available on that rank".
+    fn bcast_tasks(
+        &mut self,
+        tree: &CollectiveTree,
+        root_task: TaskId,
+        bytes: u64,
+        prio: i64,
+    ) -> HashMap<usize, TaskId> {
+        let mut avail = HashMap::new();
+        avail.insert(tree.root(), root_task);
+        // BFS from the root so parents exist before children.
+        let mut stack = vec![tree.root()];
+        while let Some(r) = stack.pop() {
+            let rt = avail[&r];
+            for c in tree.children_of(r) {
+                let ct = self.task(c, 0.0, prio, TaskKind::Forward);
+                self.edge(rt, ct, bytes);
+                avail.insert(c, ct);
+                stack.push(c);
+            }
+        }
+        avail
+    }
+
+    /// Adds tree tasks for a reduction: `local[rank]` lists tasks whose
+    /// outputs this rank contributes (dependencies of its reduce step).
+    /// Returns the root's reduce task (completion = reduced value ready).
+    fn reduce_tasks(
+        &mut self,
+        tree: &CollectiveTree,
+        local: &HashMap<usize, Vec<TaskId>>,
+        bytes: u64,
+        add_flops_per_child: f64,
+        prio: i64,
+    ) -> TaskId {
+        // Create one reduce task per member, bottom-up.
+        fn build(
+            gb: &mut GraphBuilder,
+            tree: &CollectiveTree,
+            local: &HashMap<usize, Vec<TaskId>>,
+            bytes: u64,
+            fpc: f64,
+            prio: i64,
+            rank: usize,
+        ) -> TaskId {
+            let kids = tree.children_of(rank);
+            let t = gb.task(
+                rank,
+                fpc * kids.len() as f64,
+                prio,
+                if kids.is_empty() { TaskKind::Forward } else { TaskKind::Compute },
+            );
+            if let Some(deps) = local.get(&rank) {
+                for &d in deps {
+                    gb.edge(d, t, 0);
+                }
+            }
+            for c in kids {
+                let ct = build(gb, tree, local, bytes, fpc, prio, c);
+                gb.edge(ct, t, bytes);
+            }
+            t
+        }
+        build(self, tree, local, bytes, add_flops_per_child, prio, tree.root())
+    }
+
+    fn finish(self, nranks: usize) -> TaskGraph {
+        let n = self.rank.len();
+        let mut deps = vec![0u32; n];
+        let mut counts = vec![0u32; n];
+        for &(_, to, _) in &self.edges {
+            deps[to as usize] += 1;
+        }
+        for &(from, _, _) in &self.edges {
+            counts[from as usize] += 1;
+        }
+        let mut ptr = vec![0u32; n + 1];
+        for i in 0..n {
+            ptr[i + 1] = ptr[i] + counts[i];
+        }
+        let mut heads: Vec<u32> = ptr[..n].to_vec();
+        let mut succ = vec![0u32; self.edges.len()];
+        let mut bytes = vec![0u64; self.edges.len()];
+        for &(from, to, b) in &self.edges {
+            let slot = heads[from as usize] as usize;
+            heads[from as usize] += 1;
+            succ[slot] = to;
+            bytes[slot] = b;
+        }
+        TaskGraph {
+            nranks,
+            task_rank: self.rank,
+            task_flops: self.flops,
+            task_prio: self.prio,
+            task_kind: self.kind,
+            task_deps: deps,
+            succ_ptr: ptr,
+            succ,
+            succ_bytes: bytes,
+        }
+    }
+}
+
+fn find_block(sf: &SymbolicFactor, row_sn: usize, col_sn: usize) -> (usize, SnBlock) {
+    let blocks = sf.blocks_of(col_sn);
+    let i = blocks
+        .binary_search_by_key(&row_sn, |b| b.sn)
+        .unwrap_or_else(|_| panic!("block ({row_sn},{col_sn}) not in structure"));
+    (sf.blocks_ptr[col_sn] + i, blocks[i])
+}
+
+/// Builds the selected-inversion task graph.
+pub fn selinv_graph(layout: &Layout, opts: &GraphOptions) -> TaskGraph {
+    let sf = layout.symbolic.clone();
+    let grid = layout.grid;
+    let plan = CommPlan::new(layout.clone(), TreeBuilder::new(opts.scheme, opts.seed));
+    let ns = sf.num_supernodes();
+    let mut gb = GraphBuilder::new();
+
+    // Cross-supernode availability events.
+    let mut lhat_task: HashMap<usize, TaskId> = HashMap::new(); // block id → L̂ ready
+    let mut rred_root: HashMap<usize, TaskId> = HashMap::new(); // block id → A⁻¹ lower ready
+    let mut atr_recv: HashMap<usize, TaskId> = HashMap::new(); // block id → A⁻¹ upper ready
+    let mut diag_done: Vec<Option<TaskId>> = vec![None; ns];
+
+    // ---- Phase 1 (ascending): diag bcast + panel TRSM. ----
+    for k in 0..ns {
+        let sp = plan.supernode_plan(k);
+        let blocks = sf.blocks_of(k);
+        if blocks.is_empty() {
+            continue;
+        }
+        let w = sf.width(k) as f64;
+        let prio = (ns - 1 - k) as i64; // processed late in phase 2; phase 1
+                                        // order is driven by dependencies
+        let diag_owner = layout.diag_owner(k);
+        let root_task = gb.task(diag_owner, 0.0, prio, TaskKind::Forward);
+        let avail = gb.bcast_tasks(&sp.diag_bcast, root_task, layout.diag_bytes(k), prio);
+        for (bi, b) in blocks.iter().enumerate() {
+            let owner = layout.lower_owner(b, k);
+            let t = gb.task(owner, b.nrows() as f64 * w * w, prio, TaskKind::Compute);
+            gb.edge(avail[&owner], t, 0);
+            lhat_task.insert(sf.blocks_ptr[k] + bi, t);
+        }
+    }
+
+    // ---- Phase 2 (descending): Algorithm 1 steps 3–5. ----
+    let mut prev_barrier: Option<TaskId> = None;
+    for k in (0..ns).rev() {
+        let sp = plan.supernode_plan(k);
+        let blocks = sf.blocks_of(k);
+        let w = sf.width(k) as f64;
+        let prio = (ns - 1 - k) as i64;
+        let diag_owner = layout.diag_owner(k);
+
+        // Diagonal seed (inversion of the w×w block).
+        let inv0 = gb.task(diag_owner, w * w * w, prio, TaskKind::Compute);
+        if let Some(b) = prev_barrier {
+            gb.edge(b, inv0, 0);
+        }
+
+        if blocks.is_empty() {
+            diag_done[k] = Some(inv0);
+            if !opts.pipelining {
+                prev_barrier = Some(inv0);
+            }
+            continue;
+        }
+
+        // Transpose send + Col-Bcast per ancestor block.
+        let mut u_avail: Vec<HashMap<usize, TaskId>> = Vec::with_capacity(blocks.len());
+        for (bi, b) in blocks.iter().enumerate() {
+            let bid = sf.blocks_ptr[k] + bi;
+            let bytes = layout.block_bytes(b, k);
+            let (src, dst) = sp.transposes[bi];
+            let lhat = lhat_task[&bid];
+            let root_task = if src == dst {
+                lhat
+            } else {
+                let t = gb.task(dst, 0.0, prio, TaskKind::Forward);
+                gb.edge(lhat, t, bytes);
+                t
+            };
+            let root_task = if let Some(barrier) = prev_barrier {
+                let gated = gb.task(dst, 0.0, prio, TaskKind::Forward);
+                gb.edge(root_task, gated, 0);
+                gb.edge(barrier, gated, 0);
+                gated
+            } else {
+                root_task
+            };
+            u_avail.push(gb.bcast_tasks(&sp.col_bcasts[bi], root_task, bytes, prio));
+        }
+
+        // GEMMs + Row-Reduce per target block.
+        let mut rred_this: Vec<TaskId> = Vec::with_capacity(blocks.len());
+        for (bj_i, bj) in blocks.iter().enumerate() {
+            let prow_j = grid.prow_of_block(bj.sn);
+            let rj = bj.nrows() as f64;
+            // local GEMM tasks per participating rank
+            let mut local: HashMap<usize, Vec<TaskId>> = HashMap::new();
+            for (bi_i, bi) in blocks.iter().enumerate() {
+                let rank = grid.rank_of(prow_j, grid.pcol_of_block(bi.sn));
+                let ri = bi.nrows() as f64;
+                let t = gb.task(rank, 2.0 * rj * ri * w, prio, TaskKind::Compute);
+                gb.edge(u_avail[bi_i][&rank], t, 0);
+                // stored-block availability
+                let (jsn, isn) = (bj.sn, bi.sn);
+                if jsn > isn {
+                    let (bid, _) = find_block(&sf, jsn, isn);
+                    gb.edge(rred_root[&bid], t, 0);
+                } else if jsn < isn {
+                    let (bid, _) = find_block(&sf, isn, jsn);
+                    gb.edge(atr_recv[&bid], t, 0);
+                } else {
+                    gb.edge(diag_done[jsn].expect("ancestor diagonal not built"), t, 0);
+                }
+                local.entry(rank).or_default().push(t);
+            }
+            let bytes = layout.block_bytes(bj, k);
+            let root =
+                gb.reduce_tasks(&sp.row_reduces[bj_i], &local, bytes, rj * w, prio);
+            rred_this.push(root);
+            rred_root.insert(sf.blocks_ptr[k] + bj_i, root);
+        }
+
+        // Diagonal GEMMs + diagonal reduction.
+        let mut dlocal: HashMap<usize, Vec<TaskId>> = HashMap::new();
+        for (bi, b) in blocks.iter().enumerate() {
+            let owner = layout.lower_owner(b, k);
+            let t = gb.task(owner, 2.0 * w * w * b.nrows() as f64, prio, TaskKind::Compute);
+            gb.edge(rred_this[bi], t, 0);
+            dlocal.entry(owner).or_default().push(t);
+        }
+        let dred =
+            gb.reduce_tasks(&sp.diag_reduce, &dlocal, layout.diag_bytes(k), w * w, prio);
+        let ddone = gb.task(diag_owner, 0.0, prio, TaskKind::Forward);
+        gb.edge(inv0, ddone, 0);
+        gb.edge(dred, ddone, 0);
+        diag_done[k] = Some(ddone);
+
+        // Step-5 A⁻¹ transposes.
+        let mut last_tasks: Vec<TaskId> = vec![ddone];
+        for (bj_i, bj) in blocks.iter().enumerate() {
+            let bid = sf.blocks_ptr[k] + bj_i;
+            let (src, dst) = sp.ainv_transposes[bj_i];
+            if src == dst {
+                atr_recv.insert(bid, rred_this[bj_i]);
+                last_tasks.push(rred_this[bj_i]);
+            } else {
+                let t = gb.task(dst, 0.0, prio, TaskKind::Forward);
+                gb.edge(rred_this[bj_i], t, layout.block_bytes(bj, k));
+                atr_recv.insert(bid, t);
+                last_tasks.push(t);
+            }
+        }
+
+        // Optional v0.7.3-style barrier between supernodes.
+        if !opts.pipelining {
+            let barrier = gb.task(diag_owner, 0.0, prio, TaskKind::Forward);
+            for t in last_tasks {
+                gb.edge(t, barrier, 0);
+            }
+            prev_barrier = Some(barrier);
+        }
+    }
+
+    gb.finish(grid.size())
+}
+
+/// Builds a right-looking supernodal factorization task graph in the style
+/// of SuperLU_DIST: factor diagonal, broadcast panel blocks, update
+/// ancestors. Used as the reference curve of Fig. 8.
+pub fn factorization_graph(layout: &Layout, opts: &GraphOptions) -> TaskGraph {
+    let sf = layout.symbolic.clone();
+    let grid = layout.grid;
+    let builder = TreeBuilder::new(opts.scheme, opts.seed);
+    let ns = sf.num_supernodes();
+    let mut gb = GraphBuilder::new();
+
+    // Pre-create diagonal-factor and panel tasks so updates from
+    // descendants can point at them.
+    let mut fdiag: Vec<TaskId> = Vec::with_capacity(ns);
+    let mut fpanel: HashMap<usize, TaskId> = HashMap::new();
+    for k in 0..ns {
+        let w = sf.width(k) as f64;
+        let prio = k as i64;
+        fdiag.push(gb.task(layout.diag_owner(k), w * w * w / 3.0, prio, TaskKind::Compute));
+        for (bi, b) in sf.blocks_of(k).iter().enumerate() {
+            let t = gb.task(
+                layout.lower_owner(b, k),
+                b.nrows() as f64 * w * w,
+                prio,
+                TaskKind::Compute,
+            );
+            fpanel.insert(sf.blocks_ptr[k] + bi, t);
+        }
+    }
+
+    for k in 0..ns {
+        let blocks = sf.blocks_of(k);
+        if blocks.is_empty() {
+            continue;
+        }
+        let w = sf.width(k) as f64;
+        let prio = k as i64;
+
+        // Diagonal bcast down pc(K) to the panel owners.
+        let mut lower_owners: Vec<usize> =
+            blocks.iter().map(|b| layout.lower_owner(b, k)).collect();
+        let diag_owner = layout.diag_owner(k);
+        lower_owners.sort_unstable();
+        lower_owners.dedup();
+        lower_owners.retain(|&r| r != diag_owner);
+        let dtree = builder.build(diag_owner, &lower_owners, (k as u64) << 3);
+        let davail = gb.bcast_tasks(&dtree, fdiag[k], layout.diag_bytes(k), prio);
+        for (bi, b) in blocks.iter().enumerate() {
+            let owner = layout.lower_owner(b, k);
+            gb.edge(davail[&owner], fpanel[&(sf.blocks_ptr[k] + bi)], 0);
+        }
+
+        // L-blocks travel along their process row to the update columns;
+        // "U"-blocks (transposes) travel down the update rows' columns.
+        let pcols: Vec<usize> = blocks.iter().map(|b| grid.pcol_of_block(b.sn)).collect();
+        let prows: Vec<usize> = blocks.iter().map(|b| grid.prow_of_block(b.sn)).collect();
+        let mut l_avail: Vec<HashMap<usize, TaskId>> = Vec::with_capacity(blocks.len());
+        let mut u_avail: Vec<HashMap<usize, TaskId>> = Vec::with_capacity(blocks.len());
+        for (bi, b) in blocks.iter().enumerate() {
+            let owner = layout.lower_owner(b, k);
+            let bytes = layout.block_bytes(b, k);
+            let pt = fpanel[&(sf.blocks_ptr[k] + bi)];
+            // row bcast
+            let prow = grid.prow_of_block(b.sn);
+            let mut rcv: Vec<usize> =
+                pcols.iter().map(|&pc| grid.rank_of(prow, pc)).collect();
+            rcv.sort_unstable();
+            rcv.dedup();
+            rcv.retain(|&r| r != owner);
+            let rtree = builder.build(owner, &rcv, ((k as u64) << 20) | (1 << 40) | bi as u64);
+            l_avail.push(gb.bcast_tasks(&rtree, pt, bytes, prio));
+            // transpose + col bcast
+            let udst = layout.upper_owner(b, k);
+            let uroot = if udst == owner {
+                pt
+            } else {
+                let t = gb.task(udst, 0.0, prio, TaskKind::Forward);
+                gb.edge(pt, t, bytes);
+                t
+            };
+            let pcol = grid.pcol_of_block(b.sn);
+            let mut crcv: Vec<usize> =
+                prows.iter().map(|&pr| grid.rank_of(pr, pcol)).collect();
+            crcv.sort_unstable();
+            crcv.dedup();
+            crcv.retain(|&r| r != udst);
+            let ctree = builder.build(udst, &crcv, ((k as u64) << 20) | (2 << 40) | bi as u64);
+            u_avail.push(gb.bcast_tasks(&ctree, uroot, bytes, prio));
+        }
+
+        // Updates: for every pair (bi ≥ bj), GEMM at (pr(bi.sn), pc(bj.sn))
+        // targeting block (bi.sn, bj.sn) of supernode bj.sn.
+        for (bj_i, bj) in blocks.iter().enumerate() {
+            for (bi_i, bi) in blocks.iter().enumerate() {
+                if bi.sn < bj.sn {
+                    continue;
+                }
+                let rank = grid.rank_of(grid.prow_of_block(bi.sn), grid.pcol_of_block(bj.sn));
+                let t = gb.task(
+                    rank,
+                    2.0 * bi.nrows() as f64 * bj.nrows() as f64 * w,
+                    prio,
+                    TaskKind::Compute,
+                );
+                gb.edge(l_avail[bi_i][&rank], t, 0);
+                gb.edge(u_avail[bj_i][&rank], t, 0);
+                // scatter target
+                if bi.sn == bj.sn {
+                    gb.edge(t, fdiag[bj.sn], 0);
+                } else {
+                    let (bid, _) = find_block(&sf, bi.sn, bj.sn);
+                    gb.edge(t, fpanel[&bid], 0);
+                }
+            }
+        }
+    }
+
+    gb.finish(grid.size())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::replay_volumes;
+    use pselinv_mpisim::Grid2D;
+    use pselinv_order::{analyze, AnalyzeOptions};
+    use pselinv_sparse::gen;
+    use std::sync::Arc;
+
+    fn layout(pr: usize, pc: usize) -> Layout {
+        let w = gen::grid_laplacian_2d(14, 14);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        Layout::new(sf, Grid2D::new(pr, pc))
+    }
+
+    #[test]
+    fn selinv_graph_is_executable() {
+        let l = layout(3, 3);
+        for pipelining in [true, false] {
+            let g = selinv_graph(
+                &l,
+                &GraphOptions { pipelining, ..Default::default() },
+            );
+            assert_eq!(g.validate(), g.num_tasks(), "pipelining={pipelining}");
+            assert!(g.total_flops() > 0.0);
+        }
+    }
+
+    #[test]
+    fn factorization_graph_is_executable() {
+        let l = layout(2, 3);
+        let g = factorization_graph(&l, &GraphOptions::default());
+        assert_eq!(g.validate(), g.num_tasks());
+        assert!(g.total_flops() > 0.0);
+    }
+
+    #[test]
+    fn selinv_graph_messages_match_volume_replay() {
+        // Every byte the replay accounts for must appear as a message edge
+        // (and nothing else).
+        let l = layout(3, 4);
+        let opts = GraphOptions::default();
+        let g = selinv_graph(&l, &opts);
+        let rep = replay_volumes(&l, TreeBuilder::new(opts.scheme, opts.seed));
+        assert_eq!(g.total_message_bytes(), rep.total_bytes());
+    }
+
+    #[test]
+    fn tasks_live_on_valid_ranks() {
+        let l = layout(2, 2);
+        let g = selinv_graph(&l, &GraphOptions::default());
+        for &r in &g.task_rank {
+            assert!((r as usize) < g.nranks);
+        }
+    }
+
+    #[test]
+    fn flat_and_shifted_have_same_total_flops() {
+        // Routing changes messages, not arithmetic.
+        let l = layout(3, 3);
+        let flat = selinv_graph(
+            &l,
+            &GraphOptions { scheme: TreeScheme::Flat, ..Default::default() },
+        );
+        let shifted = selinv_graph(
+            &l,
+            &GraphOptions { scheme: TreeScheme::ShiftedBinary, ..Default::default() },
+        );
+        // Compare compute flops only (reduce interior-node add-flops differ
+        // slightly between tree shapes).
+        let comp = |g: &TaskGraph| -> f64 {
+            g.task_flops
+                .iter()
+                .zip(&g.task_kind)
+                .filter(|(_, &k)| k == TaskKind::Compute)
+                .map(|(f, _)| f)
+                .sum()
+        };
+        let a = comp(&flat);
+        let b = comp(&shifted);
+        assert!((a - b).abs() / a < 0.05, "{a} vs {b}");
+    }
+
+    #[test]
+    fn barrier_mode_adds_tasks_and_stays_acyclic() {
+        let l = layout(2, 3);
+        let pipelined = selinv_graph(&l, &GraphOptions::default());
+        let barriered = selinv_graph(
+            &l,
+            &GraphOptions { pipelining: false, ..Default::default() },
+        );
+        assert!(barriered.num_tasks() > pipelined.num_tasks());
+        assert_eq!(barriered.validate(), barriered.num_tasks());
+    }
+
+    #[test]
+    fn single_rank_graph_has_no_messages() {
+        let l = layout(1, 1);
+        let g = selinv_graph(&l, &GraphOptions::default());
+        assert_eq!(g.total_message_bytes(), 0);
+        assert_eq!(g.validate(), g.num_tasks());
+    }
+}

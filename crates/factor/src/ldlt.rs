@@ -1,0 +1,395 @@
+//! Right-looking supernodal LDLᵀ factorization.
+
+use crate::panel::{locate_row, Panel, RowPos};
+use pselinv_dense::kernels::{trsm_left_lower, trsm_left_lower_trans, trsm_right_lower_trans};
+use pselinv_dense::{gemm, ldlt_factor, Mat, Transpose};
+use pselinv_order::SymbolicFactor;
+use pselinv_sparse::SparseMatrix;
+use std::sync::Arc;
+
+/// Errors from numeric factorization.
+#[derive(Debug)]
+pub enum FactorError {
+    /// A diagonal block turned out numerically singular.
+    Singular {
+        /// Supernode whose diagonal block failed.
+        supernode: usize,
+        /// Pivot index within the block.
+        pivot: usize,
+    },
+    /// Matrix shape does not match the symbolic factorization.
+    ShapeMismatch {
+        /// Matrix order.
+        matrix_n: usize,
+        /// Symbolic order.
+        symbolic_n: usize,
+    },
+}
+
+impl std::fmt::Display for FactorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FactorError::Singular { supernode, pivot } => {
+                write!(f, "singular pivot {pivot} in supernode {supernode}")
+            }
+            FactorError::ShapeMismatch { matrix_n, symbolic_n } => {
+                write!(f, "matrix order {matrix_n} != symbolic order {symbolic_n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FactorError {}
+
+/// A supernodal LDLᵀ factorization: `P A Pᵀ = L D Lᵀ`.
+///
+/// Panel `s` stores `L_{K,K}` (unit lower) and `D_K` in `diag`, and the
+/// normalized off-diagonal rows `L_{R,K}` in `below`.
+#[derive(Clone, Debug)]
+pub struct LdlFactor {
+    /// The symbolic structure shared with downstream consumers.
+    pub symbolic: Arc<SymbolicFactor>,
+    /// One dense panel per supernode.
+    pub panels: Vec<Panel>,
+}
+
+/// Factorizes a symmetric matrix with the given symbolic structure.
+///
+/// Only the lower triangle of `a` (after the symbolic permutation) is
+/// read; the matrix must be numerically symmetric for the result to be
+/// meaningful.
+///
+/// ```
+/// use pselinv_factor::factorize;
+/// use pselinv_order::{analyze, AnalyzeOptions};
+/// use pselinv_sparse::gen;
+/// use std::sync::Arc;
+///
+/// let a = gen::random_spd(30, 0.2, 7);
+/// let sf = Arc::new(analyze(&a.pattern(), &AnalyzeOptions::default()));
+/// let f = factorize(&a, sf).unwrap();
+/// // solve A x = b through the factorization
+/// let b = vec![1.0; 30];
+/// let x = f.solve(&b);
+/// let r = a.matvec(&x);
+/// assert!(r.iter().zip(&b).all(|(ri, bi)| (ri - bi).abs() < 1e-9));
+/// ```
+pub fn factorize(a: &SparseMatrix, symbolic: Arc<SymbolicFactor>) -> Result<LdlFactor, FactorError> {
+    let sf = &*symbolic;
+    if a.nrows() != sf.n || a.ncols() != sf.n {
+        return Err(FactorError::ShapeMismatch { matrix_n: a.nrows(), symbolic_n: sf.n });
+    }
+    let permuted = a.permute_sym(sf.perm.new_of_old());
+
+    // Scatter the lower triangle of the permuted matrix into panels.
+    let ns = sf.num_supernodes();
+    let mut panels: Vec<Panel> = (0..ns).map(|s| Panel::zeros(sf, s)).collect();
+    for j in 0..sf.n {
+        let s = sf.part.col_to_sn[j];
+        let jl = j - sf.first_col(s);
+        let (rows, vals) = (permuted.col_rows(j), permuted.col_values(j));
+        for (&i, &v) in rows.iter().zip(vals) {
+            if i < j {
+                continue;
+            }
+            match locate_row(sf, s, i) {
+                RowPos::Diag(il) => panels[s].diag[(il, jl)] = v,
+                RowPos::Below(il) => panels[s].below[(il, jl)] = v,
+            }
+        }
+    }
+
+    // Right-looking factorization over supernodes in ascending order.
+    for s in 0..ns {
+        let w = sf.width(s);
+        // 1. Factor the diagonal block.
+        ldlt_factor(&mut panels[s].diag)
+            .map_err(|e| FactorError::Singular { supernode: s, pivot: e.pivot })?;
+
+        // 2. Normalize the below panel: L_R = A_R L⁻ᵀ D⁻¹.
+        {
+            let (diag, below) = {
+                let p = &mut panels[s];
+                // split borrow: clone diag (small) to keep the code simple
+                (p.diag.clone(), &mut p.below)
+            };
+            trsm_right_lower_trans(below, &diag, true);
+            for jl in 0..w {
+                let d = diag[(jl, jl)];
+                for v in below.col_mut(jl) {
+                    *v /= d;
+                }
+            }
+        }
+
+        // 3. Update ancestors: for each target block, subtract
+        //    L_{R',s} · D_s · L_{Rb,s}ᵀ from the ancestor panel.
+        let rows = sf.rows_of(s).to_vec();
+        let nrows = rows.len();
+        let d: Vec<f64> = (0..w).map(|jl| panels[s].diag[(jl, jl)]).collect();
+        let blocks: Vec<_> = sf.blocks_of(s).to_vec();
+        let rp = sf.rows_ptr[s];
+        for b in &blocks {
+            let target = b.sn;
+            let lb = b.rows_begin - rp;
+            let nb = b.rows_end - b.rows_begin;
+            let m = nrows - lb;
+            // B2D = rows [lb, lb+nb) of `below`, columns scaled by D.
+            let mut b2d = panels[s].below.submatrix(lb, 0, nb, w);
+            for jl in 0..w {
+                for v in b2d.col_mut(jl) {
+                    *v *= d[jl];
+                }
+            }
+            let b1 = panels[s].below.submatrix(lb, 0, m, w);
+            let mut u = Mat::zeros(m, nb);
+            gemm(1.0, &b1, Transpose::No, &b2d, Transpose::Yes, 0.0, &mut u);
+
+            let first_t = sf.first_col(target);
+            for q in 0..nb {
+                let c = rows[lb + q];
+                let cl = c - first_t;
+                for p in q..m {
+                    let i = rows[lb + p];
+                    match locate_row(sf, target, i) {
+                        RowPos::Diag(il) => panels[target].diag[(il, cl)] -= u[(p, q)],
+                        RowPos::Below(il) => panels[target].below[(il, cl)] -= u[(p, q)],
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(LdlFactor { symbolic, panels })
+}
+
+impl LdlFactor {
+    /// Solves `A x = b` (in the *original* ordering of the input matrix).
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let sf = &*self.symbolic;
+        assert_eq!(b.len(), sf.n);
+        // x̃ = P b
+        let mut x: Vec<f64> = (0..sf.n).map(|new| b[sf.perm.old_of(new)]).collect();
+
+        // Forward: L y = x̃.
+        for s in 0..sf.num_supernodes() {
+            let first = sf.first_col(s);
+            let w = sf.width(s);
+            let mut xs = Mat::zeros(w, 1);
+            for jl in 0..w {
+                xs[(jl, 0)] = x[first + jl];
+            }
+            trsm_left_lower(&self.panels[s].diag, &mut xs, true);
+            for jl in 0..w {
+                x[first + jl] = xs[(jl, 0)];
+            }
+            let rows = sf.rows_of(s);
+            let below = &self.panels[s].below;
+            for (p, &r) in rows.iter().enumerate() {
+                let mut acc = 0.0;
+                for jl in 0..w {
+                    acc += below[(p, jl)] * xs[(jl, 0)];
+                }
+                x[r] -= acc;
+            }
+        }
+
+        // Diagonal: D z = y.
+        for s in 0..sf.num_supernodes() {
+            let first = sf.first_col(s);
+            for jl in 0..sf.width(s) {
+                x[first + jl] /= self.panels[s].diag[(jl, jl)];
+            }
+        }
+
+        // Backward: Lᵀ x = z.
+        for s in (0..sf.num_supernodes()).rev() {
+            let first = sf.first_col(s);
+            let w = sf.width(s);
+            let rows = sf.rows_of(s);
+            let below = &self.panels[s].below;
+            let mut xs = Mat::zeros(w, 1);
+            for jl in 0..w {
+                xs[(jl, 0)] = x[first + jl];
+            }
+            for (p, &r) in rows.iter().enumerate() {
+                for jl in 0..w {
+                    xs[(jl, 0)] -= below[(p, jl)] * x[r];
+                }
+            }
+            trsm_left_lower_trans(&self.panels[s].diag, &mut xs, true);
+            for jl in 0..w {
+                x[first + jl] = xs[(jl, 0)];
+            }
+        }
+
+        // x = Pᵀ x̃
+        (0..sf.n).map(|old| x[sf.perm.new_of(old)]).collect()
+    }
+
+    /// Dense `L` (unit diagonal) of the permuted matrix; for verification
+    /// at small orders only.
+    pub fn dense_l(&self) -> Mat {
+        let sf = &*self.symbolic;
+        let mut l = Mat::identity(sf.n);
+        for s in 0..sf.num_supernodes() {
+            let first = sf.first_col(s);
+            let w = sf.width(s);
+            for jl in 0..w {
+                for il in (jl + 1)..w {
+                    l[(first + il, first + jl)] = self.panels[s].diag[(il, jl)];
+                }
+                for (p, &r) in sf.rows_of(s).iter().enumerate() {
+                    l[(r, first + jl)] = self.panels[s].below[(p, jl)];
+                }
+            }
+        }
+        l
+    }
+
+    /// Dense `D` of the permuted matrix; for verification only.
+    pub fn dense_d(&self) -> Mat {
+        let sf = &*self.symbolic;
+        let mut dm = Mat::zeros(sf.n, sf.n);
+        for s in 0..sf.num_supernodes() {
+            let first = sf.first_col(s);
+            for jl in 0..sf.width(s) {
+                dm[(first + jl, first + jl)] = self.panels[s].diag[(jl, jl)];
+            }
+        }
+        dm
+    }
+
+    /// Total flops of the factorization (for rough cost models).
+    pub fn flops(&self) -> f64 {
+        let sf = &*self.symbolic;
+        (0..sf.num_supernodes())
+            .map(|s| {
+                let w = sf.width(s) as f64;
+                let r = sf.rows_of(s).len() as f64;
+                // diag ldlt + panel trsm + outer product update
+                w * w * w / 3.0 + r * w * w + r * r * w
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pselinv_order::{analyze, AnalyzeOptions, OrderingChoice};
+    use pselinv_sparse::gen;
+
+    fn check_reconstruction(a: &SparseMatrix, opts: &AnalyzeOptions) {
+        let sf = Arc::new(analyze(&a.pattern(), opts));
+        let f = factorize(a, sf.clone()).unwrap();
+        let l = f.dense_l();
+        let d = f.dense_d();
+        let mut ld = Mat::zeros(sf.n, sf.n);
+        gemm(1.0, &l, Transpose::No, &d, Transpose::No, 0.0, &mut ld);
+        let mut ldl = Mat::zeros(sf.n, sf.n);
+        gemm(1.0, &ld, Transpose::No, &l, Transpose::Yes, 0.0, &mut ldl);
+        let permuted = a.permute_sym(sf.perm.new_of_old());
+        let scale = 1.0 + ldl.norm_max();
+        for j in 0..sf.n {
+            for i in 0..sf.n {
+                let want = permuted.get(i, j);
+                assert!(
+                    (ldl[(i, j)] - want).abs() < 1e-10 * scale,
+                    "entry ({i},{j}): {} vs {}",
+                    ldl[(i, j)],
+                    want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstructs_grid_2d() {
+        let w = gen::grid_laplacian_2d(7, 6);
+        check_reconstruction(&w.matrix, &AnalyzeOptions::default());
+    }
+
+    #[test]
+    fn reconstructs_grid_3d_nd() {
+        let w = gen::grid_laplacian_3d(4, 4, 3);
+        let opts = AnalyzeOptions {
+            ordering: OrderingChoice::NestedDissection(
+                w.geometry,
+                pselinv_order::nd::NdOptions { leaf_size: 4 },
+            ),
+            ..Default::default()
+        };
+        check_reconstruction(&w.matrix, &opts);
+    }
+
+    #[test]
+    fn reconstructs_random_spd() {
+        for seed in 0..4 {
+            let m = gen::random_spd(30, 0.15, seed);
+            check_reconstruction(&m, &AnalyzeOptions::default());
+        }
+    }
+
+    #[test]
+    fn reconstructs_dg_blocks() {
+        let w = gen::dg_hamiltonian(3, 2, 1, 6, 5);
+        check_reconstruction(&w.matrix, &AnalyzeOptions::default());
+    }
+
+    #[test]
+    fn solve_matches_matvec() {
+        let w = gen::grid_laplacian_2d(9, 9);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let f = factorize(&w.matrix, sf).unwrap();
+        let n = w.matrix.nrows();
+        let xtrue: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let b = w.matrix.matvec(&xtrue);
+        let x = f.solve(&b);
+        for i in 0..n {
+            assert!((x[i] - xtrue[i]).abs() < 1e-9, "x[{i}] = {} vs {}", x[i], xtrue[i]);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        // Zero matrix with diagonal pattern: every pivot is zero.
+        let n = 4;
+        let mut t = pselinv_sparse::TripletMatrix::new(n, n);
+        for i in 0..n {
+            t.push(i, i, 0.0);
+        }
+        let m = t.to_csc();
+        let sf = Arc::new(analyze(&m.pattern(), &AnalyzeOptions::default()));
+        match factorize(&m, sf) {
+            Err(FactorError::Singular { .. }) => {}
+            other => panic!("expected Singular, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let w = gen::grid_laplacian_2d(3, 3);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let other = gen::grid_laplacian_2d(4, 4).matrix;
+        assert!(matches!(factorize(&other, sf), Err(FactorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn flops_positive_and_monotone() {
+        let small = gen::grid_laplacian_2d(6, 6);
+        let big = gen::grid_laplacian_2d(12, 12);
+        let fs = factorize(
+            &small.matrix,
+            Arc::new(analyze(&small.matrix.pattern(), &AnalyzeOptions::default())),
+        )
+        .unwrap();
+        let fb = factorize(
+            &big.matrix,
+            Arc::new(analyze(&big.matrix.pattern(), &AnalyzeOptions::default())),
+        )
+        .unwrap();
+        assert!(fs.flops() > 0.0);
+        assert!(fb.flops() > fs.flops());
+    }
+}

@@ -1,0 +1,20 @@
+//! Sequential supernodal numeric factorization.
+//!
+//! [`ldlt::factorize`] computes a supernodal `L·D·Lᵀ` factorization of a
+//! symmetric matrix using the structure prepared by
+//! [`pselinv_order::analyze`]. The resulting [`ldlt::LdlFactor`] stores one
+//! dense panel per supernode — exactly the representation the selected
+//! inversion (sequential in `pselinv-selinv`, distributed in
+//! `pselinv-dist`) consumes, and the same one SuperLU_DIST hands to
+//! PSelInv in the paper's pipeline.
+//!
+//! [`lu`] provides the unsymmetric-path factorization (`L·U` with
+//! structurally symmetric pattern), the extension the paper lists as work
+//! in progress.
+
+pub mod ldlt;
+pub mod lu;
+pub mod panel;
+
+pub use ldlt::{factorize, FactorError, LdlFactor};
+pub use panel::Panel;

@@ -1,0 +1,358 @@
+//! Right-looking supernodal LU factorization (unsymmetric values,
+//! structurally symmetric pattern).
+//!
+//! This is the extension the paper describes as work in progress: the same
+//! supernodal machinery as the LDLᵀ path, but with independent `L` and `U`
+//! factors. The pattern is symmetrized before analysis (as SuperLU_DIST
+//! does for its symbolic phase), and diagonal blocks are factored without
+//! pivoting (static pivoting — the workload generators keep pivots safe).
+
+use crate::panel::{locate_row, Panel, RowPos};
+use pselinv_dense::kernels::{trsm_left_lower, trsm_right_lower_trans};
+use pselinv_dense::{Mat, Transpose, gemm};
+use pselinv_order::SymbolicFactor;
+use pselinv_sparse::SparseMatrix;
+use std::sync::Arc;
+
+use crate::ldlt::FactorError;
+
+/// A supernodal LU factorization `P A Pᵀ = L U`.
+///
+/// Per supernode `K`:
+/// * `l.diag` — `w×w` block holding unit-lower `L_{K,K}` strictly below the
+///   diagonal and `U_{K,K}` on and above it;
+/// * `l.below` — `L_{R,K}` (`r×w`);
+/// * `uright` — `U_{K,R}ᵀ` (`r×w`): row `p` holds column `R[p]` of `U_{K,*}`.
+#[derive(Clone, Debug)]
+pub struct LuFactor {
+    /// Shared symbolic structure (of the symmetrized pattern).
+    pub symbolic: Arc<SymbolicFactor>,
+    /// Combined `L`/`U` diagonal + `L` below-panel per supernode.
+    pub l: Vec<Panel>,
+    /// `U_{K,R}ᵀ` panels per supernode.
+    pub uright: Vec<Mat>,
+}
+
+/// Factorizes a (possibly unsymmetric) matrix whose symmetrized pattern
+/// matches `symbolic`.
+pub fn factorize_lu(
+    a: &SparseMatrix,
+    symbolic: Arc<SymbolicFactor>,
+) -> Result<LuFactor, FactorError> {
+    let sf = &*symbolic;
+    if a.nrows() != sf.n || a.ncols() != sf.n {
+        return Err(FactorError::ShapeMismatch { matrix_n: a.nrows(), symbolic_n: sf.n });
+    }
+    let permuted = a.permute_sym(sf.perm.new_of_old());
+    let ns = sf.num_supernodes();
+    let mut l: Vec<Panel> = (0..ns).map(|s| Panel::zeros(sf, s)).collect();
+    let mut uright: Vec<Mat> =
+        (0..ns).map(|s| Mat::zeros(sf.rows_of(s).len(), sf.width(s))).collect();
+
+    // Scatter A: lower entries into l panels, upper into diag/uright.
+    for j in 0..sf.n {
+        let s = sf.part.col_to_sn[j];
+        let jl = j - sf.first_col(s);
+        for (&i, &v) in permuted.col_rows(j).iter().zip(permuted.col_values(j)) {
+            if i >= j {
+                // lower triangle: element of L-side storage of supernode s
+                match locate_row(sf, s, i) {
+                    RowPos::Diag(il) => l[s].diag[(il, jl)] = v,
+                    RowPos::Below(il) => l[s].below[(il, jl)] = v,
+                }
+            } else {
+                // upper triangle: A_ij with i < j → row supernode t = sn(i)
+                let t = sf.part.col_to_sn[i];
+                let il = i - sf.first_col(t);
+                if j < sf.end_col(t) {
+                    l[t].diag[(il, j - sf.first_col(t))] = v;
+                } else {
+                    match sf.rows_of(t).binary_search(&j) {
+                        Ok(p) => uright[t][(p, il)] = v,
+                        Err(_) => panic!("upper entry ({i},{j}) outside symmetrized structure"),
+                    }
+                }
+            }
+        }
+    }
+
+    for s in 0..ns {
+        let w = sf.width(s);
+        // 1. Unpivoted LU of the diagonal block (in place: unit L + U).
+        {
+            let dblk = &mut l[s].diag;
+            for k in 0..w {
+                let d = dblk[(k, k)];
+                if d.abs() < f64::EPSILON * 16.0 {
+                    return Err(FactorError::Singular { supernode: s, pivot: k });
+                }
+                for i in (k + 1)..w {
+                    dblk[(i, k)] /= d;
+                }
+                for j in (k + 1)..w {
+                    let ukj = dblk[(k, j)];
+                    if ukj == 0.0 {
+                        continue;
+                    }
+                    for i in (k + 1)..w {
+                        let lik = dblk[(i, k)];
+                        dblk[(i, j)] -= lik * ukj;
+                    }
+                }
+            }
+        }
+        let dblk = l[s].diag.clone();
+
+        // 2. Panel solves: L_{R,K} = A_{R,K} U_{K,K}⁻¹ and
+        //    U_{K,R}ᵀ = A_{K,R}ᵀ L_{K,K}⁻ᵀ.
+        {
+            // X·U = B  ⇔  X·(Uᵀ)ᵀ = B with Uᵀ lower (non-unit).
+            let mut ut = Mat::zeros(w, w);
+            for j in 0..w {
+                for i in 0..=j {
+                    ut[(j, i)] = dblk[(i, j)];
+                }
+            }
+            trsm_right_lower_trans(&mut l[s].below, &ut, false);
+            trsm_right_lower_trans(&mut uright[s], &dblk, true);
+        }
+
+        // 3. Updates to ancestors: A_{i,c} -= L_{i,K} U_{K,c} (lower) and
+        //    A_{c,i} -= L_{c,K} U_{K,i} (upper).
+        let rows = sf.rows_of(s).to_vec();
+        let nrows = rows.len();
+        let rp = sf.rows_ptr[s];
+        let blocks: Vec<_> = sf.blocks_of(s).to_vec();
+        for b in &blocks {
+            let target = b.sn;
+            let lb = b.rows_begin - rp;
+            let nb = b.rows_end - b.rows_begin;
+            let m = nrows - lb;
+            let l_all = l[s].below.submatrix(lb, 0, m, w);
+            let u_all = uright[s].submatrix(lb, 0, m, w);
+            let l_blk = l[s].below.submatrix(lb, 0, nb, w);
+            let u_blk = uright[s].submatrix(lb, 0, nb, w);
+            // lower update: L_all · U_blkᵀ  (m × nb)
+            let mut ul = Mat::zeros(m, nb);
+            gemm(1.0, &l_all, Transpose::No, &u_blk, Transpose::Yes, 0.0, &mut ul);
+            // upper update: U_all · L_blkᵀ  (m × nb)
+            let mut uu = Mat::zeros(m, nb);
+            gemm(1.0, &u_all, Transpose::No, &l_blk, Transpose::Yes, 0.0, &mut uu);
+
+            let first_t = sf.first_col(target);
+            let end_t = sf.end_col(target);
+            for q in 0..nb {
+                let c = rows[lb + q];
+                let cl = c - first_t;
+                for p in q..m {
+                    let i = rows[lb + p];
+                    // lower target (i, c), i >= c
+                    match locate_row(sf, target, i) {
+                        RowPos::Diag(il) => l[target].diag[(il, cl)] -= ul[(p, q)],
+                        RowPos::Below(il) => l[target].below[(il, cl)] -= ul[(p, q)],
+                    }
+                    // upper target (c, i), i > c
+                    if p > q {
+                        if i < end_t {
+                            l[target].diag[(cl, i - first_t)] -= uu[(p, q)];
+                        } else {
+                            let pos = sf.rows_of(target).binary_search(&i).expect("structure");
+                            uright[target][(pos, cl)] -= uu[(p, q)];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(LuFactor { symbolic, l, uright })
+}
+
+impl LuFactor {
+    /// Solves `A x = b` in the original ordering.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let sf = &*self.symbolic;
+        assert_eq!(b.len(), sf.n);
+        let mut x: Vec<f64> = (0..sf.n).map(|new| b[sf.perm.old_of(new)]).collect();
+
+        // Forward: L y = Pb.
+        for s in 0..sf.num_supernodes() {
+            let first = sf.first_col(s);
+            let w = sf.width(s);
+            let mut xs = Mat::zeros(w, 1);
+            for jl in 0..w {
+                xs[(jl, 0)] = x[first + jl];
+            }
+            trsm_left_lower(&self.l[s].diag, &mut xs, true);
+            for jl in 0..w {
+                x[first + jl] = xs[(jl, 0)];
+            }
+            for (p, &r) in sf.rows_of(s).iter().enumerate() {
+                let mut acc = 0.0;
+                for jl in 0..w {
+                    acc += self.l[s].below[(p, jl)] * xs[(jl, 0)];
+                }
+                x[r] -= acc;
+            }
+        }
+
+        // Backward: U x = y.
+        for s in (0..sf.num_supernodes()).rev() {
+            let first = sf.first_col(s);
+            let w = sf.width(s);
+            // subtract U_{K,R} x_R
+            let mut xs = Mat::zeros(w, 1);
+            for jl in 0..w {
+                xs[(jl, 0)] = x[first + jl];
+            }
+            for (p, &r) in sf.rows_of(s).iter().enumerate() {
+                for jl in 0..w {
+                    xs[(jl, 0)] -= self.uright[s][(p, jl)] * x[r];
+                }
+            }
+            // solve U_{K,K} x_K = rhs (upper, non-unit)
+            for i in (0..w).rev() {
+                let mut ssum = xs[(i, 0)];
+                for k in (i + 1)..w {
+                    ssum -= self.l[s].diag[(i, k)] * xs[(k, 0)];
+                }
+                xs[(i, 0)] = ssum / self.l[s].diag[(i, i)];
+            }
+            for jl in 0..w {
+                x[first + jl] = xs[(jl, 0)];
+            }
+        }
+
+        (0..sf.n).map(|old| x[sf.perm.new_of(old)]).collect()
+    }
+
+    /// Dense `L` (unit diagonal) of the permuted matrix, for verification.
+    pub fn dense_l(&self) -> Mat {
+        let sf = &*self.symbolic;
+        let mut m = Mat::identity(sf.n);
+        for s in 0..sf.num_supernodes() {
+            let first = sf.first_col(s);
+            for jl in 0..sf.width(s) {
+                for il in (jl + 1)..sf.width(s) {
+                    m[(first + il, first + jl)] = self.l[s].diag[(il, jl)];
+                }
+                for (p, &r) in sf.rows_of(s).iter().enumerate() {
+                    m[(r, first + jl)] = self.l[s].below[(p, jl)];
+                }
+            }
+        }
+        m
+    }
+
+    /// Dense `U` of the permuted matrix, for verification.
+    pub fn dense_u(&self) -> Mat {
+        let sf = &*self.symbolic;
+        let mut m = Mat::zeros(sf.n, sf.n);
+        for s in 0..sf.num_supernodes() {
+            let first = sf.first_col(s);
+            for il in 0..sf.width(s) {
+                for jl in il..sf.width(s) {
+                    m[(first + il, first + jl)] = self.l[s].diag[(il, jl)];
+                }
+                for (p, &r) in sf.rows_of(s).iter().enumerate() {
+                    m[(first + il, r)] = self.uright[s][(p, il)];
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pselinv_order::{analyze, AnalyzeOptions};
+    use pselinv_sparse::gen;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Unsymmetric values on a symmetric pattern, diagonally dominant.
+    fn unsym(n: usize, density: f64, seed: u64) -> SparseMatrix {
+        let base = gen::random_spd(n, density, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut t = pselinv_sparse::TripletMatrix::new(n, n);
+        let mut diag_boost = vec![0.0f64; n];
+        for (i, j, v) in base.iter() {
+            if i != j {
+                let perturbed = v * rng.random_range(0.5..1.5);
+                t.push(i, j, perturbed);
+                diag_boost[i] += perturbed.abs();
+            }
+        }
+        for (i, boost) in diag_boost.iter().enumerate() {
+            t.push(i, i, boost + 1.0);
+        }
+        t.to_csc()
+    }
+
+    fn check_lu(a: &SparseMatrix) {
+        let sf = Arc::new(analyze(&a.pattern(), &AnalyzeOptions::default()));
+        let f = factorize_lu(a, sf.clone()).unwrap();
+        let l = f.dense_l();
+        let u = f.dense_u();
+        let mut lu = Mat::zeros(sf.n, sf.n);
+        gemm(1.0, &l, Transpose::No, &u, Transpose::No, 0.0, &mut lu);
+        let permuted = a.permute_sym(sf.perm.new_of_old());
+        let scale = 1.0 + lu.norm_max();
+        for j in 0..sf.n {
+            for i in 0..sf.n {
+                assert!(
+                    (lu[(i, j)] - permuted.get(i, j)).abs() < 1e-10 * scale,
+                    "({i},{j}): {} vs {}",
+                    lu[(i, j)],
+                    permuted.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstructs_unsymmetric_random() {
+        for seed in 0..3 {
+            check_lu(&unsym(25, 0.15, seed));
+        }
+    }
+
+    #[test]
+    fn reconstructs_symmetric_matrix_too() {
+        let w = gen::grid_laplacian_2d(6, 5);
+        check_lu(&w.matrix);
+    }
+
+    #[test]
+    fn solve_matches_matvec() {
+        let a = unsym(40, 0.1, 9);
+        let sf = Arc::new(analyze(&a.pattern(), &AnalyzeOptions::default()));
+        let f = factorize_lu(&a, sf).unwrap();
+        let xtrue: Vec<f64> = (0..40).map(|i| (i as f64 * 0.61).cos()).collect();
+        let b = a.matvec(&xtrue);
+        let x = f.solve(&b);
+        for i in 0..40 {
+            assert!((x[i] - xtrue[i]).abs() < 1e-8, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn lu_matches_ldlt_on_symmetric_input() {
+        let w = gen::grid_laplacian_2d(5, 5);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let flu = factorize_lu(&w.matrix, sf.clone()).unwrap();
+        let fld = crate::ldlt::factorize(&w.matrix, sf.clone()).unwrap();
+        // U should equal D Lᵀ
+        let u = flu.dense_u();
+        let l = fld.dense_l();
+        let d = fld.dense_d();
+        let mut dlt = Mat::zeros(sf.n, sf.n);
+        gemm(1.0, &d, Transpose::No, &l, Transpose::Yes, 0.0, &mut dlt);
+        for j in 0..sf.n {
+            for i in 0..sf.n {
+                assert!((u[(i, j)] - dlt[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+}

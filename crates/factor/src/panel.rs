@@ -1,0 +1,116 @@
+//! Dense supernode panel storage.
+
+use pselinv_dense::Mat;
+use pselinv_order::SymbolicFactor;
+
+/// The dense storage of one supernode of a factor (or of the selected
+/// inverse, which shares the same structure).
+///
+/// * `diag` — the `w×w` diagonal block. For an LDLᵀ factor its strictly
+///   lower part holds the unit-lower `L_{K,K}` and its diagonal holds `D`;
+///   for the selected inverse it holds the full symmetric `A⁻¹_{K,K}`.
+/// * `below` — the `r×w` off-diagonal panel, rows ordered as
+///   `SymbolicFactor::rows_of(s)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Panel {
+    /// `w × w` diagonal block.
+    pub diag: Mat,
+    /// `r × w` below-diagonal panel.
+    pub below: Mat,
+}
+
+impl Panel {
+    /// Zero panel shaped for supernode `s` of `sf`.
+    pub fn zeros(sf: &SymbolicFactor, s: usize) -> Self {
+        let w = sf.width(s);
+        let r = sf.rows_of(s).len();
+        Self { diag: Mat::zeros(w, w), below: Mat::zeros(r, w) }
+    }
+
+    /// Supernode width.
+    pub fn width(&self) -> usize {
+        self.diag.nrows()
+    }
+
+    /// Number of below-diagonal rows.
+    pub fn num_below(&self) -> usize {
+        self.below.nrows()
+    }
+}
+
+/// Locates a global row index inside supernode `s`'s panel.
+///
+/// Returns `RowPos::Diag(i)` for a row inside the diagonal block, or
+/// `RowPos::Below(i)` with the position in `rows_of(s)`. Panics if the row
+/// is not part of the supernode structure (callers scatter only into
+/// structurally present positions).
+pub fn locate_row(sf: &SymbolicFactor, s: usize, row: usize) -> RowPos {
+    let first = sf.first_col(s);
+    let end = sf.end_col(s);
+    if row >= first && row < end {
+        return RowPos::Diag(row - first);
+    }
+    match sf.rows_of(s).binary_search(&row) {
+        Ok(p) => RowPos::Below(p),
+        Err(_) => panic!("row {row} not in structure of supernode {s}"),
+    }
+}
+
+/// Position of a global row within a supernode panel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowPos {
+    /// Row lives in the diagonal block at this local offset.
+    Diag(usize),
+    /// Row lives in the below panel at this offset.
+    Below(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pselinv_order::{analyze, AnalyzeOptions};
+    use pselinv_sparse::gen;
+
+    #[test]
+    fn panel_shapes_match_symbolic() {
+        let w = gen::grid_laplacian_2d(6, 6);
+        let sf = analyze(&w.matrix.pattern(), &AnalyzeOptions::default());
+        for s in 0..sf.num_supernodes() {
+            let p = Panel::zeros(&sf, s);
+            assert_eq!(p.width(), sf.width(s));
+            assert_eq!(p.num_below(), sf.rows_of(s).len());
+        }
+    }
+
+    #[test]
+    fn locate_row_finds_positions() {
+        let w = gen::grid_laplacian_2d(8, 8);
+        let sf = analyze(&w.matrix.pattern(), &AnalyzeOptions::default());
+        for s in 0..sf.num_supernodes() {
+            for (off, col) in (sf.first_col(s)..sf.end_col(s)).enumerate() {
+                assert_eq!(locate_row(&sf, s, col), RowPos::Diag(off));
+            }
+            for (p, &r) in sf.rows_of(s).iter().enumerate() {
+                assert_eq!(locate_row(&sf, s, r), RowPos::Below(p));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not in structure")]
+    fn locate_row_rejects_missing() {
+        let w = gen::grid_laplacian_2d(4, 4);
+        let sf = analyze(&w.matrix.pattern(), &AnalyzeOptions::default());
+        // Find a supernode whose structure misses some row.
+        for s in 0..sf.num_supernodes() {
+            let rows = sf.rows_of(s);
+            for cand in sf.end_col(s)..sf.n {
+                if rows.binary_search(&cand).is_err() {
+                    let _ = locate_row(&sf, s, cand);
+                    return;
+                }
+            }
+        }
+        panic!("not in structure (degenerate: every supernode is full)");
+    }
+}

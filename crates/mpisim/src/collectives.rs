@@ -1,0 +1,181 @@
+//! Tree-routed restricted collectives over point-to-point messages.
+//!
+//! These are the paper's "light-weight asynchronous broadcast and reduction
+//! functions that can be dynamically created with very little overhead":
+//! every participant derives the same [`CollectiveTree`] locally (no
+//! communicator creation, no synchronization) and exchanges point-to-point
+//! messages along its edges.
+
+use crate::runtime::RankCtx;
+use pselinv_trees::CollectiveTree;
+
+/// Broadcasts `data` from the tree's root to every participant.
+///
+/// The root passes `Some(data)`, everyone else `None`; all participants
+/// return the payload. Non-participants must not call this.
+pub fn tree_bcast(
+    ctx: &mut RankCtx,
+    tree: &CollectiveTree,
+    tag: u64,
+    data: Option<Vec<f64>>,
+) -> Vec<f64> {
+    let me = ctx.rank();
+    let payload = if me == tree.root() {
+        data.expect("root must provide the broadcast payload")
+    } else {
+        let parent = tree
+            .parent_of(me)
+            .unwrap_or_else(|| panic!("rank {me} is not a participant of this broadcast"));
+        ctx.recv(parent, tag)
+    };
+    for child in tree.children_of(me) {
+        ctx.send(child, tag, payload.clone());
+    }
+    payload
+}
+
+/// Reduces (element-wise sum) every participant's `local` contribution onto
+/// the tree's root. Returns `Some(total)` at the root, `None` elsewhere.
+pub fn tree_reduce(
+    ctx: &mut RankCtx,
+    tree: &CollectiveTree,
+    tag: u64,
+    local: Vec<f64>,
+) -> Option<Vec<f64>> {
+    let me = ctx.rank();
+    let mut acc = local;
+    for child in tree.children_of(me) {
+        let contrib = ctx.recv(child, tag);
+        assert_eq!(contrib.len(), acc.len(), "reduction contributions must have equal length");
+        for (a, c) in acc.iter_mut().zip(&contrib) {
+            *a += c;
+        }
+    }
+    if me == tree.root() {
+        Some(acc)
+    } else {
+        let parent = tree
+            .parent_of(me)
+            .unwrap_or_else(|| panic!("rank {me} is not a participant of this reduction"));
+        ctx.send(parent, tag, acc);
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run;
+    use pselinv_trees::{TreeBuilder, TreeScheme};
+
+    fn schemes() -> Vec<TreeScheme> {
+        vec![
+            TreeScheme::Flat,
+            TreeScheme::Binary,
+            TreeScheme::ShiftedBinary,
+            TreeScheme::RandomPerm,
+            TreeScheme::Hybrid { flat_threshold: 4 },
+        ]
+    }
+
+    #[test]
+    fn bcast_reaches_all_participants() {
+        for scheme in schemes() {
+            let builder = TreeBuilder::new(scheme, 11);
+            // participants: odd ranks of 0..10, root 5
+            let receivers = [1usize, 3, 7, 9];
+            let tree = builder.build(5, &receivers, 123);
+            let (results, _) = run(10, |ctx| {
+                let me = ctx.rank();
+                if me == 5 {
+                    tree_bcast(ctx, &tree, 9, Some(vec![3.25, -1.5]))
+                } else if receivers.contains(&me) {
+                    tree_bcast(ctx, &tree, 9, None)
+                } else {
+                    vec![]
+                }
+            });
+            for &r in &receivers {
+                assert_eq!(results[r], vec![3.25, -1.5], "{scheme}");
+            }
+            assert!(results[0].is_empty());
+        }
+    }
+
+    #[test]
+    fn reduce_sums_all_contributions() {
+        for scheme in schemes() {
+            let builder = TreeBuilder::new(scheme, 5);
+            let receivers: Vec<usize> = (1..8).collect();
+            let tree = builder.build(0, &receivers, 77);
+            let (results, _) = run(8, |ctx| {
+                let me = ctx.rank();
+                tree_reduce(ctx, &tree, 1, vec![me as f64, 1.0])
+            });
+            let total: f64 = (0..8).sum::<usize>() as f64;
+            assert_eq!(results[0], Some(vec![total, 8.0]), "{scheme}");
+            for r in 1..8 {
+                assert_eq!(results[r], None);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_collectives_with_distinct_tags() {
+        // Two overlapping broadcasts + one reduction in flight at once.
+        let b = TreeBuilder::new(TreeScheme::ShiftedBinary, 3);
+        let t1 = b.build(0, &[1, 2, 3, 4, 5], 1);
+        let t2 = b.build(5, &[0, 1, 2, 3, 4], 2);
+        let t3 = b.build(2, &[0, 1, 3, 4, 5], 3);
+        let (results, _) = run(6, |ctx| {
+            let me = ctx.rank();
+            let d1 = tree_bcast(ctx, &t1, 101, (me == 0).then(|| vec![1.0]));
+            let d2 = tree_bcast(ctx, &t2, 102, (me == 5).then(|| vec![2.0]));
+            let r = tree_reduce(ctx, &t3, 103, vec![me as f64]);
+            (d1[0], d2[0], r.map(|v| v[0]))
+        });
+        for (i, (d1, d2, r)) in results.iter().enumerate() {
+            assert_eq!(*d1, 1.0);
+            assert_eq!(*d2, 2.0);
+            if i == 2 {
+                assert_eq!(*r, Some(15.0));
+            } else {
+                assert_eq!(*r, None);
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_volume_matches_tree_accounting() {
+        // The runtime's byte counters must agree with the static volume
+        // model in pselinv-trees — the link between the numeric runtime and
+        // the paper-scale replay.
+        let b = TreeBuilder::new(TreeScheme::Binary, 0);
+        let receivers: Vec<usize> = (1..12).collect();
+        let tree = b.build(0, &receivers, 0);
+        let payload = 32usize; // floats
+        let (_, volumes) = run(12, |ctx| {
+            tree_bcast(ctx, &tree, 0, (ctx.rank() == 0).then(|| vec![0.5; payload]));
+        });
+        let mut expected = vec![0u64; 12];
+        pselinv_trees::bcast_sent_volume(&tree, (payload * 8) as u64, &mut expected);
+        for r in 0..12 {
+            assert_eq!(volumes[r].sent, expected[r], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn reduce_received_volume_matches_tree_accounting() {
+        let b = TreeBuilder::new(TreeScheme::ShiftedBinary, 9);
+        let receivers: Vec<usize> = (0..15).filter(|&r| r != 7).collect();
+        let tree = b.build(7, &receivers, 4);
+        let (_, volumes) = run(15, |ctx| {
+            tree_reduce(ctx, &tree, 0, vec![1.0; 16]);
+        });
+        let mut expected = vec![0u64; 15];
+        pselinv_trees::reduce_received_volume(&tree, 16 * 8, &mut expected);
+        for r in 0..15 {
+            assert_eq!(volumes[r].received, expected[r], "rank {r}");
+        }
+    }
+}

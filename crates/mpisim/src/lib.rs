@@ -1,0 +1,28 @@
+//! A thread-based asynchronous message-passing runtime.
+//!
+//! MPI is unavailable in this reproduction, so every "rank" is an OS thread
+//! with a lock-free mailbox. The API mirrors the subset of MPI semantics
+//! PSelInv relies on:
+//!
+//! * buffered non-blocking sends ([`RankCtx::send`] ≈ `MPI_Isend` with the
+//!   buffer handed off — the call never blocks);
+//! * blocking tagged receives with out-of-order matching
+//!   ([`RankCtx::recv`] ≈ `MPI_Recv` on `(source, tag)`);
+//! * wildcard receives ([`RankCtx::recv_any`] ≈ `MPI_Recv` on
+//!   `MPI_ANY_SOURCE`/`MPI_ANY_TAG`) and non-blocking probes
+//!   ([`RankCtx::try_recv_any`] ≈ `MPI_Iprobe` + receive);
+//! * per-rank send/receive byte counters, the measurement behind the
+//!   paper's communication-volume tables.
+//!
+//! [`collectives`] layers the paper's tree-routed restricted collectives on
+//! top of these point-to-point primitives, and [`grid`] provides the 2-D
+//! block-cyclic process grid of PSelInv.
+
+pub mod collectives;
+pub mod grid;
+pub mod requests;
+pub mod runtime;
+
+pub use grid::Grid2D;
+pub use requests::{tree_barrier, wait_any, RecvRequest};
+pub use runtime::{run, Message, RankCtx, RankVolume};

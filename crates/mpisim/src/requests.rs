@@ -1,0 +1,183 @@
+//! Request-based non-blocking receive API (≈ `MPI_Irecv` + `MPI_Test` /
+//! `MPI_Wait`) and a tree barrier.
+//!
+//! `RankCtx::send` is already non-blocking (buffered). This module adds
+//! the receive side PSelInv-style engines poll on: post a set of expected
+//! receives, then make progress on whichever arrives first.
+
+use crate::runtime::{Message, RankCtx};
+
+/// A posted receive: matches one message by `(source, tag)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecvRequest {
+    /// Expected source rank.
+    pub src: usize,
+    /// Expected tag.
+    pub tag: u64,
+    state: State,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum State {
+    Pending,
+    Done(Vec<f64>),
+}
+
+impl RecvRequest {
+    /// Posts a receive for `(src, tag)`.
+    pub fn post(src: usize, tag: u64) -> Self {
+        Self { src, tag, state: State::Pending }
+    }
+
+    /// `true` once the message has been matched.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done(_))
+    }
+
+    /// Non-blocking progress: matches a buffered/arriving message if
+    /// available (≈ `MPI_Test`). Returns `true` when complete.
+    pub fn test(&mut self, ctx: &mut RankCtx) -> bool {
+        if self.is_done() {
+            return true;
+        }
+        if let Some(data) = ctx.try_match(self.src, self.tag) {
+            self.state = State::Done(data);
+            return true;
+        }
+        false
+    }
+
+    /// Blocks until the message arrives (≈ `MPI_Wait`) and returns it.
+    pub fn wait(self, ctx: &mut RankCtx) -> Vec<f64> {
+        match self.state {
+            State::Done(d) => d,
+            State::Pending => ctx.recv(self.src, self.tag),
+        }
+    }
+
+    /// Takes the payload if complete.
+    pub fn take(self) -> Option<Vec<f64>> {
+        match self.state {
+            State::Done(d) => Some(d),
+            State::Pending => None,
+        }
+    }
+}
+
+/// Progresses a set of posted receives until at least one completes;
+/// returns the index of a completed request (≈ `MPI_Waitany`).
+pub fn wait_any(ctx: &mut RankCtx, reqs: &mut [RecvRequest]) -> usize {
+    assert!(!reqs.is_empty(), "wait_any on an empty request set");
+    loop {
+        for (i, r) in reqs.iter_mut().enumerate() {
+            if r.test(ctx) {
+                return i;
+            }
+        }
+        // nothing matched: block on the next arrival (any source/tag),
+        // stash it, and re-test
+        let m: Message = ctx.recv_any();
+        ctx.stash_back(m);
+    }
+}
+
+/// A dissemination-style barrier over an arbitrary rank subset using a
+/// tree: reduce up, broadcast down. All listed ranks must call it with the
+/// same arguments.
+pub fn tree_barrier(ctx: &mut RankCtx, tree: &pselinv_trees::CollectiveTree, tag: u64) {
+    crate::collectives::tree_reduce(ctx, tree, tag, vec![0.0]);
+    crate::collectives::tree_bcast(
+        ctx,
+        tree,
+        tag ^ 0x8000_0000_0000_0000,
+        (ctx.rank() == tree.root()).then(|| vec![0.0]),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run;
+    use pselinv_trees::{TreeBuilder, TreeScheme};
+
+    #[test]
+    fn irecv_wait_matches() {
+        let (results, _) = run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, vec![1.25]);
+                0.0
+            } else {
+                let req = RecvRequest::post(0, 5);
+                req.wait(ctx)[0]
+            }
+        });
+        assert_eq!(results[1], 1.25);
+    }
+
+    #[test]
+    fn test_polls_without_blocking() {
+        let (results, _) = run(2, |ctx| {
+            if ctx.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                ctx.send(1, 9, vec![2.0]);
+                0.0
+            } else {
+                let mut req = RecvRequest::post(0, 9);
+                let mut polls = 0u64;
+                while !req.test(ctx) {
+                    polls += 1;
+                    std::thread::yield_now();
+                }
+                assert!(req.is_done());
+                let v = req.take().unwrap()[0];
+                assert!(polls > 0, "expected at least one unsuccessful poll");
+                v
+            }
+        });
+        assert_eq!(results[1], 2.0);
+    }
+
+    #[test]
+    fn wait_any_returns_first_arrival() {
+        let (results, _) = run(3, |ctx| {
+            match ctx.rank() {
+                0 => {
+                    // rank 0 posts receives from both others
+                    let mut reqs =
+                        vec![RecvRequest::post(1, 1), RecvRequest::post(2, 2)];
+                    let first = wait_any(ctx, &mut reqs);
+                    let a = reqs.remove(first).take().unwrap()[0];
+                    let second = wait_any(ctx, &mut reqs);
+                    let b = reqs.remove(second).take().unwrap()[0];
+                    a + b
+                }
+                1 => {
+                    ctx.send(0, 1, vec![10.0]);
+                    0.0
+                }
+                _ => {
+                    ctx.send(0, 2, vec![32.0]);
+                    0.0
+                }
+            }
+        });
+        assert_eq!(results[0], 42.0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_subset() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static PHASE: AtomicUsize = AtomicUsize::new(0);
+        PHASE.store(0, Ordering::SeqCst);
+        let members = [0usize, 2, 3];
+        let tree = TreeBuilder::new(TreeScheme::Binary, 0).build(0, &[2, 3], 0);
+        let (_, _) = run(4, |ctx| {
+            if members.contains(&ctx.rank()) {
+                PHASE.fetch_add(1, Ordering::SeqCst);
+                tree_barrier(ctx, &tree, 77);
+                // after the barrier, every member must have incremented
+                assert_eq!(PHASE.load(Ordering::SeqCst), 3);
+            }
+        });
+    }
+}

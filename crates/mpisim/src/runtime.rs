@@ -1,0 +1,311 @@
+//! Ranks, mailboxes and tagged point-to-point messaging.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A tagged message between ranks. Payloads are `f64` slices because every
+/// PSelInv message is a dense block (plus small headers encoded in the tag).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// User tag (encodes supernode / block / phase in `pselinv-dist`).
+    pub tag: u64,
+    /// Payload.
+    pub data: Vec<f64>,
+}
+
+impl Message {
+    /// Payload size in bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * std::mem::size_of::<f64>()) as u64
+    }
+}
+
+/// Per-rank communication volume, returned after a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankVolume {
+    /// Bytes sent by this rank.
+    pub sent: u64,
+    /// Bytes received by this rank.
+    pub received: u64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages received.
+    pub msgs_received: u64,
+}
+
+/// The per-rank handle: identity, mailbox and counters.
+pub struct RankCtx {
+    rank: usize,
+    size: usize,
+    senders: Vec<Sender<Message>>,
+    inbox: Receiver<Message>,
+    /// Out-of-order stash for `(src, tag)` matching.
+    stash: Vec<Message>,
+    volume: RankVolume,
+}
+
+impl RankCtx {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the universe.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Buffered non-blocking send (≈ `MPI_Isend` whose buffer is owned by
+    /// the runtime — the call returns immediately).
+    pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
+        assert!(dst < self.size, "destination {dst} out of range");
+        assert_ne!(dst, self.rank, "self-sends are not modeled (use local data)");
+        let msg = Message { src: self.rank, tag, data };
+        self.volume.sent += msg.bytes();
+        self.volume.msgs_sent += 1;
+        self.senders[dst].send(msg).expect("receiver hung up");
+    }
+
+    /// Blocking receive matching `(src, tag)`, buffering any other arrivals
+    /// (≈ `MPI_Recv` with out-of-order message stashing).
+    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        if let Some(i) = self.stash.iter().position(|m| m.src == src && m.tag == tag) {
+            let m = self.stash.swap_remove(i);
+            return self.account_recv(m).data;
+        }
+        loop {
+            let m = self.inbox.recv().expect("all senders hung up while receiving");
+            if m.src == src && m.tag == tag {
+                return self.account_recv(m).data;
+            }
+            self.stash.push(m);
+        }
+    }
+
+    /// Blocking wildcard receive (stashed messages first).
+    pub fn recv_any(&mut self) -> Message {
+        if let Some(m) = self.stash.pop() {
+            return self.account_recv(m);
+        }
+        let m = self.inbox.recv().expect("all senders hung up while receiving");
+        self.account_recv(m)
+    }
+
+    /// Non-blocking wildcard receive.
+    pub fn try_recv_any(&mut self) -> Option<Message> {
+        if let Some(m) = self.stash.pop() {
+            return Some(self.account_recv(m));
+        }
+        match self.inbox.try_recv() {
+            Ok(m) => Some(self.account_recv(m)),
+            Err(_) => None,
+        }
+    }
+
+    /// Non-blocking match of `(src, tag)`: drains any queued arrivals into
+    /// the stash and returns the payload if a matching message is present
+    /// (≈ `MPI_Iprobe` + receive). Used by the request API.
+    pub fn try_match(&mut self, src: usize, tag: u64) -> Option<Vec<f64>> {
+        while let Ok(m) = self.inbox.try_recv() {
+            self.stash.push(m);
+        }
+        let i = self.stash.iter().position(|m| m.src == src && m.tag == tag)?;
+        let m = self.stash.swap_remove(i);
+        Some(self.account_recv(m).data)
+    }
+
+    /// Returns a message taken with [`RankCtx::recv_any`] to the stash
+    /// (un-receives it), reversing its accounting. Used by `wait_any` when
+    /// an arrival matches none of the posted requests yet.
+    pub fn stash_back(&mut self, m: Message) {
+        self.volume.received -= m.bytes();
+        self.volume.msgs_received -= 1;
+        self.stash.push(m);
+    }
+
+    fn account_recv(&mut self, m: Message) -> Message {
+        self.volume.received += m.bytes();
+        self.volume.msgs_received += 1;
+        m
+    }
+
+    /// Counters so far.
+    pub fn volume(&self) -> RankVolume {
+        self.volume
+    }
+}
+
+/// Runs `f` on `nranks` rank threads and returns each rank's result plus
+/// its communication volume.
+///
+/// Panics in any rank propagate (the run aborts with that panic).
+pub fn run<R, F>(nranks: usize, f: F) -> (Vec<R>, Vec<RankVolume>)
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
+    assert!(nranks > 0);
+    let mut senders = Vec::with_capacity(nranks);
+    let mut receivers = Vec::with_capacity(nranks);
+    for _ in 0..nranks {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let f = &f;
+    let handles: Vec<(R, RankVolume)> = std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(nranks);
+        for (rank, inbox) in receivers.into_iter().enumerate() {
+            let senders = senders.clone();
+            joins.push(scope.spawn(move || {
+                let mut ctx = RankCtx {
+                    rank,
+                    size: nranks,
+                    senders,
+                    inbox,
+                    stash: Vec::new(),
+                    volume: RankVolume::default(),
+                };
+                let r = f(&mut ctx);
+                (r, ctx.volume)
+            }));
+        }
+        joins.into_iter().map(|j| j.join().expect("rank thread panicked")).collect()
+    });
+    let mut results = Vec::with_capacity(nranks);
+    let mut volumes = Vec::with_capacity(nranks);
+    for (r, v) in handles {
+        results.push(r);
+        volumes.push(v);
+    }
+    (results, volumes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong() {
+        let (results, volumes) = run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, vec![1.0, 2.0, 3.0]);
+                ctx.recv(1, 8)
+            } else {
+                let d = ctx.recv(0, 7);
+                let doubled: Vec<f64> = d.iter().map(|x| x * 2.0).collect();
+                ctx.send(0, 8, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(results[0], vec![2.0, 4.0, 6.0]);
+        assert_eq!(volumes[0].sent, 24);
+        assert_eq!(volumes[0].received, 24);
+        assert_eq!(volumes[1].msgs_sent, 1);
+    }
+
+    #[test]
+    fn out_of_order_tag_matching() {
+        let (results, _) = run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![1.0]);
+                ctx.send(1, 2, vec![2.0]);
+                ctx.send(1, 3, vec![3.0]);
+                vec![]
+            } else {
+                // receive in reverse order
+                let c = ctx.recv(0, 3);
+                let b = ctx.recv(0, 2);
+                let a = ctx.recv(0, 1);
+                vec![a[0], b[0], c[0]]
+            }
+        });
+        assert_eq!(results[1], vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn recv_any_drains_everything() {
+        let n = 5;
+        let (results, _) = run(n, move |ctx| {
+            if ctx.rank() == 0 {
+                let mut total = 0.0;
+                for _ in 0..(n - 1) {
+                    let m = ctx.recv_any();
+                    total += m.data[0];
+                }
+                total
+            } else {
+                ctx.send(0, ctx.rank() as u64, vec![ctx.rank() as f64]);
+                0.0
+            }
+        });
+        assert_eq!(results[0], (1..5).sum::<usize>() as f64);
+    }
+
+    #[test]
+    fn try_recv_any_polls() {
+        let (results, _) = run(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, vec![42.0]);
+                0.0
+            } else {
+                loop {
+                    if let Some(m) = ctx.try_recv_any() {
+                        return m.data[0];
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        });
+        assert_eq!(results[1], 42.0);
+    }
+
+    #[test]
+    fn many_ranks_all_to_one_volume() {
+        let n = 8;
+        let (_, volumes) = run(n, move |ctx| {
+            if ctx.rank() == 0 {
+                for _ in 0..(n - 1) {
+                    ctx.recv_any();
+                }
+            } else {
+                ctx.send(0, 0, vec![0.0; 100]);
+            }
+        });
+        assert_eq!(volumes[0].received, (n as u64 - 1) * 800);
+        assert_eq!(volumes[0].sent, 0);
+        for v in &volumes[1..] {
+            assert_eq!(v.sent, 800);
+        }
+    }
+
+    #[test]
+    fn stress_unordered_interleaving() {
+        // Each rank sends 50 tagged messages to every other rank; everybody
+        // receives them in a scrambled order.
+        let n = 4;
+        let (results, _) = run(n, move |ctx| {
+            let me = ctx.rank();
+            for dst in 0..n {
+                if dst != me {
+                    for k in 0..50u64 {
+                        ctx.send(dst, k, vec![(me * 1000) as f64 + k as f64]);
+                    }
+                }
+            }
+            let mut sum = 0.0;
+            for src in (0..n).rev() {
+                if src != me {
+                    for k in (0..50u64).rev() {
+                        let d = ctx.recv(src, k);
+                        assert_eq!(d[0], (src * 1000) as f64 + k as f64);
+                        sum += d[0];
+                    }
+                }
+            }
+            sum
+        });
+        assert!(results.iter().all(|&s| s > 0.0));
+    }
+}

@@ -1,0 +1,292 @@
+//! Elimination tree, postorder and factor column counts.
+//!
+//! Implements the classic structures from Liu, *"The role of elimination
+//! trees in sparse factorization"* (reference [19] of the paper).
+
+use pselinv_sparse::SparsityPattern;
+
+/// Sentinel for "no parent" (tree roots).
+pub const NONE: usize = usize::MAX;
+
+/// Computes the elimination tree of a symmetric pattern.
+///
+/// `pattern` must be square and contain at least the lower (or upper)
+/// triangle of `A`; entries on both sides are handled. Returns `parent`
+/// where `parent[j]` is the etree parent of column `j` (`NONE` for roots).
+///
+/// Uses Liu's algorithm with path compression (`ancestor`), O(nnz·α).
+pub fn elimination_tree(pattern: &SparsityPattern) -> Vec<usize> {
+    let n = pattern.ncols();
+    assert_eq!(pattern.nrows(), n, "etree requires a square pattern");
+    let mut parent = vec![NONE; n];
+    let mut ancestor = vec![NONE; n];
+    for j in 0..n {
+        for &i in pattern.col_rows(j) {
+            // Use upper-triangle entries (i < j); lower entries are the
+            // mirror and produce the same tree when both are present.
+            let mut k = i;
+            if k >= j {
+                continue;
+            }
+            // Climb from k to the root of its current subtree, compressing.
+            while ancestor[k] != NONE && ancestor[k] != j {
+                let next = ancestor[k];
+                ancestor[k] = j;
+                k = next;
+            }
+            if ancestor[k] == NONE {
+                ancestor[k] = j;
+                parent[k] = j;
+            }
+        }
+    }
+    parent
+}
+
+/// Builds first-child / next-sibling lists from a parent array.
+/// Children end up ordered by decreasing index, which `postorder` reverses
+/// into increasing order, keeping the postorder stable.
+fn children_lists(parent: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let n = parent.len();
+    let mut first_child = vec![NONE; n];
+    let mut next_sibling = vec![NONE; n];
+    for j in (0..n).rev() {
+        let p = parent[j];
+        if p != NONE {
+            next_sibling[j] = first_child[p];
+            first_child[p] = j;
+        }
+    }
+    (first_child, next_sibling)
+}
+
+/// Computes a postorder of the forest described by `parent`.
+///
+/// Returns `post` as a "new → old" map: `post[k]` is the node visited k-th.
+pub fn postorder(parent: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    let (first_child, next_sibling) = children_lists(parent);
+    let mut post = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, bool)> = Vec::new();
+    for root in 0..n {
+        if parent[root] != NONE {
+            continue;
+        }
+        stack.push((root, false));
+        while let Some((node, expanded)) = stack.pop() {
+            if expanded {
+                post.push(node);
+            } else {
+                stack.push((node, true));
+                let mut c = first_child[node];
+                // push children; they pop in reverse push order, and
+                // children_lists produced increasing order, so push as-is
+                // reversed to visit the smallest child first.
+                let mut kids = Vec::new();
+                while c != NONE {
+                    kids.push(c);
+                    c = next_sibling[c];
+                }
+                for &k in kids.iter().rev() {
+                    stack.push((k, false));
+                }
+            }
+        }
+    }
+    assert_eq!(post.len(), n, "parent array contains a cycle");
+    post
+}
+
+/// Relabels a parent array after applying a permutation
+/// (`perm_new_of_old[j]` = new label of old node `j`).
+pub fn relabel_parent(parent: &[usize], perm_new_of_old: &[usize]) -> Vec<usize> {
+    let n = parent.len();
+    let mut out = vec![NONE; n];
+    for old in 0..n {
+        let new = perm_new_of_old[old];
+        out[new] = if parent[old] == NONE { NONE } else { perm_new_of_old[parent[old]] };
+    }
+    out
+}
+
+/// Column counts of the Cholesky factor `L` of a symmetrically permuted
+/// matrix whose pattern is `pattern` (must include the diagonal).
+///
+/// `counts[j]` includes the diagonal entry. Also returns `row_counts`
+/// (`nnz(L_{i,*})`, diagonal included).
+///
+/// Uses the row-subtree traversal: for row `i`, the nonzero columns of
+/// `L_{i,*}` are the nodes of the subtree of the etree rooted at paths from
+/// `j` (each `A_{ij} ≠ 0`, `j < i`) up toward `i`. O(nnz(L)) time, O(n)
+/// space.
+pub fn factor_counts(pattern: &SparsityPattern, parent: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let n = pattern.ncols();
+    let mut col_counts = vec![1usize; n]; // diagonal
+    let mut row_counts = vec![1usize; n]; // diagonal
+    let mut mark = vec![NONE; n];
+    for i in 0..n {
+        mark[i] = i; // the root of row subtree i is i itself
+        for &j in pattern.col_rows(i) {
+            // upper entries (j, i) with j < i — climb the etree from j.
+            let mut k = j;
+            if k >= i {
+                continue;
+            }
+            while mark[k] != i {
+                mark[k] = i;
+                col_counts[k] += 1;
+                row_counts[i] += 1;
+                k = parent[k];
+                debug_assert!(k != NONE, "etree inconsistent with pattern");
+            }
+        }
+    }
+    (col_counts, row_counts)
+}
+
+/// Total number of nonzeros in `L` (diagonal included), from column counts.
+pub fn nnz_factor(col_counts: &[usize]) -> usize {
+    col_counts.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pselinv_sparse::gen;
+
+    /// Dense symbolic Cholesky, the O(n³) oracle.
+    fn dense_symbolic(pattern: &SparsityPattern) -> Vec<Vec<bool>> {
+        let n = pattern.ncols();
+        let mut a = vec![vec![false; n]; n];
+        for j in 0..n {
+            for &i in pattern.col_rows(j) {
+                a[i][j] = true;
+                a[j][i] = true;
+            }
+            a[j][j] = true;
+        }
+        // left-to-right fill: L structure
+        let mut l = vec![vec![false; n]; n];
+        for j in 0..n {
+            for i in j..n {
+                l[i][j] = a[i][j];
+            }
+            for k in 0..j {
+                if l[j][k] {
+                    for i in j..n {
+                        if l[i][k] {
+                            l[i][j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        l
+    }
+
+    fn oracle_etree(l: &[Vec<bool>]) -> Vec<usize> {
+        let n = l.len();
+        let mut parent = vec![NONE; n];
+        for j in 0..n {
+            for i in (j + 1)..n {
+                if l[i][j] {
+                    parent[j] = i;
+                    break;
+                }
+            }
+        }
+        parent
+    }
+
+    #[test]
+    fn etree_matches_dense_oracle_on_grid() {
+        let w = gen::grid_laplacian_2d(4, 4);
+        let p = w.matrix.pattern().symmetrized_with_diagonal();
+        let parent = elimination_tree(&p);
+        let l = dense_symbolic(&p);
+        assert_eq!(parent, oracle_etree(&l));
+    }
+
+    #[test]
+    fn etree_matches_dense_oracle_on_random() {
+        for seed in 0..5 {
+            let m = gen::random_spd(30, 0.15, seed);
+            let p = m.pattern().symmetrized_with_diagonal();
+            let parent = elimination_tree(&p);
+            let l = dense_symbolic(&p);
+            assert_eq!(parent, oracle_etree(&l), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn counts_match_dense_oracle() {
+        for seed in 0..5 {
+            let m = gen::random_spd(25, 0.2, seed);
+            let p = m.pattern().symmetrized_with_diagonal();
+            let parent = elimination_tree(&p);
+            let (cc, rc) = factor_counts(&p, &parent);
+            let l = dense_symbolic(&p);
+            for j in 0..25 {
+                let dense_cc = (j..25).filter(|&i| l[i][j]).count();
+                assert_eq!(cc[j], dense_cc, "col {j} seed {seed}");
+                let dense_rc = (0..=j).filter(|&k| l[j][k]).count();
+                assert_eq!(rc[j], dense_rc, "row {j} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_is_a_valid_postorder() {
+        let w = gen::grid_laplacian_2d(5, 5);
+        let p = w.matrix.pattern().symmetrized_with_diagonal();
+        let parent = elimination_tree(&p);
+        let post = postorder(&parent);
+        let n = parent.len();
+        // bijection
+        let mut seen = vec![false; n];
+        for &x in &post {
+            assert!(!seen[x]);
+            seen[x] = true;
+        }
+        // every node appears after all its children
+        let mut pos = vec![0usize; n];
+        for (k, &x) in post.iter().enumerate() {
+            pos[x] = k;
+        }
+        for j in 0..n {
+            if parent[j] != NONE {
+                assert!(pos[j] < pos[parent[j]], "child {j} after parent");
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_makes_etree_monotone() {
+        // After relabeling by postorder, parent[j] > j must hold.
+        let m = gen::random_spd(40, 0.1, 3);
+        let p = m.pattern().symmetrized_with_diagonal();
+        let parent = elimination_tree(&p);
+        let post = postorder(&parent);
+        let perm = crate::perm::Permutation::from_old_of_new(post);
+        let relabeled = relabel_parent(&parent, perm.new_of_old());
+        for j in 0..parent.len() {
+            if relabeled[j] != NONE {
+                assert!(relabeled[j] > j);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_etree() {
+        // tridiagonal matrix → etree is a chain
+        let w = gen::grid_laplacian_2d(6, 1);
+        let p = w.matrix.pattern().symmetrized_with_diagonal();
+        let parent = elimination_tree(&p);
+        for j in 0..5 {
+            assert_eq!(parent[j], j + 1);
+        }
+        assert_eq!(parent[5], NONE);
+        let (cc, _) = factor_counts(&p, &parent);
+        assert_eq!(cc, vec![2, 2, 2, 2, 2, 1]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Synthetic nested-dissection elimination skeletons.
+//!
+//! The paper's timing experiments run on matrices (audikw_1, DG_PNF14000)
+//! whose supernodal structures have *hundreds* of ancestor blocks per
+//! supernode — a regime that only appears at n ≈ 10⁵…10⁶, too large to
+//! analyze from an assembled matrix in this reproduction's single-core
+//! budget. This module builds a [`SymbolicFactor`] directly: a balanced
+//! binary nested-dissection tree in which every tree node is a *chain* of
+//! `chain` supernodes of uniform width `width` (a dense separator), and
+//! every supernode is coupled to all supernodes of every ancestor
+//! separator — the dense-separator model of 3-D nested dissection fill.
+//!
+//! The skeleton satisfies every structural invariant the real analysis
+//! produces (contiguous supernodes, sorted rows, blocks grouped by
+//! ancestor, first off-diagonal block = supernodal parent, parent-chain
+//! containment), so the communication planner, volume replay and task
+//! graphs consume it unchanged. `tests` cross-validate those invariants
+//! against the ones real matrices produce.
+
+use crate::etree::NONE;
+use crate::perm::Permutation;
+use crate::supernodes::SupernodePartition;
+use crate::symbolic::{SnBlock, SymbolicFactor};
+
+/// Parameters of a synthetic skeleton.
+#[derive(Clone, Copy, Debug)]
+pub struct SkeletonParams {
+    /// Depth of the dissection tree (tree has `2^levels - 1` separators).
+    pub levels: usize,
+    /// Supernodes per separator chain.
+    pub chain: usize,
+    /// Columns per supernode.
+    pub width: usize,
+}
+
+/// Builds the skeleton's [`SymbolicFactor`].
+///
+/// Supernodes are numbered in postorder (children subtrees, then the
+/// separator chain bottom-up), so the supernodal elimination tree is
+/// monotone as required.
+pub fn nd_skeleton(p: SkeletonParams) -> SymbolicFactor {
+    assert!(p.levels >= 1 && p.chain >= 1 && p.width >= 1);
+
+    // Analytic postorder layout: a subtree of depth d (d = 1 for leaves)
+    // occupies size(d) = 2*size(d-1) + chain supernodes, size(0) = 0.
+    // Within a subtree rooted at offset `base`: left child at `base`,
+    // right child at `base + size(d-1)`, own chain at `base + 2*size(d-1)`.
+    let chain = p.chain;
+    let mut size = vec![0usize; p.levels + 1];
+    for d in 1..=p.levels {
+        size[d] = 2 * size[d - 1] + chain;
+    }
+    let ns = size[p.levels];
+
+    // For every separator, record (chain_start, ancestors' chain_starts).
+    let mut sep_chain_start = vec![0usize; ns]; // per supernode: its chain start
+    let mut sn_ancestor_chains: Vec<Vec<usize>> = vec![Vec::new(); ns];
+    {
+        // DFS with explicit ancestor chain-start stack.
+        struct Frame {
+            base: usize,
+            depth: usize,
+        }
+        fn dfs(
+            f: Frame,
+            size: &[usize],
+            chain: usize,
+            path: &mut Vec<usize>,
+            sep_chain_start: &mut [usize],
+            sn_ancestor_chains: &mut [Vec<usize>],
+        ) {
+            let own_start = f.base + 2 * size[f.depth - 1];
+            for s in own_start..own_start + chain {
+                sep_chain_start[s] = own_start;
+                sn_ancestor_chains[s] = path.clone();
+            }
+            if f.depth > 1 {
+                path.push(own_start);
+                dfs(
+                    Frame { base: f.base, depth: f.depth - 1 },
+                    size,
+                    chain,
+                    path,
+                    sep_chain_start,
+                    sn_ancestor_chains,
+                );
+                dfs(
+                    Frame { base: f.base + size[f.depth - 1], depth: f.depth - 1 },
+                    size,
+                    chain,
+                    path,
+                    sep_chain_start,
+                    sn_ancestor_chains,
+                );
+                path.pop();
+            }
+        }
+        let mut path = Vec::new();
+        dfs(
+            Frame { base: 0, depth: p.levels },
+            &size,
+            chain,
+            &mut path,
+            &mut sep_chain_start,
+            &mut sn_ancestor_chains,
+        );
+    }
+
+    let w = p.width;
+    let n = ns * w;
+    let sn_ptr: Vec<usize> = (0..=ns).map(|s| s * w).collect();
+    let col_to_sn: Vec<usize> = (0..n).map(|c| c / w).collect();
+
+    // Rows/blocks: ancestors of supernode s are the later supernodes of its
+    // own chain plus every supernode of every ancestor separator (deepest
+    // ancestors have *larger* postorder indices — chains on the path to the
+    // tree root are numbered after the whole subtree).
+    let mut rows_ptr = vec![0usize; ns + 1];
+    let mut rows: Vec<usize> = Vec::new();
+    let mut blocks_ptr = vec![0usize; ns + 1];
+    let mut blocks: Vec<SnBlock> = Vec::new();
+    let mut sn_parent = vec![NONE; ns];
+    let mut col_parent = vec![NONE; n];
+
+    for s in 0..ns {
+        let chain_start = sep_chain_start[s];
+        let chain_end = chain_start + chain;
+        // ancestor supernodes, ascending
+        let mut anc: Vec<usize> = ((s + 1)..chain_end).collect();
+        // ancestor separators were pushed root-first in `path`; their
+        // indices are *larger* than s (postorder) and ascending toward the
+        // root? No: the root chain has the largest indices; path is
+        // root-first, so reverse for ascending order.
+        for &astart in sn_ancestor_chains[s].iter().rev() {
+            anc.extend(astart..astart + chain);
+        }
+        debug_assert!(anc.windows(2).all(|x| x[0] < x[1]));
+
+        sn_parent[s] = anc.first().copied().unwrap_or(NONE);
+        for c in sn_ptr[s]..sn_ptr[s + 1] - 1 {
+            col_parent[c] = c + 1;
+        }
+        col_parent[sn_ptr[s + 1] - 1] = match sn_parent[s] {
+            NONE => NONE,
+            parent => sn_ptr[parent],
+        };
+
+        for &a in &anc {
+            let begin = rows.len();
+            rows.extend(sn_ptr[a]..sn_ptr[a + 1]);
+            blocks.push(SnBlock { sn: a, rows_begin: begin, rows_end: rows.len() });
+        }
+        rows_ptr[s + 1] = rows.len();
+        blocks_ptr[s + 1] = blocks.len();
+    }
+
+    SymbolicFactor {
+        n,
+        perm: Permutation::identity(n),
+        part: SupernodePartition { sn_ptr, col_to_sn },
+        sn_parent,
+        col_parent,
+        rows_ptr,
+        rows,
+        blocks_ptr,
+        blocks,
+        true_mask: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skel(levels: usize, chain: usize, width: usize) -> SymbolicFactor {
+        nd_skeleton(SkeletonParams { levels, chain, width })
+    }
+
+    #[test]
+    fn sizes_add_up() {
+        let sf = skel(3, 4, 8);
+        // 7 separators × 4 supernodes × 8 columns
+        assert_eq!(sf.num_supernodes(), 28);
+        assert_eq!(sf.n, 224);
+    }
+
+    #[test]
+    fn same_invariants_as_real_analysis() {
+        let sf = skel(4, 3, 6);
+        for s in 0..sf.num_supernodes() {
+            // rows sorted, below diagonal block
+            let rows = sf.rows_of(s);
+            for w2 in rows.windows(2) {
+                assert!(w2[0] < w2[1]);
+            }
+            if let Some(&f) = rows.first() {
+                assert!(f >= sf.end_col(s));
+            }
+            // blocks sorted by ancestor, first block = supernodal parent
+            let blocks = sf.blocks_of(s);
+            for w2 in blocks.windows(2) {
+                assert!(w2[0].sn < w2[1].sn);
+            }
+            if let Some(b) = blocks.first() {
+                assert_eq!(b.sn, sf.sn_parent[s]);
+            }
+            // parent-chain containment: tail rows beyond an ancestor's
+            // columns appear in that ancestor's rows
+            for b in blocks {
+                let end_a = sf.end_col(b.sn);
+                let arows = sf.rows_of(b.sn);
+                for &r in rows {
+                    if r >= end_a {
+                        assert!(
+                            arows.binary_search(&r).is_ok(),
+                            "containment violated: row {r} of {s} not in ancestor {}",
+                            b.sn
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn root_chain_has_no_external_ancestors() {
+        let sf = skel(3, 5, 4);
+        let ns = sf.num_supernodes();
+        // last supernode is the tree root: no rows below
+        assert!(sf.rows_of(ns - 1).is_empty());
+        assert_eq!(sf.sn_parent[ns - 1], NONE);
+        // second-to-last: exactly the root as ancestor
+        assert_eq!(sf.blocks_of(ns - 2).len(), 1);
+    }
+
+    #[test]
+    fn leaf_ancestor_count_matches_depth() {
+        let sf = skel(4, 3, 2);
+        // a supernode at the start of a deepest-level chain sees:
+        // (chain-1) within-chain + (levels-1) ancestor chains × chain
+        let expect = (3 - 1) + (4 - 1) * 3;
+        assert_eq!(sf.blocks_of(0).len(), expect);
+    }
+
+    #[test]
+    fn etree_is_monotone_and_connected() {
+        let sf = skel(4, 4, 3);
+        let ns = sf.num_supernodes();
+        let mut roots = 0;
+        for s in 0..ns {
+            match sf.sn_parent[s] {
+                NONE => roots += 1,
+                p => assert!(p > s),
+            }
+        }
+        assert_eq!(roots, 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Sequential selected inversion.
+//!
+//! Implements Algorithm 1 of the paper at supernode-block granularity,
+//! walking the supernodes from last to first:
+//!
+//! ```text
+//! for K = N, N-1, …, 1:
+//!     L̂_{C,K}  ← L_{C,K} (L_{K,K})⁻¹
+//!     A⁻¹_{C,K} ← -A⁻¹_{C,C} L̂_{C,K}
+//!     A⁻¹_{K,K} ← (L_{K,K} D_K L_{K,K}ᵀ)⁻¹ - L̂_{C,K}ᵀ A⁻¹_{C,K}
+//! ```
+//!
+//! [`selinv_ldlt`] is the symmetric path used throughout the paper;
+//! [`lu::selinv_lu`] is the unsymmetric extension the paper lists as work
+//! in progress. Both serve as the correctness oracle for the distributed
+//! algorithm in `pselinv-dist`.
+
+pub mod gather;
+pub mod lu;
+pub mod symmetric;
+
+pub use lu::{selinv_lu, SelectedInverseLu};
+pub use symmetric::{selinv_ldlt, SelectedInverse};

@@ -1,0 +1,296 @@
+//! Unsymmetric (LU) sequential selected inversion — Algorithm 1 verbatim.
+//!
+//! This is the extension the paper marks as work in progress: the same
+//! top-down supernodal sweep, but with independent `L̂` and `Û` panels and
+//! both lower (`A⁻¹_{C,K}`) and upper (`A⁻¹_{K,C}`) selected blocks.
+
+use crate::gather::{ancestor_positions, read_ancestor, AncestorPos};
+use pselinv_dense::kernels::{trsm_left_lower, trsm_right_lower};
+use pselinv_dense::{gemm, Mat, Transpose};
+use pselinv_factor::lu::LuFactor;
+use pselinv_factor::Panel;
+use pselinv_order::SymbolicFactor;
+use std::sync::Arc;
+
+/// Selected inverse of an unsymmetric matrix on the structure of `L + U`.
+#[derive(Clone, Debug)]
+pub struct SelectedInverseLu {
+    /// Shared symbolic structure (of the symmetrized pattern).
+    pub symbolic: Arc<SymbolicFactor>,
+    /// `A⁻¹_{K,K}` (full) and `A⁻¹_{R,K}` per supernode.
+    pub lower: Vec<Panel>,
+    /// `A⁻¹_{K,R}ᵀ` per supernode (`r×w`; row `p` holds column `R[p]`).
+    pub upper: Vec<Mat>,
+}
+
+/// Inverts the diagonal block packed as unit-`L` + `U`: returns `U⁻¹L⁻¹`.
+fn packed_lu_invert(diag: &Mat) -> Mat {
+    let w = diag.nrows();
+    let mut inv = Mat::identity(w);
+    // L y = I
+    trsm_left_lower(diag, &mut inv, true);
+    // U x = y (upper, non-unit)
+    for j in 0..w {
+        for i in (0..w).rev() {
+            let mut s = inv[(i, j)];
+            for k in (i + 1)..w {
+                s -= diag[(i, k)] * inv[(k, j)];
+            }
+            inv[(i, j)] = s / diag[(i, i)];
+        }
+    }
+    inv
+}
+
+/// Runs the unsymmetric selected inversion on a supernodal LU factorization.
+pub fn selinv_lu(f: &LuFactor) -> SelectedInverseLu {
+    let sf = &*f.symbolic;
+    let ns = sf.num_supernodes();
+    let mut lower: Vec<Panel> = (0..ns).map(|s| Panel::zeros(sf, s)).collect();
+    let mut upper: Vec<Mat> =
+        (0..ns).map(|s| Mat::zeros(sf.rows_of(s).len(), sf.width(s))).collect();
+
+    for k in (0..ns).rev() {
+        let rows = sf.rows_of(k);
+        let r = rows.len();
+
+        // L̂_{R,K} = L_{R,K} (L_{K,K})⁻¹  (unit lower).
+        let mut yl = f.l[k].below.clone();
+        trsm_right_lower(&mut yl, &f.l[k].diag, true);
+        // Û_{K,R}ᵀ = U_{K,R}ᵀ (U_{K,K})⁻ᵀ: solve X · Uᵀ = B with Uᵀ lower
+        // non-unit.
+        let mut yu = f.uright[k].clone();
+        {
+            // Build the lower-triangular Uᵀ from the packed diagonal block.
+            let w = sf.width(k);
+            let mut ut = Mat::zeros(w, w);
+            for j in 0..w {
+                for i in 0..=j {
+                    ut[(j, i)] = f.l[k].diag[(i, j)];
+                }
+            }
+            trsm_right_lower(&mut yu, &ut, false);
+        }
+
+        lower[k].diag = packed_lu_invert(&f.l[k].diag);
+        if r == 0 {
+            continue;
+        }
+
+        // Gather G = A⁻¹_{R,R}: lower entries from `lower` panels, upper
+        // entries from `upper` panels.
+        let mut g = Mat::zeros(r, r);
+        let rp = sf.rows_ptr[k];
+        for b in sf.blocks_of(k) {
+            let j = b.sn;
+            let lb = b.rows_begin - rp;
+            let nb = b.rows_end - b.rows_begin;
+            let pos = ancestor_positions(sf, j, &rows[lb..]);
+            let first_j = sf.first_col(j);
+            for q in 0..nb {
+                let cl = rows[lb + q] - first_j;
+                for p in q..(r - lb) {
+                    // lower: A⁻¹(rows[lb+p], rows[lb+q])
+                    g[(lb + p, lb + q)] = read_ancestor(&lower[j], pos[p], cl);
+                    if p > q {
+                        // upper: A⁻¹(rows[lb+q], rows[lb+p])
+                        let v = match pos[p] {
+                            AncestorPos::Diag(il) => lower[j].diag[(cl, il)],
+                            AncestorPos::Below(il) => upper[j][(il, cl)],
+                            AncestorPos::BeforeJ => unreachable!(),
+                        };
+                        g[(lb + q, lb + p)] = v;
+                    }
+                }
+            }
+        }
+
+        // A⁻¹_{R,K} = -G L̂.
+        gemm(-1.0, &g, Transpose::No, &yl, Transpose::No, 0.0, &mut lower[k].below);
+        // A⁻¹_{K,R} = -Û G  ⇒  A⁻¹_{K,R}ᵀ = -Gᵀ Ûᵀ.
+        gemm(-1.0, &g, Transpose::Yes, &yu, Transpose::No, 0.0, &mut upper[k]);
+        // A⁻¹_{K,K} = U⁻¹L⁻¹ - Û_{K,R} A⁻¹_{R,K} = seed - yuᵀ · below.
+        {
+            let p = &mut lower[k];
+            let (diag, below) = (&mut p.diag, &p.below);
+            gemm(-1.0, &yu, Transpose::Yes, below, Transpose::No, 1.0, diag);
+        }
+    }
+
+    SelectedInverseLu { symbolic: f.symbolic.clone(), lower, upper }
+}
+
+impl SelectedInverseLu {
+    /// `A⁻¹(i, j)` in the original ordering, or `None` outside the
+    /// exactly-computed selected set.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        let sf = &*self.symbolic;
+        let pi = sf.perm.new_of(i);
+        let pj = sf.perm.new_of(j);
+        let (lo, hi, upper_side) = if pi >= pj { (pj, pi, false) } else { (pi, pj, true) };
+        let s = sf.part.col_to_sn[lo];
+        let ll = lo - sf.first_col(s);
+        if hi < sf.end_col(s) {
+            let hl = hi - sf.first_col(s);
+            return Some(if upper_side {
+                self.lower[s].diag[(ll, hl)]
+            } else {
+                self.lower[s].diag[(hl, ll)]
+            });
+        }
+        match sf.rows_of(s).binary_search(&hi) {
+            Ok(p) => {
+                let exact = sf.true_rows_of(s).map_or(true, |m| m[p]);
+                exact.then(|| {
+                    if upper_side {
+                        self.upper[s][(p, ll)]
+                    } else {
+                        self.lower[s].below[(p, ll)]
+                    }
+                })
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Diagonal of `A⁻¹` in the original ordering.
+    pub fn diagonal(&self) -> Vec<f64> {
+        let sf = &*self.symbolic;
+        let mut d = vec![0.0; sf.n];
+        for s in 0..sf.num_supernodes() {
+            let first = sf.first_col(s);
+            for jl in 0..sf.width(s) {
+                d[sf.perm.old_of(first + jl)] = self.lower[s].diag[(jl, jl)];
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pselinv_dense::{lu_factor, lu_invert};
+    use pselinv_factor::lu::factorize_lu;
+    use pselinv_order::{analyze, AnalyzeOptions};
+    use pselinv_sparse::{gen, SparseMatrix, TripletMatrix};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn unsym(n: usize, density: f64, seed: u64) -> SparseMatrix {
+        let base = gen::random_spd(n, density, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let mut t = TripletMatrix::new(n, n);
+        let mut boost = vec![0.0f64; n];
+        for (i, j, v) in base.iter() {
+            if i != j {
+                let p = v * rng.random_range(0.5..1.5);
+                t.push(i, j, p);
+                boost[i] += p.abs();
+            }
+        }
+        for (i, b) in boost.iter().enumerate() {
+            t.push(i, i, b + 1.0);
+        }
+        t.to_csc()
+    }
+
+    fn dense_inverse(a: &SparseMatrix) -> Mat {
+        let n = a.nrows();
+        let mut d = Mat::from_col_major(n, n, &a.to_dense_col_major());
+        let piv = lu_factor(&mut d).unwrap();
+        lu_invert(&d, &piv)
+    }
+
+    fn check(a: &SparseMatrix) {
+        let sf = Arc::new(analyze(&a.pattern(), &AnalyzeOptions::default()));
+        let f = factorize_lu(a, sf).unwrap();
+        let inv = selinv_lu(&f);
+        let dense = dense_inverse(a);
+        let scale = 1.0 + dense.norm_max();
+        let n = a.nrows();
+        for i in 0..n {
+            for j in 0..n {
+                if let Some(v) = inv.get(i, j) {
+                    assert!(
+                        (v - dense[(i, j)]).abs() < 1e-9 * scale,
+                        "A⁻¹({i},{j}) = {v} vs {}",
+                        dense[(i, j)]
+                    );
+                }
+            }
+        }
+        for (i, j, _) in a.iter() {
+            assert!(inv.get(i, j).is_some(), "selected set misses ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn unsymmetric_random() {
+        for seed in 0..3 {
+            check(&unsym(24, 0.15, seed));
+        }
+    }
+
+    #[test]
+    fn symmetric_input_matches_ldlt_path() {
+        let w = gen::grid_laplacian_2d(6, 5);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let flu = factorize_lu(&w.matrix, sf.clone()).unwrap();
+        let fld = pselinv_factor::factorize(&w.matrix, sf).unwrap();
+        let ilu = selinv_lu(&flu);
+        let ild = crate::symmetric::selinv_ldlt(&fld);
+        let n = w.matrix.nrows();
+        for i in 0..n {
+            for j in 0..n {
+                match (ilu.get(i, j), ild.get(i, j)) {
+                    (Some(a), Some(b)) => assert!((a - b).abs() < 1e-9, "({i},{j}): {a} vs {b}"),
+                    (None, None) => {}
+                    other => panic!("selected-set mismatch at ({i},{j}): {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upper_and_lower_transposes_differ_for_unsymmetric() {
+        let a = unsym(20, 0.2, 7);
+        let sf = Arc::new(analyze(&a.pattern(), &AnalyzeOptions::default()));
+        let f = factorize_lu(&a, sf).unwrap();
+        let inv = selinv_lu(&f);
+        let dense = dense_inverse(&a);
+        let mut found_asym = false;
+        for i in 0..20 {
+            for j in 0..i {
+                if let (Some(lo), Some(up)) = (inv.get(i, j), inv.get(j, i)) {
+                    if (lo - up).abs() > 1e-6 {
+                        found_asym = true;
+                    }
+                    assert!((lo - dense[(i, j)]).abs() < 1e-8 * (1.0 + dense.norm_max()));
+                    assert!((up - dense[(j, i)]).abs() < 1e-8 * (1.0 + dense.norm_max()));
+                }
+            }
+        }
+        assert!(found_asym, "expected an asymmetric inverse");
+    }
+
+    #[test]
+    fn dg_blocks_unsymmetric_values() {
+        // DG structure with asymmetric values on a symmetric pattern.
+        let w = gen::dg_hamiltonian(2, 2, 1, 4, 11);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = TripletMatrix::new(w.matrix.nrows(), w.matrix.ncols());
+        let mut boost = vec![0.0f64; w.matrix.nrows()];
+        for (i, j, v) in w.matrix.iter() {
+            if i != j {
+                let p = v * rng.random_range(0.8..1.2);
+                t.push(i, j, p);
+                boost[i] += p.abs();
+            }
+        }
+        for (i, b) in boost.iter().enumerate() {
+            t.push(i, i, b + 1.0);
+        }
+        check(&t.to_csc());
+    }
+}

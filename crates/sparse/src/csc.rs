@@ -1,0 +1,415 @@
+//! Compressed sparse column (CSC) matrix.
+
+use crate::pattern::SparsityPattern;
+
+/// A real sparse matrix in compressed sparse column format.
+///
+/// Invariants (checked by [`SparseMatrix::from_raw_parts`]):
+/// * `col_ptr` has length `ncols + 1`, is non-decreasing, starts at 0 and
+///   ends at `nnz`;
+/// * row indices within each column are strictly increasing and `< nrows`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseMatrix {
+    nrows: usize,
+    ncols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds a CSC matrix from raw arrays, validating all invariants.
+    pub fn from_raw_parts(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(col_ptr.len(), ncols + 1, "col_ptr length must be ncols+1");
+        assert_eq!(col_ptr[0], 0, "col_ptr must start at 0");
+        assert_eq!(*col_ptr.last().unwrap(), row_idx.len(), "col_ptr must end at nnz");
+        assert_eq!(row_idx.len(), values.len(), "row_idx/values length mismatch");
+        for j in 0..ncols {
+            assert!(col_ptr[j] <= col_ptr[j + 1], "col_ptr must be non-decreasing");
+            for k in col_ptr[j]..col_ptr[j + 1] {
+                assert!(row_idx[k] < nrows, "row index out of bounds");
+                if k > col_ptr[j] {
+                    assert!(row_idx[k - 1] < row_idx[k], "row indices must be strictly increasing");
+                }
+            }
+        }
+        Self { nrows, ncols, col_ptr, row_idx, values }
+    }
+
+    /// Zero matrix with no stored entries.
+    pub fn zero(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, col_ptr: vec![0; ncols + 1], row_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            nrows: n,
+            ncols: n,
+            col_ptr: (0..=n).collect(),
+            row_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Column pointer array (`ncols + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// Row index array.
+    pub fn row_idx(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// Value array.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Row indices of column `j`.
+    pub fn col_rows(&self, j: usize) -> &[usize] {
+        &self.row_idx[self.col_ptr[j]..self.col_ptr[j + 1]]
+    }
+
+    /// Values of column `j`.
+    pub fn col_values(&self, j: usize) -> &[f64] {
+        &self.values[self.col_ptr[j]..self.col_ptr[j + 1]]
+    }
+
+    /// Value at `(i, j)`; zero if the entry is not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        match self.col_rows(j).binary_search(&i) {
+            Ok(k) => self.col_values(j)[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Structure-only view of this matrix.
+    pub fn pattern(&self) -> SparsityPattern {
+        SparsityPattern::from_raw_parts(
+            self.nrows,
+            self.ncols,
+            self.col_ptr.clone(),
+            self.row_idx.clone(),
+        )
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> SparseMatrix {
+        let mut col_ptr = vec![0usize; self.nrows + 1];
+        for &r in &self.row_idx {
+            col_ptr[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        let mut heads = col_ptr[..self.nrows].to_vec();
+        let mut row_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0f64; self.nnz()];
+        for j in 0..self.ncols {
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                let r = self.row_idx[k];
+                let slot = heads[r];
+                heads[r] += 1;
+                row_idx[slot] = j;
+                values[slot] = self.values[k];
+            }
+        }
+        // CSC of the transpose built by a stable counting pass: row indices
+        // within each column are already sorted because j runs in order.
+        SparseMatrix { nrows: self.ncols, ncols: self.nrows, col_ptr, row_idx, values }
+    }
+
+    /// `true` if the sparsity pattern is structurally symmetric.
+    pub fn is_pattern_symmetric(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        self.col_ptr == t.col_ptr && self.row_idx == t.row_idx
+    }
+
+    /// `true` if the matrix is numerically symmetric to within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        if self.col_ptr != t.col_ptr || self.row_idx != t.row_idx {
+            return false;
+        }
+        self.values.iter().zip(&t.values).all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Symmetrized pattern copy `A + Aᵀ` (values are summed).
+    pub fn symmetrize(&self) -> SparseMatrix {
+        assert_eq!(self.nrows, self.ncols, "symmetrize requires a square matrix");
+        let t = self.transpose();
+        self.add_scaled(&t, 0.5, 0.5)
+    }
+
+    /// Returns `alpha * self + beta * other` (patterns are merged).
+    pub fn add_scaled(&self, other: &SparseMatrix, alpha: f64, beta: f64) -> SparseMatrix {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        let mut col_ptr = vec![0usize; self.ncols + 1];
+        let mut row_idx = Vec::with_capacity(self.nnz() + other.nnz());
+        let mut values = Vec::with_capacity(self.nnz() + other.nnz());
+        for j in 0..self.ncols {
+            let (ar, av) = (self.col_rows(j), self.col_values(j));
+            let (br, bv) = (other.col_rows(j), other.col_values(j));
+            let (mut ia, mut ib) = (0usize, 0usize);
+            while ia < ar.len() || ib < br.len() {
+                let next = match (ar.get(ia), br.get(ib)) {
+                    (Some(&ra), Some(&rb)) if ra == rb => {
+                        let e = (ra, alpha * av[ia] + beta * bv[ib]);
+                        ia += 1;
+                        ib += 1;
+                        e
+                    }
+                    (Some(&ra), Some(&rb)) if ra < rb => {
+                        let e = (ra, alpha * av[ia]);
+                        ia += 1;
+                        e
+                    }
+                    (Some(_), Some(&rb)) => {
+                        let e = (rb, beta * bv[ib]);
+                        ib += 1;
+                        e
+                    }
+                    (Some(&ra), None) => {
+                        let e = (ra, alpha * av[ia]);
+                        ia += 1;
+                        e
+                    }
+                    (None, Some(&rb)) => {
+                        let e = (rb, beta * bv[ib]);
+                        ib += 1;
+                        e
+                    }
+                    (None, None) => unreachable!(),
+                };
+                row_idx.push(next.0);
+                values.push(next.1);
+            }
+            col_ptr[j + 1] = row_idx.len();
+        }
+        SparseMatrix { nrows: self.nrows, ncols: self.ncols, col_ptr, row_idx, values }
+    }
+
+    /// Dense matrix-vector product `y = A x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols);
+        let mut y = vec![0.0; self.nrows];
+        for j in 0..self.ncols {
+            let xj = x[j];
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                y[self.row_idx[k]] += self.values[k] * xj;
+            }
+        }
+        y
+    }
+
+    /// Symmetric permutation `P A Pᵀ`: entry `(i, j)` moves to
+    /// `(perm[i], perm[j])` where `perm` maps old index to new index.
+    pub fn permute_sym(&self, perm: &[usize]) -> SparseMatrix {
+        assert_eq!(self.nrows, self.ncols);
+        assert_eq!(perm.len(), self.nrows);
+        let n = self.nrows;
+        let mut col_counts = vec![0usize; n + 1];
+        for j in 0..n {
+            col_counts[perm[j] + 1] += self.col_ptr[j + 1] - self.col_ptr[j];
+        }
+        for j in 0..n {
+            col_counts[j + 1] += col_counts[j];
+        }
+        let mut heads = col_counts[..n].to_vec();
+        let nnz = self.nnz();
+        let mut row_idx = vec![0usize; nnz];
+        let mut values = vec![0f64; nnz];
+        for j in 0..n {
+            let nj = perm[j];
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                let slot = heads[nj];
+                heads[nj] += 1;
+                row_idx[slot] = perm[self.row_idx[k]];
+                values[slot] = self.values[k];
+            }
+        }
+        // Sort rows within each permuted column.
+        let mut out_rows = Vec::with_capacity(nnz);
+        let mut out_vals = Vec::with_capacity(nnz);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for j in 0..n {
+            scratch.clear();
+            for k in col_counts[j]..col_counts[j + 1] {
+                scratch.push((row_idx[k], values[k]));
+            }
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            for &(r, v) in &scratch {
+                out_rows.push(r);
+                out_vals.push(v);
+            }
+        }
+        SparseMatrix {
+            nrows: n,
+            ncols: n,
+            col_ptr: col_counts,
+            row_idx: out_rows,
+            values: out_vals,
+        }
+    }
+
+    /// Dense copy in column-major order, mainly for verification at small n.
+    pub fn to_dense_col_major(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.nrows * self.ncols];
+        for j in 0..self.ncols {
+            for k in self.col_ptr[j]..self.col_ptr[j + 1] {
+                d[j * self.nrows + self.row_idx[k]] = self.values[k];
+            }
+        }
+        d
+    }
+
+    /// Iterator over all stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.ncols).flat_map(move |j| {
+            self.col_rows(j).iter().zip(self.col_values(j)).map(move |(&i, &v)| (i, j, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triplet::TripletMatrix;
+
+    fn small() -> SparseMatrix {
+        // [ 2 0 1 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        let mut t = TripletMatrix::new(3, 3);
+        t.push(0, 0, 2.0);
+        t.push(2, 0, 4.0);
+        t.push(1, 1, 3.0);
+        t.push(0, 2, 1.0);
+        t.push(2, 2, 5.0);
+        t.to_csc()
+    }
+
+    #[test]
+    fn getters() {
+        let m = small();
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(2, 0), 4.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.nnz(), 5);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = small();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn transpose_entries() {
+        let m = small();
+        let t = m.transpose();
+        assert_eq!(t.get(0, 2), 4.0);
+        assert_eq!(t.get(2, 0), 1.0);
+        assert_eq!(t.get(1, 1), 3.0);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = small();
+        let y = m.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![2.0 + 3.0, 6.0, 4.0 + 15.0]);
+    }
+
+    #[test]
+    fn pattern_symmetry() {
+        let m = small();
+        assert!(m.is_pattern_symmetric());
+        assert!(!m.is_symmetric(1e-12)); // (2,0)=4 but (0,2)=1
+        let s = m.symmetrize();
+        assert!(s.is_pattern_symmetric());
+        assert!(s.is_symmetric(0.0));
+        // symmetrize averages A and Aᵀ
+        assert_eq!(s.get(2, 0), 2.5);
+        assert_eq!(s.get(0, 2), 2.5);
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        let i = SparseMatrix::identity(4);
+        assert_eq!(i.matvec(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 2.0, 3.0, 4.0]);
+        let z = SparseMatrix::zero(2, 3);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.matvec(&[1.0; 3]), vec![0.0; 2]);
+    }
+
+    #[test]
+    fn permute_sym_roundtrip() {
+        let m = small().symmetrize();
+        let perm = vec![2usize, 0, 1]; // old -> new
+        let p = m.permute_sym(&perm);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(p.get(perm[i], perm[j]), m.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn add_scaled_merges_patterns() {
+        let a = small();
+        let b = SparseMatrix::identity(3);
+        let c = a.add_scaled(&b, 1.0, 10.0);
+        assert_eq!(c.get(0, 0), 12.0);
+        assert_eq!(c.get(1, 1), 13.0);
+        assert_eq!(c.get(2, 2), 15.0);
+        assert_eq!(c.get(2, 0), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_raw_parts_rejects_unsorted() {
+        SparseMatrix::from_raw_parts(2, 1, vec![0, 2], vec![1, 0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn dense_conversion() {
+        let m = small();
+        let d = m.to_dense_col_major();
+        assert_eq!(d[0], 2.0); // (0,0)
+        assert_eq!(d[2], 4.0); // (2,0)
+        assert_eq!(d[4], 3.0); // (1,1)
+        assert_eq!(d[6], 1.0); // (0,2)
+    }
+}

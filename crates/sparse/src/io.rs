@@ -1,0 +1,206 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! Supports the `matrix coordinate real {general|symmetric}` and
+//! `matrix coordinate pattern {general|symmetric}` flavours, which covers
+//! the UF-collection matrices used in the paper (audikw_1, Flan_1565) when
+//! they are available locally.
+
+use crate::csc::SparseMatrix;
+use crate::triplet::TripletMatrix;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or syntactic problem in the file, with a description.
+    Parse(String),
+}
+
+impl fmt::Display for MmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(msg) => write!(f, "Matrix Market parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Reads a Matrix Market matrix from any reader.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<SparseMatrix, MmError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    let header_lc = header.to_ascii_lowercase();
+    let fields: Vec<&str> = header_lc.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(parse_err(format!("bad header line: {header}")));
+    }
+    if fields[2] != "coordinate" {
+        return Err(parse_err("only coordinate format is supported"));
+    }
+    let pattern_only = match fields[3] {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => return Err(parse_err(format!("unsupported field type: {other}"))),
+    };
+    let symmetric = match fields[4] {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(parse_err(format!("unsupported symmetry: {other}"))),
+    };
+
+    // Skip comments, find size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("missing size line"))??;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        break trimmed.to_string();
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|s| s.parse::<usize>().map_err(|_| parse_err(format!("bad size line: {size_line}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err(format!("size line must have 3 fields: {size_line}")));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut t = TripletMatrix::with_capacity(nrows, ncols, if symmetric { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing row index"))?
+            .parse()
+            .map_err(|_| parse_err(format!("bad entry line: {trimmed}")))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing col index"))?
+            .parse()
+            .map_err(|_| parse_err(format!("bad entry line: {trimmed}")))?;
+        let v: f64 = if pattern_only {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|_| parse_err(format!("bad value in line: {trimmed}")))?
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!("index out of range in line: {trimmed}")));
+        }
+        if symmetric {
+            t.push_sym(i - 1, j - 1, v);
+        } else {
+            t.push(i - 1, j - 1, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(t.to_csc())
+}
+
+/// Reads a Matrix Market file from disk.
+pub fn read_matrix_market_file<P: AsRef<Path>>(path: P) -> Result<SparseMatrix, MmError> {
+    read_matrix_market(std::fs::File::open(path)?)
+}
+
+/// Writes a matrix in `coordinate real general` Matrix Market format.
+pub fn write_matrix_market<W: Write>(mut w: W, m: &SparseMatrix) -> Result<(), MmError> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (i, j, v) in m.iter() {
+        writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_general() {
+        let m = crate::gen::random_spd(20, 0.2, 11);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &m).unwrap();
+        let m2 = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(m.nnz(), m2.nnz());
+        for (i, j, v) in m.iter() {
+            assert!((m2.get(i, j) - v).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn symmetric_lower_triangle_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % comment\n\
+                    3 3 4\n\
+                    1 1 2.0\n\
+                    2 2 3.0\n\
+                    3 3 4.0\n\
+                    3 1 -1.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(2, 0), -1.0);
+        assert_eq!(m.get(0, 2), -1.0);
+        assert_eq!(m.nnz(), 5);
+    }
+
+    #[test]
+    fn pattern_matrices_get_unit_values() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 1\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("garbage\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market(
+            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_index() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! Sparse matrix containers, workload generators and Matrix Market I/O.
+//!
+//! This crate is the lowest substrate of `pselinv-rs`. It provides:
+//!
+//! * [`SparseMatrix`] — a compressed sparse column (CSC) matrix with sorted
+//!   row indices, the canonical exchange format between the ordering,
+//!   factorization and selected-inversion layers;
+//! * [`SparsityPattern`] — the structure-only counterpart used by symbolic
+//!   analysis;
+//! * [`gen`] — synthetic workload generators standing in for the paper's
+//!   evaluation matrices (UF-collection FEM matrices and discontinuous
+//!   Galerkin Kohn–Sham Hamiltonians), see `DESIGN.md` §2;
+//! * [`io`] — Matrix Market (`.mtx`) reading and writing so externally
+//!   provided matrices can be used when available.
+
+pub mod csc;
+pub mod gen;
+pub mod io;
+pub mod pattern;
+pub mod triplet;
+
+pub use csc::SparseMatrix;
+pub use pattern::SparsityPattern;
+pub use triplet::TripletMatrix;

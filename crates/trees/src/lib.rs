@@ -1,0 +1,37 @@
+//! Restricted-collective communication trees.
+//!
+//! The paper's central contribution: *restricted* collectives (broadcast /
+//! reduction over an irregular subset of a process group) implemented as
+//! asynchronous point-to-point messages routed along a per-collective tree.
+//! Three routings are compared in the paper, plus two baselines studied in
+//! its discussion:
+//!
+//! * [`TreeScheme::Flat`] — the root exchanges a message with every other
+//!   participant (PSelInv v0.7.3 behaviour, Fig. 3a);
+//! * [`TreeScheme::Binary`] — a deterministic binary tree over the sorted
+//!   participant list (Fig. 3b); log-depth, but the lowest-numbered ranks
+//!   are always interior, creating striped hot spots when many collectives
+//!   overlap;
+//! * [`TreeScheme::ShiftedBinary`] — the paper's heuristic (Fig. 3c): apply
+//!   a seeded random *circular shift* to the sorted receiver list before
+//!   building the binary tree, decorrelating interior-node choices across
+//!   concurrent collectives while preserving rank locality;
+//! * [`TreeScheme::RandomPerm`] — full random permutation of the receivers;
+//!   rejected by the paper because it destroys network locality and
+//!   balances worse than the circular shift;
+//! * [`TreeScheme::Hybrid`] — flat below a participant-count threshold,
+//!   shifted binary above it (suggested in the paper's final remarks for
+//!   intra-node collectives).
+//!
+//! Trees are built deterministically from a global seed and a per-collective
+//! key, mirroring the paper's observation that the random seed can be fixed
+//! in a preprocessing step so no extra synchronization is needed.
+
+pub mod builder;
+pub mod rng;
+pub mod tree;
+pub mod volume;
+
+pub use builder::{TreeBuilder, TreeScheme};
+pub use tree::CollectiveTree;
+pub use volume::{bcast_sent_volume, reduce_received_volume, VolumeStats};

@@ -1,0 +1,87 @@
+//! Tiny deterministic hashing RNG for per-collective randomness.
+//!
+//! The shift position of a `ShiftedBinary` tree must be (a) random enough to
+//! decorrelate concurrent collectives and (b) a pure function of
+//! `(global seed, collective key)` so that every rank builds the *same*
+//! tree without communicating — the paper's "seed communicated in a
+//! preprocessing step". SplitMix64 over the pair gives exactly that.
+
+/// One SplitMix64 step.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Hashes a `(seed, key)` pair into a pseudo-random u64.
+#[inline]
+pub fn hash2(seed: u64, key: u64) -> u64 {
+    splitmix64(splitmix64(seed) ^ key.wrapping_mul(0xff51afd7ed558ccd))
+}
+
+/// A tiny stateful generator seeded from a pair, for the full-permutation
+/// baseline (Fisher–Yates needs a stream of values).
+#[derive(Clone, Debug)]
+pub struct KeyedRng(u64);
+
+impl KeyedRng {
+    /// Creates a generator for `(seed, key)`.
+    pub fn new(seed: u64, key: u64) -> Self {
+        Self(hash2(seed, key))
+    }
+
+    /// Next pseudo-random u64.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = splitmix64(self.0);
+        self.0
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    pub fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash2(1, 2), hash2(1, 2));
+        assert_ne!(hash2(1, 2), hash2(1, 3));
+        assert_ne!(hash2(1, 2), hash2(2, 2));
+    }
+
+    #[test]
+    fn keyed_rng_streams_differ() {
+        let mut a = KeyedRng::new(7, 1);
+        let mut b = KeyedRng::new(7, 2);
+        let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn next_below_in_range() {
+        let mut r = KeyedRng::new(3, 9);
+        for _ in 0..100 {
+            assert!(r.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn roughly_uniform_shift_positions() {
+        // 1000 keys over 10 buckets: each bucket should see 50..200 hits.
+        let mut counts = [0usize; 10];
+        for key in 0..1000u64 {
+            counts[(hash2(42, key) % 10) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((50..=200).contains(&c), "bucket {i} has {c} hits");
+        }
+    }
+}

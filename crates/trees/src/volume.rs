@@ -1,0 +1,126 @@
+//! Per-rank communication volume accounting over a tree.
+//!
+//! The paper's Tables I/II and Figures 4–7 are statistics over exactly
+//! these quantities: bytes *sent* by each rank during `Col-Bcast` and bytes
+//! *received* by each rank during `Row-Reduce`.
+
+use crate::tree::CollectiveTree;
+
+/// Adds the bytes each rank sends when broadcasting a `msg_bytes` message
+/// down `tree` into `sent[rank]`.
+pub fn bcast_sent_volume(tree: &CollectiveTree, msg_bytes: u64, sent: &mut [u64]) {
+    for (src, _dst) in tree.edges() {
+        sent[src] += msg_bytes;
+    }
+}
+
+/// Adds the bytes each rank receives when reducing a `msg_bytes`
+/// contribution up `tree` into `received[rank]`: each interior node (and
+/// the root) receives one message per child.
+pub fn reduce_received_volume(tree: &CollectiveTree, msg_bytes: u64, received: &mut [u64]) {
+    for (src, _dst) in tree.edges() {
+        // reduction flows child→parent: the bcast edge (parent→child)
+        // becomes a receive at the parent
+        received[src] += msg_bytes;
+    }
+}
+
+/// Summary statistics used by the paper's tables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VolumeStats {
+    /// Minimum per-rank volume.
+    pub min: f64,
+    /// Maximum per-rank volume.
+    pub max: f64,
+    /// Median per-rank volume.
+    pub median: f64,
+    /// Mean per-rank volume.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl VolumeStats {
+    /// Computes stats over per-rank volumes (in the unit of the input).
+    pub fn from_volumes(volumes: &[u64]) -> Self {
+        assert!(!volumes.is_empty());
+        let n = volumes.len() as f64;
+        let mut sorted: Vec<u64> = volumes.to_vec();
+        sorted.sort_unstable();
+        let min = sorted[0] as f64;
+        let max = *sorted.last().unwrap() as f64;
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2] as f64
+        } else {
+            (sorted[sorted.len() / 2 - 1] as f64 + sorted[sorted.len() / 2] as f64) / 2.0
+        };
+        let mean = volumes.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var = volumes.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
+        Self { min, max, median, mean, std_dev: var.sqrt() }
+    }
+
+    /// Rescales all fields (e.g. bytes → MB).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            min: self.min * factor,
+            max: self.max * factor,
+            median: self.median * factor,
+            mean: self.mean * factor,
+            std_dev: self.std_dev * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{TreeBuilder, TreeScheme};
+
+    #[test]
+    fn flat_root_sends_everything() {
+        let t = TreeBuilder::new(TreeScheme::Flat, 0).build(2, &[0, 1, 3, 4], 0);
+        let mut sent = vec![0u64; 5];
+        bcast_sent_volume(&t, 10, &mut sent);
+        assert_eq!(sent, vec![0, 0, 40, 0, 0]);
+    }
+
+    #[test]
+    fn binary_root_sends_at_most_two() {
+        let recv: Vec<usize> = (1..64).collect();
+        let t = TreeBuilder::new(TreeScheme::Binary, 0).build(0, &recv, 0);
+        let mut sent = vec![0u64; 64];
+        bcast_sent_volume(&t, 7, &mut sent);
+        assert!(sent[0] <= 14);
+        // conservation: total sent = (p-1) * msg
+        assert_eq!(sent.iter().sum::<u64>(), 63 * 7);
+    }
+
+    #[test]
+    fn reduce_mirrors_bcast() {
+        let recv: Vec<usize> = (1..20).collect();
+        let t = TreeBuilder::new(TreeScheme::ShiftedBinary, 5).build(0, &recv, 3);
+        let mut sent = vec![0u64; 20];
+        let mut recvd = vec![0u64; 20];
+        bcast_sent_volume(&t, 3, &mut sent);
+        reduce_received_volume(&t, 3, &mut recvd);
+        assert_eq!(sent, recvd);
+    }
+
+    #[test]
+    fn stats_basics() {
+        let s = VolumeStats::from_volumes(&[1, 2, 3, 4, 100]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.mean - 22.0).abs() < 1e-12);
+        assert!(s.std_dev > 30.0);
+        let sc = s.scaled(0.5);
+        assert_eq!(sc.max, 50.0);
+    }
+
+    #[test]
+    fn stats_even_length_median() {
+        let s = VolumeStats::from_volumes(&[1, 3, 5, 7]);
+        assert_eq!(s.median, 4.0);
+    }
+}

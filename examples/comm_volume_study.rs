@@ -1,0 +1,77 @@
+//! Communication load-balance study (the paper's Table I / Fig. 5 analysis
+//! on a custom workload): replay the Col-Bcast and Row-Reduce volumes of a
+//! full selected inversion on a 46×46 process grid and compare tree
+//! schemes — no numerics, structure only, so it runs in seconds.
+//!
+//! ```text
+//! cargo run --release --example comm_volume_study
+//! ```
+
+use pselinv::dist::{replay_volumes, Layout};
+use pselinv::mpisim::Grid2D;
+use pselinv::order::{analyze, AnalyzeOptions, OrderingChoice};
+use pselinv::sparse::gen;
+use pselinv::trees::{TreeBuilder, TreeScheme};
+use std::sync::Arc;
+
+fn main() {
+    let w = gen::fem_3d(16, 16, 16, 3, 1234);
+    let opts = AnalyzeOptions {
+        ordering: OrderingChoice::NestedDissection(w.geometry, Default::default()),
+        // fine supernodes: enough concurrent collectives to load a 46×46 grid
+        supernode: pselinv::order::supernodes::SupernodeOptions {
+            max_width: 24,
+            relax_small: 6,
+            relax_zero_fraction: 0.3,
+        },
+        track_true_structure: false, // structure study only
+    };
+    let symbolic = Arc::new(analyze(&w.matrix.pattern(), &opts));
+    println!(
+        "workload {}: n = {}, {} supernodes, nnz(L) = {}",
+        w.name,
+        w.matrix.nrows(),
+        symbolic.num_supernodes(),
+        symbolic.nnz_factor()
+    );
+
+    let grid = Grid2D::new(46, 46);
+    let layout = Layout::new(symbolic, grid);
+    println!("\nCol-Bcast volume sent per rank (MB), {}x{} grid:", grid.pr, grid.pc);
+    println!(
+        "{:<24} {:>9} {:>9} {:>9} {:>9}",
+        "scheme", "min", "max", "median", "std dev"
+    );
+    for scheme in [
+        TreeScheme::Flat,
+        TreeScheme::Binary,
+        TreeScheme::ShiftedBinary,
+        TreeScheme::RandomPerm,
+        TreeScheme::Hybrid { flat_threshold: 8 },
+    ] {
+        let rep = replay_volumes(&layout, TreeBuilder::new(scheme, 42));
+        let s = rep.col_bcast_stats_mb();
+        println!(
+            "{:<24} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+            scheme.to_string(),
+            s.min,
+            s.max,
+            s.median,
+            s.std_dev
+        );
+    }
+
+    // The heat map rows of Fig. 5 for the shifted scheme (coarse preview).
+    let rep = replay_volumes(&layout, TreeBuilder::new(TreeScheme::ShiftedBinary, 42));
+    let hm = rep.col_bcast_heatmap_mb();
+    let max = hm.iter().flatten().cloned().fold(0.0f64, f64::max).max(1e-12);
+    println!("\nShifted Binary-Tree heat map (one char per rank, 0-9 scaled):");
+    for row in hm.iter().step_by(2) {
+        let line: String = row
+            .iter()
+            .step_by(2)
+            .map(|v| char::from_digit(((v / max) * 9.0).round() as u32, 10).unwrap_or('9'))
+            .collect();
+        println!("  {line}");
+    }
+}

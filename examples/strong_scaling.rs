@@ -1,0 +1,66 @@
+//! Strong-scaling preview: replay the PSelInv task graph on the simulated
+//! machine at increasing processor counts and compare tree schemes — a
+//! small version of the paper's Fig. 8 (the full version is
+//! `cargo run --release -p pselinv-bench --bin figures -- fig8a fig8b`).
+//!
+//! ```text
+//! cargo run --release --example strong_scaling
+//! ```
+
+use pselinv::des::{simulate, MachineConfig};
+use pselinv::dist::taskgraph::{selinv_graph, GraphOptions};
+use pselinv::dist::Layout;
+use pselinv::mpisim::Grid2D;
+use pselinv::order::{analyze, AnalyzeOptions, OrderingChoice};
+use pselinv::sparse::gen;
+use pselinv::trees::TreeScheme;
+use std::sync::Arc;
+
+fn main() {
+    let w = gen::fem_3d(14, 14, 14, 3, 99);
+    let opts = AnalyzeOptions {
+        ordering: OrderingChoice::NestedDissection(w.geometry, Default::default()),
+        supernode: pselinv::order::supernodes::SupernodeOptions {
+            max_width: 32,
+            relax_small: 8,
+            relax_zero_fraction: 0.3,
+        },
+        track_true_structure: false,
+    };
+    let symbolic = Arc::new(analyze(&w.matrix.pattern(), &opts));
+    println!(
+        "workload {}: n = {}, {} supernodes",
+        w.name,
+        w.matrix.nrows(),
+        symbolic.num_supernodes()
+    );
+
+    let machine = |seed| MachineConfig {
+        ranks_per_node: 24,
+        flops_per_sec: 2e9,
+        bw_inter: 0.5e9,
+        bw_intra: 4e9,
+        node_bw_factor: 1.0,
+        seed,
+        ..Default::default()
+    };
+
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>14}  (simulated seconds, 3 runs each)",
+        "P", "Flat", "Binary", "Shifted"
+    );
+    for p in [64usize, 256, 1024, 2116] {
+        let layout = Layout::new(symbolic.clone(), Grid2D::square_for(p));
+        let mut row = format!("{p:>6}");
+        for scheme in [TreeScheme::Flat, TreeScheme::Binary, TreeScheme::ShiftedBinary] {
+            let g = selinv_graph(&layout, &GraphOptions { scheme, seed: 7, pipelining: true });
+            let mean: f64 = (0..3)
+                .map(|s| simulate(&g, machine(s)).makespan)
+                .sum::<f64>()
+                / 3.0;
+            row.push_str(&format!(" {mean:>13.4}s"));
+        }
+        println!("{row}");
+    }
+    println!("\n(relative times matter; the machine model is a scaled-down Cray XC30)");
+}

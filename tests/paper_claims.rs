@@ -1,0 +1,144 @@
+//! Structure-level checks of the paper's qualitative claims, at scales
+//! small enough for CI (the full-scale versions are in the `figures`
+//! harness and recorded in `EXPERIMENTS.md`).
+
+use pselinv::dist::taskgraph::{selinv_graph, GraphOptions};
+use pselinv::dist::{replay_volumes, Layout};
+use pselinv::des::{simulate, MachineConfig};
+use pselinv::mpisim::Grid2D;
+use pselinv::order::{analyze, AnalyzeOptions, OrderingChoice};
+use pselinv::sparse::gen;
+use pselinv::trees::{TreeBuilder, TreeScheme, VolumeStats};
+use std::sync::Arc;
+
+fn workload() -> Layout {
+    let w = gen::fem_3d(10, 10, 10, 3, 0xaadc);
+    let opts = AnalyzeOptions {
+        ordering: OrderingChoice::NestedDissection(
+            w.geometry,
+            pselinv::order::nd::NdOptions { leaf_size: 4 },
+        ),
+        supernode: pselinv::order::supernodes::SupernodeOptions {
+            max_width: 16,
+            relax_small: 4,
+            relax_zero_fraction: 0.3,
+        },
+        track_true_structure: false,
+    };
+    let sf = Arc::new(analyze(&w.matrix.pattern(), &opts));
+    Layout::new(sf, Grid2D::new(16, 16))
+}
+
+fn stats(layout: &Layout, scheme: TreeScheme) -> VolumeStats {
+    replay_volumes(layout, TreeBuilder::new(scheme, 7)).col_bcast_stats_mb()
+}
+
+/// Table I's qualitative pattern: the shifted binary tree tightens the
+/// per-rank volume distribution relative to both flat and plain binary.
+#[test]
+fn shifted_tree_balances_col_bcast_volume() {
+    let layout = workload();
+    let flat = stats(&layout, TreeScheme::Flat);
+    let binary = stats(&layout, TreeScheme::Binary);
+    let shifted = stats(&layout, TreeScheme::ShiftedBinary);
+    assert!(shifted.std_dev < flat.std_dev, "shifted σ {} !< flat σ {}", shifted.std_dev, flat.std_dev);
+    assert!(shifted.std_dev < binary.std_dev);
+    assert!(shifted.max < flat.max, "shifted max {} !< flat max {}", shifted.max, flat.max);
+    assert!(binary.max > flat.max, "binary striping should raise the max");
+}
+
+/// §III: total volume is routing-invariant — trees redistribute load, they
+/// do not change how much data must move.
+#[test]
+fn total_volume_is_scheme_invariant() {
+    let layout = workload();
+    let totals: Vec<u64> = [TreeScheme::Flat, TreeScheme::Binary, TreeScheme::ShiftedBinary]
+        .iter()
+        .map(|&s| {
+            let rep = replay_volumes(&layout, TreeBuilder::new(s, 7));
+            rep.col_bcast_sent.iter().sum::<u64>() + rep.row_reduce_received.iter().sum::<u64>()
+        })
+        .collect();
+    assert_eq!(totals[0], totals[1]);
+    assert_eq!(totals[0], totals[2]);
+}
+
+/// Fig. 8's variability claim: the run-to-run spread (different placements
+/// and link jitter) of the shifted scheme is no worse than flat's at scale.
+#[test]
+fn shifted_reduces_run_to_run_variation() {
+    let layout = workload();
+    let spread = |scheme| {
+        let g = selinv_graph(&layout, &GraphOptions { scheme, seed: 7, pipelining: true });
+        let times: Vec<f64> = (0..4)
+            .map(|s| {
+                simulate(
+                    &g,
+                    MachineConfig {
+                        ranks_per_node: 24,
+                        flops_per_sec: 2e9,
+                        bw_inter: 0.5e9,
+                        bw_intra: 4e9,
+                        node_bw_factor: 1.0,
+                        seed: s,
+                        ..Default::default()
+                    },
+                )
+                .makespan
+            })
+            .collect();
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let var = times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / times.len() as f64;
+        (var.sqrt(), mean)
+    };
+    let (fs, fm) = spread(TreeScheme::Flat);
+    let (ss, sm) = spread(TreeScheme::ShiftedBinary);
+    // relative spread comparison with slack: the claim is directional
+    assert!(
+        ss / sm <= 1.5 * fs / fm,
+        "shifted rel-σ {} vs flat rel-σ {}",
+        ss / sm,
+        fs / fm
+    );
+}
+
+/// The v0.7.3 model (no inter-supernode pipelining) must be slower than
+/// the pipelined flat-tree code on the same machine — the paper's baseline
+/// separation.
+#[test]
+fn barrier_mode_is_slower() {
+    let layout = workload();
+    let run = |pipelining| {
+        let g = selinv_graph(
+            &layout,
+            &GraphOptions { scheme: TreeScheme::Flat, seed: 7, pipelining },
+        );
+        simulate(&g, MachineConfig { seed: 0, ..Default::default() }).makespan
+    };
+    let pipelined = run(true);
+    let barriered = run(false);
+    assert!(
+        barriered > pipelined,
+        "barrier mode {barriered} not slower than pipelined {pipelined}"
+    );
+}
+
+/// The factorization (SuperLU reference) and inversion graphs are both
+/// executable on every scheme at every tested grid.
+#[test]
+fn graphs_execute_on_all_grids() {
+    let w = gen::grid_laplacian_3d(5, 5, 4);
+    let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+    for grid in [Grid2D::new(1, 1), Grid2D::new(3, 4), Grid2D::new(8, 8)] {
+        let layout = Layout::new(sf.clone(), grid);
+        for scheme in [TreeScheme::Flat, TreeScheme::ShiftedBinary] {
+            let g = selinv_graph(&layout, &GraphOptions { scheme, seed: 3, pipelining: true });
+            assert_eq!(g.validate(), g.num_tasks());
+            let f = pselinv::dist::taskgraph::factorization_graph(
+                &layout,
+                &GraphOptions { scheme, seed: 3, pipelining: true },
+            );
+            assert_eq!(f.validate(), f.num_tasks());
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests across crate boundaries.
+
+use proptest::prelude::*;
+use pselinv::dense::{lu_factor, lu_invert, Mat};
+use pselinv::factor::factorize;
+use pselinv::order::{analyze, AnalyzeOptions};
+use pselinv::selinv::selinv_ldlt;
+use pselinv::sparse::gen;
+use pselinv::trees::{bcast_sent_volume, TreeBuilder, TreeScheme};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Selected inversion agrees with the dense inverse on every exposed
+    /// entry, for arbitrary random SPD matrices.
+    #[test]
+    fn selinv_matches_dense(n in 5usize..28, density in 0.05f64..0.5, seed in 0u64..1000) {
+        let a = gen::random_spd(n, density, seed);
+        let sf = Arc::new(analyze(&a.pattern(), &AnalyzeOptions::default()));
+        let f = factorize(&a, sf).unwrap();
+        let inv = selinv_ldlt(&f);
+        let mut d = Mat::from_col_major(n, n, &a.to_dense_col_major());
+        let piv = lu_factor(&mut d).unwrap();
+        let dense = lu_invert(&d, &piv);
+        let scale = 1.0 + dense.norm_max();
+        for i in 0..n {
+            for j in 0..n {
+                if let Some(v) = inv.get(i, j) {
+                    prop_assert!((v - dense[(i, j)]).abs() < 1e-8 * scale,
+                        "({i},{j}): {v} vs {}", dense[(i, j)]);
+                }
+            }
+        }
+        // diagonal is always selected
+        for i in 0..n {
+            prop_assert!(inv.get(i, i).is_some());
+        }
+    }
+
+    /// Every tree scheme yields a valid spanning tree over arbitrary
+    /// participant sets: each receiver has one parent, all reachable,
+    /// and a broadcast moves exactly (p̄-1) messages.
+    #[test]
+    fn trees_are_valid_over_random_participants(
+        ranks in proptest::collection::btree_set(0usize..512, 1..40),
+        root_pick in 0usize..40,
+        key in 0u64..100,
+        scheme_pick in 0usize..5,
+    ) {
+        let ranks: Vec<usize> = ranks.iter().copied().collect();
+        let root = ranks[root_pick % ranks.len()];
+        let receivers: Vec<usize> = ranks.iter().copied().filter(|&r| r != root).collect();
+        let scheme = [
+            TreeScheme::Flat,
+            TreeScheme::Binary,
+            TreeScheme::ShiftedBinary,
+            TreeScheme::RandomPerm,
+            TreeScheme::Hybrid { flat_threshold: 6 },
+        ][scheme_pick];
+        let tree = TreeBuilder::new(scheme, 99).build(root, &receivers, key);
+        prop_assert_eq!(tree.len(), receivers.len() + 1);
+        // reachability
+        let mut seen = vec![root];
+        let mut stack = vec![root];
+        while let Some(r) = stack.pop() {
+            for c in tree.children_of(r) {
+                prop_assert!(!seen.contains(&c));
+                seen.push(c);
+                stack.push(c);
+            }
+        }
+        prop_assert_eq!(seen.len(), tree.len());
+        // message count conservation
+        let mut sent = vec![0u64; 512];
+        bcast_sent_volume(&tree, 1, &mut sent);
+        prop_assert_eq!(sent.iter().sum::<u64>(), receivers.len() as u64);
+    }
+
+    /// The factor solve really solves: ‖A x − b‖ small for random SPD A, b.
+    #[test]
+    fn factor_solve_residual(n in 4usize..40, seed in 0u64..500) {
+        let a = gen::random_spd(n, 0.2, seed);
+        let sf = Arc::new(analyze(&a.pattern(), &AnalyzeOptions::default()));
+        let f = factorize(&a, sf).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+        let x = f.solve(&b);
+        let ax = a.matvec(&x);
+        let bnorm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1.0);
+        for i in 0..n {
+            prop_assert!((ax[i] - b[i]).abs() < 1e-9 * bnorm);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the structural substrates (sparse containers
+//! and symbolic analysis invariants).
+
+use proptest::prelude::*;
+use pselinv::order::{analyze, AnalyzeOptions};
+use pselinv::sparse::{gen, TripletMatrix};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CSC construction from triplets preserves values (with duplicate
+    /// summing) and produces sorted, in-bounds structure.
+    #[test]
+    fn triplet_to_csc_invariants(
+        n in 1usize..30,
+        entries in proptest::collection::vec((0usize..30, 0usize..30, -10.0f64..10.0), 0..120),
+    ) {
+        let mut t = TripletMatrix::new(n, n);
+        let mut dense = vec![0.0f64; n * n];
+        for &(i, j, v) in &entries {
+            let (i, j) = (i % n, j % n);
+            t.push(i, j, v);
+            dense[j * n + i] += v;
+        }
+        let m = t.to_csc();
+        // invariants
+        for j in 0..n {
+            let rows = m.col_rows(j);
+            for w in rows.windows(2) {
+                prop_assert!(w[0] < w[1], "rows not strictly increasing");
+            }
+            for &i in rows {
+                prop_assert!(i < n);
+            }
+        }
+        // values
+        for j in 0..n {
+            for i in 0..n {
+                prop_assert!((m.get(i, j) - dense[j * n + i]).abs() < 1e-12);
+            }
+        }
+        // transpose is an involution preserving values
+        let tt = m.transpose().transpose();
+        prop_assert_eq!(&m, &tt);
+    }
+
+    /// Symmetric permutation is a similarity transform: matvec commutes.
+    #[test]
+    fn permute_sym_commutes_with_matvec(
+        n in 2usize..25,
+        density in 0.05f64..0.6,
+        seed in 0u64..500,
+        swaps in proptest::collection::vec((0usize..25, 0usize..25), 0..20),
+    ) {
+        let a = gen::random_spd(n, density, seed);
+        let mut perm: Vec<usize> = (0..n).collect();
+        for &(x, y) in &swaps {
+            perm.swap(x % n, y % n);
+        }
+        let pa = a.permute_sym(&perm);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        // y = A x; permuted: ỹ = PA Pᵀ x̃ with x̃[perm[i]] = x[i]
+        let y = a.matvec(&x);
+        let mut xt = vec![0.0; n];
+        for i in 0..n {
+            xt[perm[i]] = x[i];
+        }
+        let yt = pa.matvec(&xt);
+        for i in 0..n {
+            prop_assert!((yt[perm[i]] - y[i]).abs() < 1e-12);
+        }
+    }
+
+    /// Symbolic analysis invariants hold for arbitrary random patterns:
+    /// blocks partition rows, ancestors are sorted and above the
+    /// supernode, stored nnz is at least the true factor nnz.
+    #[test]
+    fn analysis_invariants_on_random_matrices(
+        n in 4usize..40,
+        density in 0.03f64..0.4,
+        seed in 0u64..1000,
+    ) {
+        let a = gen::random_spd(n, density, seed);
+        let sf = analyze(&a.pattern(), &AnalyzeOptions::default());
+        prop_assert_eq!(sf.n, n);
+        let mut cols_covered = 0;
+        for s in 0..sf.num_supernodes() {
+            cols_covered += sf.width(s);
+            let rows = sf.rows_of(s);
+            for w in rows.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+            if let Some(&r) = rows.first() {
+                prop_assert!(r >= sf.end_col(s));
+            }
+            let mut covered = 0;
+            for b in sf.blocks_of(s) {
+                prop_assert!(b.sn > s);
+                covered += b.nrows();
+            }
+            prop_assert_eq!(covered, rows.len());
+        }
+        prop_assert_eq!(cols_covered, n);
+        // stored nnz covers at least the strict lower triangle of A
+        prop_assert!(2 * sf.nnz_factor() >= a.nnz());
+    }
+}
