@@ -21,8 +21,7 @@ fn bench_bcast(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new(name, p), &p, |b, _| {
             b.iter(|| {
                 pselinv_mpisim::run(p, |ctx| {
-                    let data =
-                        (ctx.rank() == 0).then(|| black_box(vec![1.0f64; payload]));
+                    let data = (ctx.rank() == 0).then(|| black_box(vec![1.0f64; payload]));
                     tree_bcast(ctx, &tree, 0, data).len()
                 })
             });

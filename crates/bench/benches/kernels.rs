@@ -37,9 +37,7 @@ fn bench_gemm(c: &mut Criterion) {
         let b = mat(n, n, 2);
         g.bench_with_input(BenchmarkId::new("nn", n), &n, |bch, _| {
             let mut cmat = Mat::zeros(n, n);
-            bch.iter(|| {
-                gemm(1.0, black_box(&a), Transpose::No, &b, Transpose::No, 0.0, &mut cmat)
-            });
+            bch.iter(|| gemm(1.0, black_box(&a), Transpose::No, &b, Transpose::No, 0.0, &mut cmat));
         });
         g.bench_with_input(BenchmarkId::new("tn", n), &n, |bch, _| {
             let mut cmat = Mat::zeros(n, n);

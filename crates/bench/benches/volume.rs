@@ -13,10 +13,7 @@ fn bench_replay(c: &mut Criterion) {
     let a = workloads::dg_water_volume();
     for &p in &[256usize, 2116] {
         let layout = Layout::new(a.symbolic.clone(), Grid2D::square_for(p));
-        for (name, scheme) in [
-            ("flat", TreeScheme::Flat),
-            ("shifted", TreeScheme::ShiftedBinary),
-        ] {
+        for (name, scheme) in [("flat", TreeScheme::Flat), ("shifted", TreeScheme::ShiftedBinary)] {
             g.bench_with_input(BenchmarkId::new(name, p), &p, |b, _| {
                 b.iter(|| replay_volumes(black_box(&layout), TreeBuilder::new(scheme, 1)));
             });

@@ -30,14 +30,26 @@ fn main() {
     if targets.is_empty() {
         eprintln!(
             "usage: figures [--out DIR] [--seeds N] \
-             {{all|table1|table2|fig4|fig5|fig6|fig7|fig8a|fig8b|fig9|ablation-nic|ablation-shift}}+"
+             {{all|table1|table2|fig4|fig5|fig6|fig7|fig8a|fig8b|fig9|trace\
+             |ablation-nic|ablation-shift|ablation-arity}}+"
         );
         std::process::exit(2);
     }
     if targets.iter().any(|t| t == "all") {
         targets = [
-            "table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8a", "fig8b", "fig9",
-            "ablation-nic", "ablation-shift", "ablation-arity",
+            "table1",
+            "table2",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8a",
+            "fig8b",
+            "fig9",
+            "trace",
+            "ablation-nic",
+            "ablation-shift",
+            "ablation-arity",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -57,6 +69,7 @@ fn main() {
             "fig8a" => experiments::fig8(&workloads::dg_pnf_des(), seeds, &out, "a"),
             "fig8b" => experiments::fig8(&workloads::audikw_des(), seeds, &out, "b"),
             "fig9" => experiments::fig9(&out),
+            "trace" => experiments::trace_profile(&out),
             "ablation-nic" => experiments::ablation_nic(&out),
             "ablation-shift" => experiments::ablation_shift(&out),
             "ablation-arity" => experiments::ablation_arity(&out),

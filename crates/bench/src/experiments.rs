@@ -8,8 +8,8 @@ use pselinv_des::{simulate, SimResult};
 use pselinv_dist::taskgraph::{factorization_graph, selinv_graph, GraphOptions};
 use pselinv_dist::{replay_volumes, Layout, VolumeReport};
 use pselinv_mpisim::Grid2D;
+use pselinv_trace::Json;
 use pselinv_trees::{TreeBuilder, TreeScheme, VolumeStats};
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -33,8 +33,8 @@ impl OutDir {
     }
 
     /// Writes a JSON artifact.
-    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) -> std::io::Result<()> {
-        fs::write(self.0.join(name), serde_json::to_string_pretty(value).unwrap())
+    pub fn write_json(&self, name: &str, value: &Json) -> std::io::Result<()> {
+        fs::write(self.0.join(name), value.to_string_pretty())
     }
 }
 
@@ -51,13 +51,28 @@ fn replay(a: &Analyzed, grid: Grid2D, scheme: TreeScheme) -> VolumeReport {
     replay_volumes(&layout, TreeBuilder::new(scheme, TREE_SEED))
 }
 
-#[derive(Serialize)]
 struct StatsRow {
     scheme: String,
     min_mb: f64,
     max_mb: f64,
     median_mb: f64,
     std_dev_mb: f64,
+}
+
+impl StatsRow {
+    fn json(&self) -> Json {
+        Json::obj([
+            ("scheme", Json::from(self.scheme.as_str())),
+            ("min_mb", self.min_mb.into()),
+            ("max_mb", self.max_mb.into()),
+            ("median_mb", self.median_mb.into()),
+            ("std_dev_mb", self.std_dev_mb.into()),
+        ])
+    }
+}
+
+fn rows_json(rows: &[StatsRow]) -> Json {
+    Json::from(rows.iter().map(StatsRow::json).collect::<Vec<_>>())
 }
 
 fn stats_row(name: &str, s: &VolumeStats) -> StatsRow {
@@ -105,7 +120,7 @@ pub fn table1(out: &OutDir) -> std::io::Result<String> {
         &format!("Table I: volume sent during Col-Bcast (MB), {}, 46x46 grid", a.name),
         &rows,
     );
-    out.write_json("table1.json", &rows)?;
+    out.write_json("table1.json", &rows_json(&rows))?;
     out.write_text("table1.txt", &txt)?;
     Ok(txt)
 }
@@ -123,17 +138,21 @@ pub fn table2(out: &OutDir) -> std::io::Result<String> {
             rows.push(stats_row(name, &rep.row_reduce_stats_mb()));
         }
         txt.push_str(&render_stats_table(
-            &format!(
-                "{}\n  n = {}, nnz(A) = {}, nnz(L) = {}",
-                a.name, a.n, a.nnz_a, a.nnz_l
-            ),
+            &format!("{}\n  n = {}, nnz(A) = {}, nnz(L) = {}", a.name, a.n, a.nnz_a, a.nnz_l),
             &rows,
         ));
         txt.push('\n');
         all.push((a.name.clone(), rows));
     }
     let txt = format!("Table II: volume received during Row-Reduce (MB), 46x46 grid\n\n{txt}");
-    out.write_json("table2.json", &all)?;
+    let json = Json::from(
+        all.iter()
+            .map(|(name, rows)| {
+                Json::obj([("matrix", Json::from(name.as_str())), ("rows", rows_json(rows))])
+            })
+            .collect::<Vec<_>>(),
+    );
+    out.write_json("table2.json", &json)?;
     out.write_text("table2.txt", &txt)?;
     Ok(txt)
 }
@@ -143,12 +162,6 @@ pub fn fig4(out: &OutDir) -> std::io::Result<String> {
     let a = workloads::audikw_volume();
     let grid = Grid2D::new(46, 46);
     let mut txt = String::from("Fig. 4: Col-Bcast sent-volume distribution (MB)\n");
-    #[derive(Serialize)]
-    struct Hist {
-        scheme: String,
-        bin_edges_mb: Vec<f64>,
-        counts: Vec<usize>,
-    }
     let mut hists = Vec::new();
     for (name, scheme) in schemes_with_names() {
         let rep = replay(&a, grid, scheme);
@@ -159,9 +172,13 @@ pub fn fig4(out: &OutDir) -> std::io::Result<String> {
             let bar = "#".repeat((c * 48).div_ceil(peak).min(48));
             let _ = writeln!(txt, "  {:>8.3}-{:<8.3} {:>5} {}", edges[i], edges[i + 1], c, bar);
         }
-        hists.push(Hist { scheme: name.to_string(), bin_edges_mb: edges, counts });
+        hists.push(Json::obj([
+            ("scheme", Json::from(name)),
+            ("bin_edges_mb", Json::from(edges)),
+            ("counts", Json::from(counts)),
+        ]));
     }
-    out.write_json("fig4.json", &hists)?;
+    out.write_json("fig4.json", &Json::from(hists))?;
     out.write_text("fig4.txt", &txt)?;
     Ok(txt)
 }
@@ -249,7 +266,7 @@ pub fn fig7(out: &OutDir) -> std::io::Result<String> {
 }
 
 /// One strong-scaling series of Fig. 8.
-#[derive(Clone, Serialize)]
+#[derive(Clone)]
 pub struct ScalingPoint {
     /// Processor count.
     pub p: usize,
@@ -260,12 +277,36 @@ pub struct ScalingPoint {
 }
 
 /// A named Fig. 8 curve.
-#[derive(Clone, Serialize)]
+#[derive(Clone)]
 pub struct ScalingSeries {
     /// Variant label (as in the paper's legend).
     pub label: String,
     /// One point per processor count.
     pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingSeries {
+    /// Machine-readable form of the curve.
+    pub fn json(&self) -> Json {
+        Json::obj([
+            ("label", Json::from(self.label.as_str())),
+            (
+                "points",
+                Json::from(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("p", p.p.into()),
+                                ("mean_s", p.mean_s.into()),
+                                ("std_s", p.std_s.into()),
+                            ])
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ])
+    }
 }
 
 fn run_seeds(g: &pselinv_dist::taskgraph::TaskGraph, seeds: u64) -> (f64, f64, SimResult) {
@@ -348,7 +389,8 @@ pub fn fig8(a: &Analyzed, seeds: u64, out: &OutDir, tag: &str) -> std::io::Resul
          run-to-run sigma ratio Flat/Shifted (P >= 2116): {sigma_ratio:.2}x"
     );
 
-    out.write_json(&format!("fig8{tag}.json"), &series)?;
+    let json = Json::from(series.iter().map(ScalingSeries::json).collect::<Vec<_>>());
+    out.write_json(&format!("fig8{tag}.json"), &json)?;
     out.write_text(&format!("fig8{tag}.txt"), &txt)?;
     Ok(txt)
 }
@@ -358,25 +400,15 @@ pub fn fig8(a: &Analyzed, seeds: u64, out: &OutDir, tag: &str) -> std::io::Resul
 pub fn fig9(out: &OutDir) -> std::io::Result<String> {
     let a = workloads::dg_pnf_des();
     let mut txt = format!("Fig. 9: computation vs communication breakdown, {}\n", a.name);
-    #[derive(Serialize)]
-    struct Row {
-        scheme: String,
-        p: usize,
-        compute_s: f64,
-        comm_s: f64,
-        ratio: f64,
-    }
-    let mut rows = Vec::new();
+    let mut rows: Vec<Json> = Vec::new();
     for (name, scheme) in
         [("Flat-Tree", TreeScheme::Flat), ("Shifted Binary-Tree", TreeScheme::ShiftedBinary)]
     {
         for p in [256usize, 4096] {
             let grid = Grid2D::square_for(p);
             let layout = Layout::new(a.symbolic.clone(), grid);
-            let g = selinv_graph(
-                &layout,
-                &GraphOptions { scheme, seed: TREE_SEED, pipelining: true },
-            );
+            let g =
+                selinv_graph(&layout, &GraphOptions { scheme, seed: TREE_SEED, pipelining: true });
             let r = simulate(&g, workloads::des_machine(0));
             let _ = writeln!(
                 txt,
@@ -385,17 +417,68 @@ pub fn fig9(out: &OutDir) -> std::io::Result<String> {
                 r.comm_time_mean(),
                 r.comm_to_comp()
             );
-            rows.push(Row {
-                scheme: name.to_string(),
-                p,
-                compute_s: r.compute_time_mean(),
-                comm_s: r.comm_time_mean(),
-                ratio: r.comm_to_comp(),
-            });
+            rows.push(Json::obj([
+                ("scheme", Json::from(name)),
+                ("p", p.into()),
+                ("compute_s", r.compute_time_mean().into()),
+                ("comm_s", r.comm_time_mean().into()),
+                ("ratio", r.comm_to_comp().into()),
+            ]));
         }
     }
-    out.write_json("fig9.json", &rows)?;
+    out.write_json("fig9.json", &Json::from(rows))?;
     out.write_text("fig9.txt", &txt)?;
+    Ok(txt)
+}
+
+/// Traced per-rank profile: runs the *real* numeric selected inversion on
+/// the mpisim backend with tracing enabled, prints the per-rank Table-I
+/// style summary (min/max/σ per collective kind), writes one Chrome
+/// trace-event JSON per scheme, and cross-checks the traced Col-Bcast
+/// bytes against the structural volume replay — measured and predicted
+/// volumes must agree exactly.
+pub fn trace_profile(out: &OutDir) -> std::io::Result<String> {
+    use pselinv_dist::{distributed_selinv_traced, DistOptions};
+    use pselinv_order::{analyze, AnalyzeOptions};
+    use pselinv_trace::chrome::{to_chrome, validate_chrome};
+    use pselinv_trace::CollKind;
+    use std::sync::Arc;
+
+    let w = pselinv_sparse::gen::fem_3d(6, 6, 6, 1, 0x7ace);
+    let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+    let f = pselinv_factor::factorize(&w.matrix, sf.clone()).expect("proxy FEM matrix must factor");
+    let grid = Grid2D::new(3, 3);
+    let mut txt = format!(
+        "Traced per-rank profile: numeric selected inversion of {} (n = {}) on a 3x3 grid\n\n",
+        w.name,
+        w.matrix.nrows()
+    );
+    for (name, scheme) in
+        [("Flat-Tree", TreeScheme::Flat), ("Shifted Binary-Tree", TreeScheme::ShiftedBinary)]
+    {
+        let opts = DistOptions { scheme, seed: TREE_SEED };
+        let (_, _, trace) = distributed_selinv_traced(&f, grid, &opts, name);
+        // Measured bytes must equal the structural prediction exactly.
+        let layout = Layout::new(sf.clone(), grid);
+        let rep = replay_volumes(&layout, TreeBuilder::new(scheme, TREE_SEED));
+        assert_eq!(
+            trace.sent_bytes(CollKind::ColBcast),
+            rep.col_bcast_sent,
+            "{name}: traced Col-Bcast bytes diverge from the volume replay"
+        );
+        assert_eq!(
+            trace.recv_bytes(CollKind::RowReduce),
+            rep.row_reduce_received,
+            "{name}: traced Row-Reduce bytes diverge from the volume replay"
+        );
+        let _ = writeln!(txt, "{}", trace.summary_table());
+        let chrome = to_chrome(&trace);
+        let n_events = validate_chrome(&chrome).expect("chrome export must be well-formed");
+        let slug = name.to_lowercase().replace([' ', '-'], "_");
+        out.write_json(&format!("trace_{slug}.trace.json"), &chrome)?;
+        let _ = writeln!(txt, "  [{n_events} chrome trace events -> trace_{slug}.trace.json]\n");
+    }
+    out.write_text("trace_profile.txt", &txt)?;
     Ok(txt)
 }
 
@@ -407,10 +490,7 @@ pub fn ablation_nic(out: &OutDir) -> std::io::Result<String> {
     let layout = Layout::new(a.symbolic.clone(), grid);
     let mut txt = String::from("Ablation: NIC contention, P = 2116\n");
     for (name, scheme) in schemes_with_names() {
-        let g = selinv_graph(
-            &layout,
-            &GraphOptions { scheme, seed: TREE_SEED, pipelining: true },
-        );
+        let g = selinv_graph(&layout, &GraphOptions { scheme, seed: TREE_SEED, pipelining: true });
         let on = simulate(&g, workloads::des_machine(0)).makespan;
         let mut cfg = workloads::des_machine(0);
         cfg.nic_contention = false;
@@ -445,7 +525,7 @@ pub fn ablation_shift(out: &OutDir) -> std::io::Result<String> {
         rows.push(stats_row(name, &s));
     }
     txt.push_str(&render_stats_table("", &rows));
-    out.write_json("ablation_shift.json", &rows)?;
+    out.write_json("ablation_shift.json", &rows_json(&rows))?;
     out.write_text("ablation_shift.txt", &txt)?;
     Ok(txt)
 }
@@ -462,10 +542,7 @@ pub fn ablation_arity(out: &OutDir) -> std::io::Result<String> {
         let scheme = TreeScheme::ShiftedKary { arity };
         let rep = replay_volumes(&layout, TreeBuilder::new(scheme, TREE_SEED));
         let s = rep.col_bcast_stats_mb();
-        let g = selinv_graph(
-            &layout,
-            &GraphOptions { scheme, seed: TREE_SEED, pipelining: true },
-        );
+        let g = selinv_graph(&layout, &GraphOptions { scheme, seed: TREE_SEED, pipelining: true });
         let (mean, _, _) = run_seeds(&g, 3);
         let _ = writeln!(
             txt,
@@ -474,17 +551,18 @@ pub fn ablation_arity(out: &OutDir) -> std::io::Result<String> {
         );
         rows.push((arity, mean, s.max, s.std_dev));
     }
-    #[derive(Serialize)]
-    struct Row {
-        arity: usize,
-        time_s: f64,
-        max_mb: f64,
-        std_mb: f64,
-    }
-    let json: Vec<Row> = rows
-        .into_iter()
-        .map(|(arity, time_s, max_mb, std_mb)| Row { arity, time_s, max_mb, std_mb })
-        .collect();
+    let json = Json::from(
+        rows.into_iter()
+            .map(|(arity, time_s, max_mb, std_mb)| {
+                Json::obj([
+                    ("arity", arity.into()),
+                    ("time_s", time_s.into()),
+                    ("max_mb", max_mb.into()),
+                    ("std_mb", std_mb.into()),
+                ])
+            })
+            .collect::<Vec<_>>(),
+    );
     out.write_json("ablation_arity.json", &json)?;
     out.write_text("ablation_arity.txt", &txt)?;
     Ok(txt)
@@ -505,19 +583,14 @@ mod tests {
         let out = tmp();
         let _ = table1(&out).unwrap();
         let json = std::fs::read_to_string(out.0.join("table1.json")).unwrap();
-        let rows: Vec<serde_json::Value> = serde_json::from_str(&json).unwrap();
-        let get = |i: usize, f: &str| rows[i][f].as_f64().unwrap();
+        let rows = Json::parse(&json).unwrap();
+        let get =
+            |i: usize, f: &str| rows.idx(i).and_then(|r| r.get(f)).and_then(Json::as_f64).unwrap();
         // rows: 0 = Flat, 1 = Binary, 2 = Shifted, 3 = RandomPerm
         assert!(get(1, "max_mb") > get(0, "max_mb"), "binary max must exceed flat");
         assert!(get(2, "min_mb") > get(0, "min_mb"), "shifted must lift the minimum load");
-        assert!(
-            get(2, "std_dev_mb") < get(0, "std_dev_mb"),
-            "shifted std dev must beat flat"
-        );
-        assert!(
-            get(2, "std_dev_mb") < get(1, "std_dev_mb"),
-            "shifted std dev must beat binary"
-        );
+        assert!(get(2, "std_dev_mb") < get(0, "std_dev_mb"), "shifted std dev must beat flat");
+        assert!(get(2, "std_dev_mb") < get(1, "std_dev_mb"), "shifted std dev must beat binary");
         assert!(get(2, "max_mb") < get(0, "max_mb"), "shifted max must beat flat");
     }
 

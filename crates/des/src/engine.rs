@@ -2,6 +2,7 @@
 
 use crate::machine::{MachineConfig, Topology};
 use pselinv_dist::taskgraph::{TaskGraph, TaskId, TaskKind};
+use pselinv_trace::{collect, unpack_task_tag, RankTracer, Trace};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -102,6 +103,22 @@ impl ReadyQueue {
 
 /// Simulates the execution of `graph` on a machine described by `cfg`.
 pub fn simulate(graph: &TaskGraph, cfg: MachineConfig) -> SimResult {
+    simulate_impl(graph, cfg, &mut [])
+}
+
+/// Like [`simulate`], but also records a [`Trace`] in simulated time: one
+/// span per executed task (labelled by the `(CollKind, supernode)` packed
+/// into [`TaskGraph::task_tag`]) plus send/arrive instants for every
+/// message edge — the same event vocabulary the traced mpisim runtime
+/// emits, so both backends can be viewed with the same tooling.
+pub fn simulate_traced(graph: &TaskGraph, cfg: MachineConfig, label: &str) -> (SimResult, Trace) {
+    let mut tracers: Vec<RankTracer> = (0..graph.nranks).map(RankTracer::manual).collect();
+    let res = simulate_impl(graph, cfg, &mut tracers);
+    let trace = collect(label, tracers).expect("traced simulation has at least one rank");
+    (res, trace)
+}
+
+fn simulate_impl(graph: &TaskGraph, cfg: MachineConfig, tracers: &mut [RankTracer]) -> SimResult {
     let n = graph.num_tasks();
     let p = graph.nranks;
     let topo = Topology::new(p, cfg);
@@ -142,6 +159,10 @@ pub fn simulate(graph: &TaskGraph, cfg: MachineConfig) -> SimResult {
     let mut makespan = 0.0f64;
     let mut done = 0usize;
 
+    let traced = !tracers.is_empty();
+    // Simulated seconds → trace microseconds.
+    let us = |t: f64| (t * 1e6) as u64;
+
     // Dispatch the next ready task on `rank` if it is idle.
     macro_rules! dispatch {
         ($rank:expr, $now:expr) => {{
@@ -149,8 +170,7 @@ pub fn simulate(graph: &TaskGraph, cfg: MachineConfig) -> SimResult {
             if !rank_running[r] {
                 if let Some(t) = ready[r].pop() {
                     rank_running[r] = true;
-                    let dur =
-                        graph.task_flops[t as usize] / cfg.flops_per_sec + cfg.task_overhead;
+                    let dur = graph.task_flops[t as usize] / cfg.flops_per_sec + cfg.task_overhead;
                     let start = $now.max(rank_busy_until[r]);
                     let end = start + dur;
                     rank_busy_until[r] = end;
@@ -158,6 +178,10 @@ pub fn simulate(graph: &TaskGraph, cfg: MachineConfig) -> SimResult {
                         compute_busy[r] += dur;
                     }
                     tasks_run[r] += 1;
+                    if traced {
+                        let (coll, sn) = unpack_task_tag(graph.task_tag[t as usize]);
+                        tracers[r].span_at(coll, sn as u64, us(start), us(end));
+                    }
                     push(&mut heap, end, Event::TaskDone(t), &mut seq);
                 }
             }
@@ -178,6 +202,10 @@ pub fn simulate(graph: &TaskGraph, cfg: MachineConfig) -> SimResult {
                     // executes off-core, immediately
                     let r = graph.task_rank[t as usize] as usize;
                     tasks_run[r] += 1;
+                    if traced {
+                        let (coll, sn) = unpack_task_tag(graph.task_tag[t as usize]);
+                        tracers[r].span_at(coll, sn as u64, us(time), us(time + cfg.task_overhead));
+                    }
                     push(&mut heap, time + cfg.task_overhead, Event::TaskDone(t), &mut seq);
                 } else {
                     let r = graph.task_rank[t as usize] as usize;
@@ -212,6 +240,19 @@ pub fn simulate(graph: &TaskGraph, cfg: MachineConfig) -> SimResult {
                         let dst = graph.task_rank[s as usize] as usize;
                         messages += 1;
                         bytes_total += b;
+                        if traced {
+                            // The message is attributed to the phase of the
+                            // task it feeds (the collective that routed it).
+                            let (coll, _) = unpack_task_tag(graph.task_tag[s as usize]);
+                            tracers[r].set_time_us(us(time));
+                            tracers[r].msg_send_as(
+                                coll,
+                                dst,
+                                graph.task_tag[s as usize] as u64,
+                                b,
+                                None,
+                            );
+                        }
                         let tt = topo.transfer_time(r, dst, b);
                         let arrive = if cfg.nic_contention {
                             // per-rank injection serialization
@@ -261,6 +302,16 @@ pub fn simulate(graph: &TaskGraph, cfg: MachineConfig) -> SimResult {
                 } else {
                     time
                 };
+                if traced {
+                    let (coll, _) = unpack_task_tag(graph.task_tag[dst_task as usize]);
+                    tracers[dst].set_time_us(us(deliver));
+                    tracers[dst].msg_recv_as(
+                        coll,
+                        src_rank as usize,
+                        graph.task_tag[dst_task as usize] as u64,
+                        bytes,
+                    );
+                }
                 deps[dst_task as usize] -= 1;
                 if deps[dst_task as usize] == 0 {
                     push(&mut heap, deliver, Event::Ready(dst_task), &mut seq);
@@ -354,6 +405,10 @@ mod tests {
                     nranks,
                     task_prio: vec![0; n],
                     task_kind: vec![TaskKind::Compute; n],
+                    task_tag: vec![
+                        pselinv_trace::pack_task_tag(pselinv_trace::CollKind::Compute, 0);
+                        n
+                    ],
                     task_deps: deps,
                     task_rank: self.rank,
                     task_flops: self.flops,
@@ -440,11 +495,8 @@ mod tests {
         let g = selinv_graph(&layout, &GraphOptions::default());
         let times: Vec<f64> = (0..5)
             .map(|s| {
-                simulate(
-                    &g,
-                    MachineConfig { seed: s, ranks_per_node: 4, ..Default::default() },
-                )
-                .makespan
+                simulate(&g, MachineConfig { seed: s, ranks_per_node: 4, ..Default::default() })
+                    .makespan
             })
             .collect();
         let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -462,6 +514,44 @@ mod tests {
             let r = simulate(&g, MachineConfig::default());
             assert_eq!(r.tasks_run.iter().sum::<u64>() as usize, g.num_tasks(), "{scheme:?}");
             assert_eq!(r.bytes, g.total_message_bytes());
+        }
+    }
+
+    #[test]
+    fn traced_sim_matches_untraced_and_volume_replay() {
+        use pselinv_dist::volume::replay_volumes;
+        use pselinv_trace::CollKind;
+        use pselinv_trees::TreeBuilder;
+        let w = gen::grid_laplacian_2d(12, 12);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let layout = Layout::new(sf, Grid2D::new(3, 3));
+        for scheme in [TreeScheme::Flat, TreeScheme::ShiftedBinary] {
+            let opts = GraphOptions { scheme, ..Default::default() };
+            let g = selinv_graph(&layout, &opts);
+            let cfg = MachineConfig { seed: 3, ..Default::default() };
+            let plain = simulate(&g, cfg);
+            let (traced, trace) = simulate_traced(&g, cfg, "des/unit");
+            // Tracing must not perturb the simulation.
+            assert_eq!(plain.makespan, traced.makespan, "{scheme:?}");
+            assert_eq!(plain.messages, traced.messages);
+            // Every task became a span; every message edge a send event.
+            let spans: u64 = trace
+                .ranks
+                .iter()
+                .map(|r| CollKind::ALL.iter().map(|&k| r.metrics.kind(k).spans).sum::<u64>())
+                .sum();
+            assert_eq!(spans as usize, g.num_tasks(), "{scheme:?}");
+            let sent: u64 = trace.ranks.iter().map(|r| r.metrics.total_sent_msgs()).sum();
+            assert_eq!(sent, traced.messages);
+            // Per-rank Col-Bcast bytes agree with the structural replay —
+            // the same acceptance criterion the mpisim tracer meets.
+            let rep = replay_volumes(&layout, TreeBuilder::new(opts.scheme, opts.seed));
+            assert_eq!(trace.sent_bytes(CollKind::ColBcast), rep.col_bcast_sent, "{scheme:?}");
+            assert_eq!(
+                trace.recv_bytes(CollKind::RowReduce),
+                rep.row_reduce_received,
+                "{scheme:?}"
+            );
         }
     }
 

@@ -99,8 +99,7 @@ impl Topology {
             let j = (state % (i as u64 + 1)) as usize;
             phys.swap(i, j);
         }
-        let node_of_rank =
-            (0..nranks).map(|r| phys[r / cfg.ranks_per_node]).collect();
+        let node_of_rank = (0..nranks).map(|r| phys[r / cfg.ranks_per_node]).collect();
         Self { cfg, node_of_rank }
     }
 
@@ -189,10 +188,7 @@ mod tests {
     #[test]
     fn placement_varies_with_seed() {
         let mk = |seed| {
-            Topology::new(
-                96,
-                MachineConfig { seed, ranks_per_node: 24, ..Default::default() },
-            )
+            Topology::new(96, MachineConfig { seed, ranks_per_node: 24, ..Default::default() })
         };
         let a = mk(1);
         let b = mk(2);
@@ -206,8 +202,7 @@ mod tests {
 
     #[test]
     fn jitter_spreads_link_costs() {
-        let cfg =
-            MachineConfig { ranks_per_node: 1, jitter: 0.4, ..Default::default() };
+        let cfg = MachineConfig { ranks_per_node: 1, jitter: 0.4, ..Default::default() };
         let t = Topology::new(40, cfg);
         let costs: Vec<f64> = (1..40).map(|d| t.transfer_time(0, d, 1 << 20)).collect();
         let min = costs.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -27,6 +27,6 @@ pub mod taskgraph;
 pub mod volume;
 
 pub use layout::Layout;
-pub use numeric::{distributed_selinv, DistOptions};
+pub use numeric::{distributed_selinv, distributed_selinv_traced, DistOptions};
 pub use plan::{CommPlan, SupernodePlan};
 pub use volume::{replay_volumes, VolumeReport};

@@ -20,9 +20,9 @@ use pselinv_mpisim::{Grid2D, RankCtx, RankVolume};
 use pselinv_order::symbolic::SnBlock;
 use pselinv_order::SymbolicFactor;
 use pselinv_selinv::SelectedInverse;
+use pselinv_trace::{CollKind, Trace};
 use pselinv_trees::TreeBuilder;
 use std::collections::HashMap;
-
 
 /// Options for a distributed run.
 #[derive(Clone, Copy, Debug)]
@@ -46,7 +46,18 @@ const PHASE_ROW_REDUCE: u64 = 4 << 56;
 const PHASE_DIAG_REDUCE: u64 = 5 << 56;
 const PHASE_AINV_TRANS: u64 = 6 << 56;
 
+/// Packs `(phase, supernode, block)` into one message tag: the phase in the
+/// top byte, the supernode in bits 24..56, the block index in bits 0..24.
+/// The fields must stay inside their lanes or tags of different collectives
+/// collide and messages cross-match; the debug assertions catch any workload
+/// large enough to overflow.
 fn tag(phase: u64, k: usize, bi: usize) -> u64 {
+    debug_assert!(
+        phase != 0 && phase.trailing_zeros() >= 56,
+        "phase {phase:#x} outside the top byte"
+    );
+    debug_assert!((k as u64) < (1 << 32), "supernode {k} overflows its 32-bit tag lane");
+    debug_assert!((bi as u64) < (1 << 24), "block index {bi} overflows its 24-bit tag lane");
     phase | ((k as u64) << 24) | bi as u64
 }
 
@@ -159,15 +170,41 @@ pub fn distributed_selinv(
     grid: Grid2D,
     opts: &DistOptions,
 ) -> (SelectedInverse, Vec<RankVolume>) {
-    let sf = factor.symbolic.clone();
-    let layout = Layout::new(sf.clone(), grid);
+    let layout = Layout::new(factor.symbolic.clone(), grid);
     let builder = TreeBuilder::new(opts.scheme, opts.seed);
     let plan = CommPlan::new(layout.clone(), builder);
 
     let (outputs, volumes): (Vec<RankOutput>, Vec<RankVolume>) =
         pselinv_mpisim::run(grid.size(), |ctx| rank_main(ctx, factor, &layout, &plan));
 
-    // Assemble the distributed pieces into a SelectedInverse.
+    (assemble(factor, &layout, outputs), volumes)
+}
+
+/// [`distributed_selinv`] with tracing enabled on every rank: the returned
+/// [`Trace`] carries per-phase spans keyed by supernode, message events and
+/// per-rank byte counters whose `ColBcast` / `RowReduce` totals agree
+/// exactly with [`crate::volume::replay_volumes`] for the same layout,
+/// scheme and seed.
+pub fn distributed_selinv_traced(
+    factor: &LdlFactor,
+    grid: Grid2D,
+    opts: &DistOptions,
+    label: &str,
+) -> (SelectedInverse, Vec<RankVolume>, Trace) {
+    let layout = Layout::new(factor.symbolic.clone(), grid);
+    let builder = TreeBuilder::new(opts.scheme, opts.seed);
+    let plan = CommPlan::new(layout.clone(), builder);
+
+    let (outputs, volumes, trace) = pselinv_mpisim::run_traced(grid.size(), label, |ctx| {
+        rank_main(ctx, factor, &layout, &plan)
+    });
+
+    (assemble(factor, &layout, outputs), volumes, trace)
+}
+
+/// Assembles the per-rank output pieces into a [`SelectedInverse`].
+fn assemble(factor: &LdlFactor, layout: &Layout, outputs: Vec<RankOutput>) -> SelectedInverse {
+    let sf = factor.symbolic.clone();
     let mut panels: Vec<Panel> = (0..sf.num_supernodes()).map(|s| Panel::zeros(&sf, s)).collect();
     for (rank, (diags, lowers)) in outputs.into_iter().enumerate() {
         for (k, d) in diags {
@@ -176,10 +213,7 @@ pub fn distributed_selinv(
         }
         for (bid, m) in lowers {
             // find the supernode owning this global block index
-            let k = sf
-                .blocks_ptr
-                .partition_point(|&p| p <= bid)
-                .saturating_sub(1);
+            let k = sf.blocks_ptr.partition_point(|&p| p <= bid).saturating_sub(1);
             let b = sf.blocks[bid];
             let lb = b.rows_begin - sf.rows_ptr[k];
             for q in 0..sf.width(k) {
@@ -189,7 +223,7 @@ pub fn distributed_selinv(
             }
         }
     }
-    (SelectedInverse { symbolic: sf, panels }, volumes)
+    SelectedInverse { symbolic: sf, panels }
 }
 
 fn rank_main(
@@ -217,15 +251,15 @@ fn rank_main(
         let sp = plan.supernode_plan(k);
         let blocks = sf.blocks_of(k);
         let w = sf.width(k);
-        let my_blocks: Vec<usize> = (0..blocks.len())
-            .filter(|&bi| layout.lower_owner(&blocks[bi], k) == me)
-            .collect();
+        let my_blocks: Vec<usize> =
+            (0..blocks.len()).filter(|&bi| layout.lower_owner(&blocks[bi], k) == me).collect();
         let in_bcast = sp.diag_bcast.members().contains(&me);
         if !in_bcast && my_blocks.is_empty() {
             continue;
         }
         // Obtain the diagonal block (unit-lower L_{K,K} in its strict lower
         // part; the diagonal holds D and is ignored by the unit trsm).
+        ctx.tracer().push_scope(CollKind::DiagBcast, k as u64);
         let diag = if layout.diag_owner(k) == me {
             let d = st.factor_diag(k);
             if !sp.diag_bcast.is_empty() {
@@ -238,6 +272,7 @@ fn rank_main(
         } else {
             None
         };
+        ctx.tracer().pop_scope();
         if let Some(d) = diag {
             for bi in my_blocks {
                 let b = blocks[bi];
@@ -255,6 +290,7 @@ fn rank_main(
         let w = sf.width(k);
 
         // Step a': transpose sends L̂_{I,K} → Û position (K, I).
+        ctx.tracer().push_scope(CollKind::Transpose, k as u64);
         let mut ucur: HashMap<usize, Mat> = HashMap::new(); // key: bi
         for (bi, b) in blocks.iter().enumerate() {
             let (src, dst) = sp.transposes[bi];
@@ -271,21 +307,20 @@ fn rank_main(
                 ucur.insert(bi, unflatten(b.nrows(), w, &data));
             }
         }
+        ctx.tracer().pop_scope();
 
         // Step a: Col-Bcast of Û_{K,I} within pc(I).
+        ctx.tracer().push_scope(CollKind::ColBcast, k as u64);
         for (bi, b) in blocks.iter().enumerate() {
             let tree = &sp.col_bcasts[bi];
             if !tree.members().contains(&me) {
                 continue;
             }
-            let payload = if me == tree.root() {
-                Some(flatten(&ucur[&bi]))
-            } else {
-                None
-            };
+            let payload = if me == tree.root() { Some(flatten(&ucur[&bi])) } else { None };
             let data = tree_bcast(ctx, tree, tag(PHASE_COL_BCAST, k, bi), payload);
             ucur.entry(bi).or_insert_with(|| unflatten(b.nrows(), w, &data));
         }
+        ctx.tracer().pop_scope();
 
         // Step 1 (local GEMMs): contributions −A⁻¹[RJ,RI]·L̂_{I,K}.
         let mut contrib: HashMap<usize, Mat> = HashMap::new(); // key: bj index
@@ -298,33 +333,31 @@ fn rank_main(
                 }
                 let s = st.gather_sub(k, bj, bi);
                 let y = &ucur[&bi_i];
-                let c = contrib
-                    .entry(bj_i)
-                    .or_insert_with(|| Mat::zeros(bj.nrows(), w));
+                let c = contrib.entry(bj_i).or_insert_with(|| Mat::zeros(bj.nrows(), w));
                 gemm(-1.0, &s, Transpose::No, y, Transpose::No, 1.0, c);
             }
         }
 
         // Step b: Row-Reduce each target block onto the owner of A⁻¹_{J,K}.
+        ctx.tracer().push_scope(CollKind::RowReduce, k as u64);
         for (bj_i, bj) in blocks.iter().enumerate() {
             let tree = &sp.row_reduces[bj_i];
             if !tree.members().contains(&me) {
                 continue;
             }
-            let local = contrib
-                .remove(&bj_i)
-                .unwrap_or_else(|| Mat::zeros(bj.nrows(), w));
+            let local = contrib.remove(&bj_i).unwrap_or_else(|| Mat::zeros(bj.nrows(), w));
             let total = tree_reduce(ctx, tree, tag(PHASE_ROW_REDUCE, k, bj_i), flatten(&local));
             if let Some(t) = total {
-                st.ainv_lower
-                    .insert(sf.blocks_ptr[k] + bj_i, unflatten(bj.nrows(), w, &t));
+                st.ainv_lower.insert(sf.blocks_ptr[k] + bj_i, unflatten(bj.nrows(), w, &t));
             }
         }
+        ctx.tracer().pop_scope();
 
         // Steps 2 + c: diagonal contributions L̂ᵀ_{I,K} A⁻¹_{I,K}, reduced
         // onto the diagonal owner; then A⁻¹_{K,K} = (LDLᵀ)⁻¹ − Σ.
         let is_diag_owner = layout.diag_owner(k) == me;
         let in_dreduce = sp.diag_reduce.members().contains(&me);
+        ctx.tracer().push_scope(CollKind::DiagReduce, k as u64);
         if is_diag_owner || in_dreduce {
             let mut dcon = Mat::zeros(w, w);
             for (bi, b) in blocks.iter().enumerate() {
@@ -364,8 +397,10 @@ fn rank_main(
                 st.ainv_diag.insert(k, diag);
             }
         }
+        ctx.tracer().pop_scope();
 
         // Step 3': A⁻¹ transposes for the upper storage.
+        ctx.tracer().push_scope(CollKind::AinvTranspose, k as u64);
         for (bj_i, bj) in blocks.iter().enumerate() {
             let (src, dst) = sp.ainv_transposes[bj_i];
             let bid = sf.blocks_ptr[k] + bj_i;
@@ -381,6 +416,7 @@ fn rank_main(
                 st.ainv_upper.insert(bid, unflatten(bj.nrows(), w, &data));
             }
         }
+        ctx.tracer().pop_scope();
     }
 
     (st.ainv_diag, st.ainv_lower)
@@ -488,15 +524,95 @@ mod tests {
     }
 
     #[test]
+    fn tag_packing_is_injective() {
+        // Distinct (phase, supernode, block) triples must produce distinct
+        // tags — a collision would let messages of different collectives
+        // cross-match in the runtime's (src, tag) matching.
+        use std::collections::HashMap;
+        let phases = [
+            PHASE_DIAG_BCAST,
+            PHASE_TRANSPOSE,
+            PHASE_COL_BCAST,
+            PHASE_ROW_REDUCE,
+            PHASE_DIAG_REDUCE,
+            PHASE_AINV_TRANS,
+        ];
+        // Sample the corners and interiors of each lane.
+        let ks = [0usize, 1, 2, 1000, (1 << 24) - 1, 1 << 24, u32::MAX as usize];
+        let bis = [0usize, 1, 7, 4095, (1 << 24) - 1];
+        let mut seen: HashMap<u64, (u64, usize, usize)> = HashMap::new();
+        for &p in &phases {
+            for &k in &ks {
+                for &bi in &bis {
+                    let t = tag(p, k, bi);
+                    if let Some(prev) = seen.insert(t, (p, k, bi)) {
+                        panic!("tag collision: {prev:?} and ({p:#x},{k},{bi}) -> {t:#x}");
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), phases.len() * ks.len() * bis.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "24-bit tag lane")]
+    #[cfg(debug_assertions)]
+    fn tag_rejects_block_index_overflow() {
+        let _ = tag(PHASE_COL_BCAST, 0, 1 << 24);
+    }
+
+    #[test]
+    fn traced_volumes_match_structural_replay_exactly() {
+        // The acceptance link of the trace layer: per-rank ColBcast bytes
+        // attributed by the traced numeric run must equal the structural
+        // replay's col_bcast_sent per rank — not just in total.
+        let w = gen::grid_laplacian_2d(10, 10);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let f = pselinv_factor::factorize(&w.matrix, sf.clone()).unwrap();
+        let grid = Grid2D::new(3, 3);
+        for scheme in [TreeScheme::Flat, TreeScheme::ShiftedBinary] {
+            let opts = DistOptions { scheme, seed: 7 };
+            let (_, _, trace) = distributed_selinv_traced(&f, grid, &opts, "unit");
+            let layout = Layout::new(sf.clone(), grid);
+            let rep =
+                crate::volume::replay_volumes(&layout, TreeBuilder::new(opts.scheme, opts.seed));
+            assert_eq!(trace.sent_bytes(CollKind::ColBcast), rep.col_bcast_sent, "{scheme}");
+            assert_eq!(trace.recv_bytes(CollKind::RowReduce), rep.row_reduce_received, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn traced_run_has_phase_spans_and_matches_untraced_result() {
+        let w = gen::grid_laplacian_2d(8, 8);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let f = pselinv_factor::factorize(&w.matrix, sf.clone()).unwrap();
+        let opts = DistOptions::default();
+        let (plain, vol_a) = distributed_selinv(&f, Grid2D::new(2, 2), &opts);
+        let (traced, vol_b, trace) =
+            distributed_selinv_traced(&f, Grid2D::new(2, 2), &opts, "unit/traced");
+        // Tracing must not perturb results or communication.
+        assert_eq!(vol_a, vol_b);
+        for s in 0..sf.num_supernodes() {
+            for j in 0..sf.width(s) {
+                for i in 0..sf.width(s) {
+                    assert_eq!(plain.panels[s].diag[(i, j)], traced.panels[s].diag[(i, j)]);
+                }
+            }
+        }
+        // Every rank recorded spans for each phase of each supernode.
+        let ns = sf.num_supernodes() as u64;
+        for r in &trace.ranks {
+            assert_eq!(r.metrics.kind(CollKind::ColBcast).spans, ns);
+            assert_eq!(r.metrics.kind(CollKind::RowReduce).spans, ns);
+        }
+    }
+
+    #[test]
     fn get_api_matches_dense_inverse_through_distribution() {
         let w = gen::grid_laplacian_2d(6, 6);
         let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
         let f = pselinv_factor::factorize(&w.matrix, sf.clone()).unwrap();
-        let (dist, _) = distributed_selinv(
-            &f,
-            Grid2D::new(2, 3),
-            &DistOptions::default(),
-        );
+        let (dist, _) = distributed_selinv(&f, Grid2D::new(2, 3), &DistOptions::default());
         // verify against dense inverse
         let n = w.matrix.nrows();
         let mut dm = Mat::from_col_major(n, n, &w.matrix.to_dense_col_major());

@@ -130,10 +130,8 @@ impl CommPlan {
             // pr(J): one contribution per distinct process column hosting
             // one of the ancestors I.
             let prow_j = grid.prow_of_block(b.sn);
-            let mut contributors: Vec<usize> = blocks
-                .iter()
-                .map(|bb| grid.rank_of(prow_j, grid.pcol_of_block(bb.sn)))
-                .collect();
+            let mut contributors: Vec<usize> =
+                blocks.iter().map(|bb| grid.rank_of(prow_j, grid.pcol_of_block(bb.sn))).collect();
             contributors.sort_unstable();
             contributors.dedup();
             contributors.retain(|&r| r != src);

@@ -19,6 +19,7 @@ use crate::layout::Layout;
 use crate::plan::CommPlan;
 use pselinv_order::symbolic::SnBlock;
 use pselinv_order::SymbolicFactor;
+use pselinv_trace::{pack_task_tag, CollKind};
 use pselinv_trees::{CollectiveTree, TreeBuilder, TreeScheme};
 use std::collections::HashMap;
 
@@ -73,6 +74,11 @@ pub struct TaskGraph {
     pub task_prio: Vec<i64>,
     /// Task kind (compute vs forward).
     pub task_kind: Vec<TaskKind>,
+    /// Trace tag of each task: `(CollKind, supernode)` packed with
+    /// [`pselinv_trace::pack_task_tag`]. Lets the DES engine label spans
+    /// and messages with the same `(phase, supernode)` vocabulary as the
+    /// traced mpisim runtime.
+    pub task_tag: Vec<u32>,
     /// Number of incoming dependencies (local + messages) per task.
     pub task_deps: Vec<u32>,
     /// CSR offsets into `succ` / `succ_bytes`.
@@ -132,12 +138,29 @@ struct GraphBuilder {
     flops: Vec<f64>,
     prio: Vec<i64>,
     kind: Vec<TaskKind>,
+    tag: Vec<u32>,
+    /// Trace tag stamped on tasks created until the next `set_context`.
+    ctx_tag: u32,
     edges: Vec<(u32, u32, u64)>,
 }
 
 impl GraphBuilder {
     fn new() -> Self {
-        Self { rank: Vec::new(), flops: Vec::new(), prio: Vec::new(), kind: Vec::new(), edges: Vec::new() }
+        Self {
+            rank: Vec::new(),
+            flops: Vec::new(),
+            prio: Vec::new(),
+            kind: Vec::new(),
+            tag: Vec::new(),
+            ctx_tag: pack_task_tag(CollKind::Other, 0),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Sets the `(phase, supernode)` context stamped on subsequently
+    /// created tasks (including those made by `bcast_tasks`/`reduce_tasks`).
+    fn set_context(&mut self, coll: CollKind, supernode: usize) {
+        self.ctx_tag = pack_task_tag(coll, supernode);
     }
 
     fn task(&mut self, rank: usize, flops: f64, prio: i64, kind: TaskKind) -> TaskId {
@@ -146,6 +169,7 @@ impl GraphBuilder {
         self.flops.push(flops);
         self.prio.push(prio);
         self.kind.push(kind);
+        self.tag.push(self.ctx_tag);
         id
     }
 
@@ -250,6 +274,7 @@ impl GraphBuilder {
             task_flops: self.flops,
             task_prio: self.prio,
             task_kind: self.kind,
+            task_tag: self.tag,
             task_deps: deps,
             succ_ptr: ptr,
             succ,
@@ -291,8 +316,10 @@ pub fn selinv_graph(layout: &Layout, opts: &GraphOptions) -> TaskGraph {
         let prio = (ns - 1 - k) as i64; // processed late in phase 2; phase 1
                                         // order is driven by dependencies
         let diag_owner = layout.diag_owner(k);
+        gb.set_context(CollKind::DiagBcast, k);
         let root_task = gb.task(diag_owner, 0.0, prio, TaskKind::Forward);
         let avail = gb.bcast_tasks(&sp.diag_bcast, root_task, layout.diag_bytes(k), prio);
+        gb.set_context(CollKind::Compute, k);
         for (bi, b) in blocks.iter().enumerate() {
             let owner = layout.lower_owner(b, k);
             let t = gb.task(owner, b.nrows() as f64 * w * w, prio, TaskKind::Compute);
@@ -311,6 +338,7 @@ pub fn selinv_graph(layout: &Layout, opts: &GraphOptions) -> TaskGraph {
         let diag_owner = layout.diag_owner(k);
 
         // Diagonal seed (inversion of the w×w block).
+        gb.set_context(CollKind::Compute, k);
         let inv0 = gb.task(diag_owner, w * w * w, prio, TaskKind::Compute);
         if let Some(b) = prev_barrier {
             gb.edge(b, inv0, 0);
@@ -331,6 +359,7 @@ pub fn selinv_graph(layout: &Layout, opts: &GraphOptions) -> TaskGraph {
             let bytes = layout.block_bytes(b, k);
             let (src, dst) = sp.transposes[bi];
             let lhat = lhat_task[&bid];
+            gb.set_context(CollKind::Transpose, k);
             let root_task = if src == dst {
                 lhat
             } else {
@@ -346,6 +375,7 @@ pub fn selinv_graph(layout: &Layout, opts: &GraphOptions) -> TaskGraph {
             } else {
                 root_task
             };
+            gb.set_context(CollKind::ColBcast, k);
             u_avail.push(gb.bcast_tasks(&sp.col_bcasts[bi], root_task, bytes, prio));
         }
 
@@ -355,6 +385,7 @@ pub fn selinv_graph(layout: &Layout, opts: &GraphOptions) -> TaskGraph {
             let prow_j = grid.prow_of_block(bj.sn);
             let rj = bj.nrows() as f64;
             // local GEMM tasks per participating rank
+            gb.set_context(CollKind::Compute, k);
             let mut local: HashMap<usize, Vec<TaskId>> = HashMap::new();
             for (bi_i, bi) in blocks.iter().enumerate() {
                 let rank = grid.rank_of(prow_j, grid.pcol_of_block(bi.sn));
@@ -375,13 +406,14 @@ pub fn selinv_graph(layout: &Layout, opts: &GraphOptions) -> TaskGraph {
                 local.entry(rank).or_default().push(t);
             }
             let bytes = layout.block_bytes(bj, k);
-            let root =
-                gb.reduce_tasks(&sp.row_reduces[bj_i], &local, bytes, rj * w, prio);
+            gb.set_context(CollKind::RowReduce, k);
+            let root = gb.reduce_tasks(&sp.row_reduces[bj_i], &local, bytes, rj * w, prio);
             rred_this.push(root);
             rred_root.insert(sf.blocks_ptr[k] + bj_i, root);
         }
 
         // Diagonal GEMMs + diagonal reduction.
+        gb.set_context(CollKind::Compute, k);
         let mut dlocal: HashMap<usize, Vec<TaskId>> = HashMap::new();
         for (bi, b) in blocks.iter().enumerate() {
             let owner = layout.lower_owner(b, k);
@@ -389,14 +421,15 @@ pub fn selinv_graph(layout: &Layout, opts: &GraphOptions) -> TaskGraph {
             gb.edge(rred_this[bi], t, 0);
             dlocal.entry(owner).or_default().push(t);
         }
-        let dred =
-            gb.reduce_tasks(&sp.diag_reduce, &dlocal, layout.diag_bytes(k), w * w, prio);
+        gb.set_context(CollKind::DiagReduce, k);
+        let dred = gb.reduce_tasks(&sp.diag_reduce, &dlocal, layout.diag_bytes(k), w * w, prio);
         let ddone = gb.task(diag_owner, 0.0, prio, TaskKind::Forward);
         gb.edge(inv0, ddone, 0);
         gb.edge(dred, ddone, 0);
         diag_done[k] = Some(ddone);
 
         // Step-5 A⁻¹ transposes.
+        gb.set_context(CollKind::AinvTranspose, k);
         let mut last_tasks: Vec<TaskId> = vec![ddone];
         for (bj_i, bj) in blocks.iter().enumerate() {
             let bid = sf.blocks_ptr[k] + bj_i;
@@ -414,6 +447,7 @@ pub fn selinv_graph(layout: &Layout, opts: &GraphOptions) -> TaskGraph {
 
         // Optional v0.7.3-style barrier between supernodes.
         if !opts.pipelining {
+            gb.set_context(CollKind::Barrier, k);
             let barrier = gb.task(diag_owner, 0.0, prio, TaskKind::Forward);
             for t in last_tasks {
                 gb.edge(t, barrier, 0);
@@ -442,6 +476,7 @@ pub fn factorization_graph(layout: &Layout, opts: &GraphOptions) -> TaskGraph {
     for k in 0..ns {
         let w = sf.width(k) as f64;
         let prio = k as i64;
+        gb.set_context(CollKind::Compute, k);
         fdiag.push(gb.task(layout.diag_owner(k), w * w * w / 3.0, prio, TaskKind::Compute));
         for (bi, b) in sf.blocks_of(k).iter().enumerate() {
             let t = gb.task(
@@ -470,6 +505,7 @@ pub fn factorization_graph(layout: &Layout, opts: &GraphOptions) -> TaskGraph {
         lower_owners.dedup();
         lower_owners.retain(|&r| r != diag_owner);
         let dtree = builder.build(diag_owner, &lower_owners, (k as u64) << 3);
+        gb.set_context(CollKind::DiagBcast, k);
         let davail = gb.bcast_tasks(&dtree, fdiag[k], layout.diag_bytes(k), prio);
         for (bi, b) in blocks.iter().enumerate() {
             let owner = layout.lower_owner(b, k);
@@ -488,15 +524,16 @@ pub fn factorization_graph(layout: &Layout, opts: &GraphOptions) -> TaskGraph {
             let pt = fpanel[&(sf.blocks_ptr[k] + bi)];
             // row bcast
             let prow = grid.prow_of_block(b.sn);
-            let mut rcv: Vec<usize> =
-                pcols.iter().map(|&pc| grid.rank_of(prow, pc)).collect();
+            let mut rcv: Vec<usize> = pcols.iter().map(|&pc| grid.rank_of(prow, pc)).collect();
             rcv.sort_unstable();
             rcv.dedup();
             rcv.retain(|&r| r != owner);
             let rtree = builder.build(owner, &rcv, ((k as u64) << 20) | (1 << 40) | bi as u64);
+            gb.set_context(CollKind::Bcast, k);
             l_avail.push(gb.bcast_tasks(&rtree, pt, bytes, prio));
             // transpose + col bcast
             let udst = layout.upper_owner(b, k);
+            gb.set_context(CollKind::Transpose, k);
             let uroot = if udst == owner {
                 pt
             } else {
@@ -505,17 +542,18 @@ pub fn factorization_graph(layout: &Layout, opts: &GraphOptions) -> TaskGraph {
                 t
             };
             let pcol = grid.pcol_of_block(b.sn);
-            let mut crcv: Vec<usize> =
-                prows.iter().map(|&pr| grid.rank_of(pr, pcol)).collect();
+            let mut crcv: Vec<usize> = prows.iter().map(|&pr| grid.rank_of(pr, pcol)).collect();
             crcv.sort_unstable();
             crcv.dedup();
             crcv.retain(|&r| r != udst);
             let ctree = builder.build(udst, &crcv, ((k as u64) << 20) | (2 << 40) | bi as u64);
+            gb.set_context(CollKind::ColBcast, k);
             u_avail.push(gb.bcast_tasks(&ctree, uroot, bytes, prio));
         }
 
         // Updates: for every pair (bi ≥ bj), GEMM at (pr(bi.sn), pc(bj.sn))
         // targeting block (bi.sn, bj.sn) of supernode bj.sn.
+        gb.set_context(CollKind::Compute, k);
         for (bj_i, bj) in blocks.iter().enumerate() {
             for (bi_i, bi) in blocks.iter().enumerate() {
                 if bi.sn < bj.sn {
@@ -563,10 +601,7 @@ mod tests {
     fn selinv_graph_is_executable() {
         let l = layout(3, 3);
         for pipelining in [true, false] {
-            let g = selinv_graph(
-                &l,
-                &GraphOptions { pipelining, ..Default::default() },
-            );
+            let g = selinv_graph(&l, &GraphOptions { pipelining, ..Default::default() });
             assert_eq!(g.validate(), g.num_tasks(), "pipelining={pipelining}");
             assert!(g.total_flops() > 0.0);
         }
@@ -604,10 +639,8 @@ mod tests {
     fn flat_and_shifted_have_same_total_flops() {
         // Routing changes messages, not arithmetic.
         let l = layout(3, 3);
-        let flat = selinv_graph(
-            &l,
-            &GraphOptions { scheme: TreeScheme::Flat, ..Default::default() },
-        );
+        let flat =
+            selinv_graph(&l, &GraphOptions { scheme: TreeScheme::Flat, ..Default::default() });
         let shifted = selinv_graph(
             &l,
             &GraphOptions { scheme: TreeScheme::ShiftedBinary, ..Default::default() },
@@ -631,12 +664,43 @@ mod tests {
     fn barrier_mode_adds_tasks_and_stays_acyclic() {
         let l = layout(2, 3);
         let pipelined = selinv_graph(&l, &GraphOptions::default());
-        let barriered = selinv_graph(
-            &l,
-            &GraphOptions { pipelining: false, ..Default::default() },
-        );
+        let barriered = selinv_graph(&l, &GraphOptions { pipelining: false, ..Default::default() });
         assert!(barriered.num_tasks() > pipelined.num_tasks());
         assert_eq!(barriered.validate(), barriered.num_tasks());
+    }
+
+    #[test]
+    fn task_tags_partition_collective_bytes() {
+        // Message edges whose destination task is tagged ColBcast /
+        // RowReduce must account for exactly the bytes the structural
+        // replay attributes to those collectives — the invariant that lets
+        // the DES tracer reuse the mpisim trace vocabulary.
+        use pselinv_trace::unpack_task_tag;
+        let l = layout(3, 3);
+        let opts = GraphOptions::default();
+        let g = selinv_graph(&l, &opts);
+        let rep = replay_volumes(&l, TreeBuilder::new(opts.scheme, opts.seed));
+        let mut col_sent = vec![0u64; g.nranks];
+        let mut row_recv = vec![0u64; g.nranks];
+        for t in 0..g.num_tasks() as u32 {
+            for (s, b) in g.out_edges(t) {
+                if b == 0 {
+                    continue;
+                }
+                let (kind, _) = unpack_task_tag(g.task_tag[s as usize]);
+                match kind {
+                    CollKind::ColBcast => {
+                        col_sent[g.task_rank[t as usize] as usize] += b;
+                    }
+                    CollKind::RowReduce => {
+                        row_recv[g.task_rank[s as usize] as usize] += b;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(col_sent, rep.col_bcast_sent);
+        assert_eq!(row_recv, rep.row_reduce_received);
     }
 
     #[test]

@@ -52,9 +52,7 @@ impl VolumeReport {
 
     fn heatmap(&self, v: &[u64]) -> Vec<Vec<f64>> {
         let (pr, pc) = self.grid;
-        (0..pr)
-            .map(|r| (0..pc).map(|c| v[r * pc + c] as f64 * 1e-6).collect())
-            .collect()
+        (0..pr).map(|r| (0..pc).map(|c| v[r * pc + c] as f64 * 1e-6).collect()).collect()
     }
 
     /// Histogram of a volume vector (Fig. 4): returns `(bin_edges, counts)`

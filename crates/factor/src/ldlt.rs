@@ -74,7 +74,10 @@ pub struct LdlFactor {
 /// let r = a.matvec(&x);
 /// assert!(r.iter().zip(&b).all(|(ri, bi)| (ri - bi).abs() < 1e-9));
 /// ```
-pub fn factorize(a: &SparseMatrix, symbolic: Arc<SymbolicFactor>) -> Result<LdlFactor, FactorError> {
+pub fn factorize(
+    a: &SparseMatrix,
+    symbolic: Arc<SymbolicFactor>,
+) -> Result<LdlFactor, FactorError> {
     let sf = &*symbolic;
     if a.nrows() != sf.n || a.ncols() != sf.n {
         return Err(FactorError::ShapeMismatch { matrix_n: a.nrows(), symbolic_n: sf.n });

@@ -9,7 +9,7 @@
 
 use crate::panel::{locate_row, Panel, RowPos};
 use pselinv_dense::kernels::{trsm_left_lower, trsm_right_lower_trans};
-use pselinv_dense::{Mat, Transpose, gemm};
+use pselinv_dense::{gemm, Mat, Transpose};
 use pselinv_order::SymbolicFactor;
 use pselinv_sparse::SparseMatrix;
 use std::sync::Arc;

@@ -7,7 +7,20 @@
 //! messages along its edges.
 
 use crate::runtime::RankCtx;
+use pselinv_trace::CollKind;
 use pselinv_trees::CollectiveTree;
+
+/// Opens the tracing window of one collective call: records this rank's
+/// tree depth for per-depth byte attribution and (when no phase scope is
+/// already open) a `(kind, tag)` span. Free when tracing is disabled — in
+/// particular `depth_of` is never computed.
+fn trace_enter(ctx: &mut RankCtx, kind: CollKind, tag: u64, tree: &CollectiveTree) -> bool {
+    if !ctx.tracer().is_enabled() {
+        return false;
+    }
+    let depth = tree.depth_of(ctx.rank());
+    ctx.tracer().coll_enter(kind, tag, depth)
+}
 
 /// Broadcasts `data` from the tree's root to every participant.
 ///
@@ -20,6 +33,7 @@ pub fn tree_bcast(
     data: Option<Vec<f64>>,
 ) -> Vec<f64> {
     let me = ctx.rank();
+    let pushed = trace_enter(ctx, CollKind::Bcast, tag, tree);
     let payload = if me == tree.root() {
         data.expect("root must provide the broadcast payload")
     } else {
@@ -31,6 +45,7 @@ pub fn tree_bcast(
     for child in tree.children_of(me) {
         ctx.send(child, tag, payload.clone());
     }
+    ctx.tracer().coll_exit(pushed);
     payload
 }
 
@@ -43,6 +58,7 @@ pub fn tree_reduce(
     local: Vec<f64>,
 ) -> Option<Vec<f64>> {
     let me = ctx.rank();
+    let pushed = trace_enter(ctx, CollKind::Reduce, tag, tree);
     let mut acc = local;
     for child in tree.children_of(me) {
         let contrib = ctx.recv(child, tag);
@@ -51,7 +67,7 @@ pub fn tree_reduce(
             *a += c;
         }
     }
-    if me == tree.root() {
+    let out = if me == tree.root() {
         Some(acc)
     } else {
         let parent = tree
@@ -59,7 +75,9 @@ pub fn tree_reduce(
             .unwrap_or_else(|| panic!("rank {me} is not a participant of this reduction"));
         ctx.send(parent, tag, acc);
         None
-    }
+    };
+    ctx.tracer().coll_exit(pushed);
+    out
 }
 
 #[cfg(test)]
@@ -162,6 +180,39 @@ mod tests {
         for r in 0..12 {
             assert_eq!(volumes[r].sent, expected[r], "rank {r}");
         }
+    }
+
+    #[test]
+    fn traced_bcast_bytes_match_tree_accounting() {
+        use crate::runtime::run_traced;
+        use pselinv_trace::CollKind;
+        let b = TreeBuilder::new(TreeScheme::ShiftedBinary, 3);
+        let receivers: Vec<usize> = (1..10).collect();
+        let tree = b.build(0, &receivers, 7);
+        let payload = 24usize;
+        let (_, _, trace) = run_traced(10, "unit/bcast", |ctx| {
+            tree_bcast(ctx, &tree, 0, (ctx.rank() == 0).then(|| vec![1.0; payload]));
+        });
+        let mut expected = vec![0u64; 10];
+        pselinv_trees::bcast_sent_volume(&tree, (payload * 8) as u64, &mut expected);
+        // Bare collective: every send lands under the Bcast kind.
+        assert_eq!(trace.sent_bytes(CollKind::Bcast), expected);
+        // Depth attribution: total over depths equals total over ranks, and
+        // only depths that actually forward (interior levels) carry bytes.
+        let by_depth: Vec<u64> = {
+            let mut d = Vec::new();
+            for r in &trace.ranks {
+                for (i, &v) in r.metrics.depth_sent_bytes.iter().enumerate() {
+                    if i >= d.len() {
+                        d.resize(i + 1, 0);
+                    }
+                    d[i] += v;
+                }
+            }
+            d
+        };
+        assert_eq!(by_depth.iter().sum::<u64>(), expected.iter().sum::<u64>());
+        assert!(by_depth.len() <= tree.depth() + 1);
     }
 
     #[test]

@@ -25,7 +25,7 @@ impl Grid2D {
     pub fn square_for(p: usize) -> Self {
         assert!(p > 0);
         let mut pr = (p as f64).sqrt() as usize;
-        while pr > 1 && p % pr != 0 {
+        while pr > 1 && !p.is_multiple_of(pr) {
             pr -= 1;
         }
         Self { pr, pc: p / pr }

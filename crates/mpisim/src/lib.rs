@@ -25,4 +25,4 @@ pub mod runtime;
 
 pub use grid::Grid2D;
 pub use requests::{tree_barrier, wait_any, RecvRequest};
-pub use runtime::{run, Message, RankCtx, RankVolume};
+pub use runtime::{run, run_traced, Message, RankCtx, RankVolume};

@@ -143,8 +143,7 @@ mod tests {
             match ctx.rank() {
                 0 => {
                     // rank 0 posts receives from both others
-                    let mut reqs =
-                        vec![RecvRequest::post(1, 1), RecvRequest::post(2, 2)];
+                    let mut reqs = vec![RecvRequest::post(1, 1), RecvRequest::post(2, 2)];
                     let first = wait_any(ctx, &mut reqs);
                     let a = reqs.remove(first).take().unwrap()[0];
                     let second = wait_any(ctx, &mut reqs);

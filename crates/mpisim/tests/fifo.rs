@@ -1,0 +1,87 @@
+//! Property test for MPI non-overtaking semantics: messages with the same
+//! `(source, tag)` must be delivered in send order, no matter how the
+//! receiver interleaves wildcard receives, tag probes and un-receives
+//! (`stash_back`).
+//!
+//! The seed runtime popped its out-of-order stash LIFO (`Vec::pop`) and
+//! spliced tag matches with `swap_remove`; both break this property. The
+//! deterministic regression lives in `runtime.rs`; this test explores the
+//! interleaving space.
+
+use proptest::prelude::*;
+use pselinv_mpisim::run;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn per_source_tag_delivery_is_fifo(
+        n_msgs in 4usize..24,
+        n_tags in 1u64..4,
+        ops in proptest::collection::vec(0usize..4, 16..48),
+    ) {
+        let ops = &ops;
+        let (results, _) = run(2, move |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..n_msgs {
+                    // Payload carries the per-tag sequence number.
+                    let tag = i as u64 % n_tags;
+                    ctx.send(1, tag, vec![i as f64]);
+                }
+                Ok(())
+            } else {
+                // seq numbers observed so far, per tag
+                let mut seen: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+                let mut got = 0usize;
+                let mut op_i = 0usize;
+                while got < n_msgs {
+                    let op = ops[op_i % ops.len()];
+                    op_i += 1;
+                    match op {
+                        0 => {
+                            let m = ctx.recv_any();
+                            seen.entry(m.tag).or_default().push(m.data[0] as u64);
+                            got += 1;
+                        }
+                        1 => {
+                            if let Some(m) = ctx.try_recv_any() {
+                                seen.entry(m.tag).or_default().push(m.data[0] as u64);
+                                got += 1;
+                            }
+                        }
+                        2 => {
+                            // Peek and un-receive: must not reorder anything.
+                            let m = ctx.recv_any();
+                            ctx.stash_back(m);
+                        }
+                        _ => {
+                            // Tag-targeted probe; pulls a message out of the
+                            // middle of the stash.
+                            let tag = op_i as u64 % n_tags;
+                            if let Some(d) = ctx.try_match(0, tag) {
+                                seen.entry(tag).or_default().push(d[0] as u64);
+                                got += 1;
+                            }
+                        }
+                    }
+                }
+                // Within each (src=0, tag) stream, sequence numbers must be
+                // strictly increasing: non-overtaking delivery.
+                for (tag, seqs) in &seen {
+                    for w in seqs.windows(2) {
+                        if w[0] >= w[1] {
+                            return Err(format!(
+                                "tag {tag}: got seq {} before {}, order {seqs:?}",
+                                w[0], w[1]
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            }
+        });
+        for r in results {
+            prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+        }
+    }
+}

@@ -21,9 +21,8 @@ pub fn minimum_degree(pattern: &SparsityPattern) -> Permutation {
     // adj[v]: adjacent *variables* (may contain stale entries, cleaned lazily)
     // elems[v]: adjacent *elements* (indices of eliminated pivots)
     // elem_rows[e]: variables of element e (cleaned of eliminated vars lazily)
-    let mut adj: Vec<Vec<usize>> = (0..n)
-        .map(|j| sym.col_rows(j).iter().copied().filter(|&i| i != j).collect())
-        .collect();
+    let mut adj: Vec<Vec<usize>> =
+        (0..n).map(|j| sym.col_rows(j).iter().copied().filter(|&i| i != j).collect()).collect();
     let mut elems: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut elem_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut eliminated = vec![false; n];

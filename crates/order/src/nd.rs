@@ -112,7 +112,7 @@ mod tests {
     fn dof_blocks_stay_contiguous() {
         let g = Geometry { dims: [6, 6, 1], dof: 3 };
         let p = nested_dissection(&g, NdOptions { leaf_size: 4 });
-        for node in 0..(36usize) {
+        for node in 0..36usize {
             let base = p.new_of(node * 3);
             assert_eq!(p.new_of(node * 3 + 1), base + 1);
             assert_eq!(p.new_of(node * 3 + 2), base + 2);

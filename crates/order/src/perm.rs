@@ -81,8 +81,7 @@ impl Permutation {
     /// (`result.new_of(i) = after.new_of(self.new_of(i))`).
     pub fn then(&self, after: &Permutation) -> Permutation {
         assert_eq!(self.len(), after.len());
-        let new_of_old: Vec<usize> =
-            self.new_of_old.iter().map(|&mid| after.new_of(mid)).collect();
+        let new_of_old: Vec<usize> = self.new_of_old.iter().map(|&mid| after.new_of(mid)).collect();
         Permutation::from_new_of_old(new_of_old)
     }
 

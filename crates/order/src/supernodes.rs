@@ -125,8 +125,7 @@ pub fn relax_supernodes(
                 // from siblings can exceed it — so it cannot guarantee "no
                 // explicit zeros".)
                 false
-            } else if child_width <= opts.relax_small
-                || (next_end - next_begin) <= opts.relax_small
+            } else if child_width <= opts.relax_small || (next_end - next_begin) <= opts.relax_small
             {
                 true
             } else {

@@ -253,7 +253,8 @@ pub fn analyze(pattern: &SparsityPattern, opts: &AnalyzeOptions) -> SymbolicFact
 
     // 4. Supernode partition.
     let fundamental = supernodes::fundamental_supernodes(&col_parent, &col_counts);
-    let part = supernodes::relax_supernodes(&fundamental, &col_parent, &col_counts, &opts.supernode);
+    let part =
+        supernodes::relax_supernodes(&fundamental, &col_parent, &col_counts, &opts.supernode);
     let sn_parent = supernodes::supernodal_etree(&part, &col_parent);
 
     // 5. Supernodal row structure, bottom-up merge.
@@ -459,11 +460,7 @@ mod tests {
         let pat = w.matrix.pattern();
         let opts = AnalyzeOptions {
             ordering: OrderingChoice::Natural,
-            supernode: SupernodeOptions {
-                max_width: 0,
-                relax_small: 0,
-                relax_zero_fraction: 0.0,
-            },
+            supernode: SupernodeOptions { max_width: 0, relax_small: 0, relax_zero_fraction: 0.0 },
             track_true_structure: true,
         };
         let sf = analyze(&pat, &opts);

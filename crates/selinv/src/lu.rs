@@ -140,7 +140,7 @@ impl SelectedInverseLu {
         }
         match sf.rows_of(s).binary_search(&hi) {
             Ok(p) => {
-                let exact = sf.true_rows_of(s).map_or(true, |m| m[p]);
+                let exact = sf.true_rows_of(s).is_none_or(|m| m[p]);
                 exact.then(|| {
                     if upper_side {
                         self.upper[s][(p, ll)]

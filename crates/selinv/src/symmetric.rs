@@ -133,7 +133,7 @@ impl SelectedInverse {
         }
         match sf.rows_of(s).binary_search(&pi) {
             Ok(p) => {
-                let exact = sf.true_rows_of(s).map_or(true, |m| m[p]);
+                let exact = sf.true_rows_of(s).is_none_or(|m| m[p]);
                 exact.then(|| self.panels[s].below[(p, jl)])
             }
             Err(_) => None,
@@ -176,7 +176,7 @@ impl SelectedInverse {
                     (sf.perm.old_of(first + il), sf.perm.old_of(first + jl), panel.diag[(il, jl)])
                 });
                 let below_part = rows.iter().enumerate().filter_map(move |(p, &r)| {
-                    let exact = mask.map_or(true, |m| m[p]);
+                    let exact = mask.is_none_or(|m| m[p]);
                     exact.then(|| {
                         (sf.perm.old_of(r), sf.perm.old_of(first + jl), panel.below[(p, jl)])
                     })

@@ -134,11 +134,8 @@ pub fn fem_3d(nx: usize, ny: usize, nz: usize, dof: usize, seed: u64) -> Workloa
                 // dominates.
                 for d1 in 0..dof {
                     for d2 in 0..=d1 {
-                        let v = if d1 == d2 {
-                            30.0 + dof as f64
-                        } else {
-                            rng.random_range(-0.2..0.2)
-                        };
+                        let v =
+                            if d1 == d2 { 30.0 + dof as f64 } else { rng.random_range(-0.2..0.2) };
                         t.push_sym(a * dof + d1, a * dof + d2, v);
                     }
                 }
@@ -153,8 +150,7 @@ pub fn fem_3d(nx: usize, ny: usize, nz: usize, dof: usize, seed: u64) -> Workloa
                             if dz == 0 && (dy < 0 || (dy == 0 && dx <= 0)) {
                                 continue;
                             }
-                            let (xx, yy, zz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz as i64);
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz as i64);
                             if xx < 0 || yy < 0 || xx >= nx as i64 || yy >= ny as i64 {
                                 continue;
                             }
@@ -354,7 +350,7 @@ mod tests {
         assert!(m.is_symmetric(0.0));
         assert!(is_diag_dominant(m));
         // center point (1,1,1) has 6 neighbours + diagonal
-        let c = (1 * 3 + 1) * 3 + 1;
+        let c = (3 + 1) * 3 + 1;
         assert_eq!(m.col_rows(c).len(), 7);
     }
 

@@ -44,9 +44,7 @@ fn parse_err(msg: impl Into<String>) -> MmError {
 /// Reads a Matrix Market matrix from any reader.
 pub fn read_matrix_market<R: Read>(reader: R) -> Result<SparseMatrix, MmError> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let header_lc = header.to_ascii_lowercase();
     let fields: Vec<&str> = header_lc.split_whitespace().collect();
     if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
@@ -68,9 +66,7 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<SparseMatrix, MmError> {
 
     // Skip comments, find size line.
     let size_line = loop {
-        let line = lines
-            .next()
-            .ok_or_else(|| parse_err("missing size line"))??;
+        let line = lines.next().ok_or_else(|| parse_err("missing size line"))??;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') {
             continue;
@@ -186,10 +182,8 @@ mod tests {
     #[test]
     fn rejects_bad_header() {
         assert!(read_matrix_market("garbage\n1 1 0\n".as_bytes()).is_err());
-        assert!(read_matrix_market(
-            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
-        )
-        .is_err());
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes())
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Chrome trace-event ("catapult") export.
+//!
+//! The produced JSON loads directly in `chrome://tracing` and in Perfetto:
+//! one process (pid 0) with one named thread per rank, complete ("X")
+//! events for spans, instant ("i") events for message send/arrival, and
+//! counter ("C") events for the stash depth.
+
+use crate::event::{EventKind, NO_KEY};
+use crate::json::Json;
+use crate::sink::Trace;
+
+/// Renders `trace` as a Chrome trace-event JSON document.
+pub fn to_chrome(trace: &Trace) -> Json {
+    let mut events = Vec::new();
+    for r in &trace.ranks {
+        let tid = Json::from(r.rank);
+        // Thread-name metadata so the timeline rows read "rank N".
+        events.push(Json::obj([
+            ("name", "thread_name".into()),
+            ("ph", "M".into()),
+            ("pid", 0u64.into()),
+            ("tid", tid.clone()),
+            ("args", Json::obj([("name", format!("rank {}", r.rank).into())])),
+        ]));
+        for e in &r.events {
+            match &e.kind {
+                EventKind::Span { coll, key, end_us } => {
+                    let mut args = vec![("kind".to_string(), Json::from(coll.name()))];
+                    if *key != NO_KEY {
+                        args.push(("supernode".to_string(), Json::from(*key)));
+                    }
+                    events.push(Json::obj([
+                        ("name", coll.name().into()),
+                        ("cat", "span".into()),
+                        ("ph", "X".into()),
+                        ("pid", 0u64.into()),
+                        ("tid", tid.clone()),
+                        ("ts", e.ts_us.into()),
+                        ("dur", (end_us - e.ts_us).into()),
+                        ("args", Json::Obj(args)),
+                    ]));
+                }
+                EventKind::MsgSend { peer, tag, bytes, coll } => {
+                    events.push(Json::obj([
+                        ("name", "send".into()),
+                        ("cat", "msg".into()),
+                        ("ph", "i".into()),
+                        ("s", "t".into()),
+                        ("pid", 0u64.into()),
+                        ("tid", tid.clone()),
+                        ("ts", e.ts_us.into()),
+                        (
+                            "args",
+                            Json::obj([
+                                ("dst", (*peer).into()),
+                                ("tag", (*tag).into()),
+                                ("bytes", (*bytes).into()),
+                                ("kind", coll.name().into()),
+                            ]),
+                        ),
+                    ]));
+                }
+                EventKind::MsgRecv { peer, tag, bytes, coll } => {
+                    events.push(Json::obj([
+                        ("name", "recv".into()),
+                        ("cat", "msg".into()),
+                        ("ph", "i".into()),
+                        ("s", "t".into()),
+                        ("pid", 0u64.into()),
+                        ("tid", tid.clone()),
+                        ("ts", e.ts_us.into()),
+                        (
+                            "args",
+                            Json::obj([
+                                ("src", (*peer).into()),
+                                ("tag", (*tag).into()),
+                                ("bytes", (*bytes).into()),
+                                ("kind", coll.name().into()),
+                            ]),
+                        ),
+                    ]));
+                }
+                EventKind::StashDepth { depth } => {
+                    events.push(Json::obj([
+                        ("name", "stash".into()),
+                        ("cat", "stash".into()),
+                        ("ph", "C".into()),
+                        ("pid", 0u64.into()),
+                        ("tid", tid.clone()),
+                        ("ts", e.ts_us.into()),
+                        ("args", Json::obj([("depth", (*depth).into())])),
+                    ]));
+                }
+            }
+        }
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", "ms".into()),
+        ("otherData", Json::obj([("label", trace.label.as_str().into())])),
+    ])
+}
+
+/// Structural validity check for a Chrome trace document: `traceEvents`
+/// must be an array whose every element carries the mandatory `ph`, `pid`,
+/// `tid` fields, a `name`, and (for non-metadata phases) a numeric `ts`;
+/// "X" events additionally need a numeric `dur`. Returns the event count.
+pub fn validate_chrome(doc: &Json) -> Result<usize, String> {
+    let events =
+        doc.get("traceEvents").and_then(Json::as_arr).ok_or("missing traceEvents array")?;
+    for (i, e) in events.iter().enumerate() {
+        let ph =
+            e.get("ph").and_then(Json::as_str).ok_or_else(|| format!("event {i}: missing ph"))?;
+        e.get("name").and_then(Json::as_str).ok_or_else(|| format!("event {i}: missing name"))?;
+        e.get("pid").and_then(Json::as_f64).ok_or_else(|| format!("event {i}: missing pid"))?;
+        e.get("tid").and_then(Json::as_f64).ok_or_else(|| format!("event {i}: missing tid"))?;
+        if ph != "M" {
+            e.get("ts").and_then(Json::as_f64).ok_or_else(|| format!("event {i}: missing ts"))?;
+        }
+        if ph == "X" {
+            e.get("dur")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("event {i}: X event missing dur"))?;
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CollKind;
+    use crate::sink::{collect, RankTracer};
+
+    fn sample_trace() -> Trace {
+        let mut a = RankTracer::manual(0);
+        a.set_time_us(1);
+        a.push_scope(CollKind::ColBcast, 4);
+        a.msg_send(1, 99, 256);
+        a.set_time_us(8);
+        a.pop_scope();
+        a.stash_depth(2);
+        let mut b = RankTracer::manual(1);
+        b.set_time_us(3);
+        b.msg_recv(0, 99, 256);
+        collect("test/flat", vec![a, b]).unwrap()
+    }
+
+    #[test]
+    fn export_validates_and_roundtrips() {
+        let doc = to_chrome(&sample_trace());
+        let n = validate_chrome(&doc).unwrap();
+        // 2 thread_name + span + send + stash + recv
+        assert_eq!(n, 6);
+        let text = doc.to_string_pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(validate_chrome(&parsed).unwrap(), 6);
+        assert_eq!(
+            parsed.get("otherData").unwrap().get("label").unwrap().as_str(),
+            Some("test/flat")
+        );
+    }
+
+    #[test]
+    fn span_carries_supernode_and_duration() {
+        let doc = to_chrome(&sample_trace());
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let span =
+            events.iter().find(|e| e.get("ph").unwrap().as_str() == Some("X")).expect("an X event");
+        assert_eq!(span.get("name").unwrap().as_str(), Some("ColBcast"));
+        assert_eq!(span.get("ts").unwrap().as_f64(), Some(1.0));
+        assert_eq!(span.get("dur").unwrap().as_f64(), Some(7.0));
+        assert_eq!(span.get("args").unwrap().get("supernode").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn validator_rejects_malformed() {
+        let bad = Json::obj([("traceEvents", Json::Arr(vec![Json::obj([("ph", "X".into())])]))]);
+        assert!(validate_chrome(&bad).is_err());
+        assert!(validate_chrome(&Json::obj([])).is_err());
+    }
+}

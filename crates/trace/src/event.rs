@@ -1,0 +1,142 @@
+//! The event vocabulary shared by the mpisim and DES backends.
+//!
+//! Both backends classify work and traffic with the same [`CollKind`]
+//! labels, so traces from a threaded mpisim run and a simulated DES replay
+//! of the same supernodal schedule are directly comparable.
+
+/// The restricted collective (or other activity) an event is accounted to.
+///
+/// The first six variants are the phases of the selected-inversion sweep as
+/// named in the paper; `Bcast`/`Reduce` cover bare tree collectives outside
+/// any phase (e.g. microbenchmarks), and `Compute` covers local task
+/// execution in the DES backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CollKind {
+    /// Broadcast of the inverted diagonal block down the column.
+    DiagBcast = 0,
+    /// Transpose exchange of L column blocks to the row.
+    Transpose = 1,
+    /// `Col-Bcast`: broadcast of L column blocks within the column.
+    ColBcast = 2,
+    /// `Row-Reduce`: reduction of update contributions within the row.
+    RowReduce = 3,
+    /// Reduction of diagonal-block contributions.
+    DiagReduce = 4,
+    /// Redistribution of computed Ainv blocks back across the anti-diagonal.
+    AinvTranspose = 5,
+    /// A bare tree broadcast outside any selected-inversion phase.
+    Bcast = 6,
+    /// A bare tree reduction outside any selected-inversion phase.
+    Reduce = 7,
+    /// Barrier-style synchronization.
+    Barrier = 8,
+    /// Local computation (DES task execution).
+    Compute = 9,
+    /// Anything not otherwise classified.
+    Other = 10,
+}
+
+impl CollKind {
+    /// Every kind, in index order.
+    pub const ALL: [CollKind; 11] = [
+        CollKind::DiagBcast,
+        CollKind::Transpose,
+        CollKind::ColBcast,
+        CollKind::RowReduce,
+        CollKind::DiagReduce,
+        CollKind::AinvTranspose,
+        CollKind::Bcast,
+        CollKind::Reduce,
+        CollKind::Barrier,
+        CollKind::Compute,
+        CollKind::Other,
+    ];
+
+    /// Dense index for table/array keying.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`CollKind::index`].
+    pub fn from_index(i: usize) -> Option<CollKind> {
+        Self::ALL.get(i).copied()
+    }
+
+    /// Stable display name (used in Chrome traces and summary tables).
+    pub fn name(self) -> &'static str {
+        match self {
+            CollKind::DiagBcast => "DiagBcast",
+            CollKind::Transpose => "Transpose",
+            CollKind::ColBcast => "ColBcast",
+            CollKind::RowReduce => "RowReduce",
+            CollKind::DiagReduce => "DiagReduce",
+            CollKind::AinvTranspose => "AinvTranspose",
+            CollKind::Bcast => "Bcast",
+            CollKind::Reduce => "Reduce",
+            CollKind::Barrier => "Barrier",
+            CollKind::Compute => "Compute",
+            CollKind::Other => "Other",
+        }
+    }
+}
+
+/// Span/event key: a supernode index, or [`NO_KEY`] when there is none.
+pub const NO_KEY: u64 = u64::MAX;
+
+/// One recorded event on one rank.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Start time in microseconds (wall time for mpisim, simulated time
+    /// for the DES backend).
+    pub ts_us: u64,
+    pub kind: EventKind,
+}
+
+/// Payload of a [`TraceEvent`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A completed span: a collective keyed by `(coll, key)` or a task.
+    Span { coll: CollKind, key: u64, end_us: u64 },
+    /// A point-to-point message left this rank.
+    MsgSend { peer: usize, tag: u64, bytes: u64, coll: CollKind },
+    /// A point-to-point message was consumed on this rank.
+    MsgRecv { peer: usize, tag: u64, bytes: u64, coll: CollKind },
+    /// The out-of-order stash changed size (emitted on change only).
+    StashDepth { depth: usize },
+}
+
+/// Packs `(coll, supernode)` into the 32-bit task tag carried by DES task
+/// graphs: the kind in the top 8 bits, the supernode in the low 24.
+pub fn pack_task_tag(coll: CollKind, supernode: usize) -> u32 {
+    debug_assert!(supernode < (1 << 24), "supernode {supernode} overflows task tag");
+    ((coll.index() as u32) << 24) | (supernode as u32 & 0x00ff_ffff)
+}
+
+/// Inverse of [`pack_task_tag`].
+pub fn unpack_task_tag(tag: u32) -> (CollKind, usize) {
+    let coll = CollKind::from_index((tag >> 24) as usize).unwrap_or(CollKind::Other);
+    (coll, (tag & 0x00ff_ffff) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for k in CollKind::ALL {
+            assert_eq!(CollKind::from_index(k.index()), Some(k));
+        }
+        assert_eq!(CollKind::from_index(CollKind::ALL.len()), None);
+    }
+
+    #[test]
+    fn task_tag_roundtrip() {
+        for k in CollKind::ALL {
+            for sn in [0usize, 1, 1023, (1 << 24) - 1] {
+                assert_eq!(unpack_task_tag(pack_task_tag(k, sn)), (k, sn));
+            }
+        }
+    }
+}

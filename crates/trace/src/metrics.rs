@@ -1,0 +1,168 @@
+//! Per-rank counters and fixed-bucket histograms.
+
+use crate::event::CollKind;
+
+/// Number of [`CollKind`] variants (array dimension for per-kind tables).
+pub const N_KINDS: usize = CollKind::ALL.len();
+
+/// Message/byte/time counters for one [`CollKind`] on one rank.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KindCounters {
+    pub msgs_sent: u64,
+    pub bytes_sent: u64,
+    pub msgs_recv: u64,
+    pub bytes_recv: u64,
+    /// Completed spans attributed to this kind.
+    pub spans: u64,
+    /// Total time inside those spans, in microseconds.
+    pub span_time_us: u64,
+}
+
+/// Metrics registry for one rank.
+///
+/// All updates are O(1) array writes; the registry allocates only when a
+/// send is attributed to a tree depth deeper than any seen before.
+#[derive(Clone, Debug)]
+pub struct RankMetrics {
+    per_kind: [KindCounters; N_KINDS],
+    /// Bytes sent while at depth `d` of the active collective tree.
+    pub depth_sent_bytes: Vec<u64>,
+    /// Messages sent while at depth `d` of the active collective tree.
+    pub depth_sent_msgs: Vec<u64>,
+    /// Histogram of sent message sizes: bucket `b` counts messages with
+    /// `2^(b-1) < bytes <= 2^b` (bucket 0 is empty messages).
+    pub msg_size_log2: [u64; 33],
+    /// High-water mark of the out-of-order stash.
+    pub stash_hwm: usize,
+}
+
+impl Default for RankMetrics {
+    fn default() -> Self {
+        Self {
+            per_kind: [KindCounters::default(); N_KINDS],
+            depth_sent_bytes: Vec::new(),
+            depth_sent_msgs: Vec::new(),
+            msg_size_log2: [0; 33],
+            stash_hwm: 0,
+        }
+    }
+}
+
+fn log2_bucket(bytes: u64) -> usize {
+    if bytes == 0 {
+        0
+    } else {
+        (64 - (bytes - 1).leading_zeros() as usize).min(32)
+    }
+}
+
+impl RankMetrics {
+    /// Counters for `coll`.
+    pub fn kind(&self, coll: CollKind) -> &KindCounters {
+        &self.per_kind[coll.index()]
+    }
+
+    /// Records a sent message, optionally attributed to a tree depth.
+    pub fn on_send(&mut self, coll: CollKind, bytes: u64, depth: Option<usize>) {
+        let c = &mut self.per_kind[coll.index()];
+        c.msgs_sent += 1;
+        c.bytes_sent += bytes;
+        self.msg_size_log2[log2_bucket(bytes)] += 1;
+        if let Some(d) = depth {
+            if d >= self.depth_sent_bytes.len() {
+                self.depth_sent_bytes.resize(d + 1, 0);
+                self.depth_sent_msgs.resize(d + 1, 0);
+            }
+            self.depth_sent_bytes[d] += bytes;
+            self.depth_sent_msgs[d] += 1;
+        }
+    }
+
+    /// Records a consumed message.
+    pub fn on_recv(&mut self, coll: CollKind, bytes: u64) {
+        let c = &mut self.per_kind[coll.index()];
+        c.msgs_recv += 1;
+        c.bytes_recv += bytes;
+    }
+
+    /// Reverses one [`RankMetrics::on_recv`] (the runtime re-stashed the
+    /// message, so it was not actually consumed).
+    pub fn on_recv_undo(&mut self, coll: CollKind, bytes: u64) {
+        let c = &mut self.per_kind[coll.index()];
+        c.msgs_recv = c.msgs_recv.saturating_sub(1);
+        c.bytes_recv = c.bytes_recv.saturating_sub(bytes);
+    }
+
+    /// Records a completed span.
+    pub fn on_span(&mut self, coll: CollKind, dur_us: u64) {
+        let c = &mut self.per_kind[coll.index()];
+        c.spans += 1;
+        c.span_time_us += dur_us;
+    }
+
+    /// Updates the stash high-water mark.
+    pub fn on_stash_depth(&mut self, depth: usize) {
+        self.stash_hwm = self.stash_hwm.max(depth);
+    }
+
+    /// Total bytes sent across all kinds.
+    pub fn total_sent_bytes(&self) -> u64 {
+        self.per_kind.iter().map(|c| c.bytes_sent).sum()
+    }
+
+    /// Total bytes received across all kinds.
+    pub fn total_recv_bytes(&self) -> u64 {
+        self.per_kind.iter().map(|c| c.bytes_recv).sum()
+    }
+
+    /// Total messages sent across all kinds.
+    pub fn total_sent_msgs(&self) -> u64 {
+        self.per_kind.iter().map(|c| c.msgs_sent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_buckets() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 0);
+        assert_eq!(log2_bucket(2), 1);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 2);
+        assert_eq!(log2_bucket(1024), 10);
+        assert_eq!(log2_bucket(1025), 11);
+        assert_eq!(log2_bucket(u64::MAX), 32);
+    }
+
+    #[test]
+    fn send_recv_accounting() {
+        let mut m = RankMetrics::default();
+        m.on_send(CollKind::ColBcast, 100, Some(2));
+        m.on_send(CollKind::ColBcast, 50, Some(0));
+        m.on_recv(CollKind::RowReduce, 30);
+        m.on_span(CollKind::ColBcast, 7);
+        assert_eq!(m.kind(CollKind::ColBcast).bytes_sent, 150);
+        assert_eq!(m.kind(CollKind::ColBcast).msgs_sent, 2);
+        assert_eq!(m.kind(CollKind::ColBcast).spans, 1);
+        assert_eq!(m.kind(CollKind::ColBcast).span_time_us, 7);
+        assert_eq!(m.kind(CollKind::RowReduce).bytes_recv, 30);
+        assert_eq!(m.depth_sent_bytes, vec![50, 0, 100]);
+        assert_eq!(m.depth_sent_msgs, vec![1, 0, 1]);
+        assert_eq!(m.total_sent_bytes(), 150);
+
+        m.on_recv_undo(CollKind::RowReduce, 30);
+        assert_eq!(m.kind(CollKind::RowReduce).bytes_recv, 0);
+        assert_eq!(m.kind(CollKind::RowReduce).msgs_recv, 0);
+    }
+
+    #[test]
+    fn stash_hwm_monotone() {
+        let mut m = RankMetrics::default();
+        m.on_stash_depth(3);
+        m.on_stash_depth(1);
+        assert_eq!(m.stash_hwm, 3);
+    }
+}

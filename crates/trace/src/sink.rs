@@ -1,0 +1,488 @@
+//! The per-rank trace sink and the assembled multi-rank trace.
+//!
+//! A [`RankTracer`] is owned by exactly one rank (an mpisim rank thread, or
+//! one simulated rank inside the DES engine). The disabled tracer is a
+//! `None` — every hook is a single branch on that option, so instrumented
+//! code pays nothing when tracing is off.
+
+use crate::event::{CollKind, EventKind, TraceEvent, NO_KEY};
+use crate::metrics::RankMetrics;
+use pselinv_trees::volume::VolumeStats;
+use std::time::Instant;
+
+#[derive(Clone, Copy, Debug)]
+enum ClockInner {
+    /// Real time relative to a shared epoch (mpisim backend). The epoch is
+    /// the same `Instant` on every rank, so timestamps align across ranks.
+    Wall { epoch: Instant },
+    /// Externally-driven time (DES backend simulated clock).
+    Manual { now_us: u64 },
+}
+
+impl ClockInner {
+    fn now_us(&self) -> u64 {
+        match self {
+            ClockInner::Wall { epoch } => epoch.elapsed().as_micros() as u64,
+            ClockInner::Manual { now_us } => *now_us,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Scope {
+    coll: CollKind,
+    key: u64,
+    start_us: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    rank: usize,
+    clock: ClockInner,
+    /// Open attribution scopes, innermost last. Sends/recvs are attributed
+    /// to the innermost scope's kind.
+    scopes: Vec<Scope>,
+    /// Tree depth of this rank in the collective currently in flight, for
+    /// per-depth byte attribution.
+    depth: Option<usize>,
+    /// Last reported stash depth (events are emitted on change only).
+    last_stash: usize,
+    events: Vec<TraceEvent>,
+    metrics: RankMetrics,
+}
+
+/// Event/metrics sink for one rank. Construct with
+/// [`RankTracer::disabled`], [`RankTracer::wall`] or [`RankTracer::manual`].
+#[derive(Debug, Default)]
+pub struct RankTracer(Option<Box<Inner>>);
+
+impl RankTracer {
+    /// A tracer whose every hook is a no-op.
+    pub fn disabled() -> Self {
+        RankTracer(None)
+    }
+
+    /// An enabled tracer using wall time relative to `epoch`. Pass the same
+    /// epoch to every rank of a run so timestamps align.
+    pub fn wall(rank: usize, epoch: Instant) -> Self {
+        RankTracer(Some(Box::new(Inner {
+            rank,
+            clock: ClockInner::Wall { epoch },
+            scopes: Vec::new(),
+            depth: None,
+            last_stash: 0,
+            events: Vec::new(),
+            metrics: RankMetrics::default(),
+        })))
+    }
+
+    /// An enabled tracer whose clock is driven by [`RankTracer::set_time_us`]
+    /// (used by the DES backend with simulated time).
+    pub fn manual(rank: usize) -> Self {
+        RankTracer(Some(Box::new(Inner {
+            rank,
+            clock: ClockInner::Manual { now_us: 0 },
+            scopes: Vec::new(),
+            depth: None,
+            last_stash: 0,
+            events: Vec::new(),
+            metrics: RankMetrics::default(),
+        })))
+    }
+
+    /// Whether hooks record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Advances a manual clock. No-op for disabled or wall-clock tracers.
+    pub fn set_time_us(&mut self, us: u64) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            if let ClockInner::Manual { now_us } = &mut inner.clock {
+                *now_us = us;
+            }
+        }
+    }
+
+    /// Current timestamp (0 when disabled).
+    pub fn now_us(&self) -> u64 {
+        self.0.as_deref().map_or(0, |i| i.clock.now_us())
+    }
+
+    /// Opens an attribution scope: until the matching
+    /// [`RankTracer::pop_scope`], sends and receives on this rank are
+    /// accounted to `coll`, and the scope itself becomes a span keyed by
+    /// `(coll, key)`.
+    pub fn push_scope(&mut self, coll: CollKind, key: u64) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            let start_us = inner.clock.now_us();
+            inner.scopes.push(Scope { coll, key, start_us });
+        }
+    }
+
+    /// Closes the innermost scope, recording its span.
+    pub fn pop_scope(&mut self) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            if let Some(s) = inner.scopes.pop() {
+                let end_us = inner.clock.now_us().max(s.start_us);
+                inner.events.push(TraceEvent {
+                    ts_us: s.start_us,
+                    kind: EventKind::Span { coll: s.coll, key: s.key, end_us },
+                });
+                inner.metrics.on_span(s.coll, end_us - s.start_us);
+            }
+        }
+    }
+
+    /// Called by a collective implementation on entry. Records this rank's
+    /// tree `depth` for per-depth attribution, and — only when no ambient
+    /// scope is already open (i.e. the collective is used bare, outside a
+    /// phase) — opens a `(coll, key)` scope. Returns whether a scope was
+    /// pushed; pass that to [`RankTracer::coll_exit`].
+    pub fn coll_enter(&mut self, coll: CollKind, key: u64, depth: Option<usize>) -> bool {
+        let Some(inner) = self.0.as_deref_mut() else { return false };
+        inner.depth = depth;
+        if inner.scopes.is_empty() {
+            let start_us = inner.clock.now_us();
+            inner.scopes.push(Scope { coll, key, start_us });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Called by a collective implementation on exit, with the value
+    /// returned by the matching [`RankTracer::coll_enter`].
+    pub fn coll_exit(&mut self, pushed: bool) {
+        if pushed {
+            self.pop_scope();
+        }
+        if let Some(inner) = self.0.as_deref_mut() {
+            inner.depth = None;
+        }
+    }
+
+    /// Records a message leaving this rank.
+    pub fn msg_send(&mut self, peer: usize, tag: u64, bytes: u64) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            let coll = inner.scopes.last().map_or(CollKind::Other, |s| s.coll);
+            let ts_us = inner.clock.now_us();
+            inner
+                .events
+                .push(TraceEvent { ts_us, kind: EventKind::MsgSend { peer, tag, bytes, coll } });
+            inner.metrics.on_send(coll, bytes, inner.depth);
+        }
+    }
+
+    /// Records a message consumed on this rank.
+    pub fn msg_recv(&mut self, peer: usize, tag: u64, bytes: u64) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            let coll = inner.scopes.last().map_or(CollKind::Other, |s| s.coll);
+            let ts_us = inner.clock.now_us();
+            inner
+                .events
+                .push(TraceEvent { ts_us, kind: EventKind::MsgRecv { peer, tag, bytes, coll } });
+            inner.metrics.on_recv(coll, bytes);
+        }
+    }
+
+    /// Reverses the most recent [`RankTracer::msg_recv`]: the runtime put
+    /// the message back (stash), so it was not actually consumed.
+    pub fn msg_recv_undo(&mut self) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            if let Some(pos) =
+                inner.events.iter().rposition(|e| matches!(e.kind, EventKind::MsgRecv { .. }))
+            {
+                if let EventKind::MsgRecv { bytes, coll, .. } = inner.events.remove(pos).kind {
+                    inner.metrics.on_recv_undo(coll, bytes);
+                }
+            }
+        }
+    }
+
+    /// Reports the current out-of-order stash depth. Updates the high-water
+    /// mark; emits a counter event only when the depth changed.
+    pub fn stash_depth(&mut self, depth: usize) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            inner.metrics.on_stash_depth(depth);
+            if depth != inner.last_stash {
+                inner.last_stash = depth;
+                let ts_us = inner.clock.now_us();
+                inner.events.push(TraceEvent { ts_us, kind: EventKind::StashDepth { depth } });
+            }
+        }
+    }
+
+    /// Records a completed span with explicit timestamps (used by the DES
+    /// backend, which knows task start/finish times when the finish event
+    /// fires).
+    pub fn span_at(&mut self, coll: CollKind, key: u64, start_us: u64, end_us: u64) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            let end_us = end_us.max(start_us);
+            inner
+                .events
+                .push(TraceEvent { ts_us: start_us, kind: EventKind::Span { coll, key, end_us } });
+            inner.metrics.on_span(coll, end_us - start_us);
+        }
+    }
+
+    /// Records a message event with the attribution kind supplied by the
+    /// caller instead of the ambient scope (used by the DES backend, whose
+    /// edges carry their own `(coll, supernode)` task tags).
+    pub fn msg_send_as(
+        &mut self,
+        coll: CollKind,
+        peer: usize,
+        tag: u64,
+        bytes: u64,
+        depth: Option<usize>,
+    ) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            let ts_us = inner.clock.now_us();
+            inner
+                .events
+                .push(TraceEvent { ts_us, kind: EventKind::MsgSend { peer, tag, bytes, coll } });
+            inner.metrics.on_send(coll, bytes, depth);
+        }
+    }
+
+    /// Receive-side counterpart of [`RankTracer::msg_send_as`].
+    pub fn msg_recv_as(&mut self, coll: CollKind, peer: usize, tag: u64, bytes: u64) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            let ts_us = inner.clock.now_us();
+            inner
+                .events
+                .push(TraceEvent { ts_us, kind: EventKind::MsgRecv { peer, tag, bytes, coll } });
+            inner.metrics.on_recv(coll, bytes);
+        }
+    }
+
+    /// Read access to the metrics accumulated so far (None when disabled).
+    pub fn metrics(&self) -> Option<&RankMetrics> {
+        self.0.as_deref().map(|i| &i.metrics)
+    }
+
+    /// Consumes the tracer, yielding this rank's trace. Returns `None` for
+    /// a disabled tracer. Any scopes still open are closed at the current
+    /// time.
+    pub fn finish(mut self) -> Option<RankTrace> {
+        while self.0.as_deref().is_some_and(|i| !i.scopes.is_empty()) {
+            self.pop_scope();
+        }
+        self.0.take().map(|inner| RankTrace {
+            rank: inner.rank,
+            events: inner.events,
+            metrics: inner.metrics,
+        })
+    }
+}
+
+/// Everything one rank recorded.
+#[derive(Clone, Debug, Default)]
+pub struct RankTrace {
+    pub rank: usize,
+    pub events: Vec<TraceEvent>,
+    pub metrics: RankMetrics,
+}
+
+/// A complete run: one [`RankTrace`] per rank, plus a label.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Free-form run label (workload / scheme / backend), shown in exports.
+    pub label: String,
+    pub ranks: Vec<RankTrace>,
+}
+
+impl Trace {
+    /// Assembles a trace, sorting ranks by rank id.
+    pub fn new(label: impl Into<String>, mut ranks: Vec<RankTrace>) -> Self {
+        ranks.sort_by_key(|r| r.rank);
+        Trace { label: label.into(), ranks }
+    }
+
+    /// Per-rank bytes sent under `coll`, in rank order.
+    pub fn sent_bytes(&self, coll: CollKind) -> Vec<u64> {
+        self.ranks.iter().map(|r| r.metrics.kind(coll).bytes_sent).collect()
+    }
+
+    /// Per-rank bytes received under `coll`, in rank order.
+    pub fn recv_bytes(&self, coll: CollKind) -> Vec<u64> {
+        self.ranks.iter().map(|r| r.metrics.kind(coll).bytes_recv).collect()
+    }
+
+    /// Min/max/median/mean/σ of per-rank sent bytes under `coll`.
+    pub fn sent_stats(&self, coll: CollKind) -> VolumeStats {
+        VolumeStats::from_volumes(&self.sent_bytes(coll))
+    }
+
+    /// Per-rank span time (µs) under `coll`, in rank order.
+    pub fn span_time_us(&self, coll: CollKind) -> Vec<u64> {
+        self.ranks.iter().map(|r| r.metrics.kind(coll).span_time_us).collect()
+    }
+
+    /// Formats the per-rank summary table: for every kind with traffic or
+    /// spans, the min/max/σ (plus median/mean) of per-rank sent bytes and
+    /// span time — the same shape as the paper's Table I columns.
+    pub fn summary_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "trace summary: {} ({} ranks)", self.label, self.ranks.len());
+        let _ = writeln!(
+            out,
+            "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+            "phase", "msgs", "sent.min B", "sent.max B", "sent.mean B", "sent.sigma", "time µs"
+        );
+        for coll in CollKind::ALL {
+            let msgs: u64 = self.ranks.iter().map(|r| r.metrics.kind(coll).msgs_sent).sum();
+            let spans: u64 = self.ranks.iter().map(|r| r.metrics.kind(coll).spans).sum();
+            let recvd: u64 = self.ranks.iter().map(|r| r.metrics.kind(coll).msgs_recv).sum();
+            if msgs == 0 && spans == 0 && recvd == 0 {
+                continue;
+            }
+            let s = self.sent_stats(coll);
+            let t: u64 = self.span_time_us(coll).iter().sum();
+            let _ = writeln!(
+                out,
+                "{:<14} {:>10} {:>12.0} {:>12.0} {:>12.1} {:>12.1} {:>10}",
+                coll.name(),
+                msgs,
+                s.min,
+                s.max,
+                s.mean,
+                s.std_dev,
+                t
+            );
+        }
+        let hwm = self.ranks.iter().map(|r| r.metrics.stash_hwm).max().unwrap_or(0);
+        let _ = writeln!(out, "stash high-water (max over ranks): {hwm}");
+        out
+    }
+}
+
+/// Convenience: closes a pool of rank tracers into a [`Trace`], dropping
+/// disabled ones. Returns `None` if every tracer was disabled.
+pub fn collect(label: impl Into<String>, tracers: Vec<RankTracer>) -> Option<Trace> {
+    let ranks: Vec<RankTrace> = tracers.into_iter().filter_map(RankTracer::finish).collect();
+    if ranks.is_empty() {
+        None
+    } else {
+        Some(Trace::new(label, ranks))
+    }
+}
+
+/// Keys a span by supernode, mapping "no supernode" to [`NO_KEY`].
+pub fn key_of(supernode: Option<usize>) -> u64 {
+    supernode.map_or(NO_KEY, |s| s as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = RankTracer::disabled();
+        assert!(!t.is_enabled());
+        t.push_scope(CollKind::ColBcast, 1);
+        t.msg_send(1, 7, 100);
+        t.pop_scope();
+        assert!(t.metrics().is_none());
+        assert!(t.finish().is_none());
+    }
+
+    #[test]
+    fn manual_clock_span_and_attribution() {
+        let mut t = RankTracer::manual(3);
+        t.set_time_us(10);
+        t.push_scope(CollKind::ColBcast, 5);
+        t.msg_send(1, 42, 100);
+        t.set_time_us(25);
+        t.pop_scope();
+        let r = t.finish().unwrap();
+        assert_eq!(r.rank, 3);
+        assert_eq!(r.metrics.kind(CollKind::ColBcast).bytes_sent, 100);
+        assert_eq!(r.metrics.kind(CollKind::ColBcast).span_time_us, 15);
+        assert!(r.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::Span { coll: CollKind::ColBcast, key: 5, end_us: 25 }
+        ) && e.ts_us == 10));
+    }
+
+    #[test]
+    fn coll_enter_respects_ambient_scope() {
+        let mut t = RankTracer::manual(0);
+        // Bare collective: pushes its own scope.
+        let pushed = t.coll_enter(CollKind::Bcast, 9, Some(1));
+        assert!(pushed);
+        t.msg_send(1, 0, 10);
+        t.coll_exit(pushed);
+        // Inside a phase scope: keeps the ambient attribution.
+        t.push_scope(CollKind::ColBcast, 2);
+        let pushed = t.coll_enter(CollKind::Bcast, 9, Some(0));
+        assert!(!pushed);
+        t.msg_send(1, 0, 20);
+        t.coll_exit(pushed);
+        t.pop_scope();
+        let r = t.finish().unwrap();
+        assert_eq!(r.metrics.kind(CollKind::Bcast).bytes_sent, 10);
+        assert_eq!(r.metrics.kind(CollKind::ColBcast).bytes_sent, 20);
+        // Depth attribution happened in both cases.
+        assert_eq!(r.metrics.depth_sent_bytes, vec![20, 10]);
+    }
+
+    #[test]
+    fn recv_undo_reverses_accounting() {
+        let mut t = RankTracer::manual(0);
+        t.msg_recv(2, 5, 64);
+        t.msg_recv_undo();
+        let r = t.finish().unwrap();
+        assert_eq!(r.metrics.kind(CollKind::Other).msgs_recv, 0);
+        assert_eq!(r.metrics.kind(CollKind::Other).bytes_recv, 0);
+        assert!(!r.events.iter().any(|e| matches!(e.kind, EventKind::MsgRecv { .. })));
+    }
+
+    #[test]
+    fn stash_depth_events_on_change_only() {
+        let mut t = RankTracer::manual(0);
+        t.stash_depth(1);
+        t.stash_depth(1);
+        t.stash_depth(2);
+        t.stash_depth(0);
+        let r = t.finish().unwrap();
+        let n = r.events.iter().filter(|e| matches!(e.kind, EventKind::StashDepth { .. })).count();
+        assert_eq!(n, 3);
+        assert_eq!(r.metrics.stash_hwm, 2);
+    }
+
+    #[test]
+    fn trace_summary_and_stats() {
+        let mut a = RankTracer::manual(1);
+        a.push_scope(CollKind::ColBcast, 0);
+        a.msg_send(0, 0, 300);
+        a.pop_scope();
+        let mut b = RankTracer::manual(0);
+        b.push_scope(CollKind::ColBcast, 0);
+        b.msg_send(1, 0, 100);
+        b.pop_scope();
+        let trace = collect("unit", vec![a, b, RankTracer::disabled()]).unwrap();
+        // Sorted by rank: rank 0 first.
+        assert_eq!(trace.sent_bytes(CollKind::ColBcast), vec![100, 300]);
+        let s = trace.sent_stats(CollKind::ColBcast);
+        assert_eq!(s.min, 100.0);
+        assert_eq!(s.max, 300.0);
+        let table = trace.summary_table();
+        assert!(table.contains("ColBcast"), "{table}");
+        assert!(!table.contains("RowReduce"), "{table}");
+    }
+
+    #[test]
+    fn finish_closes_open_scopes() {
+        let mut t = RankTracer::manual(0);
+        t.set_time_us(5);
+        t.push_scope(CollKind::Compute, 1);
+        t.set_time_us(9);
+        let r = t.finish().unwrap();
+        assert_eq!(r.metrics.kind(CollKind::Compute).spans, 1);
+        assert_eq!(r.metrics.kind(CollKind::Compute).span_time_us, 4);
+    }
+}

@@ -100,7 +100,7 @@ impl TreeBuilder {
 
         let scheme = match self.scheme {
             TreeScheme::Hybrid { flat_threshold } => {
-                if sorted.len() + 1 <= flat_threshold {
+                if sorted.len() < flat_threshold {
                     TreeScheme::Flat
                 } else {
                     TreeScheme::ShiftedBinary
@@ -323,10 +323,7 @@ mod tests {
             let t = b.build(0, &receivers, 0);
             check_valid(&t);
             for &m in t.members() {
-                assert!(
-                    t.children_of(m).len() <= arity,
-                    "node {m} exceeds arity {arity}"
-                );
+                assert!(t.children_of(m).len() <= arity, "node {m} exceeds arity {arity}");
             }
             // depth shrinks as arity grows: ~log_k(p)
             let bound = (100f64.ln() / (arity as f64).ln()).ceil() as usize + 1;

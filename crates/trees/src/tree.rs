@@ -81,6 +81,18 @@ impl CollectiveTree {
         out
     }
 
+    /// Depth of `rank` below the root (root is 0), or `None` for
+    /// non-participants.
+    pub fn depth_of(&self, rank: usize) -> Option<usize> {
+        let mut i = self.index_of(rank)?;
+        let mut d = 0;
+        while self.parent[i] != usize::MAX {
+            i = self.parent[i];
+            d += 1;
+        }
+        Some(d)
+    }
+
     /// Height of the tree (edges on the longest root-leaf path).
     pub fn depth(&self) -> usize {
         fn go(t: &CollectiveTree, i: usize) -> usize {
@@ -92,11 +104,7 @@ impl CollectiveTree {
     /// Number of children of each member, keyed by rank — the per-rank
     /// message count of a broadcast over this tree.
     pub fn out_degrees(&self) -> Vec<(usize, usize)> {
-        self.members
-            .iter()
-            .zip(&self.children)
-            .map(|(&m, c)| (m, c.len()))
-            .collect()
+        self.members.iter().zip(&self.children).map(|(&m, c)| (m, c.len())).collect()
     }
 }
 
@@ -120,6 +128,10 @@ mod tests {
         assert_eq!(t.parent_of(5), None);
         assert_eq!(t.parent_of(1234), None);
         assert_eq!(t.depth(), 2);
+        assert_eq!(t.depth_of(5), Some(0));
+        assert_eq!(t.depth_of(7), Some(1));
+        assert_eq!(t.depth_of(9), Some(2));
+        assert_eq!(t.depth_of(1234), None);
         assert_eq!(t.edges(), vec![(5, 7), (7, 9)]);
     }
 

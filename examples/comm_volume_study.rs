@@ -38,10 +38,7 @@ fn main() {
     let grid = Grid2D::new(46, 46);
     let layout = Layout::new(symbolic, grid);
     println!("\nCol-Bcast volume sent per rank (MB), {}x{} grid:", grid.pr, grid.pc);
-    println!(
-        "{:<24} {:>9} {:>9} {:>9} {:>9}",
-        "scheme", "min", "max", "median", "std dev"
-    );
+    println!("{:<24} {:>9} {:>9} {:>9} {:>9}", "scheme", "min", "max", "median", "std dev");
     for scheme in [
         TreeScheme::Flat,
         TreeScheme::Binary,

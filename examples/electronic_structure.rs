@@ -23,8 +23,11 @@ fn main() {
     // shifted Hamiltonian H - zS at one pole of the PEXSI expansion.
     let w = gen::dg_hamiltonian(6, 6, 1, 12, 0xd6f);
     let n = w.matrix.nrows();
-    println!("DG Hamiltonian: n = {n}, nnz = {} ({:.2}%)", w.matrix.nnz(),
-        100.0 * w.matrix.nnz() as f64 / (n * n) as f64);
+    println!(
+        "DG Hamiltonian: n = {n}, nnz = {} ({:.2}%)",
+        w.matrix.nnz(),
+        100.0 * w.matrix.nnz() as f64 / (n * n) as f64
+    );
 
     let opts = AnalyzeOptions {
         ordering: OrderingChoice::NestedDissection(
@@ -44,8 +47,7 @@ fn main() {
     // "Electron density per element": sum of A⁻¹ diagonal entries over
     // each element's basis functions.
     let diag = inv.diagonal();
-    let per_element: Vec<f64> =
-        diag.chunks(12).map(|c| c.iter().sum::<f64>()).collect();
+    let per_element: Vec<f64> = diag.chunks(12).map(|c| c.iter().sum::<f64>()).collect();
     println!("trace(A⁻¹) = {:.6} (sequential, {:?})", inv.trace(), seq_time);
     println!(
         "per-element density (corner, edge, center): {:.4}, {:.4}, {:.4}",

@@ -54,10 +54,7 @@ fn main() {
         let mut row = format!("{p:>6}");
         for scheme in [TreeScheme::Flat, TreeScheme::Binary, TreeScheme::ShiftedBinary] {
             let g = selinv_graph(&layout, &GraphOptions { scheme, seed: 7, pipelining: true });
-            let mean: f64 = (0..3)
-                .map(|s| simulate(&g, machine(s)).makespan)
-                .sum::<f64>()
-                / 3.0;
+            let mean: f64 = (0..3).map(|s| simulate(&g, machine(s)).makespan).sum::<f64>() / 3.0;
             row.push_str(&format!(" {mean:>13.4}s"));
         }
         println!("{row}");

@@ -1,0 +1,90 @@
+//! End-to-end tracing demo: run the numeric selected inversion of a small
+//! FEM problem on the mpisim backend *and* replay its task graph on the
+//! discrete-event simulator, under Flat vs Shifted Binary trees, with the
+//! unified trace layer recording both. Writes one Chrome trace-event JSON
+//! per (backend, scheme) — load them in `chrome://tracing` or Perfetto —
+//! and prints the per-rank Table-I style summaries.
+//!
+//! ```text
+//! cargo run --release --example trace_run [-- OUT_DIR]
+//! ```
+
+use pselinv::des::{simulate_traced, MachineConfig};
+use pselinv::dist::taskgraph::{selinv_graph, GraphOptions};
+use pselinv::dist::{distributed_selinv_traced, replay_volumes, DistOptions, Layout};
+use pselinv::mpisim::Grid2D;
+use pselinv::order::{analyze, AnalyzeOptions};
+use pselinv::sparse::gen;
+use pselinv::trace::chrome::{to_chrome, validate_chrome};
+use pselinv::trace::{CollKind, Trace};
+use pselinv::trees::{TreeBuilder, TreeScheme};
+use std::path::Path;
+use std::sync::Arc;
+
+const TREE_SEED: u64 = 0x5e11;
+
+fn write_trace(dir: &Path, name: &str, trace: &Trace) {
+    let chrome = to_chrome(trace);
+    let n = validate_chrome(&chrome).expect("exported trace must be valid Chrome JSON");
+    let path = dir.join(format!("{name}.trace.json"));
+    std::fs::write(&path, chrome.to_string_compact()).expect("cannot write trace file");
+    println!("  wrote {} ({n} events)", path.display());
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "target/traces".to_string());
+    let out_dir = Path::new(&out_dir);
+    std::fs::create_dir_all(out_dir).expect("cannot create output directory");
+
+    // A small FEM workload: large enough to exercise every phase, small
+    // enough that the real numeric run finishes in seconds.
+    let w = gen::fem_3d(6, 6, 6, 1, 0x7ace);
+    let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+    let f = pselinv::factor::factorize(&w.matrix, sf.clone()).expect("factorization failed");
+    let grid = Grid2D::new(3, 3);
+    println!(
+        "workload {}: n = {}, {} supernodes, {} ranks ({}x{} grid)\n",
+        w.name,
+        w.matrix.nrows(),
+        sf.num_supernodes(),
+        grid.size(),
+        grid.pr,
+        grid.pc
+    );
+
+    for (slug, scheme) in [("flat", TreeScheme::Flat), ("shifted", TreeScheme::ShiftedBinary)] {
+        println!("=== {scheme} ===");
+        let layout = Layout::new(sf.clone(), grid);
+        let rep = replay_volumes(&layout, TreeBuilder::new(scheme, TREE_SEED));
+
+        // Backend 1: thread-per-rank mpisim, wall-clock trace.
+        let opts = DistOptions { scheme, seed: TREE_SEED };
+        let (_, _, trace) = distributed_selinv_traced(&f, grid, &opts, &format!("mpisim/{slug}"));
+        assert_eq!(
+            trace.sent_bytes(CollKind::ColBcast),
+            rep.col_bcast_sent,
+            "traced Col-Bcast bytes must match the structural replay"
+        );
+        println!("{}", trace.summary_table());
+        write_trace(out_dir, &format!("mpisim_{slug}"), &trace);
+
+        // Backend 2: discrete-event simulator, simulated-time trace of the
+        // same algorithm's task graph.
+        let gopts = GraphOptions { scheme, seed: TREE_SEED, pipelining: true };
+        let g = selinv_graph(&layout, &gopts);
+        let (res, des_trace) =
+            simulate_traced(&g, MachineConfig::default(), &format!("des/{slug}"));
+        assert_eq!(
+            des_trace.sent_bytes(CollKind::ColBcast),
+            rep.col_bcast_sent,
+            "DES Col-Bcast bytes must match the structural replay"
+        );
+        println!(
+            "DES replay: makespan {:.4}s, {} messages, {} bytes",
+            res.makespan, res.messages, res.bytes
+        );
+        println!("{}", des_trace.summary_table());
+        write_trace(out_dir, &format!("des_{slug}"), &des_trace);
+        println!();
+    }
+}

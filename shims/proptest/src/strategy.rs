@@ -1,0 +1,52 @@
+//! Value-generation strategies (no shrinking).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+use std::ops::Range;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng), self.3.generate(rng))
+    }
+}
+
+/// Strategy that always yields clones of one value (`proptest::strategy::Just`).
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}

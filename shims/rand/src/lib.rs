@@ -1,0 +1,144 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace ships the
+//! small API subset it actually uses: `rngs::StdRng`, `SeedableRng::
+//! seed_from_u64` and `Rng::random_range` over half-open ranges. The
+//! generator is a splitmix64 stream — statistically solid for test-data
+//! generation, deterministic across platforms, and dependency-free. It is
+//! NOT the crates.io `StdRng` (ChaCha12): seeds produce different streams.
+
+use std::ops::Range;
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling over a half-open range, for the primitive types the
+/// workspace draws.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`.
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty sample range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty sample range");
+        // 53 random mantissa bits -> uniform in [0, 1)
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample_uniform(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// Random value generation (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform draw from a half-open range (`rand` 0.9 spelling).
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_uniform(self, range.start, range.end)
+    }
+
+    /// Uniform draw from a half-open range (`rand` 0.8 spelling).
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        self.random_range(range)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn random(&mut self) -> f64 {
+        self.random_range(0.0..1.0)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random() < p
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea & Flood): passes BigCrush as a stream.
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.random_range(-0.2..0.2);
+            assert!((-0.2..0.2).contains(&v));
+            let i = r.random_range(3usize..17);
+            assert!((3..17).contains(&i));
+        }
+    }
+
+    #[test]
+    fn f64_covers_the_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        let vals: Vec<f64> = (0..1000).map(|_| r.random_range(0.0..1.0)).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+        assert!(vals.iter().any(|&v| v < 0.1));
+        assert!(vals.iter().any(|&v| v > 0.9));
+    }
+}

@@ -19,7 +19,10 @@
 //! * [`dist`] — distributed-memory PSelInv: block-cyclic layout,
 //!   communication plans, numeric execution and volume accounting;
 //! * [`des`] — a discrete-event machine simulator used to replay PSelInv
-//!   task graphs at the paper's scales (up to 12,100 ranks).
+//!   task graphs at the paper's scales (up to 12,100 ranks);
+//! * [`trace`] — the shared event/metrics layer: per-phase spans, message
+//!   events and per-rank byte statistics for both backends, exported as
+//!   Chrome trace-event JSON or a Table-I style summary.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the experiment map.
 
@@ -31,4 +34,5 @@ pub use pselinv_mpisim as mpisim;
 pub use pselinv_order as order;
 pub use pselinv_selinv as selinv;
 pub use pselinv_sparse as sparse;
+pub use pselinv_trace as trace;
 pub use pselinv_trees as trees;

@@ -65,12 +65,7 @@ fn laplacian_2d_nd_shifted() {
 #[test]
 fn laplacian_3d_md_flat() {
     let w = gen::grid_laplacian_3d(4, 4, 3);
-    full_pipeline(
-        &w.matrix,
-        &AnalyzeOptions::default(),
-        Grid2D::new(3, 2),
-        TreeScheme::Flat,
-    );
+    full_pipeline(&w.matrix, &AnalyzeOptions::default(), Grid2D::new(3, 2), TreeScheme::Flat);
 }
 
 #[test]

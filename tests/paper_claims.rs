@@ -2,9 +2,9 @@
 //! small enough for CI (the full-scale versions are in the `figures`
 //! harness and recorded in `EXPERIMENTS.md`).
 
+use pselinv::des::{simulate, MachineConfig};
 use pselinv::dist::taskgraph::{selinv_graph, GraphOptions};
 use pselinv::dist::{replay_volumes, Layout};
-use pselinv::des::{simulate, MachineConfig};
 use pselinv::mpisim::Grid2D;
 use pselinv::order::{analyze, AnalyzeOptions, OrderingChoice};
 use pselinv::sparse::gen;
@@ -41,7 +41,12 @@ fn shifted_tree_balances_col_bcast_volume() {
     let flat = stats(&layout, TreeScheme::Flat);
     let binary = stats(&layout, TreeScheme::Binary);
     let shifted = stats(&layout, TreeScheme::ShiftedBinary);
-    assert!(shifted.std_dev < flat.std_dev, "shifted σ {} !< flat σ {}", shifted.std_dev, flat.std_dev);
+    assert!(
+        shifted.std_dev < flat.std_dev,
+        "shifted σ {} !< flat σ {}",
+        shifted.std_dev,
+        flat.std_dev
+    );
     assert!(shifted.std_dev < binary.std_dev);
     assert!(shifted.max < flat.max, "shifted max {} !< flat max {}", shifted.max, flat.max);
     assert!(binary.max > flat.max, "binary striping should raise the max");
@@ -94,12 +99,7 @@ fn shifted_reduces_run_to_run_variation() {
     let (fs, fm) = spread(TreeScheme::Flat);
     let (ss, sm) = spread(TreeScheme::ShiftedBinary);
     // relative spread comparison with slack: the claim is directional
-    assert!(
-        ss / sm <= 1.5 * fs / fm,
-        "shifted rel-σ {} vs flat rel-σ {}",
-        ss / sm,
-        fs / fm
-    );
+    assert!(ss / sm <= 1.5 * fs / fm, "shifted rel-σ {} vs flat rel-σ {}", ss / sm, fs / fm);
 }
 
 /// The v0.7.3 model (no inter-supernode pipelining) must be slower than
@@ -109,10 +109,8 @@ fn shifted_reduces_run_to_run_variation() {
 fn barrier_mode_is_slower() {
     let layout = workload();
     let run = |pipelining| {
-        let g = selinv_graph(
-            &layout,
-            &GraphOptions { scheme: TreeScheme::Flat, seed: 7, pipelining },
-        );
+        let g =
+            selinv_graph(&layout, &GraphOptions { scheme: TreeScheme::Flat, seed: 7, pipelining });
         simulate(&g, MachineConfig { seed: 0, ..Default::default() }).makespan
     };
     let pipelined = run(true);
