@@ -17,6 +17,7 @@ fn main() {
     let mut out_path = "target/figures".to_string();
     let mut targets: Vec<String> = Vec::new();
     let mut seeds: u64 = 6;
+    let mut grid: usize = 46;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -24,13 +25,17 @@ fn main() {
             "--seeds" => {
                 seeds = it.next().expect("--seeds needs a number").parse().expect("bad seed count")
             }
+            "--grid" => {
+                grid = it.next().expect("--grid needs a dimension").parse().expect("bad grid dim")
+            }
             other => targets.push(other.to_string()),
         }
     }
     if targets.is_empty() {
         eprintln!(
-            "usage: figures [--out DIR] [--seeds N] \
+            "usage: figures [--out DIR] [--seeds N] [--grid D] \
              {{all|table1|table2|fig4|fig5|fig6|fig7|fig8a|fig8b|fig9|trace\
+             |hotspots|critpath|bench-smoke\
              |ablation-nic|ablation-shift|ablation-arity}}+"
         );
         std::process::exit(2);
@@ -47,6 +52,9 @@ fn main() {
             "fig8b",
             "fig9",
             "trace",
+            "hotspots",
+            "critpath",
+            "bench-smoke",
             "ablation-nic",
             "ablation-shift",
             "ablation-arity",
@@ -70,6 +78,9 @@ fn main() {
             "fig8b" => experiments::fig8(&workloads::audikw_des(), seeds, &out, "b"),
             "fig9" => experiments::fig9(&out),
             "trace" => experiments::trace_profile(&out),
+            "hotspots" => experiments::hotspots(&out, grid),
+            "critpath" => experiments::critpath(&out, grid),
+            "bench-smoke" => experiments::bench_smoke(&out),
             "ablation-nic" => experiments::ablation_nic(&out),
             "ablation-shift" => experiments::ablation_shift(&out),
             "ablation-arity" => experiments::ablation_arity(&out),

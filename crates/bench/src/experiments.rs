@@ -4,11 +4,12 @@
 //! writes machine-readable JSON/CSV next to it (default `target/figures/`).
 
 use crate::workloads::{self, Analyzed};
-use pselinv_des::{simulate, SimResult};
+use pselinv_des::{simulate, simulate_profiled, simulate_traced_with_meta, SimResult};
 use pselinv_dist::taskgraph::{factorization_graph, selinv_graph, GraphOptions};
 use pselinv_dist::{replay_volumes, Layout, VolumeReport};
 use pselinv_mpisim::Grid2D;
-use pselinv_trace::Json;
+use pselinv_profile::{CriticalPath, HotspotReport, Imbalance};
+use pselinv_trace::{CollKind, Json};
 use pselinv_trees::{TreeBuilder, TreeScheme, VolumeStats};
 use std::fmt::Write as _;
 use std::fs;
@@ -568,6 +569,128 @@ pub fn ablation_arity(out: &OutDir) -> std::io::Result<String> {
     Ok(txt)
 }
 
+/// Hot-spot analysis: per-rank × per-collective load heat maps with
+/// imbalance ratios, from a *traced* DES replay of the full selected
+/// inversion on a `grid_dim × grid_dim` grid. The traced byte loads are
+/// cross-checked against the structural volume replay (they must agree
+/// exactly), and the headline comparison — Binary's striping vs the
+/// Shifted tree's balance — is printed as max/mean ratios.
+pub fn hotspots(out: &OutDir, grid_dim: usize) -> std::io::Result<String> {
+    let a = workloads::audikw_volume();
+    let grid = Grid2D::new(grid_dim, grid_dim);
+    let layout = Layout::new(a.symbolic.clone(), grid);
+    let mut txt =
+        format!("Hot-spot analysis: {} on a {grid_dim}x{grid_dim} grid (DES traced)\n", a.name);
+    let mut docs = Vec::new();
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for (name, scheme) in schemes_with_names() {
+        let g = selinv_graph(&layout, &GraphOptions { scheme, seed: TREE_SEED, pipelining: true });
+        let meta = [
+            ("scheme", name.to_string()),
+            ("grid", format!("{grid_dim}x{grid_dim}")),
+            ("tree_seed", TREE_SEED.to_string()),
+        ];
+        let (_, trace) = simulate_traced_with_meta(&g, workloads::des_machine(0), name, &meta);
+        let hs = HotspotReport::from_trace(&trace, (grid_dim, grid_dim));
+        // The traced loads must equal the structural prediction exactly.
+        let rep = replay_volumes(&layout, TreeBuilder::new(scheme, TREE_SEED));
+        let cb = hs.kinds.iter().find(|k| k.coll == CollKind::ColBcast).expect("col-bcast load");
+        assert_eq!(
+            cb.sent_bytes, rep.col_bcast_sent,
+            "{name}: traced hot-spot bytes diverge from the volume replay"
+        );
+        let imb = hs.imbalance(CollKind::ColBcast).expect("col-bcast imbalance");
+        ratios.push((name.to_string(), imb.max_over_mean));
+        txt.push('\n');
+        txt.push_str(&hs.ascii());
+        docs.push(hs.json());
+    }
+    let line = ratios.iter().map(|(n, r)| format!("{n} {r:.2}")).collect::<Vec<_>>().join(", ");
+    let _ = writeln!(txt, "\nCol-Bcast max/mean by scheme: {line}");
+    out.write_json("hotspots.json", &Json::Arr(docs))?;
+    out.write_text("hotspots.txt", &txt)?;
+    Ok(txt)
+}
+
+/// Critical-path extraction: simulates the selected inversion per scheme
+/// on a `grid_dim × grid_dim` grid and reports the chain of tasks,
+/// transfers and waits that bounds the makespan, with its per-kind
+/// breakdown and rank sequence.
+pub fn critpath(out: &OutDir, grid_dim: usize) -> std::io::Result<String> {
+    let a = workloads::audikw_volume();
+    let grid = Grid2D::new(grid_dim, grid_dim);
+    let layout = Layout::new(a.symbolic.clone(), grid);
+    let mut txt = format!("Critical-path analysis: {} on a {grid_dim}x{grid_dim} grid\n", a.name);
+    let mut docs = Vec::new();
+    for (name, scheme) in schemes_with_names() {
+        let g = selinv_graph(&layout, &GraphOptions { scheme, seed: TREE_SEED, pipelining: true });
+        let meta = [("scheme", name.to_string()), ("grid", format!("{grid_dim}x{grid_dim}"))];
+        let (res, _, prof) = simulate_profiled(&g, workloads::des_machine(0), name, &meta);
+        let cp = CriticalPath::extract(&g, &prof);
+        // The path is contiguous, so its length is the last task's end
+        // time, which the simulated makespan can only exceed (by trailing
+        // non-final message deliveries).
+        assert_eq!(cp.length_us(), cp.makespan_us, "{name}: critical path has gaps");
+        assert!(
+            cp.length_us() <= (res.makespan * 1e6) as u64 + 1,
+            "{name}: critical path exceeds the makespan"
+        );
+        let _ = writeln!(txt, "\n{name} (simulated makespan {:.4}s)", res.makespan);
+        txt.push_str(&cp.ascii());
+        docs.push(Json::obj([("scheme", Json::from(name)), ("path", cp.json())]));
+    }
+    out.write_json("critpath.json", &Json::Arr(docs))?;
+    out.write_text("critpath.txt", &txt)?;
+    Ok(txt)
+}
+
+/// CI smoke benchmark: one cheap DES replay per scheme on an 8×8 grid,
+/// emitting `BENCH_trace.json` with the per-scheme makespan,
+/// critical-path length and Col-Bcast imbalance ratios — the artifact CI
+/// uploads so regressions in balance or schedule length are visible per
+/// commit.
+pub fn bench_smoke(out: &OutDir) -> std::io::Result<String> {
+    const DIM: usize = 8;
+    let a = workloads::audikw_volume();
+    let grid = Grid2D::new(DIM, DIM);
+    let layout = Layout::new(a.symbolic.clone(), grid);
+    let mut txt = format!("Bench smoke: {} on an {DIM}x{DIM} grid\n", a.name);
+    let mut rows = Vec::new();
+    for (name, scheme) in schemes_with_names() {
+        let g = selinv_graph(&layout, &GraphOptions { scheme, seed: TREE_SEED, pipelining: true });
+        let (res, _, prof) = simulate_profiled(&g, workloads::des_machine(0), name, &[]);
+        let cp = CriticalPath::extract(&g, &prof);
+        let rep = replay_volumes(&layout, TreeBuilder::new(scheme, TREE_SEED));
+        let imb = Imbalance::from_volumes(&rep.col_bcast_sent);
+        let _ = writeln!(
+            txt,
+            "  {name:<22}: makespan {:.4}s, critical path {} µs, \
+             col-bcast max/mean {:.2}, sigma/mean {:.2}",
+            res.makespan,
+            cp.length_us(),
+            imb.max_over_mean,
+            imb.sigma_over_mean
+        );
+        rows.push(Json::obj([
+            ("scheme", Json::from(name)),
+            ("makespan_s", res.makespan.into()),
+            ("critical_path_us", cp.length_us().into()),
+            ("col_bcast_max_over_mean", imb.max_over_mean.into()),
+            ("col_bcast_sigma_over_mean", imb.sigma_over_mean.into()),
+        ]));
+    }
+    let doc = Json::obj([
+        ("bench", "smoke".into()),
+        ("workload", a.name.as_str().into()),
+        ("grid", format!("{DIM}x{DIM}").into()),
+        ("tree_seed", TREE_SEED.into()),
+        ("schemes", Json::Arr(rows)),
+    ]);
+    out.write_json("BENCH_trace.json", &doc)?;
+    out.write_text("bench_smoke.txt", &txt)?;
+    Ok(txt)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -592,6 +715,67 @@ mod tests {
         assert!(get(2, "std_dev_mb") < get(0, "std_dev_mb"), "shifted std dev must beat flat");
         assert!(get(2, "std_dev_mb") < get(1, "std_dev_mb"), "shifted std dev must beat binary");
         assert!(get(2, "max_mb") < get(0, "max_mb"), "shifted max must beat flat");
+    }
+
+    #[test]
+    fn shifted_beats_binary_max_over_mean_at_46x46() {
+        // The paper's headline balance claim at evaluation scale: on the
+        // 46x46 (2,116-rank) grid the shifted binary tree's Col-Bcast
+        // max/mean ratio must be strictly below the plain binary tree's
+        // (whose striping concentrates load on interior columns).
+        let a = workloads::audikw_volume();
+        let grid = Grid2D::new(46, 46);
+        let binary = Imbalance::from_volumes(&replay(&a, grid, TreeScheme::Binary).col_bcast_sent);
+        let shifted =
+            Imbalance::from_volumes(&replay(&a, grid, TreeScheme::ShiftedBinary).col_bcast_sent);
+        assert!(
+            shifted.max_over_mean < binary.max_over_mean,
+            "shifted max/mean {} must beat binary {}",
+            shifted.max_over_mean,
+            binary.max_over_mean
+        );
+        assert!(
+            shifted.sigma_over_mean < binary.sigma_over_mean,
+            "shifted sigma/mean {} must beat binary {}",
+            shifted.sigma_over_mean,
+            binary.sigma_over_mean
+        );
+    }
+
+    #[test]
+    fn hotspot_and_critpath_artifacts_are_nonempty() {
+        let out = tmp();
+        let txt = hotspots(&out, 4).unwrap();
+        assert!(txt.contains("max/mean"));
+        let hs = std::fs::read_to_string(out.0.join("hotspots.json")).unwrap();
+        let parsed = Json::parse(&hs).unwrap();
+        assert_eq!(parsed.as_arr().unwrap().len(), 3);
+
+        let txt = critpath(&out, 4).unwrap();
+        assert!(txt.contains("critical path:"));
+        let cp = std::fs::read_to_string(out.0.join("critpath.json")).unwrap();
+        let parsed = Json::parse(&cp).unwrap();
+        for entry in parsed.as_arr().unwrap() {
+            let path = entry.get("path").unwrap();
+            let len = path.get("length_us").unwrap().as_f64().unwrap();
+            assert_eq!(Some(len), path.get("makespan_us").unwrap().as_f64());
+            assert!(!path.get("steps").unwrap().as_arr().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn bench_smoke_emits_per_scheme_trace_json() {
+        let out = tmp();
+        let _ = bench_smoke(&out).unwrap();
+        let doc = std::fs::read_to_string(out.0.join("BENCH_trace.json")).unwrap();
+        let parsed = Json::parse(&doc).unwrap();
+        let schemes = parsed.get("schemes").unwrap().as_arr().unwrap();
+        assert_eq!(schemes.len(), 3);
+        for s in schemes {
+            assert!(s.get("makespan_s").unwrap().as_f64().unwrap() > 0.0);
+            assert!(s.get("critical_path_us").unwrap().as_f64().unwrap() > 0.0);
+            assert!(s.get("col_bcast_max_over_mean").unwrap().as_f64().unwrap() >= 1.0);
+        }
     }
 
     #[test]

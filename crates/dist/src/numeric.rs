@@ -195,9 +195,13 @@ pub fn distributed_selinv_traced(
     let builder = TreeBuilder::new(opts.scheme, opts.seed);
     let plan = CommPlan::new(layout.clone(), builder);
 
-    let (outputs, volumes, trace) = pselinv_mpisim::run_traced(grid.size(), label, |ctx| {
+    let (outputs, volumes, mut trace) = pselinv_mpisim::run_traced(grid.size(), label, |ctx| {
         rank_main(ctx, factor, &layout, &plan)
     });
+    trace.set_meta("backend", "mpisim");
+    trace.set_meta("grid", format!("{}x{}", grid.pr, grid.pc));
+    trace.set_meta("scheme", opts.scheme.to_string());
+    trace.set_meta("seed", opts.seed.to_string());
 
     (assemble(factor, &layout, outputs), volumes, trace)
 }
@@ -599,6 +603,10 @@ mod tests {
                 }
             }
         }
+        // The trace is self-describing.
+        assert_eq!(trace.meta_str("backend"), Some("mpisim"));
+        assert_eq!(trace.meta_str("grid"), Some("2x2"));
+        assert_eq!(trace.meta_str("scheme"), Some(opts.scheme.to_string().as_str()));
         // Every rank recorded spans for each phase of each supernode.
         let ns = sf.num_supernodes() as u64;
         for r in &trace.ranks {

@@ -13,6 +13,10 @@ pub struct Message {
     pub src: usize,
     /// User tag (encodes supernode / block / phase in `pselinv-dist`).
     pub tag: u64,
+    /// Send timestamp on the run's shared trace clock (µs since the run
+    /// epoch); 0 when tracing is disabled. Lets the receiver classify
+    /// blocked time into late-sender wait vs transfer.
+    pub sent_us: u64,
     /// Payload.
     pub data: Vec<f64>,
 }
@@ -77,7 +81,7 @@ impl RankCtx {
     pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
         assert!(dst < self.size, "destination {dst} out of range");
         assert_ne!(dst, self.rank, "self-sends are not modeled (use local data)");
-        let msg = Message { src: self.rank, tag, data };
+        let msg = Message { src: self.rank, tag, sent_us: self.tracer.now_us(), data };
         self.volume.sent += msg.bytes();
         self.volume.msgs_sent += 1;
         self.tracer.msg_send(dst, tag, msg.bytes());
@@ -86,6 +90,11 @@ impl RankCtx {
 
     /// Blocking receive matching `(src, tag)`, buffering any other arrivals
     /// (≈ `MPI_Recv` with out-of-order message stashing).
+    ///
+    /// A receive that actually blocks gets its blocked interval classified
+    /// into late-sender wait vs transfer time against the matching
+    /// message's send timestamp (a stash hit never blocked, so records
+    /// neither).
     pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
         if let Some(i) = self.stash.iter().position(|m| m.src == src && m.tag == tag) {
             // `remove` (not `swap_remove_back`) keeps the rest of the stash
@@ -94,9 +103,11 @@ impl RankCtx {
             self.tracer.stash_depth(self.stash.len());
             return self.account_recv(m).data;
         }
+        let posted_us = self.tracer.now_us();
         loop {
             let m = self.inbox.recv().expect("all senders hung up while receiving");
             if m.src == src && m.tag == tag {
+                self.tracer.recv_wait(posted_us, m.sent_us);
                 return self.account_recv(m).data;
             }
             self.stash.push_back(m);
@@ -110,7 +121,9 @@ impl RankCtx {
             self.tracer.stash_depth(self.stash.len());
             return self.account_recv(m);
         }
+        let posted_us = self.tracer.now_us();
         let m = self.inbox.recv().expect("all senders hung up while receiving");
+        self.tracer.recv_wait(posted_us, m.sent_us);
         self.account_recv(m)
     }
 
@@ -454,6 +467,75 @@ mod tests {
         assert_eq!(trace.ranks[0].metrics.kind(CollKind::Other).bytes_sent, volumes[0].sent);
         assert_eq!(trace.ranks[1].metrics.kind(CollKind::Other).bytes_recv, volumes[1].received);
         assert_eq!(volumes[0].sent, 128);
+    }
+
+    #[test]
+    fn late_sender_wait_is_classified() {
+        use pselinv_trace::CollKind;
+        // Rank 1 posts its receive immediately; rank 0 sends only after a
+        // deliberate delay. Most of rank 1's blocked interval must be
+        // classified as late-sender wait, and wait + transfer can never
+        // exceed the enclosing span.
+        let delay_ms = 40u64;
+        let (_, _, trace) = run_traced(2, "unit/late_sender", move |ctx| {
+            if ctx.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+                ctx.tracer().push_scope(CollKind::ColBcast, 1);
+                ctx.send(1, 3, vec![0.0; 64]);
+                ctx.tracer().pop_scope();
+            } else {
+                ctx.tracer().push_scope(CollKind::ColBcast, 1);
+                let _ = ctx.recv(0, 3);
+                ctx.tracer().pop_scope();
+            }
+        });
+        let k = trace.ranks[1].metrics.kind(CollKind::ColBcast);
+        assert!(
+            k.wait_us >= delay_ms * 1000 / 2,
+            "late-sender wait {} µs too small for a {delay_ms} ms delay",
+            k.wait_us
+        );
+        assert!(
+            k.wait_us + k.transfer_us <= k.span_time_us,
+            "classified blocked time {} + {} exceeds the span {}",
+            k.wait_us,
+            k.transfer_us,
+            k.span_time_us
+        );
+        // The sender never blocked on a receive.
+        let s = trace.ranks[0].metrics.kind(CollKind::ColBcast);
+        assert_eq!(s.wait_us + s.transfer_us, 0);
+    }
+
+    #[test]
+    fn stash_hit_records_no_wait() {
+        // Force the tag-5 message through the stash: by the time recv(0, 5)
+        // runs, the message already arrived, so no blocked time may be
+        // classified for it beyond the first (tag-6) receive.
+        let (_, _, trace) = run_traced(2, "unit/stash_no_wait", |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 5, vec![1.0]);
+                ctx.send(1, 6, vec![2.0]);
+            } else {
+                let _ = ctx.recv(0, 6); // stashes tag 5
+                let waits_before = ctx.tracer().metrics().unwrap().total_wait_us()
+                    + ctx.tracer().metrics().unwrap().total_transfer_us();
+                let _ = ctx.recv(0, 5); // pure stash hit
+                let m = ctx.tracer().metrics().unwrap();
+                assert_eq!(
+                    m.total_wait_us() + m.total_transfer_us(),
+                    waits_before,
+                    "a stash hit must not add blocked time"
+                );
+            }
+        });
+        // Exactly one receive (tag 6) may have blocked.
+        let n_wait_events = trace.ranks[1]
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, pselinv_trace::EventKind::Wait { .. }))
+            .count();
+        assert!(n_wait_events <= 1, "{n_wait_events} wait events for one blocking recv");
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Per-rank × per-collective load heat maps and imbalance ratios.
+//!
+//! The paper's load-balancing story (Tables I/II, Figs. 5–7) is about
+//! *where* bytes concentrate on the `Pr × Pc` process grid: a flat
+//! broadcast tree piles the whole fan-out onto supernode roots, a striped
+//! binary tree piles it onto interior columns, and the shifted binary
+//! tree spreads it. [`HotspotReport`] reproduces that view from either a
+//! recorded [`Trace`] (both backends) or a structure-only
+//! [`VolumeReport`] replay.
+
+use pselinv_dist::VolumeReport;
+use pselinv_trace::{CollKind, Json, Trace};
+use pselinv_trees::VolumeStats;
+
+/// Load-imbalance ratios of a per-rank volume vector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Imbalance {
+    /// `max / mean` — 1.0 is perfectly balanced; the paper's headline
+    /// metric for Tables I/II.
+    pub max_over_mean: f64,
+    /// `σ / mean` (coefficient of variation) — spread of the whole
+    /// distribution, not just its peak.
+    pub sigma_over_mean: f64,
+}
+
+impl Imbalance {
+    /// Ratios of `volumes`; both ratios are 0 when the mean is 0 (an
+    /// all-zero vector is trivially balanced).
+    pub fn from_volumes(volumes: &[u64]) -> Self {
+        let s = VolumeStats::from_volumes(volumes);
+        if s.mean <= 0.0 {
+            return Imbalance { max_over_mean: 0.0, sigma_over_mean: 0.0 };
+        }
+        Imbalance { max_over_mean: s.max / s.mean, sigma_over_mean: s.std_dev / s.mean }
+    }
+}
+
+/// Per-rank load of one collective kind.
+#[derive(Clone, Debug)]
+pub struct KindLoad {
+    pub coll: CollKind,
+    /// Bytes sent by each rank under this kind.
+    pub sent_bytes: Vec<u64>,
+    /// Messages sent by each rank under this kind.
+    pub sent_msgs: Vec<u64>,
+    /// Bytes received (consumed) by each rank under this kind.
+    pub recv_bytes: Vec<u64>,
+}
+
+impl KindLoad {
+    fn is_empty(&self) -> bool {
+        self.sent_bytes.iter().all(|&b| b == 0) && self.recv_bytes.iter().all(|&b| b == 0)
+    }
+}
+
+/// Hot-spot report: per-rank load of every active collective kind on a
+/// `pr × pc` grid, with ASCII and JSON renderings.
+#[derive(Clone, Debug)]
+pub struct HotspotReport {
+    pub label: String,
+    /// Grid shape `(pr, pc)`; `pr * pc` equals the length of every
+    /// per-rank vector.
+    pub grid: (usize, usize),
+    /// One entry per [`CollKind`] that moved any bytes.
+    pub kinds: Vec<KindLoad>,
+}
+
+impl HotspotReport {
+    /// Builds the report from a recorded trace (either backend). `grid`
+    /// must satisfy `pr * pc == number of ranks`; ranks are laid out
+    /// row-major (`rank = r * pc + c`), matching [`VolumeReport`].
+    pub fn from_trace(trace: &Trace, grid: (usize, usize)) -> Self {
+        let p = grid.0 * grid.1;
+        assert_eq!(
+            p,
+            trace.ranks.len(),
+            "grid {grid:?} does not cover {} ranks",
+            trace.ranks.len()
+        );
+        let mut kinds = Vec::new();
+        for coll in CollKind::ALL {
+            let mut load = KindLoad {
+                coll,
+                sent_bytes: vec![0; p],
+                sent_msgs: vec![0; p],
+                recv_bytes: vec![0; p],
+            };
+            for r in &trace.ranks {
+                let c = r.metrics.kind(coll);
+                load.sent_bytes[r.rank] = c.bytes_sent;
+                load.sent_msgs[r.rank] = c.msgs_sent;
+                load.recv_bytes[r.rank] = c.bytes_recv;
+            }
+            if !load.is_empty() {
+                kinds.push(load);
+            }
+        }
+        HotspotReport { label: trace.label.clone(), grid, kinds }
+    }
+
+    /// Builds the report from a structure-only volume replay: Col-Bcast
+    /// *sent* bytes and Row-Reduce *received* bytes, the paper's two
+    /// headline measurements. Message counts are unknown to the replay
+    /// and left at zero.
+    pub fn from_volumes(label: impl Into<String>, rep: &VolumeReport) -> Self {
+        let p = rep.grid.0 * rep.grid.1;
+        let kinds = vec![
+            KindLoad {
+                coll: CollKind::ColBcast,
+                sent_bytes: rep.col_bcast_sent.clone(),
+                sent_msgs: vec![0; p],
+                recv_bytes: vec![0; p],
+            },
+            KindLoad {
+                coll: CollKind::RowReduce,
+                sent_bytes: vec![0; p],
+                sent_msgs: vec![0; p],
+                recv_bytes: rep.row_reduce_received.clone(),
+            },
+        ];
+        HotspotReport { label: label.into(), grid: rep.grid, kinds }
+    }
+
+    /// Load vector of `coll` in the report's primary direction: sent
+    /// bytes if any rank sent under this kind, received bytes otherwise
+    /// (Row-Reduce is measured on the receive side).
+    pub fn primary_load(&self, coll: CollKind) -> Option<&[u64]> {
+        let k = self.kinds.iter().find(|k| k.coll == coll)?;
+        if k.sent_bytes.iter().any(|&b| b > 0) {
+            Some(&k.sent_bytes)
+        } else {
+            Some(&k.recv_bytes)
+        }
+    }
+
+    /// Imbalance ratios of `coll`'s primary load.
+    pub fn imbalance(&self, coll: CollKind) -> Option<Imbalance> {
+        self.primary_load(coll).map(Imbalance::from_volumes)
+    }
+
+    /// ASCII rendering: one `pr × pc` glyph heat map per active kind
+    /// (darker glyph = more bytes), with total/max/mean and the two
+    /// imbalance ratios.
+    pub fn ascii(&self) -> String {
+        let (pr, pc) = self.grid;
+        let mut out = format!("hot spots: {} ({}x{} grid)\n", self.label, pr, pc);
+        for k in &self.kinds {
+            let sent_total: u64 = k.sent_bytes.iter().sum();
+            let (dir, v) =
+                if sent_total > 0 { ("sent", &k.sent_bytes) } else { ("recv", &k.recv_bytes) };
+            let imb = Imbalance::from_volumes(v);
+            let stats = VolumeStats::from_volumes(v);
+            out.push_str(&format!(
+                "\n{} ({dir} bytes): total {:.2} MB, max {:.2} MB, mean {:.2} MB, \
+                 max/mean {:.2}, sigma/mean {:.2}\n",
+                k.coll.name(),
+                v.iter().sum::<u64>() as f64 * 1e-6,
+                stats.max * 1e-6,
+                stats.mean * 1e-6,
+                imb.max_over_mean,
+                imb.sigma_over_mean,
+            ));
+            out.push_str(&heatmap_ascii(v, pr, pc));
+        }
+        out
+    }
+
+    /// JSON rendering, suitable as a CI artifact.
+    pub fn json(&self) -> Json {
+        let kinds = self
+            .kinds
+            .iter()
+            .map(|k| {
+                let imb = self
+                    .imbalance(k.coll)
+                    .unwrap_or(Imbalance { max_over_mean: 0.0, sigma_over_mean: 0.0 });
+                Json::obj([
+                    ("kind", k.coll.name().into()),
+                    ("sent_bytes", Json::Arr(k.sent_bytes.iter().map(|&b| b.into()).collect())),
+                    ("sent_msgs", Json::Arr(k.sent_msgs.iter().map(|&m| m.into()).collect())),
+                    ("recv_bytes", Json::Arr(k.recv_bytes.iter().map(|&b| b.into()).collect())),
+                    ("max_over_mean", imb.max_over_mean.into()),
+                    ("sigma_over_mean", imb.sigma_over_mean.into()),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("label", self.label.as_str().into()),
+            ("grid", Json::Arr(vec![self.grid.0.into(), self.grid.1.into()])),
+            ("kinds", Json::Arr(kinds)),
+        ])
+    }
+}
+
+/// Renders `v` (row-major, `pr × pc`) as a glyph heat map: each cell is
+/// scaled against the global maximum on a 10-step ramp.
+fn heatmap_ascii(v: &[u64], pr: usize, pc: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let max = v.iter().copied().max().unwrap_or(0).max(1) as f64;
+    let mut out = String::new();
+    for r in 0..pr {
+        out.push_str("  ");
+        for c in 0..pc {
+            let x = v[r * pc + c] as f64 / max;
+            let i = ((x * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[i] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pselinv_trace::{collect, RankTracer};
+
+    fn trace_2x2() -> Trace {
+        let mut tracers: Vec<RankTracer> = (0..4).map(RankTracer::manual).collect();
+        tracers[0].push_scope(CollKind::ColBcast, 0);
+        tracers[0].msg_send(1, 1, 1000);
+        tracers[0].msg_send(2, 1, 1000);
+        tracers[0].pop_scope();
+        tracers[3].push_scope(CollKind::RowReduce, 0);
+        tracers[3].msg_recv(1, 2, 500);
+        tracers[3].pop_scope();
+        collect("unit/2x2", tracers).unwrap()
+    }
+
+    #[test]
+    fn from_trace_collects_per_rank_loads() {
+        let rep = HotspotReport::from_trace(&trace_2x2(), (2, 2));
+        assert_eq!(rep.kinds.len(), 2);
+        assert_eq!(rep.primary_load(CollKind::ColBcast).unwrap(), &[2000, 0, 0, 0]);
+        assert_eq!(rep.primary_load(CollKind::RowReduce).unwrap(), &[0, 0, 0, 500]);
+        assert!(rep.primary_load(CollKind::DiagBcast).is_none());
+    }
+
+    #[test]
+    fn imbalance_ratios() {
+        let i = Imbalance::from_volumes(&[4, 0, 0, 0]);
+        assert!((i.max_over_mean - 4.0).abs() < 1e-12);
+        assert!(i.sigma_over_mean > 1.0);
+        let b = Imbalance::from_volumes(&[3, 3, 3, 3]);
+        assert!((b.max_over_mean - 1.0).abs() < 1e-12);
+        assert!(b.sigma_over_mean.abs() < 1e-12);
+        let z = Imbalance::from_volumes(&[0, 0]);
+        assert_eq!(z.max_over_mean, 0.0);
+    }
+
+    #[test]
+    fn ascii_has_grid_rows_and_stats() {
+        let rep = HotspotReport::from_trace(&trace_2x2(), (2, 2));
+        let text = rep.ascii();
+        assert!(text.contains("ColBcast"));
+        assert!(text.contains("max/mean"));
+        // Each kind renders pr=2 heat-map rows of pc=2 glyphs.
+        let map_rows = text.lines().filter(|l| l.starts_with("  ") && l.len() == 4).count();
+        assert_eq!(map_rows, 4);
+    }
+
+    #[test]
+    fn json_roundtrips_and_carries_loads() {
+        let rep = HotspotReport::from_trace(&trace_2x2(), (2, 2));
+        let doc = rep.json();
+        let parsed = Json::parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(parsed.get("label").unwrap().as_str(), Some("unit/2x2"));
+        let kinds = parsed.get("kinds").unwrap().as_arr().unwrap();
+        assert_eq!(kinds.len(), 2);
+        assert_eq!(kinds[0].get("kind").unwrap().as_str(), Some("ColBcast"));
+        assert_eq!(kinds[0].get("sent_bytes").unwrap().idx(0).unwrap().as_f64(), Some(2000.0));
+        assert!(kinds[0].get("max_over_mean").unwrap().as_f64().unwrap() > 1.0);
+    }
+
+    #[test]
+    fn heatmap_glyphs_scale_with_load() {
+        let text = heatmap_ascii(&[100, 0, 50, 100], 2, 2);
+        let rows: Vec<&str> = text.lines().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], "  @ ");
+        assert_eq!(rows[1], "  +@");
+    }
+}

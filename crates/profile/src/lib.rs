@@ -1,0 +1,32 @@
+//! Hot-spot, wait-state and critical-path analysis for PSelInv runs.
+//!
+//! This crate turns the raw per-rank data recorded by `pselinv-trace`
+//! (from either the mpisim runtime or the DES backend) into the three
+//! reports the paper's evaluation revolves around:
+//!
+//! * [`hotspots`] — per-rank × per-collective message and byte load,
+//!   rendered as `Pr × Pc` heat maps with max/mean and σ/mean imbalance
+//!   ratios. This is the view in which the flat tree's root hot spots
+//!   (Figs. 5–7) and the shifted binary tree's balance are visible.
+//! * [`waitstate`] — Scalasca-style classification of blocked time into
+//!   *late-sender wait* (the matching send had not been issued yet) and
+//!   *transfer* (the message was already in flight), per rank and per
+//!   collective kind. Both backends stamp the same vocabulary, so the
+//!   reports are directly comparable.
+//! * [`critpath`] — the longest weighted path through the simulated
+//!   schedule, extracted from the DES engine's [`SimProfile`]: which
+//!   tasks, transfers and idle gaps actually bound the makespan, with a
+//!   per-kind breakdown and the rank sequence the path hops through.
+//!
+//! All reports render as ASCII (for terminals and logs) and as
+//! [`Json`](pselinv_trace::Json) (for artifacts and CI).
+//!
+//! [`SimProfile`]: pselinv_des::SimProfile
+
+pub mod critpath;
+pub mod hotspots;
+pub mod waitstate;
+
+pub use critpath::{CritStep, CriticalPath, StepKind};
+pub use hotspots::{HotspotReport, Imbalance, KindLoad};
+pub use waitstate::WaitReport;

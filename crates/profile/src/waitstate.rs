@@ -1,0 +1,179 @@
+//! Per-rank wait-state profile (the paper's Fig. 9 view).
+//!
+//! Both backends stamp blocked time with one shared vocabulary (see
+//! `DESIGN.md`): *wait* is late-sender time — the receiver was blocked
+//! before the matching send was even issued (mpisim) or the core sat
+//! idle before a task could start (DES) — and *transfer* is the part of
+//! the blocked interval during which the message was genuinely in
+//! flight. [`WaitReport`] tabulates both per rank and per collective
+//! kind, next to the busy (span) time, so the three columns account for
+//! a rank's whole timeline.
+
+use pselinv_trace::{CollKind, Json, Trace};
+
+/// Wait/transfer/busy accounting for one rank.
+#[derive(Clone, Debug)]
+pub struct RankWait {
+    pub rank: usize,
+    /// Busy time inside spans (µs), all kinds.
+    pub span_us: u64,
+    /// Late-sender wait (µs) per [`CollKind`] index.
+    pub wait_us: Vec<u64>,
+    /// Transfer time (µs) per [`CollKind`] index.
+    pub transfer_us: Vec<u64>,
+}
+
+impl RankWait {
+    /// Total late-sender wait across kinds.
+    pub fn total_wait_us(&self) -> u64 {
+        self.wait_us.iter().sum()
+    }
+
+    /// Total transfer time across kinds.
+    pub fn total_transfer_us(&self) -> u64 {
+        self.transfer_us.iter().sum()
+    }
+}
+
+/// Wait-state report over a whole run.
+#[derive(Clone, Debug)]
+pub struct WaitReport {
+    pub label: String,
+    pub ranks: Vec<RankWait>,
+}
+
+impl WaitReport {
+    /// Tabulates the wait-state counters of `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let ranks = trace
+            .ranks
+            .iter()
+            .map(|r| RankWait {
+                rank: r.rank,
+                span_us: r.metrics.total_span_time_us(),
+                wait_us: CollKind::ALL.iter().map(|&k| r.metrics.kind(k).wait_us).collect(),
+                transfer_us: CollKind::ALL.iter().map(|&k| r.metrics.kind(k).transfer_us).collect(),
+            })
+            .collect();
+        WaitReport { label: trace.label.clone(), ranks }
+    }
+
+    /// Run-wide wait time of one kind (µs).
+    pub fn wait_us(&self, coll: CollKind) -> u64 {
+        self.ranks.iter().map(|r| r.wait_us[coll.index()]).sum()
+    }
+
+    /// The kind with the largest run-wide wait time, if any wait was
+    /// recorded — the answer to "which collective are ranks stuck in?".
+    pub fn dominant_wait_kind(&self) -> Option<CollKind> {
+        CollKind::ALL
+            .iter()
+            .copied()
+            .map(|k| (self.wait_us(k), k))
+            .filter(|&(w, _)| w > 0)
+            .max_by_key(|&(w, k)| (w, std::cmp::Reverse(k.index())))
+            .map(|(_, k)| k)
+    }
+
+    /// ASCII table: one row per rank with busy/wait/transfer and the
+    /// rank's dominant wait kind.
+    pub fn ascii(&self) -> String {
+        let mut out = format!(
+            "wait states: {}\n{:>5} {:>12} {:>12} {:>12}  dominant wait\n",
+            self.label, "rank", "busy µs", "wait µs", "xfer µs"
+        );
+        for r in &self.ranks {
+            let dom = CollKind::ALL
+                .iter()
+                .copied()
+                .map(|k| (r.wait_us[k.index()], k))
+                .filter(|&(w, _)| w > 0)
+                .max_by_key(|&(w, k)| (w, std::cmp::Reverse(k.index())))
+                .map(|(_, k)| k.name())
+                .unwrap_or("-");
+            out.push_str(&format!(
+                "{:>5} {:>12} {:>12} {:>12}  {dom}\n",
+                r.rank,
+                r.span_us,
+                r.total_wait_us(),
+                r.total_transfer_us(),
+            ));
+        }
+        let wait: u64 = self.ranks.iter().map(RankWait::total_wait_us).sum();
+        let xfer: u64 = self.ranks.iter().map(RankWait::total_transfer_us).sum();
+        let busy: u64 = self.ranks.iter().map(|r| r.span_us).sum();
+        out.push_str(&format!("total {busy:>12} {wait:>12} {xfer:>12}\n"));
+        out
+    }
+
+    /// JSON rendering.
+    pub fn json(&self) -> Json {
+        let ranks = self
+            .ranks
+            .iter()
+            .map(|r| {
+                let kinds: Vec<Json> = CollKind::ALL
+                    .iter()
+                    .filter(|&&k| r.wait_us[k.index()] > 0 || r.transfer_us[k.index()] > 0)
+                    .map(|&k| {
+                        Json::obj([
+                            ("kind", k.name().into()),
+                            ("wait_us", r.wait_us[k.index()].into()),
+                            ("transfer_us", r.transfer_us[k.index()].into()),
+                        ])
+                    })
+                    .collect();
+                Json::obj([
+                    ("rank", r.rank.into()),
+                    ("busy_us", r.span_us.into()),
+                    ("wait_us", r.total_wait_us().into()),
+                    ("transfer_us", r.total_transfer_us().into()),
+                    ("kinds", Json::Arr(kinds)),
+                ])
+            })
+            .collect();
+        Json::obj([("label", self.label.as_str().into()), ("ranks", Json::Arr(ranks))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pselinv_trace::{collect, RankTracer};
+
+    fn sample() -> Trace {
+        let mut a = RankTracer::manual(0);
+        a.span_at(CollKind::Compute, 0, 0, 100);
+        let mut b = RankTracer::manual(1);
+        b.push_scope(CollKind::ColBcast, 0);
+        b.set_time_us(60);
+        b.recv_wait(0, 40); // wait 40, transfer 20
+        b.pop_scope();
+        b.wait_at(CollKind::RowReduce, 1, 60, 70); // wait 10
+        collect("unit/wait", vec![a, b]).unwrap()
+    }
+
+    #[test]
+    fn tabulates_per_rank_and_per_kind() {
+        let rep = WaitReport::from_trace(&sample());
+        assert_eq!(rep.ranks[0].span_us, 100);
+        assert_eq!(rep.ranks[0].total_wait_us(), 0);
+        assert_eq!(rep.ranks[1].wait_us[CollKind::ColBcast.index()], 40);
+        assert_eq!(rep.ranks[1].transfer_us[CollKind::ColBcast.index()], 20);
+        assert_eq!(rep.ranks[1].wait_us[CollKind::RowReduce.index()], 10);
+        assert_eq!(rep.wait_us(CollKind::ColBcast), 40);
+        assert_eq!(rep.dominant_wait_kind(), Some(CollKind::ColBcast));
+    }
+
+    #[test]
+    fn ascii_and_json_render() {
+        let rep = WaitReport::from_trace(&sample());
+        let text = rep.ascii();
+        assert!(text.contains("ColBcast"));
+        assert!(text.contains("total"));
+        let doc = Json::parse(&rep.json().to_string_pretty()).unwrap();
+        let r1 = doc.get("ranks").unwrap().idx(1).unwrap();
+        assert_eq!(r1.get("wait_us").unwrap().as_f64(), Some(50.0));
+        assert_eq!(r1.get("transfer_us").unwrap().as_f64(), Some(20.0));
+    }
+}

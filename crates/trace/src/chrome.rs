@@ -91,13 +91,39 @@ pub fn to_chrome(trace: &Trace) -> Json {
                         ("args", Json::obj([("depth", (*depth).into())])),
                     ]));
                 }
+                EventKind::Wait { coll, key, wait_us, transfer_us } => {
+                    let mut args = vec![
+                        ("kind".to_string(), Json::from(coll.name())),
+                        ("wait_us".to_string(), Json::from(*wait_us)),
+                        ("transfer_us".to_string(), Json::from(*transfer_us)),
+                    ];
+                    if *key != NO_KEY {
+                        args.push(("supernode".to_string(), Json::from(*key)));
+                    }
+                    events.push(Json::obj([
+                        ("name", format!("wait:{}", coll.name()).into()),
+                        ("cat", "wait".into()),
+                        ("ph", "X".into()),
+                        ("pid", 0u64.into()),
+                        ("tid", tid.clone()),
+                        ("ts", e.ts_us.into()),
+                        ("dur", (wait_us + transfer_us).into()),
+                        ("args", Json::Obj(args)),
+                    ]));
+                }
             }
+        }
+    }
+    let mut other = vec![("label".to_string(), Json::from(trace.label.as_str()))];
+    for (k, v) in &trace.meta {
+        if k != "label" {
+            other.push((k.clone(), Json::from(v.as_str())));
         }
     }
     Json::obj([
         ("traceEvents", Json::Arr(events)),
         ("displayTimeUnit", "ms".into()),
-        ("otherData", Json::obj([("label", trace.label.as_str().into())])),
+        ("otherData", Json::Obj(other)),
     ])
 }
 
@@ -171,6 +197,76 @@ mod tests {
         assert_eq!(span.get("ts").unwrap().as_f64(), Some(1.0));
         assert_eq!(span.get("dur").unwrap().as_f64(), Some(7.0));
         assert_eq!(span.get("args").unwrap().get("supernode").unwrap().as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn label_with_special_characters_escapes_and_roundtrips() {
+        // Labels are free-form: quotes, backslashes and newlines must be
+        // escaped in the serialized document and survive a parse cycle.
+        let mut t = RankTracer::manual(0);
+        t.msg_send(0, 0, 8);
+        let label = "evil \"label\"\\ with\nnewline\tand unicode é";
+        let trace = collect(label, vec![t]).unwrap().with_meta("scheme", "a \"quoted\" value");
+        let doc = to_chrome(&trace);
+        validate_chrome(&doc).unwrap();
+        for text in [doc.to_string_compact(), doc.to_string_pretty()] {
+            let parsed = Json::parse(&text).expect("exported document must be parseable JSON");
+            assert_eq!(
+                parsed.get("otherData").unwrap().get("label").unwrap().as_str(),
+                Some(label)
+            );
+            assert_eq!(
+                parsed.get("otherData").unwrap().get("scheme").unwrap().as_str(),
+                Some("a \"quoted\" value")
+            );
+        }
+    }
+
+    #[test]
+    fn events_have_unique_pid_tid_keys() {
+        // Duplicate keys in one object serialize as legal-looking JSON that
+        // parsers resolve arbitrarily — assert each event carries exactly
+        // one pid and one tid (and one ph/name/ts).
+        let mut t = RankTracer::manual(2);
+        t.set_time_us(1);
+        t.push_scope(CollKind::RowReduce, 1);
+        t.msg_send(0, 3, 64);
+        t.msg_recv(0, 4, 32);
+        t.set_time_us(9);
+        t.recv_wait(2, 5);
+        t.pop_scope();
+        t.stash_depth(1);
+        let doc = to_chrome(&collect("dup", vec![t]).unwrap());
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(events.len() >= 6);
+        for e in events {
+            let Json::Obj(fields) = e else { panic!("event is not an object") };
+            for key in ["pid", "tid", "ph", "name"] {
+                let n = fields.iter().filter(|(k, _)| k == key).count();
+                assert_eq!(n, 1, "field {key} appears {n} times in {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wait_events_export_as_spans() {
+        let mut t = RankTracer::manual(0);
+        t.push_scope(CollKind::ColBcast, 6);
+        t.set_time_us(40);
+        t.recv_wait(10, 30);
+        t.pop_scope();
+        let doc = to_chrome(&collect("w", vec![t]).unwrap());
+        validate_chrome(&doc).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let w = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("wait"))
+            .expect("a wait event");
+        assert_eq!(w.get("name").unwrap().as_str(), Some("wait:ColBcast"));
+        assert_eq!(w.get("ts").unwrap().as_f64(), Some(10.0));
+        assert_eq!(w.get("dur").unwrap().as_f64(), Some(30.0));
+        assert_eq!(w.get("args").unwrap().get("wait_us").unwrap().as_f64(), Some(20.0));
+        assert_eq!(w.get("args").unwrap().get("transfer_us").unwrap().as_f64(), Some(10.0));
     }
 
     #[test]

@@ -104,6 +104,13 @@ pub enum EventKind {
     MsgRecv { peer: usize, tag: u64, bytes: u64, coll: CollKind },
     /// The out-of-order stash changed size (emitted on change only).
     StashDepth { depth: usize },
+    /// Time this rank spent blocked waiting for a message, classified
+    /// Scalasca-style: `wait_us` is late-sender time (blocked before the
+    /// matching send was even issued), `transfer_us` is the remainder of
+    /// the blocked interval (the message was in flight / being drained).
+    /// `ts_us` is the moment the receive was posted (mpisim) or the rank
+    /// went idle (DES).
+    Wait { coll: CollKind, key: u64, wait_us: u64, transfer_us: u64 },
 }
 
 /// Packs `(coll, supernode)` into the 32-bit task tag carried by DES task

@@ -16,6 +16,14 @@ pub struct KindCounters {
     pub spans: u64,
     /// Total time inside those spans, in microseconds.
     pub span_time_us: u64,
+    /// Late-sender wait time (µs): blocked on a receive before the
+    /// matching send was issued (mpisim), or core-idle before a task of
+    /// this kind could start (DES).
+    pub wait_us: u64,
+    /// Transfer time (µs): the rest of a blocked-receive interval (the
+    /// message was already in flight), or simulated in-flight time of
+    /// messages consumed by tasks of this kind (DES).
+    pub transfer_us: u64,
 }
 
 /// Metrics registry for one rank.
@@ -100,6 +108,14 @@ impl RankMetrics {
         c.span_time_us += dur_us;
     }
 
+    /// Records classified blocked time: `wait_us` of late-sender wait plus
+    /// `transfer_us` of transfer, attributed to `coll`.
+    pub fn on_wait(&mut self, coll: CollKind, wait_us: u64, transfer_us: u64) {
+        let c = &mut self.per_kind[coll.index()];
+        c.wait_us += wait_us;
+        c.transfer_us += transfer_us;
+    }
+
     /// Updates the stash high-water mark.
     pub fn on_stash_depth(&mut self, depth: usize) {
         self.stash_hwm = self.stash_hwm.max(depth);
@@ -118,6 +134,21 @@ impl RankMetrics {
     /// Total messages sent across all kinds.
     pub fn total_sent_msgs(&self) -> u64 {
         self.per_kind.iter().map(|c| c.msgs_sent).sum()
+    }
+
+    /// Total span time across all kinds (µs).
+    pub fn total_span_time_us(&self) -> u64 {
+        self.per_kind.iter().map(|c| c.span_time_us).sum()
+    }
+
+    /// Total late-sender wait time across all kinds (µs).
+    pub fn total_wait_us(&self) -> u64 {
+        self.per_kind.iter().map(|c| c.wait_us).sum()
+    }
+
+    /// Total transfer time across all kinds (µs).
+    pub fn total_transfer_us(&self) -> u64 {
+        self.per_kind.iter().map(|c| c.transfer_us).sum()
     }
 }
 
@@ -156,6 +187,33 @@ mod tests {
         m.on_recv_undo(CollKind::RowReduce, 30);
         assert_eq!(m.kind(CollKind::RowReduce).bytes_recv, 0);
         assert_eq!(m.kind(CollKind::RowReduce).msgs_recv, 0);
+    }
+
+    #[test]
+    fn size_buckets_at_exact_powers_of_two() {
+        // bytes == 2^b must land in bucket b, not b+1 (the bucket covers
+        // 2^(b-1) < bytes <= 2^b); bytes == 2^b + 1 spills into b+1.
+        for b in 1..32usize {
+            assert_eq!(log2_bucket(1u64 << b), b, "2^{b}");
+            assert_eq!(log2_bucket((1u64 << b) + 1), b + 1, "2^{b}+1");
+        }
+        assert_eq!(log2_bucket(1u64 << 32), 32);
+        // Everything past the last bucket boundary saturates into bucket 32.
+        assert_eq!(log2_bucket((1u64 << 32) + 1), 32);
+        assert_eq!(log2_bucket(1u64 << 63), 32);
+    }
+
+    #[test]
+    fn wait_transfer_accounting() {
+        let mut m = RankMetrics::default();
+        m.on_wait(CollKind::ColBcast, 10, 3);
+        m.on_wait(CollKind::ColBcast, 5, 0);
+        m.on_wait(CollKind::RowReduce, 0, 7);
+        assert_eq!(m.kind(CollKind::ColBcast).wait_us, 15);
+        assert_eq!(m.kind(CollKind::ColBcast).transfer_us, 3);
+        assert_eq!(m.kind(CollKind::RowReduce).transfer_us, 7);
+        assert_eq!(m.total_wait_us(), 15);
+        assert_eq!(m.total_transfer_us(), 10);
     }
 
     #[test]

@@ -200,6 +200,50 @@ impl RankTracer {
         }
     }
 
+    /// Classifies a blocked receive that was posted at `posted_us` and
+    /// completed *now*, against a message sent at `sent_us` (all three on
+    /// the same clock). The blocked interval splits Scalasca-style into
+    /// late-sender wait (posted before the send was issued) and transfer
+    /// (the message was in flight); the two always sum to the blocked
+    /// duration. Attributed to the innermost open scope's kind.
+    pub fn recv_wait(&mut self, posted_us: u64, sent_us: u64) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            let done_us = inner.clock.now_us().max(posted_us);
+            let wait_us = sent_us.min(done_us).saturating_sub(posted_us);
+            let transfer_us = done_us - sent_us.max(posted_us).min(done_us);
+            let (coll, key) =
+                inner.scopes.last().map_or((CollKind::Other, NO_KEY), |s| (s.coll, s.key));
+            inner.events.push(TraceEvent {
+                ts_us: posted_us,
+                kind: EventKind::Wait { coll, key, wait_us, transfer_us },
+            });
+            inner.metrics.on_wait(coll, wait_us, transfer_us);
+        }
+    }
+
+    /// Records an idle-wait span with explicit timestamps and kind (used by
+    /// the DES backend: the core sat idle in `[start_us, end_us)` before a
+    /// task of kind `coll` could start).
+    pub fn wait_at(&mut self, coll: CollKind, key: u64, start_us: u64, end_us: u64) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            let wait_us = end_us.saturating_sub(start_us);
+            inner.events.push(TraceEvent {
+                ts_us: start_us,
+                kind: EventKind::Wait { coll, key, wait_us, transfer_us: 0 },
+            });
+            inner.metrics.on_wait(coll, wait_us, 0);
+        }
+    }
+
+    /// Accumulates pure transfer time (µs) under `coll` without an event
+    /// (used by the DES backend: in-flight time of a consumed message,
+    /// already visible as its send/recv instant pair).
+    pub fn transfer_as(&mut self, coll: CollKind, transfer_us: u64) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            inner.metrics.on_wait(coll, 0, transfer_us);
+        }
+    }
+
     /// Reports the current out-of-order stash depth. Updates the high-water
     /// mark; emits a counter event only when the depth changed.
     pub fn stash_depth(&mut self, depth: usize) {
@@ -285,11 +329,16 @@ pub struct RankTrace {
     pub metrics: RankMetrics,
 }
 
-/// A complete run: one [`RankTrace`] per rank, plus a label.
+/// A complete run: one [`RankTrace`] per rank, plus a label and a run
+/// metadata block (scheme, grid, seed, backend, …) so exported reports are
+/// self-describing.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
     /// Free-form run label (workload / scheme / backend), shown in exports.
     pub label: String,
+    /// Key/value run metadata, in insertion order. Included verbatim in
+    /// exporters; later values win on duplicate keys.
+    pub meta: Vec<(String, String)>,
     pub ranks: Vec<RankTrace>,
 }
 
@@ -297,7 +346,29 @@ impl Trace {
     /// Assembles a trace, sorting ranks by rank id.
     pub fn new(label: impl Into<String>, mut ranks: Vec<RankTrace>) -> Self {
         ranks.sort_by_key(|r| r.rank);
-        Trace { label: label.into(), ranks }
+        Trace { label: label.into(), meta: Vec::new(), ranks }
+    }
+
+    /// Adds (or overrides) one metadata entry, builder-style.
+    pub fn with_meta(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_meta(key, value);
+        self
+    }
+
+    /// Adds (or overrides) one metadata entry in place.
+    pub fn set_meta(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(e) = self.meta.iter_mut().find(|(k, _)| *k == key) {
+            e.1 = value;
+        } else {
+            self.meta.push((key, value));
+        }
+    }
+
+    /// Looks up a metadata value by key.
+    pub fn meta_str(&self, key: &str) -> Option<&str> {
+        self.meta.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     /// Per-rank bytes sent under `coll`, in rank order.
@@ -320,6 +391,16 @@ impl Trace {
         self.ranks.iter().map(|r| r.metrics.kind(coll).span_time_us).collect()
     }
 
+    /// Per-rank late-sender wait time (µs) under `coll`, in rank order.
+    pub fn wait_time_us(&self, coll: CollKind) -> Vec<u64> {
+        self.ranks.iter().map(|r| r.metrics.kind(coll).wait_us).collect()
+    }
+
+    /// Per-rank transfer time (µs) under `coll`, in rank order.
+    pub fn transfer_time_us(&self, coll: CollKind) -> Vec<u64> {
+        self.ranks.iter().map(|r| r.metrics.kind(coll).transfer_us).collect()
+    }
+
     /// Formats the per-rank summary table: for every kind with traffic or
     /// spans, the min/max/σ (plus median/mean) of per-rank sent bytes and
     /// span time — the same shape as the paper's Table I columns.
@@ -327,34 +408,69 @@ impl Trace {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "trace summary: {} ({} ranks)", self.label, self.ranks.len());
+        if !self.meta.is_empty() {
+            let kv: Vec<String> = self.meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(out, "run metadata: {}", kv.join(" "));
+        }
         let _ = writeln!(
             out,
-            "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
-            "phase", "msgs", "sent.min B", "sent.max B", "sent.mean B", "sent.sigma", "time µs"
+            "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10}",
+            "phase",
+            "msgs",
+            "sent.min B",
+            "sent.max B",
+            "sent.mean B",
+            "sent.sigma",
+            "time µs",
+            "wait µs",
+            "xfer µs"
         );
         for coll in CollKind::ALL {
             let msgs: u64 = self.ranks.iter().map(|r| r.metrics.kind(coll).msgs_sent).sum();
             let spans: u64 = self.ranks.iter().map(|r| r.metrics.kind(coll).spans).sum();
             let recvd: u64 = self.ranks.iter().map(|r| r.metrics.kind(coll).msgs_recv).sum();
-            if msgs == 0 && spans == 0 && recvd == 0 {
+            let wait: u64 = self.wait_time_us(coll).iter().sum();
+            let xfer: u64 = self.transfer_time_us(coll).iter().sum();
+            if msgs == 0 && spans == 0 && recvd == 0 && wait == 0 && xfer == 0 {
                 continue;
             }
             let s = self.sent_stats(coll);
             let t: u64 = self.span_time_us(coll).iter().sum();
             let _ = writeln!(
                 out,
-                "{:<14} {:>10} {:>12.0} {:>12.0} {:>12.1} {:>12.1} {:>10}",
+                "{:<14} {:>10} {:>12.0} {:>12.0} {:>12.1} {:>12.1} {:>10} {:>10} {:>10}",
                 coll.name(),
                 msgs,
                 s.min,
                 s.max,
                 s.mean,
                 s.std_dev,
-                t
+                t,
+                wait,
+                xfer
             );
         }
-        let hwm = self.ranks.iter().map(|r| r.metrics.stash_hwm).max().unwrap_or(0);
-        let _ = writeln!(out, "stash high-water (max over ranks): {hwm}");
+        // Stash depth is itself a hot-spot signal: report the worst rank
+        // and the per-rank distribution, not just the global max.
+        let hwms: Vec<usize> = self.ranks.iter().map(|r| r.metrics.stash_hwm).collect();
+        let (hwm_rank, hwm) = hwms
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &h)| (h, std::cmp::Reverse(i)))
+            .map(|(i, &h)| (self.ranks[i].rank, h))
+            .unwrap_or((0, 0));
+        let mean = if hwms.is_empty() {
+            0.0
+        } else {
+            hwms.iter().sum::<usize>() as f64 / hwms.len() as f64
+        };
+        let nonzero = hwms.iter().filter(|&&h| h > 0).count();
+        let _ = writeln!(
+            out,
+            "stash high-water: max {hwm} at rank {hwm_rank}, mean {mean:.2}, \
+             {nonzero}/{} ranks ever stashed",
+            hwms.len()
+        );
         out
     }
 }
@@ -473,6 +589,88 @@ mod tests {
         let table = trace.summary_table();
         assert!(table.contains("ColBcast"), "{table}");
         assert!(!table.contains("RowReduce"), "{table}");
+    }
+
+    #[test]
+    fn recv_wait_splits_late_sender_from_transfer() {
+        // posted at 10, sent at 30, completed at 45: 20 µs late-sender
+        // wait + 15 µs transfer, summing to the 35 µs blocked interval.
+        let mut t = RankTracer::manual(0);
+        t.push_scope(CollKind::RowReduce, 7);
+        t.set_time_us(45);
+        t.recv_wait(10, 30);
+        t.pop_scope();
+        let r = t.finish().unwrap();
+        let k = r.metrics.kind(CollKind::RowReduce);
+        assert_eq!(k.wait_us, 20);
+        assert_eq!(k.transfer_us, 15);
+        assert_eq!(k.wait_us + k.transfer_us, 35);
+        assert!(r.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::Wait { coll: CollKind::RowReduce, key: 7, wait_us: 20, transfer_us: 15 }
+        ) && e.ts_us == 10));
+    }
+
+    #[test]
+    fn recv_wait_sender_first_is_pure_transfer() {
+        // The send predates the post: no late-sender component.
+        let mut t = RankTracer::manual(0);
+        t.set_time_us(50);
+        t.recv_wait(20, 5);
+        let r = t.finish().unwrap();
+        let k = r.metrics.kind(CollKind::Other);
+        assert_eq!(k.wait_us, 0);
+        assert_eq!(k.transfer_us, 30);
+    }
+
+    #[test]
+    fn wait_at_and_transfer_as_accumulate() {
+        let mut t = RankTracer::manual(0);
+        t.wait_at(CollKind::ColBcast, 3, 100, 140);
+        t.transfer_as(CollKind::ColBcast, 9);
+        let r = t.finish().unwrap();
+        assert_eq!(r.metrics.kind(CollKind::ColBcast).wait_us, 40);
+        assert_eq!(r.metrics.kind(CollKind::ColBcast).transfer_us, 9);
+        assert_eq!(
+            r.events,
+            vec![TraceEvent {
+                ts_us: 100,
+                kind: EventKind::Wait {
+                    coll: CollKind::ColBcast,
+                    key: 3,
+                    wait_us: 40,
+                    transfer_us: 0
+                }
+            }]
+        );
+    }
+
+    #[test]
+    fn meta_roundtrip_and_override() {
+        let trace = Trace::new("m", vec![])
+            .with_meta("scheme", "ShiftedBinary")
+            .with_meta("grid", "3x3")
+            .with_meta("scheme", "Binary");
+        assert_eq!(trace.meta_str("scheme"), Some("Binary"));
+        assert_eq!(trace.meta_str("grid"), Some("3x3"));
+        assert_eq!(trace.meta_str("seed"), None);
+        assert_eq!(trace.meta.len(), 2);
+        let table = trace.summary_table();
+        assert!(table.contains("scheme=Binary"), "{table}");
+    }
+
+    #[test]
+    fn summary_reports_stash_distribution() {
+        let mut a = RankTracer::manual(0);
+        a.stash_depth(1);
+        let mut b = RankTracer::manual(1);
+        b.stash_depth(4);
+        b.stash_depth(0);
+        let trace = collect("stash", vec![a, b]).unwrap();
+        let table = trace.summary_table();
+        assert!(table.contains("max 4 at rank 1"), "{table}");
+        assert!(table.contains("mean 2.50"), "{table}");
+        assert!(table.contains("2/2 ranks ever stashed"), "{table}");
     }
 
     #[test]

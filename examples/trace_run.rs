@@ -9,11 +9,12 @@
 //! cargo run --release --example trace_run [-- OUT_DIR]
 //! ```
 
-use pselinv::des::{simulate_traced, MachineConfig};
+use pselinv::des::{simulate_profiled, MachineConfig};
 use pselinv::dist::taskgraph::{selinv_graph, GraphOptions};
 use pselinv::dist::{distributed_selinv_traced, replay_volumes, DistOptions, Layout};
 use pselinv::mpisim::Grid2D;
 use pselinv::order::{analyze, AnalyzeOptions};
+use pselinv::profile::{CriticalPath, HotspotReport, WaitReport};
 use pselinv::sparse::gen;
 use pselinv::trace::chrome::{to_chrome, validate_chrome};
 use pselinv::trace::{CollKind, Trace};
@@ -69,11 +70,13 @@ fn main() {
         write_trace(out_dir, &format!("mpisim_{slug}"), &trace);
 
         // Backend 2: discrete-event simulator, simulated-time trace of the
-        // same algorithm's task graph.
+        // same algorithm's task graph, plus the schedule profile for
+        // critical-path extraction.
         let gopts = GraphOptions { scheme, seed: TREE_SEED, pipelining: true };
         let g = selinv_graph(&layout, &gopts);
-        let (res, des_trace) =
-            simulate_traced(&g, MachineConfig::default(), &format!("des/{slug}"));
+        let meta = [("scheme", scheme.to_string()), ("grid", format!("{}x{}", grid.pr, grid.pc))];
+        let (res, des_trace, prof) =
+            simulate_profiled(&g, MachineConfig::default(), &format!("des/{slug}"), &meta);
         assert_eq!(
             des_trace.sent_bytes(CollKind::ColBcast),
             rep.col_bcast_sent,
@@ -85,6 +88,20 @@ fn main() {
         );
         println!("{}", des_trace.summary_table());
         write_trace(out_dir, &format!("des_{slug}"), &des_trace);
-        println!();
+
+        // Analysis layer: where the bytes concentrate, where ranks wait,
+        // and which chain of tasks/transfers bounds the makespan.
+        let hotspots = HotspotReport::from_trace(&des_trace, (grid.pr, grid.pc));
+        print!("{}", hotspots.ascii());
+        let waits = WaitReport::from_trace(&des_trace);
+        if let Some(kind) = waits.dominant_wait_kind() {
+            println!("dominant wait state: {}", kind.name());
+        }
+        let cp = CriticalPath::extract(&g, &prof);
+        print!("{}", cp.ascii());
+        let cp_path = out_dir.join(format!("des_{slug}.critpath.json"));
+        std::fs::write(&cp_path, cp.json().to_string_pretty())
+            .expect("cannot write critical-path file");
+        println!("  wrote {}\n", cp_path.display());
     }
 }

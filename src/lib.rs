@@ -22,7 +22,10 @@
 //!   task graphs at the paper's scales (up to 12,100 ranks);
 //! * [`trace`] — the shared event/metrics layer: per-phase spans, message
 //!   events and per-rank byte statistics for both backends, exported as
-//!   Chrome trace-event JSON or a Table-I style summary.
+//!   Chrome trace-event JSON or a Table-I style summary;
+//! * [`profile`] — analysis on top of the trace layer: per-rank hot-spot
+//!   heat maps with imbalance ratios, Scalasca-style wait-state
+//!   classification, and critical-path extraction from DES schedules.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the experiment map.
 
@@ -32,6 +35,7 @@ pub use pselinv_dist as dist;
 pub use pselinv_factor as factor;
 pub use pselinv_mpisim as mpisim;
 pub use pselinv_order as order;
+pub use pselinv_profile as profile;
 pub use pselinv_selinv as selinv;
 pub use pselinv_sparse as sparse;
 pub use pselinv_trace as trace;
