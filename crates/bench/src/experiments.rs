@@ -4,13 +4,18 @@
 //! writes machine-readable JSON/CSV next to it (default `target/figures/`).
 
 use crate::workloads::{self, Analyzed};
-use pselinv_des::{simulate, simulate_profiled, simulate_traced_with_meta, SimResult};
-use pselinv_dist::taskgraph::{factorization_graph, selinv_graph, GraphOptions};
+use pselinv_chaos::{FaultPlan, FaultSpec};
+use pselinv_des::{
+    simulate, simulate_profiled, simulate_traced_with_meta, simulate_with_faults, SimResult,
+};
+use pselinv_dist::taskgraph::{
+    factorization_graph, selinv_graph, GraphOptions, TaskGraph, TaskKind,
+};
 use pselinv_dist::{replay_volumes, Layout, VolumeReport};
 use pselinv_mpisim::Grid2D;
 use pselinv_profile::{CriticalPath, HotspotReport, Imbalance};
-use pselinv_trace::{CollKind, Json};
-use pselinv_trees::{TreeBuilder, TreeScheme, VolumeStats};
+use pselinv_trace::{pack_task_tag, CollKind, Json};
+use pselinv_trees::{CollectiveTree, TreeBuilder, TreeScheme, VolumeStats};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -532,7 +537,7 @@ pub fn ablation_shift(out: &OutDir) -> std::io::Result<String> {
 }
 
 /// Ablation: tree arity — depth vs root fan-out, both on volume balance
-/// and on simulated time at P = 2,116 (DESIGN.md §5).
+/// and on simulated time at P = 2,116 (DESIGN.md §6).
 pub fn ablation_arity(out: &OutDir) -> std::io::Result<String> {
     let a = workloads::dg_pnf_des();
     let grid = Grid2D::new(46, 46);
@@ -691,6 +696,179 @@ pub fn bench_smoke(out: &OutDir) -> std::io::Result<String> {
     Ok(txt)
 }
 
+/// Builds the task graph of a broadcast storm: every tree contributes one
+/// task per member (the member's local work on that broadcast) and one
+/// `payload`-byte message per tree edge. The DAG shape *is* the tree
+/// shape, which is what lets the fault experiment compare how different
+/// schemes degrade.
+fn bcast_storm_graph(
+    nranks: usize,
+    trees: &[CollectiveTree],
+    payload: u64,
+    flops: f64,
+) -> TaskGraph {
+    let mut task_rank: Vec<u32> = Vec::new();
+    let mut task_tag: Vec<u32> = Vec::new();
+    // task id of (tree k, member rank)
+    let mut id: Vec<std::collections::BTreeMap<usize, u32>> = vec![Default::default(); trees.len()];
+    for (k, tree) in trees.iter().enumerate() {
+        for &m in tree.members() {
+            id[k].insert(m, task_rank.len() as u32);
+            task_rank.push(m as u32);
+            task_tag.push(pack_task_tag(CollKind::ColBcast, k));
+        }
+    }
+    let n = task_rank.len();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (k, tree) in trees.iter().enumerate() {
+        for &m in tree.members() {
+            if let Some(p) = tree.parent_of(m) {
+                edges.push((id[k][&p], id[k][&m]));
+            }
+        }
+    }
+    let mut deps = vec![0u32; n];
+    let mut counts = vec![0u32; n];
+    for &(from, to) in &edges {
+        deps[to as usize] += 1;
+        counts[from as usize] += 1;
+    }
+    let mut ptr = vec![0u32; n + 1];
+    for i in 0..n {
+        ptr[i + 1] = ptr[i] + counts[i];
+    }
+    let mut heads = ptr[..n].to_vec();
+    let mut succ = vec![0u32; edges.len()];
+    let mut succ_bytes = vec![0u64; edges.len()];
+    for &(from, to) in &edges {
+        let s = heads[from as usize] as usize;
+        heads[from as usize] += 1;
+        succ[s] = to;
+        succ_bytes[s] = payload;
+    }
+    TaskGraph {
+        nranks,
+        task_rank,
+        task_flops: vec![flops; n],
+        task_prio: vec![0; n],
+        task_kind: vec![TaskKind::Compute; n],
+        task_tag,
+        task_deps: deps,
+        succ_ptr: ptr,
+        succ,
+        succ_bytes,
+    }
+}
+
+/// Degraded-tree resilience experiment (`figures -- faults`): a broadcast
+/// storm (64 ranks, 8×8 smoke grid, one tree per broadcast key) replayed
+/// three ways per scheme —
+///
+/// 1. fault-free;
+/// 2. with `K_FAULTS` ranks crashed at t = 0 under the *original* trees:
+///    every subtree hanging off a dead rank starves, and
+///    `delivered_frac_no_rebuild` reports how much of the storm still
+///    completes (flat trees strand only the dead ranks themselves; deep
+///    trees strand whole cones);
+/// 3. with every tree rebuilt around the dead ranks via
+///    [`TreeBuilder::rebuild_excluding`]: the storm completes on the
+///    survivors and `makespan_rebuilt_s` quantifies the residual cost of
+///    the degraded shape.
+///
+/// Emits `BENCH_fault.json` (uploaded by the CI `chaos` job) plus
+/// `faults.txt`.
+pub fn faults(out: &OutDir) -> std::io::Result<String> {
+    const DIM: usize = 8;
+    const NRANKS: usize = DIM * DIM;
+    const N_BCASTS: usize = 48;
+    const PAYLOAD: u64 = 2 << 20; // 2 MiB per tree edge
+    const FLOPS: f64 = 2e8; // 0.1 s of local work per task at 2 GF/s
+    const K_FAULTS: usize = 2;
+    const FAULT_SEED: u64 = 0xfa17;
+
+    // Seed-deterministic dead set (never the global root rank 0 so the
+    // no-rebuild run keeps a defined origin for most broadcasts).
+    let mut dead: Vec<usize> = Vec::new();
+    let mut draw = 0u64;
+    while dead.len() < K_FAULTS {
+        let r = (pselinv_trees::rng::hash2(FAULT_SEED, draw) as usize) % NRANKS;
+        draw += 1;
+        if r != 0 && !dead.contains(&r) {
+            dead.push(r);
+        }
+    }
+    dead.sort_unstable();
+
+    let cfg = workloads::des_machine(0);
+    let mut crash_plan = FaultPlan::new(FAULT_SEED);
+    for &r in &dead {
+        crash_plan =
+            crash_plan.with_rank(r, FaultSpec { crash_at_s: Some(0.0), ..FaultSpec::default() });
+    }
+
+    let mut txt = format!(
+        "Degraded-tree resilience: {N_BCASTS} broadcasts x {NRANKS} ranks \
+         ({DIM}x{DIM} smoke grid), ranks {dead:?} crashed at t=0\n"
+    );
+    let _ = writeln!(
+        txt,
+        "{:<22} {:>12} {:>12} {:>12} {:>10}",
+        "Communication tree", "fault-free", "no-rebuild", "rebuilt", "delivered"
+    );
+    let mut rows = Vec::new();
+    for (name, scheme) in schemes_with_names() {
+        let builder = TreeBuilder::new(scheme, TREE_SEED);
+        let all: Vec<usize> = (0..NRANKS).collect();
+        let trees: Vec<CollectiveTree> = (0..N_BCASTS)
+            .map(|k| {
+                let root = k % NRANKS;
+                let receivers: Vec<usize> = all.iter().copied().filter(|&r| r != root).collect();
+                builder.build(root, &receivers, k as u64)
+            })
+            .collect();
+        let g = bcast_storm_graph(NRANKS, &trees, PAYLOAD, FLOPS);
+        let clean = simulate(&g, cfg);
+        let crashed = simulate_with_faults(&g, cfg, &crash_plan);
+        let rebuilt: Vec<CollectiveTree> = trees
+            .iter()
+            .enumerate()
+            .map(|(k, t)| builder.rebuild_excluding(t, &dead, k as u64))
+            .collect();
+        let g2 = bcast_storm_graph(NRANKS, &rebuilt, PAYLOAD, FLOPS);
+        let degraded = simulate(&g2, cfg);
+        let _ = writeln!(
+            txt,
+            "{:<22} {:>11.4}s {:>11.4}s {:>11.4}s {:>9.1}%",
+            name,
+            clean.makespan,
+            crashed.result.makespan,
+            degraded.makespan,
+            crashed.completed_frac() * 100.0
+        );
+        rows.push(Json::obj([
+            ("scheme", Json::from(name)),
+            ("makespan_fault_free_s", clean.makespan.into()),
+            ("makespan_no_rebuild_s", crashed.result.makespan.into()),
+            ("delivered_frac_no_rebuild", crashed.completed_frac().into()),
+            ("makespan_rebuilt_s", degraded.makespan.into()),
+            ("rebuilt_over_fault_free", (degraded.makespan / clean.makespan).into()),
+        ]));
+    }
+    let doc = Json::obj([
+        ("bench", "faults".into()),
+        ("grid", format!("{DIM}x{DIM}").into()),
+        ("bcasts", (N_BCASTS as u64).into()),
+        ("payload_bytes", PAYLOAD.into()),
+        ("tree_seed", TREE_SEED.into()),
+        ("fault_seed", FAULT_SEED.into()),
+        ("crashed_ranks", Json::Arr(dead.iter().map(|&d| Json::from(d as u64)).collect())),
+        ("schemes", Json::Arr(rows)),
+    ]);
+    out.write_json("BENCH_fault.json", &doc)?;
+    out.write_text("faults.txt", &txt)?;
+    Ok(txt)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -776,6 +954,42 @@ mod tests {
             assert!(s.get("critical_path_us").unwrap().as_f64().unwrap() > 0.0);
             assert!(s.get("col_bcast_max_over_mean").unwrap().as_f64().unwrap() >= 1.0);
         }
+    }
+
+    #[test]
+    fn faults_experiment_emits_degradation_per_scheme() {
+        let out = tmp();
+        let txt = faults(&out).unwrap();
+        assert!(txt.contains("crashed at t=0"), "{txt}");
+        let doc = std::fs::read_to_string(out.0.join("BENCH_fault.json")).unwrap();
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("crashed_ranks").unwrap().as_arr().unwrap().len(), 2);
+        let schemes = parsed.get("schemes").unwrap().as_arr().unwrap();
+        assert_eq!(schemes.len(), 3);
+        for s in schemes {
+            let name = s.get("scheme").unwrap();
+            let frac = s.get("delivered_frac_no_rebuild").unwrap().as_f64().unwrap();
+            assert!(
+                frac > 0.0 && frac < 1.0,
+                "{name:?}: a crash must strand part (not all) of the storm, got {frac}"
+            );
+            // The rebuilt trees exclude the dead ranks, so the storm
+            // completes — the makespan is a real number comparable to the
+            // fault-free one.
+            assert!(s.get("makespan_rebuilt_s").unwrap().as_f64().unwrap() > 0.0);
+            assert!(s.get("rebuilt_over_fault_free").unwrap().as_f64().unwrap() > 0.0);
+        }
+        // Structural claim: a flat tree strands only the dead ranks' own
+        // tasks, while a binary tree loses whole subtrees — its delivered
+        // fraction must be no better than flat's.
+        let frac =
+            |i: usize| schemes[i].get("delivered_frac_no_rebuild").unwrap().as_f64().unwrap();
+        assert!(
+            frac(1) <= frac(0) + 1e-12,
+            "binary ({}) should strand at least as much as flat ({})",
+            frac(1),
+            frac(0)
+        );
     }
 
     #[test]

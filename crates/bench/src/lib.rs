@@ -4,7 +4,7 @@
 //!   analysis settings of the two experiment families (volume replay at
 //!   46×46, DES strong scaling at 64…12,100 ranks);
 //! * [`experiments`] — one runner per paper artifact (Table I/II,
-//!   Figs. 4–9) plus the ablations called out in `DESIGN.md` §5;
+//!   Figs. 4–9) plus the ablations called out in `DESIGN.md` §6;
 //! * the `figures` binary drives everything:
 //!   `cargo run --release -p pselinv-bench --bin figures -- all`.
 

@@ -1,6 +1,7 @@
 //! The event-driven execution engine.
 
 use crate::machine::{MachineConfig, Topology};
+use pselinv_chaos::FaultPlan;
 use pselinv_dist::taskgraph::{TaskGraph, TaskId, TaskKind};
 use pselinv_trace::{collect, unpack_task_tag, RankTracer, Trace};
 use std::cmp::Ordering;
@@ -161,9 +162,61 @@ impl ReadyQueue {
     }
 }
 
+/// Outcome of a simulation under a fault plan: the usual metrics plus how
+/// much of the task graph actually completed. A rank that goes down
+/// freezes the entire dependency cone behind it, so `completed < total`
+/// quantifies the blast radius of a failure in a given tree topology.
+#[derive(Clone, Debug)]
+pub struct FaultSimResult {
+    /// Metrics over the tasks that did run (makespan is the time the last
+    /// surviving task finished).
+    pub result: SimResult,
+    /// Number of tasks that completed.
+    pub completed: usize,
+    /// Total tasks in the graph.
+    pub total: usize,
+}
+
+impl FaultSimResult {
+    /// Fraction of the task graph that completed.
+    pub fn completed_frac(&self) -> f64 {
+        self.completed as f64 / self.total.max(1) as f64
+    }
+
+    /// Whether every task ran (always true under a crash-free plan).
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.total
+    }
+}
+
 /// Simulates the execution of `graph` on a machine described by `cfg`.
 pub fn simulate(graph: &TaskGraph, cfg: MachineConfig) -> SimResult {
-    simulate_impl(graph, cfg, &mut [], None)
+    simulate_impl(graph, cfg, &mut [], None, None).0
+}
+
+/// [`simulate`] under a deterministic fault plan.
+///
+/// Fault semantics in simulated time:
+///
+/// * `slowdown` multiplies every task duration on the affected rank — a
+///   straggler node;
+/// * `delay_us`/`jitter_us` add seed-deterministic in-flight time to every
+///   message leaving the affected rank;
+/// * `stall_at_s`/`crash_at_s` take the rank down at that simulated time:
+///   it dispatches no further tasks, emits no further messages (tasks
+///   already executing still finish, like an MPI process whose pending
+///   DMA drains), and messages arriving at it are dropped.
+///
+/// The run never asserts on an incomplete graph — a crashed rank freezes
+/// its dependency cone and the remainder is reported via
+/// [`FaultSimResult::completed`].
+pub fn simulate_with_faults(
+    graph: &TaskGraph,
+    cfg: MachineConfig,
+    plan: &FaultPlan,
+) -> FaultSimResult {
+    let (result, completed) = simulate_impl(graph, cfg, &mut [], None, Some(plan));
+    FaultSimResult { result, completed, total: graph.num_tasks() }
 }
 
 /// Like [`simulate`], but also records a [`Trace`] in simulated time: one
@@ -190,7 +243,7 @@ pub fn simulate_traced_with_meta(
     meta: &[(&str, String)],
 ) -> (SimResult, Trace) {
     let mut tracers: Vec<RankTracer> = (0..graph.nranks).map(RankTracer::manual).collect();
-    let res = simulate_impl(graph, cfg, &mut tracers, None);
+    let (res, _) = simulate_impl(graph, cfg, &mut tracers, None, None);
     let trace = collect(label, tracers).expect("traced simulation has at least one rank");
     (res, attach_run_meta(trace, graph, &cfg, meta))
 }
@@ -205,7 +258,7 @@ pub fn simulate_profiled(
 ) -> (SimResult, Trace, SimProfile) {
     let mut tracers: Vec<RankTracer> = (0..graph.nranks).map(RankTracer::manual).collect();
     let mut profile = SimProfile::new(graph.num_tasks());
-    let res = simulate_impl(graph, cfg, &mut tracers, Some(&mut profile));
+    let (res, _) = simulate_impl(graph, cfg, &mut tracers, Some(&mut profile), None);
     let trace = collect(label, tracers).expect("traced simulation has at least one rank");
     (res, attach_run_meta(trace, graph, &cfg, meta), profile)
 }
@@ -239,7 +292,8 @@ fn simulate_impl(
     cfg: MachineConfig,
     tracers: &mut [RankTracer],
     mut profile: Option<&mut SimProfile>,
-) -> SimResult {
+    plan: Option<&FaultPlan>,
+) -> (SimResult, usize) {
     let n = graph.num_tasks();
     let p = graph.nranks;
     let topo = Topology::new(p, cfg);
@@ -293,10 +347,16 @@ fn simulate_impl(
     macro_rules! dispatch {
         ($rank:expr, $now:expr) => {{
             let r = $rank;
-            if !rank_running[r] {
+            // A rank that is down dispatches nothing more; its ready queue
+            // simply freezes (the cone behind it never completes).
+            if !rank_running[r] && !plan.is_some_and(|p| p.down_at(r, $now)) {
                 if let Some(t) = ready[r].pop() {
                     rank_running[r] = true;
-                    let dur = graph.task_flops[t as usize] / cfg.flops_per_sec + cfg.task_overhead;
+                    // A straggler rank runs everything `slowdown`× slower.
+                    let slow = plan.map_or(1.0, |p| p.slowdown(r).max(0.0));
+                    let dur = (graph.task_flops[t as usize] / cfg.flops_per_sec
+                        + cfg.task_overhead)
+                        * slow;
                     // The core has been idle since `idle_from` (its last
                     // reservation): any gap before `start` is wait time
                     // attributed to this task's kind.
@@ -344,6 +404,10 @@ fn simulate_impl(
     while let Some(Timed { time, ev, .. }) = heap.pop() {
         match ev {
             Event::Ready(t) => {
+                if plan.is_some_and(|p| p.down_at(graph.task_rank[t as usize] as usize, time)) {
+                    // The task's rank is down: it never executes.
+                    continue;
+                }
                 if is_forward(t) {
                     // executes off-core, immediately
                     let r = graph.task_rank[t as usize] as usize;
@@ -370,6 +434,12 @@ fn simulate_impl(
                 }
                 makespan = makespan.max(time);
                 done += 1;
+                if plan.is_some_and(|p| p.down_at(r, time)) {
+                    // The rank went down while this task was executing: the
+                    // task itself finishes (in-flight work drains) but its
+                    // results never leave the node.
+                    continue;
+                }
                 // CPU cost of issuing this task's sends: stalls the core
                 // (flat-tree roots issue many sends back to back).
                 if cfg.cpu_per_msg > 0.0 {
@@ -427,6 +497,10 @@ fn simulate_impl(
                         } else {
                             time + tt + topo.latency(r, dst)
                         };
+                        // Seed-deterministic injected network delay: the
+                        // global message counter doubles as the draw
+                        // sequence number (event order is deterministic).
+                        let arrive = arrive + plan.map_or(0.0, |p| p.delay_s(r, dst, messages));
                         push(
                             &mut heap,
                             arrive,
@@ -445,6 +519,11 @@ fn simulate_impl(
             }
             Event::Arrive { dst_task, src_task, src_rank, bytes, sent } => {
                 let dst = graph.task_rank[dst_task as usize] as usize;
+                if plan.is_some_and(|p| p.down_at(dst, time)) {
+                    // Delivery to a dead rank: the message is lost and the
+                    // destination task's dependency is never satisfied.
+                    continue;
+                }
                 let deliver = if cfg.nic_contention {
                     let src = src_rank as usize;
                     let mut t = time;
@@ -494,8 +573,10 @@ fn simulate_impl(
         }
     }
 
-    assert_eq!(done, n, "deadlock: {done}/{n} tasks completed");
-    SimResult { makespan, compute_busy, tasks_run, messages, bytes: bytes_total }
+    if plan.is_none_or(FaultPlan::is_crash_free) {
+        assert_eq!(done, n, "deadlock: {done}/{n} tasks completed");
+    }
+    (SimResult { makespan, compute_busy, tasks_run, messages, bytes: bytes_total }, done)
 }
 
 #[cfg(test)]
@@ -826,6 +907,94 @@ mod tests {
         assert_eq!(trace.meta_str("scheme"), Some("Shifted"));
         assert_eq!(trace.meta_str("grid"), Some("3x3"));
         assert!(trace.summary_table().contains("backend=des"));
+    }
+
+    #[test]
+    fn crashed_rank_freezes_its_dependency_cone() {
+        use pselinv_chaos::{FaultPlan, FaultSpec};
+        // 0 --msg--> 1 --msg--> 2: rank 1 dies before its task can run, so
+        // only the root task completes and rank 2 starves.
+        let mut b = toy::Builder::new();
+        let t0 = b.task(0, 10e9); // 1 s
+        let t1 = b.task(1, 10e9);
+        let t2 = b.task(2, 10e9);
+        b.edge(t0, t1, 3_000_000_000);
+        b.edge(t1, t2, 3_000_000_000);
+        let g = b.build(3);
+        let plan = FaultPlan::new(1)
+            .with_rank(1, FaultSpec { crash_at_s: Some(0.5), ..FaultSpec::default() });
+        let r = simulate_with_faults(&g, flat_cfg(), &plan);
+        assert_eq!(r.completed, 1, "only the root task survives");
+        assert_eq!(r.total, 3);
+        assert!(!r.is_complete());
+        assert!((r.completed_frac() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((r.result.makespan - 1.0).abs() < 1e-9, "makespan {}", r.result.makespan);
+    }
+
+    #[test]
+    fn straggler_slowdown_and_injected_delay_stretch_makespan() {
+        use pselinv_chaos::{FaultPlan, FaultSpec};
+        // Serial 1 s + 2 s chain on rank 0: a 2x straggler doubles it.
+        let mut b = toy::Builder::new();
+        let t1 = b.task(0, 10e9);
+        let t2 = b.task(0, 20e9);
+        b.edge(t1, t2, 0);
+        let g = b.build(1);
+        let plan =
+            FaultPlan::new(0).with_rank(0, FaultSpec { slowdown: 2.0, ..FaultSpec::default() });
+        let r = simulate_with_faults(&g, flat_cfg(), &plan);
+        assert!(r.is_complete());
+        assert!((r.result.makespan - 6.0).abs() < 1e-9, "makespan {}", r.result.makespan);
+
+        // 1 s compute + 2 s wire + 1 s compute, plus 0.5 s injected delay.
+        let mut b = toy::Builder::new();
+        let t1 = b.task(0, 10e9);
+        let t2 = b.task(1, 10e9);
+        b.edge(t1, t2, 3_000_000_000);
+        let g = b.build(2);
+        let plan =
+            FaultPlan::new(0).with_default(FaultSpec { delay_us: 500_000, ..FaultSpec::default() });
+        let r = simulate_with_faults(&g, flat_cfg(), &plan);
+        assert!(r.is_complete());
+        assert!((r.result.makespan - 4.5).abs() < 1e-6, "makespan {}", r.result.makespan);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_and_benign_plans_complete() {
+        use pselinv_chaos::{FaultPlan, FaultSpec};
+        let w = gen::grid_laplacian_2d(12, 12);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let layout = Layout::new(sf, Grid2D::new(4, 4));
+        let g = selinv_graph(&layout, &GraphOptions::default());
+        let cfg = MachineConfig { seed: 5, ..Default::default() };
+        let plan = || {
+            FaultPlan::new(0xfa17).with_default(FaultSpec {
+                delay_us: 20,
+                jitter_us: 80,
+                slowdown: 1.3,
+                ..FaultSpec::default()
+            })
+        };
+        let clean = simulate(&g, cfg);
+        let a = simulate_with_faults(&g, cfg, &plan());
+        let b = simulate_with_faults(&g, cfg, &plan());
+        assert!(a.is_complete(), "a benign plan must complete the graph");
+        assert_eq!(a.result.makespan, b.result.makespan, "same plan, same schedule");
+        assert_eq!(a.completed, b.completed);
+        assert!(
+            a.result.makespan > clean.makespan,
+            "injected delay + slowdown must not speed the run up: {} vs {}",
+            a.result.makespan,
+            clean.makespan
+        );
+        // A crash, by contrast, must strand part of the graph.
+        let crashed = simulate_with_faults(
+            &g,
+            cfg,
+            &FaultPlan::new(1)
+                .with_rank(3, FaultSpec { crash_at_s: Some(0.0), ..FaultSpec::default() }),
+        );
+        assert!(crashed.completed < crashed.total, "rank 3 owns tasks in every sweep");
     }
 
     #[test]

@@ -40,10 +40,12 @@ pub fn tree_bcast(
         let parent = tree
             .parent_of(me)
             .unwrap_or_else(|| panic!("rank {me} is not a participant of this broadcast"));
-        ctx.recv(parent, tag)
+        // Sequence-checked edges: injected duplicates and reorderings are
+        // masked, so the collective's result is fault-schedule independent.
+        ctx.recv_seq(parent, tag)
     };
     for child in tree.children_of(me) {
-        ctx.send(child, tag, payload.clone());
+        ctx.send_seq(child, tag, payload.clone());
     }
     ctx.tracer().coll_exit(pushed);
     payload
@@ -61,7 +63,7 @@ pub fn tree_reduce(
     let pushed = trace_enter(ctx, CollKind::Reduce, tag, tree);
     let mut acc = local;
     for child in tree.children_of(me) {
-        let contrib = ctx.recv(child, tag);
+        let contrib = ctx.recv_seq(child, tag);
         assert_eq!(contrib.len(), acc.len(), "reduction contributions must have equal length");
         for (a, c) in acc.iter_mut().zip(&contrib) {
             *a += c;
@@ -73,7 +75,7 @@ pub fn tree_reduce(
         let parent = tree
             .parent_of(me)
             .unwrap_or_else(|| panic!("rank {me} is not a participant of this reduction"));
-        ctx.send(parent, tag, acc);
+        ctx.send_seq(parent, tag, acc);
         None
     };
     ctx.tracer().coll_exit(pushed);

@@ -25,4 +25,7 @@ pub mod runtime;
 
 pub use grid::Grid2D;
 pub use requests::{tree_barrier, wait_any, RecvRequest};
-pub use runtime::{run, run_traced, Message, RankCtx, RankVolume};
+pub use runtime::{
+    run, run_traced, try_run, try_run_traced, BlockedOn, Message, RankCtx, RankVolume, RecvTimeout,
+    RunError, RunOptions, StallDiagnostic, NO_SEQ,
+};

@@ -1,9 +1,34 @@
 //! Ranks, mailboxes and tagged point-to-point messaging.
+//!
+//! Beyond plain delivery, the runtime hardens against the failure modes a
+//! real asynchronous MPI run exhibits:
+//!
+//! * **Panic propagation.** A panic in one rank thread aborts the whole
+//!   run promptly with the original panic message ([`RunError::RankPanic`])
+//!   instead of leaving sibling ranks blocked in `recv` forever.
+//! * **Progress watchdog.** Each rank registers what it is blocked on;
+//!   a monitor thread builds the cross-rank wait-for graph and converts a
+//!   global stall or a deadlock cycle into a structured
+//!   [`StallDiagnostic`] ([`RunError::Stalled`]) instead of hanging.
+//! * **Fault injection.** A [`FaultPlan`](pselinv_chaos::FaultPlan) lets a
+//!   run inject per-message delay/jitter, duplication and reordering plus
+//!   per-rank stall/crash triggers, deterministically from a seed. The
+//!   sequence-numbered collective paths ([`RankCtx::send_seq`] /
+//!   [`RankCtx::recv_seq`]) mask duplicated and reordered deliveries, so
+//!   any crash-free schedule yields bit-identical results.
 
-use pselinv_trace::{RankTrace, RankTracer, Trace};
-use std::collections::VecDeque;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::time::Instant;
+use pselinv_chaos::FaultPlan;
+use pselinv_trace::{FaultKind, RankTrace, RankTracer, Trace};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Sequence-number sentinel for messages outside the masked collective
+/// paths ([`RankCtx::send`]): carries no delivery guarantee beyond MPI's
+/// per-`(src, tag)` non-overtaking.
+pub const NO_SEQ: u64 = u64::MAX;
 
 /// A tagged message between ranks. Payloads are `f64` slices because every
 /// PSelInv message is a dense block (plus small headers encoded in the tag).
@@ -17,6 +42,11 @@ pub struct Message {
     /// epoch); 0 when tracing is disabled. Lets the receiver classify
     /// blocked time into late-sender wait vs transfer.
     pub sent_us: u64,
+    /// Per-`(src, dst, tag)` sequence number stamped by
+    /// [`RankCtx::send_seq`], or [`NO_SEQ`] for plain sends. A header, not
+    /// payload: excluded from [`Message::bytes`], so volume accounting is
+    /// identical with and without masking.
+    pub seq: u64,
     /// Payload.
     pub data: Vec<f64>,
 }
@@ -41,6 +71,221 @@ pub struct RankVolume {
     pub msgs_received: u64,
 }
 
+/// What a rank is currently blocked on (for the watchdog's wait-for graph).
+/// `None` fields are wildcards (a `recv_any`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockedOn {
+    /// Awaited source rank, `None` for any-source.
+    pub src: Option<usize>,
+    /// Awaited tag, `None` for any-tag.
+    pub tag: Option<u64>,
+}
+
+impl std::fmt::Display for BlockedOn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.src, self.tag) {
+            (Some(s), Some(t)) => write!(f, "recv(src={s}, tag={t})"),
+            (Some(s), None) => write!(f, "recv(src={s}, tag=any)"),
+            (None, _) => write!(f, "recv(any)"),
+        }
+    }
+}
+
+/// Structured diagnostic produced by the progress watchdog when a run
+/// globally stalls or deadlocks.
+#[derive(Clone, Debug, Default)]
+pub struct StallDiagnostic {
+    /// `(rank, what it is blocked on)` for every blocked rank.
+    pub blocked: Vec<(usize, BlockedOn)>,
+    /// Ranks that already finished.
+    pub done: Vec<usize>,
+    /// A wait-for cycle among the blocked ranks, if one was found
+    /// (`[a, b, c]` means a waits on b waits on c waits on a).
+    pub cycle: Option<Vec<usize>>,
+    /// Per-rank stash contents as `(src, tag)` pairs (non-empty stashes
+    /// only): messages that arrived but matched no posted receive.
+    pub stashes: Vec<(usize, Vec<(usize, u64)>)>,
+    /// Last few trace events per rank (traced runs only).
+    pub trace_tails: Vec<(usize, Vec<String>)>,
+    /// How long the run made no progress before the abort.
+    pub stalled_for: Duration,
+}
+
+impl std::fmt::Display for StallDiagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "mpisim watchdog: no progress for {:.1}s ({} blocked, {} finished)",
+            self.stalled_for.as_secs_f64(),
+            self.blocked.len(),
+            self.done.len()
+        )?;
+        if let Some(c) = &self.cycle {
+            let chain: Vec<String> = c.iter().map(|r| r.to_string()).collect();
+            writeln!(f, "  deadlock cycle: {} -> {}", chain.join(" -> "), c[0])?;
+        }
+        for (r, b) in &self.blocked {
+            writeln!(f, "  rank {r} blocked on {b}")?;
+        }
+        if !self.done.is_empty() {
+            let d: Vec<String> = self.done.iter().map(|r| r.to_string()).collect();
+            writeln!(f, "  finished ranks: {}", d.join(", "))?;
+        }
+        for (r, s) in &self.stashes {
+            let items: Vec<String> =
+                s.iter().map(|(src, tag)| format!("(src={src}, tag={tag})")).collect();
+            writeln!(f, "  rank {r} stash: [{}]", items.join(", "))?;
+        }
+        for (r, tail) in &self.trace_tails {
+            writeln!(f, "  rank {r} trace tail:")?;
+            for line in tail {
+                writeln!(f, "    {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a fallible run ([`try_run`] / [`try_run_traced`]) failed.
+#[derive(Clone, Debug)]
+pub enum RunError {
+    /// A rank thread panicked; the run was aborted and the original panic
+    /// message preserved.
+    RankPanic {
+        /// The rank that panicked first.
+        rank: usize,
+        /// Its panic message.
+        message: String,
+    },
+    /// The progress watchdog detected a global stall or deadlock.
+    Stalled(Box<StallDiagnostic>),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::RankPanic { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            RunError::Stalled(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// A [`RankCtx::recv_timeout`] that expired before a matching message
+/// arrived.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvTimeout {
+    /// Awaited source rank.
+    pub src: usize,
+    /// Awaited tag.
+    pub tag: u64,
+    /// How long the receive waited.
+    pub waited: Duration,
+}
+
+impl std::fmt::Display for RecvTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "receive (src={}, tag={}) timed out after {:.3}s",
+            self.src,
+            self.tag,
+            self.waited.as_secs_f64()
+        )
+    }
+}
+
+impl std::error::Error for RecvTimeout {}
+
+/// Knobs of a fallible run.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Abort with a [`StallDiagnostic`] after this long with zero progress
+    /// across all ranks (a stable wait-for cycle aborts much sooner).
+    /// `None` disables the watchdog (a deadlocked run then hangs, as plain
+    /// MPI would).
+    pub watchdog: Option<Duration>,
+    /// Polling granularity of blocked receives and the monitor: the upper
+    /// bound on abort-notice latency.
+    pub poll: Duration,
+    /// Fault schedule to inject, if any.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            watchdog: Some(Duration::from_secs(30)),
+            poll: Duration::from_millis(25),
+            faults: None,
+        }
+    }
+}
+
+/// Marker panic payload for secondary aborts (a rank unwinding because
+/// *another* rank failed): distinguished from real panics so only the
+/// original failure is reported.
+struct Aborted;
+
+/// Per-rank state visible to the watchdog monitor.
+#[derive(Default)]
+struct RankState {
+    /// Bumped on every completed send and every message taken off the
+    /// inbox; the monitor detects stalls as "no counter moved".
+    progress: AtomicU64,
+    done: AtomicBool,
+    blocked: Mutex<Option<BlockedOn>>,
+    /// `(src, tag)` of stashed messages, refreshed on stash changes.
+    stash: Mutex<Vec<(usize, u64)>>,
+}
+
+/// Run-global state shared by rank threads and the monitor.
+struct Shared {
+    states: Vec<RankState>,
+    abort: AtomicBool,
+    /// First failure wins; later ones (usually secondary) are dropped.
+    verdict: Mutex<Option<RunError>>,
+    trace_tails: Mutex<Vec<(usize, Vec<String>)>>,
+    finished: AtomicUsize,
+    cv_lock: Mutex<()>,
+    cv: Condvar,
+    watchdog: bool,
+}
+
+impl Shared {
+    fn new(nranks: usize, watchdog: bool) -> Self {
+        Self {
+            states: (0..nranks).map(|_| RankState::default()).collect(),
+            abort: AtomicBool::new(false),
+            verdict: Mutex::new(None),
+            trace_tails: Mutex::new(Vec::new()),
+            finished: AtomicUsize::new(0),
+            cv_lock: Mutex::new(()),
+            cv: Condvar::new(),
+            watchdog,
+        }
+    }
+
+    fn record_verdict(&self, e: RunError) {
+        let mut v = self.verdict.lock().unwrap();
+        if v.is_none() {
+            *v = Some(e);
+        }
+        drop(v);
+        self.abort.store(true, Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    fn rank_finished(&self, rank: usize) {
+        self.states[rank].done.store(true, Ordering::Release);
+        self.finished.fetch_add(1, Ordering::AcqRel);
+        self.cv.notify_all();
+    }
+}
+
 /// The per-rank handle: identity, mailbox and counters.
 ///
 /// The out-of-order stash preserves MPI's non-overtaking guarantee: two
@@ -57,7 +302,29 @@ pub struct RankCtx {
     stash: VecDeque<Message>,
     volume: RankVolume,
     tracer: RankTracer,
+    shared: Arc<Shared>,
+    poll: Duration,
+    /// Fault schedule, if injecting.
+    plan: Option<Arc<FaultPlan>>,
+    /// Send/receive operations so far (chaos stall/crash triggers).
+    ops: u64,
+    /// Per-destination chaos draw counter (independent of tags).
+    msg_seq: Vec<u64>,
+    /// Per-destination hold-back slot for injected reordering; flushed by
+    /// the next send to the destination and at every blocking point.
+    held: Vec<Option<Message>>,
+    /// Next sequence number per `(dst, tag)` for [`RankCtx::send_seq`].
+    seq_tx: HashMap<(usize, u64), u64>,
+    /// Next expected sequence number per `(src, tag)` for
+    /// [`RankCtx::recv_seq`].
+    seq_rx: HashMap<(usize, u64), u64>,
+    /// Sequenced messages that arrived ahead of their turn.
+    early: HashMap<(usize, u64), BTreeMap<u64, Message>>,
 }
+
+/// Duration slice for "block forever" receives; abort checks run every
+/// `poll` regardless.
+const FOREVER: Duration = Duration::from_secs(3600);
 
 impl RankCtx {
     /// This rank's id in `0..size`.
@@ -76,16 +343,218 @@ impl RankCtx {
         &mut self.tracer
     }
 
-    /// Buffered non-blocking send (≈ `MPI_Isend` whose buffer is owned by
-    /// the runtime — the call returns immediately).
-    pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
+    /// Unwinds this rank because the run was aborted elsewhere, leaving a
+    /// stash snapshot and trace tail behind for the diagnostic.
+    fn abort_unwind(&mut self) -> ! {
+        self.snapshot_stash();
+        let tail = self.tracer.tail(8);
+        if !tail.is_empty() {
+            self.shared.trace_tails.lock().unwrap().push((self.rank, tail));
+        }
+        std::panic::panic_any(Aborted);
+    }
+
+    fn check_abort(&mut self) {
+        if self.shared.abort.load(Ordering::Acquire) {
+            self.abort_unwind();
+        }
+    }
+
+    fn bump_progress(&self) {
+        self.shared.states[self.rank].progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn set_blocked(&self, on: BlockedOn) {
+        if self.shared.watchdog {
+            *self.shared.states[self.rank].blocked.lock().unwrap() = Some(on);
+        }
+    }
+
+    fn clear_blocked(&self) {
+        if self.shared.watchdog {
+            *self.shared.states[self.rank].blocked.lock().unwrap() = None;
+        }
+    }
+
+    fn snapshot_stash(&self) {
+        if self.shared.watchdog {
+            *self.shared.states[self.rank].stash.lock().unwrap() =
+                self.stash.iter().map(|m| (m.src, m.tag)).collect();
+        }
+    }
+
+    /// Counts one send/receive operation against the chaos stall/crash
+    /// triggers of this rank.
+    fn chaos_op(&mut self) {
+        let Some(plan) = self.plan.clone() else { return };
+        self.ops += 1;
+        let spec = *plan.spec(self.rank);
+        if let Some(at) = spec.crash_after_ops {
+            if self.ops > at {
+                self.tracer.fault(FaultKind::Crashed, self.rank, 0);
+                panic!("chaos: injected crash of rank {} after {at} operations", self.rank);
+            }
+        }
+        if let Some(at) = spec.stall_after_ops {
+            if self.ops > at {
+                self.tracer.fault(FaultKind::Stalled, self.rank, 0);
+                loop {
+                    std::thread::sleep(self.poll);
+                    self.check_abort();
+                }
+            }
+        }
+    }
+
+    /// Hands a message to the destination mailbox, no interposition.
+    fn push_raw(&mut self, dst: usize, msg: Message) {
+        if self.senders[dst].send(msg).is_err() {
+            // The peer's inbox is gone. A peer that finished cleanly marks
+            // itself done *before* dropping its inbox, so this send is a
+            // surplus message racing the peer's exit (e.g. an injected
+            // duplicate whose first copy already satisfied the receive):
+            // drop it, like a wire message arriving after completion.
+            if self.shared.states[dst].done.load(Ordering::Acquire) {
+                return;
+            }
+            // Otherwise the run is coming down: give the abort flag a
+            // moment to be raised, then unwind.
+            for _ in 0..4 {
+                self.check_abort();
+                std::thread::sleep(self.poll / 4);
+            }
+            self.check_abort();
+            if self.shared.states[dst].done.load(Ordering::Acquire) {
+                return;
+            }
+            panic!("receiver {dst} hung up");
+        }
+    }
+
+    /// Delivery with fault interposition: injected delay applies to every
+    /// message; duplication and reordering only to sequenced messages,
+    /// which the masked receive path can repair (plain sends keep exactly
+    /// MPI's ordering guarantee, faults or not).
+    fn deliver(&mut self, dst: usize, msg: Message) {
+        let Some(plan) = self.plan.clone() else {
+            return self.push_raw(dst, msg);
+        };
+        let cseq = self.msg_seq[dst];
+        self.msg_seq[dst] += 1;
+        let delay = plan.delay_us(self.rank, dst, cseq);
+        if delay > 0 {
+            self.tracer.fault(FaultKind::Delayed, dst, msg.tag);
+            let slow = plan.slowdown(self.rank).max(0.0);
+            std::thread::sleep(Duration::from_micros((delay as f64 * slow) as u64));
+        }
+        let masked = msg.seq != NO_SEQ;
+        if masked && plan.duplicates(self.rank, dst, cseq) {
+            self.tracer.fault(FaultKind::Duplicated, dst, msg.tag);
+            self.push_raw(dst, msg.clone());
+            self.push_raw(dst, msg);
+            return;
+        }
+        if masked && plan.reorders(self.rank, dst, cseq) {
+            self.tracer.fault(FaultKind::Reordered, dst, msg.tag);
+            if let Some(prev) = self.held[dst].replace(msg) {
+                self.push_raw(dst, prev);
+            }
+            return;
+        }
+        self.push_raw(dst, msg);
+        if let Some(prev) = self.held[dst].take() {
+            // The held message is now overtaken: release it.
+            self.push_raw(dst, prev);
+        }
+    }
+
+    /// Releases every held-back message. Runs before any blocking wait and
+    /// at rank finish, so injected reordering can delay but never lose a
+    /// message.
+    fn flush_held(&mut self) {
+        for dst in 0..self.size {
+            if let Some(m) = self.held[dst].take() {
+                self.push_raw(dst, m);
+            }
+        }
+    }
+
+    fn send_inner(&mut self, dst: usize, tag: u64, seq: u64, data: Vec<f64>) {
+        self.chaos_op();
         assert!(dst < self.size, "destination {dst} out of range");
         assert_ne!(dst, self.rank, "self-sends are not modeled (use local data)");
-        let msg = Message { src: self.rank, tag, sent_us: self.tracer.now_us(), data };
+        let msg = Message { src: self.rank, tag, sent_us: self.tracer.now_us(), seq, data };
         self.volume.sent += msg.bytes();
         self.volume.msgs_sent += 1;
         self.tracer.msg_send(dst, tag, msg.bytes());
-        self.senders[dst].send(msg).expect("receiver hung up");
+        self.deliver(dst, msg);
+        self.bump_progress();
+    }
+
+    /// Buffered non-blocking send (≈ `MPI_Isend` whose buffer is owned by
+    /// the runtime — the call returns immediately).
+    pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
+        self.send_inner(dst, tag, NO_SEQ, data);
+    }
+
+    /// Like [`RankCtx::send`], but stamps a per-`(dst, tag)` sequence
+    /// number so the matching [`RankCtx::recv_seq`] can suppress duplicated
+    /// and reorder-displaced deliveries. The collectives use this pair.
+    pub fn send_seq(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
+        let c = self.seq_tx.entry((dst, tag)).or_insert(0);
+        let seq = *c;
+        *c += 1;
+        self.send_inner(dst, tag, seq, data);
+    }
+
+    /// Blocking receive with a deadline: the core primitive under every
+    /// matched receive. Returns the matching message or a [`RecvTimeout`]
+    /// once `dur` elapses without one.
+    fn recv_msg_timeout(
+        &mut self,
+        src: usize,
+        tag: u64,
+        dur: Duration,
+    ) -> Result<Message, RecvTimeout> {
+        self.chaos_op();
+        self.flush_held();
+        if let Some(i) = self.stash.iter().position(|m| m.src == src && m.tag == tag) {
+            // `remove` (not `swap_remove_back`) keeps the rest of the stash
+            // in arrival order, preserving per-(src, tag) FIFO delivery.
+            let m = self.stash.remove(i).unwrap();
+            self.tracer.stash_depth(self.stash.len());
+            self.snapshot_stash();
+            return Ok(self.account_recv(m));
+        }
+        let posted_us = self.tracer.now_us();
+        let start = Instant::now();
+        self.set_blocked(BlockedOn { src: Some(src), tag: Some(tag) });
+        loop {
+            let Some(remaining) = dur.checked_sub(start.elapsed()) else {
+                self.clear_blocked();
+                return Err(RecvTimeout { src, tag, waited: start.elapsed() });
+            };
+            match self.inbox.recv_timeout(remaining.min(self.poll)) {
+                Ok(m) => {
+                    self.bump_progress();
+                    if m.src == src && m.tag == tag {
+                        self.clear_blocked();
+                        self.tracer.recv_wait(posted_us, m.sent_us);
+                        return Ok(self.account_recv(m));
+                    }
+                    self.stash.push_back(m);
+                    self.tracer.stash_depth(self.stash.len());
+                    self.snapshot_stash();
+                }
+                Err(RecvTimeoutError::Timeout) => self.check_abort(),
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.check_abort();
+                    std::thread::sleep(self.poll);
+                    self.check_abort();
+                    panic!("all senders hung up while receiving");
+                }
+            }
+        }
     }
 
     /// Blocking receive matching `(src, tag)`, buffering any other arrivals
@@ -96,45 +565,102 @@ impl RankCtx {
     /// message's send timestamp (a stash hit never blocked, so records
     /// neither).
     pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
-        if let Some(i) = self.stash.iter().position(|m| m.src == src && m.tag == tag) {
-            // `remove` (not `swap_remove_back`) keeps the rest of the stash
-            // in arrival order, preserving per-(src, tag) FIFO delivery.
-            let m = self.stash.remove(i).unwrap();
-            self.tracer.stash_depth(self.stash.len());
+        loop {
+            if let Ok(m) = self.recv_msg_timeout(src, tag, FOREVER) {
+                return m.data;
+            }
+        }
+    }
+
+    /// Like [`RankCtx::recv`], but gives up after `dur` (the watchdog-path
+    /// receive: a caller that wants to degrade instead of block forever).
+    pub fn recv_timeout(
+        &mut self,
+        src: usize,
+        tag: u64,
+        dur: Duration,
+    ) -> Result<Vec<f64>, RecvTimeout> {
+        self.recv_msg_timeout(src, tag, dur).map(|m| m.data)
+    }
+
+    /// Sequence-checked blocking receive, the masked counterpart of
+    /// [`RankCtx::send_seq`]: consumes messages for `(src, tag)` strictly
+    /// in sequence order, dropping stale duplicates (with their accounting
+    /// reversed) and buffering early arrivals. The sequence counters
+    /// persist across collective calls on the same edge, which is what
+    /// makes repeated collectives on a reused tag safe under duplication.
+    pub fn recv_seq(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        let c = self.seq_rx.entry((src, tag)).or_insert(0);
+        let want = *c;
+        *c += 1;
+        if let Some(m) = self.early.get_mut(&(src, tag)).and_then(|b| b.remove(&want)) {
             return self.account_recv(m).data;
         }
-        let posted_us = self.tracer.now_us();
         loop {
-            let m = self.inbox.recv().expect("all senders hung up while receiving");
-            if m.src == src && m.tag == tag {
-                self.tracer.recv_wait(posted_us, m.sent_us);
-                return self.account_recv(m).data;
+            let Ok(m) = self.recv_msg_timeout(src, tag, FOREVER) else { continue };
+            assert_ne!(
+                m.seq, NO_SEQ,
+                "unsequenced message from {src} tag {tag} on a masked receive"
+            );
+            if m.seq == want {
+                return m.data;
             }
-            self.stash.push_back(m);
-            self.tracer.stash_depth(self.stash.len());
+            // Not our turn: reverse the accounting recv_msg_timeout did.
+            self.unaccount_recv(&m);
+            if m.seq < want {
+                // Stale duplicate of an already-consumed message.
+                self.tracer.fault(FaultKind::DuplicateSuppressed, src, tag);
+            } else if self.early.entry((src, tag)).or_default().insert(m.seq, m).is_some() {
+                // Duplicate of a message already buffered ahead.
+                self.tracer.fault(FaultKind::DuplicateSuppressed, src, tag);
+            }
         }
     }
 
     /// Blocking wildcard receive (stashed messages first, oldest first).
     pub fn recv_any(&mut self) -> Message {
+        self.chaos_op();
+        self.flush_held();
         if let Some(m) = self.stash.pop_front() {
             self.tracer.stash_depth(self.stash.len());
+            self.snapshot_stash();
             return self.account_recv(m);
         }
         let posted_us = self.tracer.now_us();
-        let m = self.inbox.recv().expect("all senders hung up while receiving");
-        self.tracer.recv_wait(posted_us, m.sent_us);
-        self.account_recv(m)
+        self.set_blocked(BlockedOn { src: None, tag: None });
+        loop {
+            match self.inbox.recv_timeout(self.poll) {
+                Ok(m) => {
+                    self.bump_progress();
+                    self.clear_blocked();
+                    self.tracer.recv_wait(posted_us, m.sent_us);
+                    return self.account_recv(m);
+                }
+                Err(RecvTimeoutError::Timeout) => self.check_abort(),
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.check_abort();
+                    std::thread::sleep(self.poll);
+                    self.check_abort();
+                    panic!("all senders hung up while receiving");
+                }
+            }
+        }
     }
 
     /// Non-blocking wildcard receive.
     pub fn try_recv_any(&mut self) -> Option<Message> {
+        self.check_abort();
+        self.flush_held();
         if let Some(m) = self.stash.pop_front() {
             self.tracer.stash_depth(self.stash.len());
+            self.snapshot_stash();
             return Some(self.account_recv(m));
         }
         match self.inbox.try_recv() {
-            Ok(m) => Some(self.account_recv(m)),
+            Ok(m) => {
+                self.bump_progress();
+                Some(self.account_recv(m))
+            }
             Err(_) => None,
         }
     }
@@ -143,13 +669,22 @@ impl RankCtx {
     /// the stash and returns the payload if a matching message is present
     /// (≈ `MPI_Iprobe` + receive). Used by the request API.
     pub fn try_match(&mut self, src: usize, tag: u64) -> Option<Vec<f64>> {
+        self.check_abort();
+        self.flush_held();
+        let mut drained = false;
         while let Ok(m) = self.inbox.try_recv() {
+            self.bump_progress();
             self.stash.push_back(m);
             self.tracer.stash_depth(self.stash.len());
+            drained = true;
+        }
+        if drained {
+            self.snapshot_stash();
         }
         let i = self.stash.iter().position(|m| m.src == src && m.tag == tag)?;
         let m = self.stash.remove(i).unwrap();
         self.tracer.stash_depth(self.stash.len());
+        self.snapshot_stash();
         Some(self.account_recv(m).data)
     }
 
@@ -161,11 +696,10 @@ impl RankCtx {
     /// oldest undelivered message, and must stay ahead of anything that
     /// arrived after it.
     pub fn stash_back(&mut self, m: Message) {
-        self.volume.received -= m.bytes();
-        self.volume.msgs_received -= 1;
-        self.tracer.msg_recv_undo();
+        self.unaccount_recv(&m);
         self.stash.push_front(m);
         self.tracer.stash_depth(self.stash.len());
+        self.snapshot_stash();
     }
 
     fn account_recv(&mut self, m: Message) -> Message {
@@ -175,19 +709,175 @@ impl RankCtx {
         m
     }
 
+    fn unaccount_recv(&mut self, m: &Message) {
+        self.volume.received -= m.bytes();
+        self.volume.msgs_received -= 1;
+        self.tracer.msg_recv_undo();
+    }
+
     /// Counters so far.
     pub fn volume(&self) -> RankVolume {
         self.volume
     }
 }
 
-fn run_impl<R, F, M>(nranks: usize, f: &F, mk: &M) -> Vec<(R, RankVolume, Option<RankTrace>)>
+/// Follows the wait-for edges `r -> blocked[r].src`, skipping finished
+/// ranks, and returns the first cycle found (every member blocked on the
+/// next, last blocked on the first).
+fn find_cycle(blocked: &[Option<BlockedOn>], done: &[bool]) -> Option<Vec<usize>> {
+    let n = blocked.len();
+    let next = |r: usize| -> Option<usize> {
+        if done[r] {
+            return None;
+        }
+        blocked[r].as_ref().and_then(|b| b.src).filter(|&s| s < n && !done[s])
+    };
+    // 0 = unvisited, 1 = on the current walk, 2 = exhausted.
+    let mut color = vec![0u8; n];
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut r = start;
+        loop {
+            match color[r] {
+                1 => {
+                    let pos = path.iter().position(|&x| x == r).unwrap();
+                    return Some(path[pos..].to_vec());
+                }
+                2 => break,
+                _ => {
+                    color[r] = 1;
+                    path.push(r);
+                    match next(r) {
+                        Some(s) => r = s,
+                        None => break,
+                    }
+                }
+            }
+        }
+        for &p in &path {
+            color[p] = 2;
+        }
+    }
+    None
+}
+
+/// Assembles the stall verdict from the monitor's observation.
+fn stall_error(
+    shared: &Shared,
+    blocked: &[Option<BlockedOn>],
+    done: &[bool],
+    cycle: Option<Vec<usize>>,
+    stalled_for: Duration,
+) -> RunError {
+    let blocked_list = blocked.iter().enumerate().filter_map(|(r, b)| b.map(|b| (r, b))).collect();
+    let done_list = done.iter().enumerate().filter(|&(_, &d)| d).map(|(r, _)| r).collect();
+    let stashes = shared
+        .states
+        .iter()
+        .enumerate()
+        .map(|(r, s)| (r, s.stash.lock().unwrap().clone()))
+        .filter(|(_, s)| !s.is_empty())
+        .collect();
+    RunError::Stalled(Box::new(StallDiagnostic {
+        blocked: blocked_list,
+        done: done_list,
+        cycle,
+        stashes,
+        trace_tails: Vec::new(),
+        stalled_for,
+    }))
+}
+
+/// The watchdog monitor: observes per-rank progress counters; on zero
+/// progress it inspects the wait-for graph. A wait-for cycle stable across
+/// three consecutive no-progress polls aborts immediately (deadlock); any
+/// global stall aborts after the full `stall` duration.
+fn monitor(shared: &Shared, nranks: usize, stall: Duration, poll: Duration) {
+    let mut last = vec![u64::MAX; nranks];
+    let mut last_change = Instant::now();
+    let mut stable_cycle: Option<(Vec<usize>, u32)> = None;
+    let mut guard = shared.cv_lock.lock().unwrap();
+    loop {
+        guard = shared.cv.wait_timeout(guard, poll).unwrap().0;
+        if shared.abort.load(Ordering::Acquire) || shared.finished.load(Ordering::Acquire) >= nranks
+        {
+            return;
+        }
+        let cur: Vec<u64> =
+            shared.states.iter().map(|s| s.progress.load(Ordering::Acquire)).collect();
+        if cur != last {
+            last = cur;
+            last_change = Instant::now();
+            stable_cycle = None;
+            continue;
+        }
+        let done: Vec<bool> =
+            shared.states.iter().map(|s| s.done.load(Ordering::Acquire)).collect();
+        let blocked: Vec<Option<BlockedOn>> =
+            shared.states.iter().map(|s| *s.blocked.lock().unwrap()).collect();
+        if let Some(c) = find_cycle(&blocked, &done) {
+            match &mut stable_cycle {
+                Some((prev, seen)) if *prev == c => {
+                    *seen += 1;
+                    if *seen >= 3 {
+                        shared.record_verdict(stall_error(
+                            shared,
+                            &blocked,
+                            &done,
+                            Some(c),
+                            last_change.elapsed(),
+                        ));
+                        return;
+                    }
+                }
+                _ => stable_cycle = Some((c, 1)),
+            }
+        } else {
+            stable_cycle = None;
+        }
+        if last_change.elapsed() >= stall {
+            shared.record_verdict(stall_error(
+                shared,
+                &blocked,
+                &done,
+                None,
+                last_change.elapsed(),
+            ));
+            return;
+        }
+    }
+}
+
+/// Extracts the human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+type RankOutput<R> = (R, RankVolume, Option<RankTrace>);
+
+fn run_impl<R, F, M>(
+    nranks: usize,
+    opts: &RunOptions,
+    f: &F,
+    mk: &M,
+) -> Result<Vec<RankOutput<R>>, RunError>
 where
     R: Send,
     F: Fn(&mut RankCtx) -> R + Sync,
     M: Fn(usize) -> RankTracer + Sync,
 {
     assert!(nranks > 0);
+    let plan = opts.faults.as_ref().map(|p| Arc::new(p.clone()));
+    let shared = Arc::new(Shared::new(nranks, opts.watchdog.is_some()));
     let mut senders = Vec::with_capacity(nranks);
     let mut receivers = Vec::with_capacity(nranks);
     for _ in 0..nranks {
@@ -195,10 +885,13 @@ where
         senders.push(s);
         receivers.push(r);
     }
-    std::thread::scope(|scope| {
+    let out: Vec<Option<RankOutput<R>>> = std::thread::scope(|scope| {
         let mut joins = Vec::with_capacity(nranks);
         for (rank, inbox) in receivers.into_iter().enumerate() {
             let senders = senders.clone();
+            let shared = shared.clone();
+            let plan = plan.clone();
+            let poll = opts.poll;
             joins.push(scope.spawn(move || {
                 let mut ctx = RankCtx {
                     rank,
@@ -208,32 +901,113 @@ where
                     stash: VecDeque::new(),
                     volume: RankVolume::default(),
                     tracer: mk(rank),
+                    shared: shared.clone(),
+                    poll,
+                    plan,
+                    ops: 0,
+                    msg_seq: vec![0; nranks],
+                    held: (0..nranks).map(|_| None).collect(),
+                    seq_tx: HashMap::new(),
+                    seq_rx: HashMap::new(),
+                    early: HashMap::new(),
                 };
-                let r = f(&mut ctx);
-                (r, ctx.volume, ctx.tracer.finish())
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
+                match result {
+                    Ok(r) => {
+                        ctx.flush_held();
+                        shared.rank_finished(rank);
+                        Some((r, ctx.volume, ctx.tracer.finish()))
+                    }
+                    Err(payload) => {
+                        if payload.downcast_ref::<Aborted>().is_none() {
+                            shared.record_verdict(RunError::RankPanic {
+                                rank,
+                                message: panic_message(payload.as_ref()),
+                            });
+                        }
+                        shared.rank_finished(rank);
+                        None
+                    }
+                }
             }));
         }
-        joins.into_iter().map(|j| j.join().expect("rank thread panicked")).collect()
-    })
+        if let Some(stall) = opts.watchdog {
+            let shared = shared.clone();
+            let poll = opts.poll;
+            scope.spawn(move || monitor(&shared, nranks, stall, poll));
+        }
+        joins.into_iter().map(|j| j.join().expect("rank thread panicked unexpectedly")).collect()
+    });
+    let verdict = shared.verdict.lock().unwrap().take();
+    if let Some(mut e) = verdict {
+        if let RunError::Stalled(d) = &mut e {
+            d.trace_tails = std::mem::take(&mut *shared.trace_tails.lock().unwrap());
+            d.trace_tails.sort_by_key(|(r, _)| *r);
+        }
+        return Err(e);
+    }
+    Ok(out.into_iter().map(|o| o.expect("rank aborted without a verdict")).collect())
 }
 
-/// Runs `f` on `nranks` rank threads and returns each rank's result plus
-/// its communication volume.
-///
-/// Panics in any rank propagate (the run aborts with that panic).
-pub fn run<R, F>(nranks: usize, f: F) -> (Vec<R>, Vec<RankVolume>)
+/// Fallible form of [`run`]: executes `f` on `nranks` rank threads under
+/// the given options (watchdog, poll interval, fault plan) and returns the
+/// results and volumes, or the structured failure.
+pub fn try_run<R, F>(
+    nranks: usize,
+    opts: &RunOptions,
+    f: F,
+) -> Result<(Vec<R>, Vec<RankVolume>), RunError>
 where
     R: Send,
     F: Fn(&mut RankCtx) -> R + Sync,
 {
-    let handles = run_impl(nranks, &f, &|_| RankTracer::disabled());
+    let handles = run_impl(nranks, opts, &f, &|_| RankTracer::disabled())?;
     let mut results = Vec::with_capacity(nranks);
     let mut volumes = Vec::with_capacity(nranks);
     for (r, v, _) in handles {
         results.push(r);
         volumes.push(v);
     }
-    (results, volumes)
+    Ok((results, volumes))
+}
+
+/// Fallible form of [`run_traced`]: like [`try_run`] with an enabled
+/// wall-clock tracer on every rank.
+pub fn try_run_traced<R, F>(
+    nranks: usize,
+    label: &str,
+    opts: &RunOptions,
+    f: F,
+) -> Result<(Vec<R>, Vec<RankVolume>, Trace), RunError>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
+    let epoch = Instant::now();
+    let handles = run_impl(nranks, opts, &f, &move |rank| RankTracer::wall(rank, epoch))?;
+    let mut results = Vec::with_capacity(nranks);
+    let mut volumes = Vec::with_capacity(nranks);
+    let mut traces = Vec::with_capacity(nranks);
+    for (r, v, t) in handles {
+        results.push(r);
+        volumes.push(v);
+        traces.extend(t);
+    }
+    Ok((results, volumes, Trace::new(label, traces)))
+}
+
+/// Runs `f` on `nranks` rank threads and returns each rank's result plus
+/// its communication volume.
+///
+/// A panic in any rank or a watchdog-detected stall aborts the whole run
+/// and panics here with the diagnostic (the original panic message for a
+/// rank panic).
+pub fn run<R, F>(nranks: usize, f: F) -> (Vec<R>, Vec<RankVolume>)
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
+    try_run(nranks, &RunOptions::default(), f).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Like [`run`], but with an enabled wall-clock tracer on every rank: each
@@ -244,17 +1018,7 @@ where
     R: Send,
     F: Fn(&mut RankCtx) -> R + Sync,
 {
-    let epoch = Instant::now();
-    let handles = run_impl(nranks, &f, &move |rank| RankTracer::wall(rank, epoch));
-    let mut results = Vec::with_capacity(nranks);
-    let mut volumes = Vec::with_capacity(nranks);
-    let mut traces = Vec::with_capacity(nranks);
-    for (r, v, t) in handles {
-        results.push(r);
-        volumes.push(v);
-        traces.extend(t);
-    }
-    (results, volumes, Trace::new(label, traces))
+    try_run_traced(nranks, label, &RunOptions::default(), f).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -557,5 +1321,91 @@ mod tests {
         assert_eq!(volumes[1].msgs_received, 2);
         assert_eq!(trace.ranks[1].metrics.kind(CollKind::Other).msgs_recv, 2);
         assert_eq!(trace.ranks[1].metrics.kind(CollKind::Other).bytes_recv, volumes[1].received);
+    }
+
+    #[test]
+    fn recv_timeout_hits_and_expires() {
+        let (results, _) = run(2, |ctx| {
+            if ctx.rank() == 0 {
+                // Nothing sent under tag 9: this receive must time out.
+                let err = ctx
+                    .recv_timeout(1, 9, Duration::from_millis(60))
+                    .expect_err("no sender: must time out");
+                assert_eq!(err.src, 1);
+                assert_eq!(err.tag, 9);
+                assert!(err.waited >= Duration::from_millis(60));
+                // Tell rank 1 we are done probing, then take its message.
+                ctx.send(1, 1, vec![0.0]);
+                ctx.recv_timeout(1, 2, Duration::from_secs(10)).expect("sent: must match")
+            } else {
+                let _ = ctx.recv(0, 1);
+                ctx.send(0, 2, vec![5.0]);
+                vec![]
+            }
+        });
+        assert_eq!(results[0], vec![5.0]);
+    }
+
+    #[test]
+    fn send_seq_recv_seq_roundtrip_without_faults() {
+        // The masked pair must behave exactly like send/recv when no fault
+        // plan is installed, including across repeated uses of one tag.
+        let (results, volumes) = run(2, |ctx| {
+            if ctx.rank() == 0 {
+                for k in 0..5 {
+                    ctx.send_seq(1, 7, vec![k as f64]);
+                }
+                vec![]
+            } else {
+                (0..5).map(|_| ctx.recv_seq(0, 7)[0]).collect::<Vec<f64>>()
+            }
+        });
+        assert_eq!(results[1], vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(volumes[0].msgs_sent, 5);
+        assert_eq!(volumes[1].msgs_received, 5);
+        assert_eq!(volumes[1].received, 5 * 8);
+    }
+
+    #[test]
+    fn find_cycle_detects_rings_and_chains() {
+        let b = |src: usize| Some(BlockedOn { src: Some(src), tag: Some(0) });
+        // 0 -> 1 -> 2 -> 0 ring plus a rank 3 chained onto it.
+        let blocked = vec![b(1), b(2), b(0), b(0)];
+        let done = vec![false; 4];
+        let cycle = find_cycle(&blocked, &done).expect("ring must be found");
+        assert_eq!(cycle.len(), 3);
+        assert!(!cycle.contains(&3), "the chained rank is not part of the cycle");
+        // A chain with no back edge has no cycle.
+        let blocked = vec![b(1), b(2), None, None];
+        assert!(find_cycle(&blocked, &done).is_none());
+        // A "cycle" through a finished rank is not a deadlock.
+        let blocked = vec![b(1), b(0), None, None];
+        let done = vec![false, true, false, false];
+        assert!(find_cycle(&blocked, &done).is_none());
+        // Wildcard receives contribute no edge.
+        let blocked = vec![Some(BlockedOn { src: None, tag: None }), b(0), None, None];
+        let done = vec![false; 4];
+        assert!(find_cycle(&blocked, &done).is_none());
+    }
+
+    #[test]
+    fn stall_diagnostic_display_names_triples() {
+        let d = StallDiagnostic {
+            blocked: vec![
+                (0, BlockedOn { src: Some(1), tag: Some(7) }),
+                (2, BlockedOn { src: None, tag: None }),
+            ],
+            done: vec![3],
+            cycle: Some(vec![0, 1]),
+            stashes: vec![(1, vec![(0, 9)])],
+            trace_tails: vec![],
+            stalled_for: Duration::from_millis(5200),
+        };
+        let text = d.to_string();
+        assert!(text.contains("rank 0 blocked on recv(src=1, tag=7)"), "{text}");
+        assert!(text.contains("rank 2 blocked on recv(any)"), "{text}");
+        assert!(text.contains("deadlock cycle: 0 -> 1 -> 0"), "{text}");
+        assert!(text.contains("rank 1 stash: [(src=0, tag=9)]"), "{text}");
+        assert!(text.contains("finished ranks: 3"), "{text}");
     }
 }

@@ -1,0 +1,194 @@
+//! Failure-path integration tests: deadlocks become diagnostics instead of
+//! hangs, a panicking rank unwinds the whole run with its original message,
+//! and injected crashes/stalls surface as typed errors.
+
+use pselinv_chaos::{FaultPlan, FaultSpec};
+use pselinv_mpisim::collectives::tree_reduce;
+use pselinv_mpisim::{try_run, RunError, RunOptions};
+use pselinv_trees::{TreeBuilder, TreeScheme};
+use std::time::{Duration, Instant};
+
+fn short_watchdog() -> RunOptions {
+    RunOptions {
+        watchdog: Some(Duration::from_millis(800)),
+        poll: Duration::from_millis(10),
+        faults: None,
+    }
+}
+
+#[test]
+fn ring_deadlock_is_diagnosed_within_five_seconds() {
+    // Classic 4-rank receive ring: r waits on r+1, nobody ever sends.
+    let t0 = Instant::now();
+    let err = try_run(4, &short_watchdog(), |ctx| {
+        let me = ctx.rank();
+        ctx.recv((me + 1) % 4, 7);
+    })
+    .expect_err("a receive ring must stall");
+    assert!(t0.elapsed() < Duration::from_secs(5), "took {:?}", t0.elapsed());
+    let RunError::Stalled(diag) = err else {
+        panic!("expected a stall diagnostic, got: {err}");
+    };
+    let text = diag.to_string();
+    // The diagnostic names every blocked (rank, src, tag) triple...
+    for r in 0..4 {
+        let triple = format!("rank {} blocked on recv(src={}, tag=7)", r, (r + 1) % 4);
+        assert!(text.contains(&triple), "missing {triple:?} in:\n{text}");
+    }
+    // ...and calls out the wait-for cycle explicitly.
+    assert!(text.contains("deadlock cycle:"), "no cycle line in:\n{text}");
+    assert!(text.contains("no progress for"), "no stall duration in:\n{text}");
+}
+
+#[test]
+fn partial_deadlock_reports_finished_ranks() {
+    // Ranks 2 and 3 finish immediately; 0 and 1 wait on each other. The
+    // cycle detector must skip the finished ranks and still find 0 <-> 1.
+    let err = try_run(4, &short_watchdog(), |ctx| match ctx.rank() {
+        0 => ctx.recv(1, 3).len(),
+        1 => ctx.recv(0, 4).len(),
+        _ => 0,
+    })
+    .expect_err("ranks 0/1 must stall");
+    let RunError::Stalled(diag) = err else {
+        panic!("expected a stall diagnostic, got: {err}");
+    };
+    let text = diag.to_string();
+    assert!(text.contains("rank 0 blocked on recv(src=1, tag=3)"), "{text}");
+    assert!(text.contains("rank 1 blocked on recv(src=0, tag=4)"), "{text}");
+    assert!(text.contains("finished ranks: 2, 3"), "{text}");
+}
+
+#[test]
+fn rank_panic_unwinds_siblings_with_original_message() {
+    // Rank 2 panics while every other rank is parked in a blocking receive
+    // that would otherwise never complete. The run must come down with the
+    // original message, not deadlock and not report a watchdog stall.
+    let err = try_run(
+        4,
+        // Watchdog disabled on purpose: propagation must not depend on it.
+        &RunOptions { watchdog: None, poll: Duration::from_millis(10), faults: None },
+        |ctx| {
+            if ctx.rank() == 2 {
+                panic!("numerical factorization failed on rank 2");
+            }
+            ctx.recv(2, 0);
+        },
+    )
+    .expect_err("the run must fail");
+    let RunError::RankPanic { rank, message } = err else {
+        panic!("expected a rank panic, got: {err}");
+    };
+    assert_eq!(rank, 2);
+    assert!(message.contains("numerical factorization failed on rank 2"), "{message}");
+}
+
+#[test]
+fn collective_shape_mismatch_propagates_through_try_run() {
+    let receivers: Vec<usize> = (1..4).collect();
+    let tree = TreeBuilder::new(TreeScheme::Binary, 0).build(0, &receivers, 0);
+    let tree = &tree;
+    let err = try_run(4, &short_watchdog(), move |ctx| {
+        // Rank 3 contributes the wrong length; its parent's assert fires and
+        // the remaining ranks are unwound instead of waiting forever.
+        let len = if ctx.rank() == 3 { 2 } else { 4 };
+        tree_reduce(ctx, tree, 1, vec![1.0; len])
+    })
+    .expect_err("mismatched reduction must fail");
+    let RunError::RankPanic { message, .. } = err else {
+        panic!("expected a rank panic, got: {err}");
+    };
+    assert!(message.contains("reduction contributions must have equal length"), "{message}");
+}
+
+#[test]
+#[should_panic(expected = "reduction contributions must have equal length")]
+fn run_repanics_with_the_original_message() {
+    let receivers: Vec<usize> = (1..4).collect();
+    let tree = TreeBuilder::new(TreeScheme::Flat, 0).build(0, &receivers, 0);
+    let tree = &tree;
+    pselinv_mpisim::run(4, move |ctx| {
+        let len = if ctx.rank() == 1 { 3 } else { 5 };
+        tree_reduce(ctx, tree, 1, vec![0.0; len])
+    });
+}
+
+#[test]
+fn injected_crash_surfaces_as_rank_panic() {
+    let plan = FaultPlan::new(9)
+        .with_rank(1, FaultSpec { crash_after_ops: Some(2), ..FaultSpec::default() });
+    let opts = RunOptions {
+        watchdog: Some(Duration::from_secs(5)),
+        poll: Duration::from_millis(10),
+        faults: Some(plan),
+    };
+    let err = try_run(3, &opts, |ctx| {
+        let me = ctx.rank();
+        // Everyone chats with rank 1 so its op counter advances.
+        if me == 1 {
+            for _ in 0..4 {
+                ctx.recv_any();
+            }
+        } else {
+            for _ in 0..2 {
+                ctx.send(1, 0, vec![me as f64]);
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    })
+    .expect_err("rank 1 is planned to crash");
+    let RunError::RankPanic { rank, message } = err else {
+        panic!("expected a rank panic, got: {err}");
+    };
+    assert_eq!(rank, 1);
+    assert!(message.contains("chaos: injected crash"), "{message}");
+}
+
+#[test]
+fn injected_stall_trips_the_watchdog() {
+    let plan = FaultPlan::new(4)
+        .with_rank(2, FaultSpec { stall_after_ops: Some(0), ..FaultSpec::default() });
+    let opts = RunOptions {
+        watchdog: Some(Duration::from_millis(600)),
+        poll: Duration::from_millis(10),
+        faults: Some(plan),
+    };
+    let err = try_run(4, &opts, |ctx| {
+        let me = ctx.rank();
+        if me == 2 {
+            // First op trips the planned stall: this send never happens.
+            ctx.send(0, 1, vec![1.0]);
+        } else if me == 0 {
+            ctx.recv(2, 1);
+        }
+    })
+    .expect_err("the stalled rank must trip the watchdog");
+    let RunError::Stalled(diag) = err else {
+        panic!("expected a stall diagnostic, got: {err}");
+    };
+    let text = diag.to_string();
+    assert!(text.contains("rank 0 blocked on recv(src=2, tag=1)"), "{text}");
+}
+
+#[test]
+fn recv_timeout_escapes_a_missing_sender() {
+    // The bounded receive is the application-level escape hatch: no
+    // watchdog, no panic — the rank just gets the timeout back.
+    let (results, _) = try_run(
+        2,
+        &RunOptions { watchdog: None, poll: Duration::from_millis(5), faults: None },
+        |ctx| {
+            if ctx.rank() == 0 {
+                let e = ctx
+                    .recv_timeout(1, 9, Duration::from_millis(120))
+                    .expect_err("nobody sends on tag 9");
+                e.to_string()
+            } else {
+                String::new()
+            }
+        },
+    )
+    .expect("both ranks finish cleanly");
+    assert!(results[0].contains("timed out"), "{}", results[0]);
+    assert!(results[0].contains("src=1"), "{}", results[0]);
+}

@@ -91,6 +91,18 @@ pub fn to_chrome(trace: &Trace) -> Json {
                         ("args", Json::obj([("depth", (*depth).into())])),
                     ]));
                 }
+                EventKind::Fault { what, peer, tag } => {
+                    events.push(Json::obj([
+                        ("name", format!("fault:{}", what.name()).into()),
+                        ("cat", "fault".into()),
+                        ("ph", "i".into()),
+                        ("s", "t".into()),
+                        ("pid", 0u64.into()),
+                        ("tid", tid.clone()),
+                        ("ts", e.ts_us.into()),
+                        ("args", Json::obj([("peer", (*peer).into()), ("tag", (*tag).into())])),
+                    ]));
+                }
                 EventKind::Wait { coll, key, wait_us, transfer_us } => {
                     let mut args = vec![
                         ("kind".to_string(), Json::from(coll.name())),
@@ -267,6 +279,26 @@ mod tests {
         assert_eq!(w.get("dur").unwrap().as_f64(), Some(30.0));
         assert_eq!(w.get("args").unwrap().get("wait_us").unwrap().as_f64(), Some(20.0));
         assert_eq!(w.get("args").unwrap().get("transfer_us").unwrap().as_f64(), Some(10.0));
+    }
+
+    #[test]
+    fn fault_events_export_as_instants() {
+        use crate::event::FaultKind;
+        let mut t = RankTracer::manual(0);
+        t.set_time_us(12);
+        t.fault(FaultKind::DuplicateSuppressed, 3, 77);
+        let doc = to_chrome(&collect("f", vec![t]).unwrap());
+        validate_chrome(&doc).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let f = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("fault"))
+            .expect("a fault event");
+        assert_eq!(f.get("name").unwrap().as_str(), Some("fault:dup-suppressed"));
+        assert_eq!(f.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(f.get("ts").unwrap().as_f64(), Some(12.0));
+        assert_eq!(f.get("args").unwrap().get("peer").unwrap().as_f64(), Some(3.0));
+        assert_eq!(f.get("args").unwrap().get("tag").unwrap().as_f64(), Some(77.0));
     }
 
     #[test]

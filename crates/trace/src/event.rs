@@ -84,6 +84,39 @@ impl CollKind {
 /// Span/event key: a supernode index, or [`NO_KEY`] when there is none.
 pub const NO_KEY: u64 = u64::MAX;
 
+/// What a fault-injection (or fault-masking) incident did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A message left this rank with injected extra latency.
+    Delayed,
+    /// A message left this rank twice (injected duplication).
+    Duplicated,
+    /// A message was held back and overtaken by a later one (injected
+    /// reordering).
+    Reordered,
+    /// The receive side recognized and dropped a stale duplicate
+    /// (the masking layer working as intended).
+    DuplicateSuppressed,
+    /// This rank crashed (injected).
+    Crashed,
+    /// This rank stopped making progress (injected).
+    Stalled,
+}
+
+impl FaultKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Delayed => "delayed",
+            FaultKind::Duplicated => "duplicated",
+            FaultKind::Reordered => "reordered",
+            FaultKind::DuplicateSuppressed => "dup-suppressed",
+            FaultKind::Crashed => "crashed",
+            FaultKind::Stalled => "stalled",
+        }
+    }
+}
+
 /// One recorded event on one rank.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -111,6 +144,38 @@ pub enum EventKind {
     /// `ts_us` is the moment the receive was posted (mpisim) or the rank
     /// went idle (DES).
     Wait { coll: CollKind, key: u64, wait_us: u64, transfer_us: u64 },
+    /// A fault was injected on (or masked by) this rank.
+    Fault { what: FaultKind, peer: usize, tag: u64 },
+}
+
+impl TraceEvent {
+    /// One-line human-readable rendition, used in stall diagnostics
+    /// ("trace tail") and debugging output.
+    pub fn describe(&self) -> String {
+        let t = self.ts_us;
+        match &self.kind {
+            EventKind::Span { coll, key, end_us } => {
+                format!("[{t} µs] span {} key={key} ({} µs)", coll.name(), end_us - t)
+            }
+            EventKind::MsgSend { peer, tag, bytes, coll } => {
+                format!("[{t} µs] send -> {peer} tag={tag} {bytes} B ({})", coll.name())
+            }
+            EventKind::MsgRecv { peer, tag, bytes, coll } => {
+                format!("[{t} µs] recv <- {peer} tag={tag} {bytes} B ({})", coll.name())
+            }
+            EventKind::StashDepth { depth } => format!("[{t} µs] stash depth {depth}"),
+            EventKind::Wait { coll, wait_us, transfer_us, .. } => {
+                format!(
+                    "[{t} µs] blocked {} µs (wait {wait_us} + transfer {transfer_us}, {})",
+                    wait_us + transfer_us,
+                    coll.name()
+                )
+            }
+            EventKind::Fault { what, peer, tag } => {
+                format!("[{t} µs] fault {} peer={peer} tag={tag}", what.name())
+            }
+        }
+    }
 }
 
 /// Packs `(coll, supernode)` into the 32-bit task tag carried by DES task

@@ -28,7 +28,9 @@ pub mod json;
 pub mod metrics;
 pub mod sink;
 
-pub use event::{pack_task_tag, unpack_task_tag, CollKind, EventKind, TraceEvent, NO_KEY};
+pub use event::{
+    pack_task_tag, unpack_task_tag, CollKind, EventKind, FaultKind, TraceEvent, NO_KEY,
+};
 pub use json::Json;
 pub use metrics::{KindCounters, RankMetrics, N_KINDS};
 pub use sink::{collect, key_of, RankTrace, RankTracer, Trace};

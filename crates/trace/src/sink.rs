@@ -5,7 +5,7 @@
 //! `None` — every hook is a single branch on that option, so instrumented
 //! code pays nothing when tracing is off.
 
-use crate::event::{CollKind, EventKind, TraceEvent, NO_KEY};
+use crate::event::{CollKind, EventKind, FaultKind, TraceEvent, NO_KEY};
 use crate::metrics::RankMetrics;
 use pselinv_trees::volume::VolumeStats;
 use std::time::Instant;
@@ -299,6 +299,26 @@ impl RankTracer {
                 .push(TraceEvent { ts_us, kind: EventKind::MsgRecv { peer, tag, bytes, coll } });
             inner.metrics.on_recv(coll, bytes);
         }
+    }
+
+    /// Records a fault-injection (or fault-masking) incident on this rank.
+    /// Pure event, no metrics impact: faults perturb delivery, they are not
+    /// traffic.
+    pub fn fault(&mut self, what: FaultKind, peer: usize, tag: u64) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            let ts_us = inner.clock.now_us();
+            inner.events.push(TraceEvent { ts_us, kind: EventKind::Fault { what, peer, tag } });
+        }
+    }
+
+    /// The last `n` recorded events, formatted one per line (oldest first).
+    /// Used by the mpisim watchdog to attach a per-rank trace tail to its
+    /// stall diagnostic. Empty when disabled.
+    pub fn tail(&self, n: usize) -> Vec<String> {
+        self.0.as_deref().map_or_else(Vec::new, |i| {
+            let start = i.events.len().saturating_sub(n);
+            i.events[start..].iter().map(TraceEvent::describe).collect()
+        })
     }
 
     /// Read access to the metrics accumulated so far (None when disabled).
@@ -671,6 +691,32 @@ mod tests {
         assert!(table.contains("max 4 at rank 1"), "{table}");
         assert!(table.contains("mean 2.50"), "{table}");
         assert!(table.contains("2/2 ranks ever stashed"), "{table}");
+    }
+
+    #[test]
+    fn fault_events_and_tail() {
+        let mut t = RankTracer::manual(2);
+        t.set_time_us(7);
+        t.fault(FaultKind::Delayed, 5, 42);
+        t.msg_send(5, 42, 16);
+        let tail = t.tail(10);
+        assert_eq!(tail.len(), 2);
+        assert!(tail[0].contains("fault delayed peer=5 tag=42"), "{tail:?}");
+        assert!(tail[1].contains("send -> 5"), "{tail:?}");
+        // tail(n) truncates to the newest n.
+        assert_eq!(t.tail(1).len(), 1);
+        assert!(t.tail(1)[0].contains("send"), "{:?}", t.tail(1));
+        // Faults are events only — no metrics impact.
+        let r = t.finish().unwrap();
+        assert_eq!(r.metrics.kind(CollKind::Other).msgs_recv, 0);
+        assert!(r.events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::Fault { what: FaultKind::Delayed, peer: 5, tag: 42 }
+        )));
+        // Disabled tracer: no-op, empty tail.
+        let mut d = RankTracer::disabled();
+        d.fault(FaultKind::Crashed, 0, 0);
+        assert!(d.tail(5).is_empty());
     }
 
     #[test]

@@ -143,6 +143,31 @@ impl TreeBuilder {
         }
     }
 
+    /// Rebuilds `tree` without the `dead` ranks: the surviving members are
+    /// re-routed with this builder's scheme under the same `key`, so every
+    /// survivor derives the identical degraded tree locally once the fault
+    /// set is known. If the root itself died, the lowest surviving member
+    /// is promoted to root (a reduction's final value then lands there).
+    ///
+    /// Panics if no member survives.
+    pub fn rebuild_excluding(
+        &self,
+        tree: &CollectiveTree,
+        dead: &[usize],
+        key: u64,
+    ) -> CollectiveTree {
+        let survivors: Vec<usize> =
+            tree.members().iter().copied().filter(|m| !dead.contains(m)).collect();
+        assert!(!survivors.is_empty(), "no surviving member to rebuild around");
+        let root = if dead.contains(&tree.root()) {
+            *survivors.iter().min().expect("non-empty survivors")
+        } else {
+            tree.root()
+        };
+        let receivers: Vec<usize> = survivors.into_iter().filter(|&m| m != root).collect();
+        self.build(root, &receivers, key)
+    }
+
     fn build_flat(root: usize, receivers: &[usize]) -> CollectiveTree {
         let mut members = Vec::with_capacity(receivers.len() + 1);
         members.push(root);
@@ -370,5 +395,45 @@ mod tests {
     #[should_panic(expected = "duplicate receiver ranks")]
     fn duplicate_receivers_rejected() {
         TreeBuilder::new(TreeScheme::Binary, 0).build(0, &[1, 1, 2], 0);
+    }
+
+    #[test]
+    fn rebuild_excluding_drops_dead_interior_rank() {
+        let b = TreeBuilder::new(TreeScheme::ShiftedBinary, 42);
+        let recv: Vec<usize> = (1..16).collect();
+        let t = b.build(0, &recv, 7);
+        check_valid(&t);
+        // Kill an interior rank (one with children).
+        let dead = *t.members().iter().find(|&&m| !t.children_of(m).is_empty() && m != 0).unwrap();
+        let rebuilt = b.rebuild_excluding(&t, &[dead], 7);
+        check_valid(&rebuilt);
+        assert_eq!(rebuilt.root(), 0);
+        assert_eq!(rebuilt.len(), t.len() - 1);
+        assert!(!rebuilt.members().contains(&dead));
+        // Deterministic: every survivor derives the same degraded tree.
+        assert_eq!(b.rebuild_excluding(&t, &[dead], 7), rebuilt);
+    }
+
+    #[test]
+    fn rebuild_excluding_promotes_new_root() {
+        let b = TreeBuilder::new(TreeScheme::Binary, 0);
+        let t = b.build(4, &[1, 2, 3, 5, 6], 0);
+        let rebuilt = b.rebuild_excluding(&t, &[4], 0);
+        check_valid(&rebuilt);
+        assert_eq!(rebuilt.root(), 1, "lowest survivor promoted");
+        assert_eq!(rebuilt.len(), 5);
+        // Multiple dead ranks including the root.
+        let rebuilt = b.rebuild_excluding(&t, &[4, 1, 6], 0);
+        check_valid(&rebuilt);
+        assert_eq!(rebuilt.root(), 2);
+        assert_eq!(rebuilt.members(), &[2, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no surviving member")]
+    fn rebuild_excluding_needs_a_survivor() {
+        let b = TreeBuilder::new(TreeScheme::Flat, 0);
+        let t = b.build(0, &[1, 2], 0);
+        b.rebuild_excluding(&t, &[0, 1, 2], 0);
     }
 }

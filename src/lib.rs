@@ -25,10 +25,14 @@
 //!   Chrome trace-event JSON or a Table-I style summary;
 //! * [`profile`] — analysis on top of the trace layer: per-rank hot-spot
 //!   heat maps with imbalance ratios, Scalasca-style wait-state
-//!   classification, and critical-path extraction from DES schedules.
+//!   classification, and critical-path extraction from DES schedules;
+//! * [`chaos`] — deterministic, seed-driven fault plans (delay, jitter,
+//!   reordering, duplication, slowdown, stall, crash) consumed by both
+//!   backends for resilience testing.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the experiment map.
 
+pub use pselinv_chaos as chaos;
 pub use pselinv_dense as dense;
 pub use pselinv_des as des;
 pub use pselinv_dist as dist;
