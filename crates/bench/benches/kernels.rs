@@ -1,7 +1,10 @@
 //! Dense block kernels — the per-task costs the DES's flop model abstracts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pselinv_dense::{gemm, ldlt_factor, ldlt_invert, Mat, Transpose};
+use pselinv_dense::{
+    gemm, gemm_naive, ldlt_factor, ldlt_invert, trsm_right_lower, trsm_right_lower_naive, Mat,
+    Transpose,
+};
 use std::hint::black_box;
 
 fn mat(n: usize, m: usize, seed: u64) -> Mat {
@@ -49,6 +52,54 @@ fn bench_gemm(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_gemm_blocked_vs_naive(c: &mut Criterion) {
+    // The packed/blocked core against the seed jki kernel, at sizes where
+    // packing and register tiling pay off.
+    let mut g = c.benchmark_group("gemm_large");
+    for &n in &[128usize, 256] {
+        let a = mat(n, n, 1);
+        let b = mat(n, n, 2);
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            let mut cmat = Mat::zeros(n, n);
+            bch.iter(|| {
+                gemm_naive(1.0, black_box(&a), Transpose::No, &b, Transpose::No, 0.0, &mut cmat)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("blocked", n), &n, |bch, _| {
+            let mut cmat = Mat::zeros(n, n);
+            bch.iter(|| gemm(1.0, black_box(&a), Transpose::No, &b, Transpose::No, 0.0, &mut cmat));
+        });
+    }
+    g.finish();
+}
+
+fn bench_trsm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trsm_right_lower");
+    for &w in &[64usize, 128] {
+        let m = 192usize;
+        let mut l = mat(w, w, 5);
+        for j in 0..w {
+            l[(j, j)] = 1.0;
+        }
+        let b = mat(m, w, 6);
+        g.bench_with_input(BenchmarkId::new("naive", w), &w, |bch, _| {
+            bch.iter(|| {
+                let mut x = b.clone();
+                trsm_right_lower_naive(black_box(&mut x), &l, true);
+                x
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("blocked", w), &w, |bch, _| {
+            bch.iter(|| {
+                let mut x = b.clone();
+                trsm_right_lower(black_box(&mut x), &l, true);
+                x
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_ldlt(c: &mut Criterion) {
     let mut g = c.benchmark_group("ldlt");
     for &n in &[16usize, 32, 64] {
@@ -69,5 +120,5 @@ fn bench_ldlt(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_ldlt);
+criterion_group!(benches, bench_gemm, bench_gemm_blocked_vs_naive, bench_trsm, bench_ldlt);
 criterion_main!(benches);

@@ -35,7 +35,7 @@ fn main() {
         eprintln!(
             "usage: figures [--out DIR] [--seeds N] [--grid D] \
              {{all|table1|table2|fig4|fig5|fig6|fig7|fig8a|fig8b|fig9|trace\
-             |hotspots|critpath|bench-smoke|faults\
+             |hotspots|critpath|bench-smoke|perf|faults\
              |ablation-nic|ablation-shift|ablation-arity}}+"
         );
         std::process::exit(2);
@@ -55,6 +55,7 @@ fn main() {
             "hotspots",
             "critpath",
             "bench-smoke",
+            "perf",
             "faults",
             "ablation-nic",
             "ablation-shift",
@@ -82,6 +83,7 @@ fn main() {
             "hotspots" => experiments::hotspots(&out, grid),
             "critpath" => experiments::critpath(&out, grid),
             "bench-smoke" => experiments::bench_smoke(&out),
+            "perf" => experiments::perf(&out),
             "faults" => experiments::faults(&out),
             "ablation-nic" => experiments::ablation_nic(&out),
             "ablation-shift" => experiments::ablation_shift(&out),

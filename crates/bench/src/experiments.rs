@@ -462,7 +462,7 @@ pub fn trace_profile(out: &OutDir) -> std::io::Result<String> {
     for (name, scheme) in
         [("Flat-Tree", TreeScheme::Flat), ("Shifted Binary-Tree", TreeScheme::ShiftedBinary)]
     {
-        let opts = DistOptions { scheme, seed: TREE_SEED };
+        let opts = DistOptions { scheme, seed: TREE_SEED, threads: 1 };
         let (_, _, trace) = distributed_selinv_traced(&f, grid, &opts, name);
         // Measured bytes must equal the structural prediction exactly.
         let layout = Layout::new(sf.clone(), grid);
@@ -693,6 +693,182 @@ pub fn bench_smoke(out: &OutDir) -> std::io::Result<String> {
     ]);
     out.write_json("BENCH_trace.json", &doc)?;
     out.write_text("bench_smoke.txt", &txt)?;
+    Ok(txt)
+}
+
+/// Perf benchmark harness (`figures -- perf`): measures the numeric core
+/// rather than a paper artifact —
+///
+/// 1. blocked vs naive GEMM throughput (GFLOP/s) across shapes, including
+///    the 256³ headline comparison;
+/// 2. physical bytes copied by a 64-rank Shifted Binary-Tree broadcast
+///    under zero-copy `Arc` payload forwarding, against the copy-per-hop
+///    cost a buffer-per-send implementation pays (the run aborts if the
+///    broadcast copies more than the root's single packing);
+/// 3. the traced numeric selected inversion per tree scheme: wall time,
+///    physically copied bytes, logical volume and the DES makespan of the
+///    same layout — with the trace/replay byte identity asserted, so CI
+///    fails if the zero-copy paths ever change what is logically sent.
+///
+/// Emits `BENCH_perf.json` (uploaded by the CI `perf-smoke` job) plus
+/// `perf.txt`.
+pub fn perf(out: &OutDir) -> std::io::Result<String> {
+    use pselinv_dense::{gemm, gemm_naive, Mat, Transpose};
+    use pselinv_dist::{distributed_selinv_traced, DistOptions};
+    use pselinv_mpisim::collectives::tree_bcast;
+    use pselinv_order::{analyze, AnalyzeOptions};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    fn rand_mat(nrows: usize, ncols: usize, seed: u64) -> Mat {
+        let mut state = seed | 1;
+        let mut m = Mat::zeros(nrows, ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                m[(i, j)] = (state as f64 / u64::MAX as f64) - 0.5;
+            }
+        }
+        m
+    }
+    fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+        f(); // warmup
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    }
+
+    let mut txt = String::from("Perf: blocked kernels and zero-copy payloads\n\n");
+
+    // 1. Kernel throughput by shape.
+    txt.push_str("GEMM C = A*B (GFLOP/s, best of 3)\n");
+    let shapes = [(64usize, 64usize, 64usize), (128, 128, 128), (256, 256, 256), (192, 96, 384)];
+    let mut gemm_rows = Vec::new();
+    for &(m, n, kk) in &shapes {
+        let a = rand_mat(m, kk, 1);
+        let b = rand_mat(kk, n, 2);
+        let mut c1 = Mat::zeros(m, n);
+        let mut c2 = Mat::zeros(m, n);
+        let flops = 2.0 * m as f64 * n as f64 * kk as f64;
+        let tn =
+            best_secs(3, || gemm_naive(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c1));
+        let tb = best_secs(3, || gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c2));
+        let (gn, gb) = (flops / tn / 1e9, flops / tb / 1e9);
+        let _ = writeln!(
+            txt,
+            "  {m:>3}x{n:>3}x{kk:>3}: naive {gn:6.2}, blocked {gb:6.2} ({:.2}x)",
+            gb / gn
+        );
+        gemm_rows.push(Json::obj([
+            ("m", m.into()),
+            ("n", n.into()),
+            ("k", kk.into()),
+            ("naive_gflops", gn.into()),
+            ("blocked_gflops", gb.into()),
+            ("speedup", (gb / gn).into()),
+        ]));
+    }
+
+    // 2. Zero-copy broadcast: one packing copy regardless of fan-out.
+    const NRANKS: usize = 64;
+    const PAYLOAD_F64S: usize = 32 * 1024; // 256 KiB
+    let receivers: Vec<usize> = (1..NRANKS).collect();
+    let tree = TreeBuilder::new(TreeScheme::ShiftedBinary, TREE_SEED).build(0, &receivers, 0);
+    let (_, volumes) = pselinv_mpisim::run(NRANKS, |ctx| {
+        tree_bcast(ctx, &tree, 0, (ctx.rank() == 0).then(|| vec![1.0; PAYLOAD_F64S]));
+    });
+    let payload_bytes = (PAYLOAD_F64S * 8) as u64;
+    let bcast_copied: u64 = volumes.iter().map(|v| v.copied).sum();
+    let bcast_sent: u64 = volumes.iter().map(|v| v.sent).sum();
+    let per_hop_model = payload_bytes * (NRANKS as u64 - 1);
+    assert_eq!(
+        bcast_copied, payload_bytes,
+        "a {NRANKS}-rank broadcast must physically copy exactly the root's one packing"
+    );
+    let _ = writeln!(
+        txt,
+        "\nZero-copy broadcast ({NRANKS} ranks, Shifted Binary-Tree, {} KiB payload)\n  \
+         copied {} KiB measured vs {} KiB copy-per-hop model ({}x less); \
+         logical volume {} KiB unchanged",
+        payload_bytes / 1024,
+        bcast_copied / 1024,
+        per_hop_model / 1024,
+        per_hop_model / bcast_copied,
+        bcast_sent / 1024
+    );
+
+    // 3. Numeric selected inversion per scheme, with the replay identity.
+    txt.push_str("\nNumeric selected inversion (FEM 6x6x6 proxy, 3x3 grid)\n");
+    let w = pselinv_sparse::gen::fem_3d(6, 6, 6, 1, 0x7ace);
+    let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+    let f = pselinv_factor::factorize(&w.matrix, sf.clone()).expect("proxy FEM matrix must factor");
+    let grid = Grid2D::new(3, 3);
+    let layout = Layout::new(sf.clone(), grid);
+    let mut selinv_rows = Vec::new();
+    for (name, scheme) in schemes_with_names() {
+        let opts = DistOptions { scheme, seed: TREE_SEED, threads: 1 };
+        let t0 = Instant::now();
+        let (_, vols, trace) = distributed_selinv_traced(&f, grid, &opts, name);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // The zero-copy refactor must not move a single logical byte:
+        // traced per-rank totals stay exactly equal to the structural
+        // replay. CI runs this target, so a divergence fails the build.
+        let rep = replay_volumes(&layout, TreeBuilder::new(scheme, TREE_SEED));
+        assert_eq!(
+            trace.sent_bytes(CollKind::ColBcast),
+            rep.col_bcast_sent,
+            "{name}: traced Col-Bcast bytes diverge from the volume replay"
+        );
+        assert_eq!(
+            trace.recv_bytes(CollKind::RowReduce),
+            rep.row_reduce_received,
+            "{name}: traced Row-Reduce bytes diverge from the volume replay"
+        );
+        let copied: u64 = vols.iter().map(|v| v.copied).sum();
+        let sent: u64 = vols.iter().map(|v| v.sent).sum();
+        let g = selinv_graph(&layout, &GraphOptions { scheme, seed: TREE_SEED, pipelining: true });
+        let makespan = simulate(&g, workloads::des_machine(0)).makespan;
+        let _ = writeln!(
+            txt,
+            "  {name:<22}: wall {wall_ms:7.1} ms, DES makespan {makespan:.4}s, \
+             copied {:>6} KiB, logical {:>6} KiB",
+            copied / 1024,
+            sent / 1024
+        );
+        selinv_rows.push(Json::obj([
+            ("scheme", Json::from(name)),
+            ("wall_ms", wall_ms.into()),
+            ("makespan_s", makespan.into()),
+            ("bytes_copied", copied.into()),
+            ("bytes_sent", sent.into()),
+        ]));
+    }
+
+    let doc = Json::obj([
+        ("bench", "perf".into()),
+        ("tree_seed", TREE_SEED.into()),
+        ("gemm", Json::Arr(gemm_rows)),
+        (
+            "bcast_zero_copy",
+            Json::obj([
+                ("nranks", NRANKS.into()),
+                ("scheme", "ShiftedBinary".into()),
+                ("payload_bytes", payload_bytes.into()),
+                ("copied_bytes_measured", bcast_copied.into()),
+                ("copied_bytes_per_hop_model", per_hop_model.into()),
+                ("logical_sent_bytes", bcast_sent.into()),
+            ]),
+        ),
+        ("selinv", Json::Arr(selinv_rows)),
+    ]);
+    out.write_json("BENCH_perf.json", &doc)?;
+    out.write_text("perf.txt", &txt)?;
     Ok(txt)
 }
 

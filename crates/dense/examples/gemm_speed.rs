@@ -1,0 +1,44 @@
+use pselinv_dense::{gemm, gemm_naive, Mat, Transpose};
+use std::time::Instant;
+
+fn rand_mat(m: usize, n: usize, seed: u64) -> Mat {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345) | 1;
+    let mut a = Mat::zeros(m, n);
+    for j in 0..n {
+        for i in 0..m {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            a[(i, j)] = (state as f64 / u64::MAX as f64) * 2.0 - 1.0;
+        }
+    }
+    a
+}
+
+fn main() {
+    for &s in &[128usize, 256, 512] {
+        let a = rand_mat(s, s, 1);
+        let b = rand_mat(s, s, 2);
+        let flops = 2.0 * (s as f64).powi(3);
+        let mut c = Mat::zeros(s, s);
+        // warmup
+        gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+        let reps = if s <= 256 { 20 } else { 5 };
+        let t = Instant::now();
+        for _ in 0..reps {
+            gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+        }
+        let blocked = t.elapsed().as_secs_f64() / reps as f64;
+        let t = Instant::now();
+        for _ in 0..reps {
+            gemm_naive(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+        }
+        let naive = t.elapsed().as_secs_f64() / reps as f64;
+        println!(
+            "{s}^3: blocked {:.2} GF/s  naive {:.2} GF/s  speedup {:.2}x",
+            flops / blocked / 1e9,
+            flops / naive / 1e9,
+            naive / blocked
+        );
+    }
+}

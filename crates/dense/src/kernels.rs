@@ -1,4 +1,20 @@
 //! GEMM and triangular solves.
+//!
+//! The public entry points ([`gemm`], [`trsm_right_lower`], …) run a
+//! cache-blocked, register-tiled implementation: operands are packed into
+//! contiguous panels (`MR`/`NR`-interleaved, zero-padded at the edges) and
+//! multiplied by a fixed-size microkernel whose accumulator tile lives in
+//! registers, so the compiler can keep the inner loop free of bounds checks
+//! and autovectorize it. The triangular solves are blocked the same way:
+//! small diagonal triangles are solved by scalar loops and the bulk of the
+//! update is delegated to the GEMM core.
+//!
+//! The seed's scalar kernels are retained verbatim as `*_naive` — they are
+//! the reference every blocked kernel is property-tested against, and the
+//! baseline the `pselinv-bench` perf harness reports speedups over.
+
+// BLAS-style kernels take (dims, scalars, ptr+ld per operand) positionally.
+#![allow(clippy::too_many_arguments)]
 
 use crate::mat::Mat;
 
@@ -11,10 +27,388 @@ pub enum Transpose {
     Yes,
 }
 
-/// `C = alpha * op(A) * op(B) + beta * C`.
+// ---- Blocking parameters -------------------------------------------------
+//
+// GotoBLAS-style three-level blocking: a KC×NC panel of B is packed once
+// and streamed against MC×KC panels of A; the microkernel multiplies an
+// MR×KC strip of packed A by a KC×NR strip of packed B into an MR×NR
+// register tile of C. MC×KC×8 bytes ≈ 256 KiB keeps the A panel resident
+// in L2; the MR strip of the current iteration lives in L1.
+
+/// Rows of one packed A panel.
+const MC: usize = 128;
+/// Shared (inner) dimension of one packing round.
+const KC: usize = 256;
+/// Columns of one packed B panel.
+const NC: usize = 4096;
+/// Microkernel tile rows (contiguous in packed A and in column-major C).
+const MR: usize = 8;
+/// Microkernel tile columns.
+const NR: usize = 4;
+/// Below this many multiply-adds the packed path costs more than it saves
+/// (packing + buffer allocation); fall through to the scalar kernels.
+const SMALL_FLOPS: usize = 24 * 24 * 24;
+/// Column-block width of the blocked triangular solves.
+const TRSM_NB: usize = 48;
+
+/// Reads element `(i, j)` of `op(X)` where `X` is column-major with leading
+/// dimension `ld`.
 ///
-/// Shapes: `op(A)` is `m×k`, `op(B)` is `k×n`, `C` is `m×n`.
-pub fn gemm(alpha: f64, a: &Mat, ta: Transpose, b: &Mat, tb: Transpose, beta: f64, c: &mut Mat) {
+/// # Safety
+/// The caller guarantees the index is inside the allocation backing `x`:
+/// `j*ld + i` (or `i*ld + j` when transposed) is in bounds.
+#[inline(always)]
+unsafe fn ld_get(x: *const f64, ld: usize, i: usize, j: usize, t: Transpose) -> f64 {
+    match t {
+        Transpose::No => *x.add(j * ld + i),
+        Transpose::Yes => *x.add(i * ld + j),
+    }
+}
+
+/// Packs `op(A)[i0..i0+mc, p0..p0+kc]` into `buf` as a sequence of
+/// `MR`-row strips: strip `s` holds rows `s*MR..(s+1)*MR`, stored as `kc`
+/// consecutive groups of `MR` values (zero-padded past `mc`).
+///
+/// # Safety
+/// All read indices must be inside `a`'s allocation (see [`ld_get`]).
+unsafe fn pack_a(
+    buf: &mut [f64],
+    a: *const f64,
+    lda: usize,
+    ta: Transpose,
+    i0: usize,
+    mc: usize,
+    p0: usize,
+    kc: usize,
+) {
+    let mut idx = 0;
+    let mut ir = 0;
+    while ir < mc {
+        let h = MR.min(mc - ir);
+        for p in 0..kc {
+            for r in 0..h {
+                buf[idx + r] = ld_get(a, lda, i0 + ir + r, p0 + p, ta);
+            }
+            for r in h..MR {
+                buf[idx + r] = 0.0;
+            }
+            idx += MR;
+        }
+        ir += MR;
+    }
+}
+
+/// Packs `op(B)[p0..p0+kc, j0..j0+nc]` into `buf` as `NR`-column strips:
+/// strip `s` holds columns `s*NR..(s+1)*NR` as `kc` groups of `NR` values
+/// (zero-padded past `nc`).
+///
+/// # Safety
+/// All read indices must be inside `b`'s allocation (see [`ld_get`]).
+unsafe fn pack_b(
+    buf: &mut [f64],
+    b: *const f64,
+    ldb: usize,
+    tb: Transpose,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nc: usize,
+) {
+    let mut idx = 0;
+    let mut jr = 0;
+    while jr < nc {
+        let w = NR.min(nc - jr);
+        for p in 0..kc {
+            for s in 0..w {
+                buf[idx + s] = ld_get(b, ldb, p0 + p, j0 + jr + s, tb);
+            }
+            for s in w..NR {
+                buf[idx + s] = 0.0;
+            }
+            idx += NR;
+        }
+        jr += NR;
+    }
+}
+
+/// The register-tiled microkernel: `C[0..mr, 0..nr] += alpha * Ap · Bp`
+/// where `Ap` is an `MR×kc` packed strip and `Bp` a `kc×NR` packed strip.
+/// The accumulator tile is a fixed-size array the compiler keeps in
+/// registers; `chunks_exact` gives it bounds-check-free, unrollable access.
+///
+/// # Safety
+/// `c` must point at element `(0, 0)` of an `mr×nr` tile inside a
+/// column-major matrix with leading dimension `ldc`, fully in bounds, and
+/// must not alias `ap`/`bp`.
+#[inline(always)]
+unsafe fn microkernel(
+    kc: usize,
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    c: *mut f64,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    microkernel_body(kc, alpha, ap, bp, c, ldc, mr, nr)
+}
+
+/// [`microkernel`] compiled with AVX2 + FMA codegen enabled. Same source;
+/// the wider vectors and fused multiply-adds come entirely from the
+/// compiler re-vectorizing the accumulator loop.
+///
+/// # Safety
+/// As [`microkernel`], plus: the CPU must support AVX2 and FMA (checked
+/// once at dispatch via `is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn microkernel_fma(
+    kc: usize,
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    c: *mut f64,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    microkernel_body(kc, alpha, ap, bp, c, ldc, mr, nr)
+}
+
+/// Returns whether the FMA microkernel may be dispatched on this CPU.
+/// `is_x86_feature_detected!` caches the CPUID probe internally.
+#[inline(always)]
+fn use_fma_kernel() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Shared body of the scalar-ISA and FMA microkernels.
+///
+/// # Safety
+/// As [`microkernel`].
+#[inline(always)]
+unsafe fn microkernel_body(
+    kc: usize,
+    alpha: f64,
+    ap: &[f64],
+    bp: &[f64],
+    c: *mut f64,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    debug_assert!(ap.len() == kc * MR && bp.len() == kc * NR);
+    let mut acc = [0.0f64; MR * NR];
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for j in 0..NR {
+            let bj = b[j];
+            for i in 0..MR {
+                acc[j * MR + i] += a[i] * bj;
+            }
+        }
+    }
+    if mr == MR && nr == NR {
+        // Full tile: fixed bounds, vectorized write-back.
+        for j in 0..NR {
+            let cc = c.add(j * ldc);
+            for i in 0..MR {
+                *cc.add(i) += alpha * acc[j * MR + i];
+            }
+        }
+    } else {
+        for j in 0..nr {
+            let cc = c.add(j * ldc);
+            for i in 0..mr {
+                *cc.add(i) += alpha * acc[j * MR + i];
+            }
+        }
+    }
+}
+
+/// Packed, blocked `C += alpha * op(A) · op(B)` over raw column-major
+/// buffers with leading dimensions.
+///
+/// # Safety
+/// `a`/`b`/`c` must cover `op(A)` (`m×k`), `op(B)` (`k×n`) and `C` (`m×n`)
+/// under their leading dimensions; `c` must not overlap `a` or `b`.
+unsafe fn gemm_blocked(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: *const f64,
+    lda: usize,
+    ta: Transpose,
+    b: *const f64,
+    ldb: usize,
+    tb: Transpose,
+    c: *mut f64,
+    ldc: usize,
+) {
+    let mc_cap = MC.min(m).next_multiple_of(MR);
+    let kc_cap = KC.min(k);
+    let nc_cap = NC.min(n).next_multiple_of(NR);
+    let mut apack = vec![0.0f64; mc_cap * kc_cap];
+    let mut bpack = vec![0.0f64; kc_cap * nc_cap];
+    let fma = use_fma_kernel();
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            pack_b(&mut bpack, b, ldb, tb, pc, kc, jc, nc);
+            let mut ic = 0;
+            while ic < m {
+                let mc = MC.min(m - ic);
+                pack_a(&mut apack, a, lda, ta, ic, mc, pc, kc);
+                let mut jr = 0;
+                while jr < nc {
+                    let nr = NR.min(nc - jr);
+                    let bp = &bpack[(jr / NR) * (kc * NR)..][..kc * NR];
+                    let mut ir = 0;
+                    while ir < mc {
+                        let mr = MR.min(mc - ir);
+                        let ap = &apack[(ir / MR) * (kc * MR)..][..kc * MR];
+                        let ct = c.add((jc + jr) * ldc + ic + ir);
+                        #[cfg(target_arch = "x86_64")]
+                        if fma {
+                            microkernel_fma(kc, alpha, ap, bp, ct, ldc, mr, nr);
+                        } else {
+                            microkernel(kc, alpha, ap, bp, ct, ldc, mr, nr);
+                        }
+                        #[cfg(not(target_arch = "x86_64"))]
+                        {
+                            let _ = fma;
+                            microkernel(kc, alpha, ap, bp, ct, ldc, mr, nr);
+                        }
+                        ir += MR;
+                    }
+                    jr += NR;
+                }
+                ic += MC;
+            }
+            pc += KC;
+        }
+        jc += NC;
+    }
+}
+
+/// Scalar `C += alpha * op(A) · op(B)` for problems too small to pack
+/// (the seed's loop orders, over raw buffers with leading dimensions).
+///
+/// # Safety
+/// Same bounds contract as [`gemm_blocked`].
+unsafe fn gemm_scalar(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: *const f64,
+    lda: usize,
+    ta: Transpose,
+    b: *const f64,
+    ldb: usize,
+    tb: Transpose,
+    c: *mut f64,
+    ldc: usize,
+) {
+    match ta {
+        Transpose::No => {
+            // jki order: stream down columns of op(A) and C.
+            for j in 0..n {
+                for p in 0..k {
+                    let bpj = alpha * ld_get(b, ldb, p, j, tb);
+                    if bpj == 0.0 {
+                        continue;
+                    }
+                    let acol = a.add(p * lda);
+                    let ccol = c.add(j * ldc);
+                    for i in 0..m {
+                        *ccol.add(i) += *acol.add(i) * bpj;
+                    }
+                }
+            }
+        }
+        Transpose::Yes => {
+            // Columns of the stored A are rows of op(A): dot products.
+            for j in 0..n {
+                for i in 0..m {
+                    let acol = a.add(i * lda);
+                    let mut s = 0.0;
+                    for p in 0..k {
+                        s += *acol.add(p) * ld_get(b, ldb, p, j, tb);
+                    }
+                    *c.add(j * ldc + i) += alpha * s;
+                }
+            }
+        }
+    }
+}
+
+/// Scales the `m×n` region of `c` (leading dimension `ldc`) by `beta`.
+///
+/// # Safety
+/// The region must be inside `c`'s allocation.
+unsafe fn scale_c(m: usize, n: usize, beta: f64, c: *mut f64, ldc: usize) {
+    if beta == 1.0 {
+        return;
+    }
+    for j in 0..n {
+        let cc = c.add(j * ldc);
+        for i in 0..m {
+            *cc.add(i) *= beta;
+        }
+    }
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C` over raw column-major buffers
+/// with explicit leading dimensions — the core the [`Mat`] wrapper and the
+/// blocked triangular solves share (the solves update sub-panels of one
+/// allocation in place, which safe slices cannot express).
+///
+/// # Safety
+/// Under the leading dimensions, `a` must cover `op(A)` (`m×k`), `b` must
+/// cover `op(B)` (`k×n`) and `c` must cover `C` (`m×n`); the element sets
+/// of `C` and of the operands must be disjoint (distinct regions of one
+/// allocation are fine).
+pub unsafe fn gemm_raw(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: *const f64,
+    lda: usize,
+    ta: Transpose,
+    b: *const f64,
+    ldb: usize,
+    tb: Transpose,
+    beta: f64,
+    c: *mut f64,
+    ldc: usize,
+) {
+    scale_c(m, n, beta, c, ldc);
+    if alpha == 0.0 || k == 0 || m == 0 || n == 0 {
+        return;
+    }
+    if m * n * k <= SMALL_FLOPS {
+        gemm_scalar(m, n, k, alpha, a, lda, ta, b, ldb, tb, c, ldc);
+    } else {
+        gemm_blocked(m, n, k, alpha, a, lda, ta, b, ldb, tb, c, ldc);
+    }
+}
+
+/// Checks the shapes of a GEMM call and returns `(m, n, k)`.
+fn gemm_shapes(a: &Mat, ta: Transpose, b: &Mat, tb: Transpose, c: &Mat) -> (usize, usize, usize) {
     let (m, ka) = match ta {
         Transpose::No => (a.nrows(), a.ncols()),
         Transpose::Yes => (a.ncols(), a.nrows()),
@@ -26,7 +420,58 @@ pub fn gemm(alpha: f64, a: &Mat, ta: Transpose, b: &Mat, tb: Transpose, beta: f6
     assert_eq!(ka, kb, "gemm inner dimensions differ: {ka} vs {kb}");
     assert_eq!(c.nrows(), m, "gemm C row mismatch");
     assert_eq!(c.ncols(), n, "gemm C col mismatch");
-    let k = ka;
+    (m, n, k_of(ka))
+}
+
+#[inline]
+fn k_of(k: usize) -> usize {
+    k
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// Shapes: `op(A)` is `m×k`, `op(B)` is `k×n`, `C` is `m×n`.
+///
+/// Large products run the packed blocked path; small ones the scalar
+/// kernels. Both agree with [`gemm_naive`] up to floating-point reordering.
+pub fn gemm(alpha: f64, a: &Mat, ta: Transpose, b: &Mat, tb: Transpose, beta: f64, c: &mut Mat) {
+    let (m, n, k) = gemm_shapes(a, ta, b, tb, c);
+    let lda = a.nrows();
+    let ldb = b.nrows();
+    let ldc = c.nrows();
+    // SAFETY: shapes were checked against the stored dimensions, and the
+    // three matrices are distinct allocations (`a`/`b` shared, `c` mutable).
+    unsafe {
+        gemm_raw(
+            m,
+            n,
+            k,
+            alpha,
+            a.data().as_ptr(),
+            lda,
+            ta,
+            b.data().as_ptr(),
+            ldb,
+            tb,
+            beta,
+            c.data_mut().as_mut_ptr(),
+            ldc,
+        );
+    }
+}
+
+/// The seed's scalar GEMM, retained as the reference implementation for
+/// property tests and as the perf-harness baseline.
+pub fn gemm_naive(
+    alpha: f64,
+    a: &Mat,
+    ta: Transpose,
+    b: &Mat,
+    tb: Transpose,
+    beta: f64,
+    c: &mut Mat,
+) {
+    let (m, n, k) = gemm_shapes(a, ta, b, tb, c);
 
     if beta != 1.0 {
         for v in c.data_mut() {
@@ -97,12 +542,303 @@ pub fn gemm(alpha: f64, a: &Mat, ta: Transpose, b: &Mat, tb: Transpose, beta: f6
     }
 }
 
+// ---- Triangular solves ---------------------------------------------------
+//
+// Each blocked solve walks TRSM_NB-wide diagonal blocks: the small
+// triangle is solved by the corresponding scalar loop and the remaining
+// panel update — where all the flops are — goes through `gemm_raw`.
+
+/// Scalar solve `X · L = B` in place on raw buffers (`B` is `m×w` with
+/// leading dimension `ldb`, `L` is `w×w` lower triangular with leading
+/// dimension `ldl`).
+///
+/// # Safety
+/// Both regions must be in bounds under their leading dimensions and must
+/// not overlap.
+unsafe fn trsm_rl_small(
+    m: usize,
+    w: usize,
+    b: *mut f64,
+    ldb: usize,
+    l: *const f64,
+    ldl: usize,
+    unit: bool,
+) {
+    for j in (0..w).rev() {
+        if !unit {
+            let d = *l.add(j * ldl + j);
+            assert!(d != 0.0, "singular triangular block");
+            let bj = b.add(j * ldb);
+            for r in 0..m {
+                *bj.add(r) /= d;
+            }
+        }
+        // B_{:,i} -= X_{:,j} * L_{j,i} for i < j
+        for i in 0..j {
+            let lji = *l.add(i * ldl + j);
+            if lji == 0.0 {
+                continue;
+            }
+            let (bi, bj) = (b.add(i * ldb), b.add(j * ldb));
+            for r in 0..m {
+                *bi.add(r) -= *bj.add(r) * lji;
+            }
+        }
+    }
+}
+
+/// Scalar solve `X · Lᵀ = B` in place on raw buffers (shapes as
+/// [`trsm_rl_small`]).
+///
+/// # Safety
+/// Same contract as [`trsm_rl_small`].
+unsafe fn trsm_rlt_small(
+    m: usize,
+    w: usize,
+    b: *mut f64,
+    ldb: usize,
+    l: *const f64,
+    ldl: usize,
+    unit: bool,
+) {
+    for j in 0..w {
+        // B_{:,j} -= X_{:,k} * (Lᵀ)_{k,j} = X_{:,k} * L_{j,k}, k < j
+        for p in 0..j {
+            let ljp = *l.add(p * ldl + j);
+            if ljp == 0.0 {
+                continue;
+            }
+            let (bp, bj) = (b.add(p * ldb), b.add(j * ldb));
+            for r in 0..m {
+                *bj.add(r) -= *bp.add(r) * ljp;
+            }
+        }
+        if !unit {
+            let d = *l.add(j * ldl + j);
+            assert!(d != 0.0, "singular triangular block");
+            let bj = b.add(j * ldb);
+            for r in 0..m {
+                *bj.add(r) /= d;
+            }
+        }
+    }
+}
+
+/// Scalar solve `L · X = B` in place on raw buffers (`B` is `w×n` with
+/// leading dimension `ldb`).
+///
+/// # Safety
+/// Same contract as [`trsm_rl_small`].
+unsafe fn trsm_ll_small(
+    w: usize,
+    n: usize,
+    l: *const f64,
+    ldl: usize,
+    b: *mut f64,
+    ldb: usize,
+    unit: bool,
+) {
+    for j in 0..n {
+        let bj = b.add(j * ldb);
+        for i in 0..w {
+            let mut s = *bj.add(i);
+            for p in 0..i {
+                s -= *l.add(p * ldl + i) * *bj.add(p);
+            }
+            *bj.add(i) = if unit { s } else { s / *l.add(i * ldl + i) };
+        }
+    }
+}
+
+/// Scalar solve `Lᵀ · X = B` in place on raw buffers (shapes as
+/// [`trsm_ll_small`]).
+///
+/// # Safety
+/// Same contract as [`trsm_rl_small`].
+unsafe fn trsm_llt_small(
+    w: usize,
+    n: usize,
+    l: *const f64,
+    ldl: usize,
+    b: *mut f64,
+    ldb: usize,
+    unit: bool,
+) {
+    for j in 0..n {
+        let bj = b.add(j * ldb);
+        for i in (0..w).rev() {
+            let mut s = *bj.add(i);
+            for p in (i + 1)..w {
+                s -= *l.add(i * ldl + p) * *bj.add(p);
+            }
+            *bj.add(i) = if unit { s } else { s / *l.add(i * ldl + i) };
+        }
+    }
+}
+
 /// Solves `X · L = B` in place (`B` becomes `X`), where `L` is lower
 /// triangular. With `unit = true` the diagonal of `L` is taken as 1.
 ///
 /// This computes `X = B · L⁻¹`, the panel normalization `L̂ = L_{C,K} ·
 /// (L_{K,K})⁻¹` from step 2 of Algorithm 1.
 pub fn trsm_right_lower(b: &mut Mat, l: &Mat, unit: bool) {
+    let w = l.nrows();
+    assert_eq!(l.ncols(), w);
+    assert_eq!(b.ncols(), w);
+    let m = b.nrows();
+    let ld = l.data().as_ptr();
+    let bd = b.data_mut().as_mut_ptr();
+    // SAFETY: `b` is m×w (ldb = m) and `l` is w×w (ldl = w); every block
+    // offset below stays inside those shapes, and the GEMM reads/writes
+    // disjoint column ranges of `b`.
+    unsafe {
+        let mut j1 = w;
+        while j1 > 0 {
+            let j0 = j1.saturating_sub(TRSM_NB);
+            let wb = j1 - j0;
+            trsm_rl_small(m, wb, bd.add(j0 * m), m, ld.add(j0 * w + j0), w, unit);
+            if j0 > 0 {
+                // B[:, 0..j0] -= X_block · L[j0..j1, 0..j0]
+                gemm_raw(
+                    m,
+                    j0,
+                    wb,
+                    -1.0,
+                    bd.add(j0 * m),
+                    m,
+                    Transpose::No,
+                    ld.add(j0),
+                    w,
+                    Transpose::No,
+                    1.0,
+                    bd,
+                    m,
+                );
+            }
+            j1 = j0;
+        }
+    }
+}
+
+/// Solves `X · Lᵀ = B` in place (`B` becomes `X`), `L` lower triangular.
+/// With `unit = true` the diagonal of `L` is taken as 1.
+pub fn trsm_right_lower_trans(b: &mut Mat, l: &Mat, unit: bool) {
+    let w = l.nrows();
+    assert_eq!(l.ncols(), w);
+    assert_eq!(b.ncols(), w);
+    let m = b.nrows();
+    let ld = l.data().as_ptr();
+    let bd = b.data_mut().as_mut_ptr();
+    // SAFETY: as in `trsm_right_lower`.
+    unsafe {
+        let mut j0 = 0;
+        while j0 < w {
+            let wb = TRSM_NB.min(w - j0);
+            if j0 > 0 {
+                // B[:, j0..j1] -= X[:, 0..j0] · (Lᵀ)[0..j0, j0..j1]
+                gemm_raw(
+                    m,
+                    wb,
+                    j0,
+                    -1.0,
+                    bd,
+                    m,
+                    Transpose::No,
+                    ld.add(j0),
+                    w,
+                    Transpose::Yes,
+                    1.0,
+                    bd.add(j0 * m),
+                    m,
+                );
+            }
+            trsm_rlt_small(m, wb, bd.add(j0 * m), m, ld.add(j0 * w + j0), w, unit);
+            j0 += TRSM_NB;
+        }
+    }
+}
+
+/// Solves `L · X = B` in place (`B` becomes `X`), `L` lower triangular.
+/// With `unit = true` the diagonal of `L` is taken as 1.
+pub fn trsm_left_lower(l: &Mat, b: &mut Mat, unit: bool) {
+    let w = l.nrows();
+    assert_eq!(l.ncols(), w);
+    assert_eq!(b.nrows(), w);
+    let n = b.ncols();
+    let ld = l.data().as_ptr();
+    let bd = b.data_mut().as_mut_ptr();
+    // SAFETY: `b` is w×n (ldb = w), `l` is w×w; the GEMM reads row block
+    // 0..i0 of `b` and writes row block i0..i0+wb — disjoint element sets
+    // of one allocation, expressed through raw pointers.
+    unsafe {
+        let mut i0 = 0;
+        while i0 < w {
+            let wb = TRSM_NB.min(w - i0);
+            if i0 > 0 {
+                // B[i0..i1, :] -= L[i0..i1, 0..i0] · X[0..i0, :]
+                gemm_raw(
+                    wb,
+                    n,
+                    i0,
+                    -1.0,
+                    ld.add(i0),
+                    w,
+                    Transpose::No,
+                    bd,
+                    w,
+                    Transpose::No,
+                    1.0,
+                    bd.add(i0),
+                    w,
+                );
+            }
+            trsm_ll_small(wb, n, ld.add(i0 * w + i0), w, bd.add(i0), w, unit);
+            i0 += TRSM_NB;
+        }
+    }
+}
+
+/// Solves `Lᵀ · X = B` in place, `L` lower triangular (so `Lᵀ` is upper).
+/// With `unit = true` the diagonal is taken as 1.
+pub fn trsm_left_lower_trans(l: &Mat, b: &mut Mat, unit: bool) {
+    let w = l.nrows();
+    assert_eq!(l.ncols(), w);
+    assert_eq!(b.nrows(), w);
+    let n = b.ncols();
+    let ld = l.data().as_ptr();
+    let bd = b.data_mut().as_mut_ptr();
+    // SAFETY: as in `trsm_left_lower` (disjoint row blocks of `b`).
+    unsafe {
+        let mut i1 = w;
+        while i1 > 0 {
+            let i0 = i1.saturating_sub(TRSM_NB);
+            let wb = i1 - i0;
+            if i1 < w {
+                // B[i0..i1, :] -= (Lᵀ)[i0..i1, i1..w] · X[i1..w, :]
+                gemm_raw(
+                    wb,
+                    n,
+                    w - i1,
+                    -1.0,
+                    ld.add(i0 * w + i1),
+                    w,
+                    Transpose::Yes,
+                    bd.add(i1),
+                    w,
+                    Transpose::No,
+                    1.0,
+                    bd.add(i0),
+                    w,
+                );
+            }
+            trsm_llt_small(wb, n, ld.add(i0 * w + i0), w, bd.add(i0), w, unit);
+            i1 = i0;
+        }
+    }
+}
+
+/// The seed's scalar `X · L = B` solve, retained as the reference.
+pub fn trsm_right_lower_naive(b: &mut Mat, l: &Mat, unit: bool) {
     let w = l.nrows();
     assert_eq!(l.ncols(), w);
     assert_eq!(b.ncols(), w);
@@ -130,9 +866,8 @@ pub fn trsm_right_lower(b: &mut Mat, l: &Mat, unit: bool) {
     }
 }
 
-/// Solves `X · Lᵀ = B` in place (`B` becomes `X`), `L` lower triangular.
-/// With `unit = true` the diagonal of `L` is taken as 1.
-pub fn trsm_right_lower_trans(b: &mut Mat, l: &Mat, unit: bool) {
+/// The seed's scalar `X · Lᵀ = B` solve, retained as the reference.
+pub fn trsm_right_lower_trans_naive(b: &mut Mat, l: &Mat, unit: bool) {
     let w = l.nrows();
     assert_eq!(l.ncols(), w);
     assert_eq!(b.ncols(), w);
@@ -159,9 +894,8 @@ pub fn trsm_right_lower_trans(b: &mut Mat, l: &Mat, unit: bool) {
     }
 }
 
-/// Solves `L · X = B` in place (`B` becomes `X`), `L` lower triangular.
-/// With `unit = true` the diagonal of `L` is taken as 1.
-pub fn trsm_left_lower(l: &Mat, b: &mut Mat, unit: bool) {
+/// The seed's scalar `L · X = B` solve, retained as the reference.
+pub fn trsm_left_lower_naive(l: &Mat, b: &mut Mat, unit: bool) {
     let w = l.nrows();
     assert_eq!(l.ncols(), w);
     assert_eq!(b.nrows(), w);
@@ -177,9 +911,8 @@ pub fn trsm_left_lower(l: &Mat, b: &mut Mat, unit: bool) {
     }
 }
 
-/// Solves `Lᵀ · X = B` in place, `L` lower triangular (so `Lᵀ` is upper).
-/// With `unit = true` the diagonal is taken as 1.
-pub fn trsm_left_lower_trans(l: &Mat, b: &mut Mat, unit: bool) {
+/// The seed's scalar `Lᵀ · X = B` solve, retained as the reference.
+pub fn trsm_left_lower_trans_naive(l: &Mat, b: &mut Mat, unit: bool) {
     let w = l.nrows();
     assert_eq!(l.ncols(), w);
     assert_eq!(b.nrows(), w);
@@ -204,8 +937,9 @@ mod tests {
         assert_eq!(a.ncols(), b.ncols());
         for j in 0..a.ncols() {
             for i in 0..a.nrows() {
+                let scale = 1.0_f64.max(a[(i, j)].abs()).max(b[(i, j)].abs());
                 assert!(
-                    (a[(i, j)] - b[(i, j)]).abs() < tol,
+                    (a[(i, j)] - b[(i, j)]).abs() < tol * scale,
                     "mismatch at ({i},{j}): {} vs {}",
                     a[(i, j)],
                     b[(i, j)]
@@ -291,6 +1025,34 @@ mod tests {
         assert_close(&c, &expect, 1e-13);
     }
 
+    #[test]
+    fn blocked_gemm_matches_naive_above_packing_threshold() {
+        // Big enough to exercise packing, edge tiles and multiple MC/KC
+        // blocks in every transpose variant.
+        let (m, n, k) = (131, 67, 300);
+        for (ta, tb) in [
+            (Transpose::No, Transpose::No),
+            (Transpose::Yes, Transpose::No),
+            (Transpose::No, Transpose::Yes),
+            (Transpose::Yes, Transpose::Yes),
+        ] {
+            let a = match ta {
+                Transpose::No => rand_mat(m, k, 21),
+                Transpose::Yes => rand_mat(k, m, 21),
+            };
+            let b = match tb {
+                Transpose::No => rand_mat(k, n, 22),
+                Transpose::Yes => rand_mat(n, k, 22),
+            };
+            let c0 = rand_mat(m, n, 23);
+            let mut c = c0.clone();
+            let mut expect = c0.clone();
+            gemm(1.5, &a, ta, &b, tb, -0.5, &mut c);
+            gemm_naive(1.5, &a, ta, &b, tb, -0.5, &mut expect);
+            assert_close(&c, &expect, 1e-10);
+        }
+    }
+
     fn lower_of(m: &Mat, unit: bool) -> Mat {
         let n = m.nrows();
         let mut l = Mat::zeros(n, n);
@@ -349,5 +1111,61 @@ mod tests {
             trsm_left_lower_trans(&l, &mut x, unit);
             assert_close(&naive_gemm(&l.transpose(), &x), &b, 1e-12);
         }
+    }
+
+    #[test]
+    fn blocked_trsm_matches_naive_across_blocks() {
+        // w > TRSM_NB so the blocked path takes the gemm shortcut.
+        let w = 130;
+        let m = 77;
+        for unit in [true, false] {
+            let l = lower_of(&rand_mat(w, w, 30), unit);
+            let b = rand_mat(m, w, 31);
+
+            let mut x1 = b.clone();
+            let mut x2 = b.clone();
+            trsm_right_lower(&mut x1, &l, unit);
+            trsm_right_lower_naive(&mut x2, &l, unit);
+            assert_close(&x1, &x2, 1e-9);
+
+            let mut x1 = b.clone();
+            let mut x2 = b.clone();
+            trsm_right_lower_trans(&mut x1, &l, unit);
+            trsm_right_lower_trans_naive(&mut x2, &l, unit);
+            assert_close(&x1, &x2, 1e-9);
+
+            let bl = rand_mat(w, m, 32);
+            let mut x1 = bl.clone();
+            let mut x2 = bl.clone();
+            trsm_left_lower(&l, &mut x1, unit);
+            trsm_left_lower_naive(&l, &mut x2, unit);
+            assert_close(&x1, &x2, 1e-9);
+
+            let mut x1 = bl.clone();
+            let mut x2 = bl.clone();
+            trsm_left_lower_trans(&l, &mut x1, unit);
+            trsm_left_lower_trans_naive(&l, &mut x2, unit);
+            assert_close(&x1, &x2, 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_no_ops() {
+        // Zero-sized operands in every position.
+        let a = Mat::zeros(0, 5);
+        let b = Mat::zeros(5, 3);
+        let mut c = Mat::zeros(0, 3);
+        gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c);
+        let a = Mat::zeros(4, 0);
+        let b = Mat::zeros(0, 3);
+        let mut c = rand_mat(4, 3, 40);
+        let keep = c.clone();
+        gemm(1.0, &a, Transpose::No, &b, Transpose::No, 1.0, &mut c);
+        assert_close(&c, &keep, 0.0_f64.max(1e-300));
+        let l = Mat::zeros(0, 0);
+        let mut x = Mat::zeros(3, 0);
+        trsm_right_lower(&mut x, &l, true);
+        let mut x = Mat::zeros(0, 4);
+        trsm_left_lower(&lower_of(&rand_mat(0, 0, 1), true), &mut x, true);
     }
 }

@@ -18,7 +18,11 @@ pub mod ldlt;
 pub mod lu;
 pub mod mat;
 
-pub use kernels::{gemm, trsm_left_lower, trsm_right_lower, Transpose};
+pub use kernels::{
+    gemm, gemm_naive, trsm_left_lower, trsm_left_lower_naive, trsm_left_lower_trans,
+    trsm_left_lower_trans_naive, trsm_right_lower, trsm_right_lower_naive, trsm_right_lower_trans,
+    trsm_right_lower_trans_naive, Transpose,
+};
 pub use ldlt::{ldlt_factor, ldlt_invert, ldlt_solve};
 pub use lu::{lu_factor, lu_invert, lu_solve};
 pub use mat::Mat;

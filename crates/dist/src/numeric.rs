@@ -11,12 +11,12 @@
 //! the numerical correctness of the tree-routed communication.
 
 use crate::layout::Layout;
-use crate::plan::CommPlan;
+use crate::plan::{CommPlan, SupernodePlan};
 use pselinv_dense::kernels::trsm_right_lower;
 use pselinv_dense::{gemm, ldlt_invert, Mat, Transpose};
 use pselinv_factor::{LdlFactor, Panel};
 use pselinv_mpisim::collectives::{tree_bcast, tree_reduce};
-use pselinv_mpisim::{Grid2D, RankCtx, RankVolume};
+use pselinv_mpisim::{Grid2D, Payload, RankCtx, RankVolume};
 use pselinv_order::symbolic::SnBlock;
 use pselinv_order::SymbolicFactor;
 use pselinv_selinv::SelectedInverse;
@@ -31,11 +31,16 @@ pub struct DistOptions {
     pub scheme: pselinv_trees::TreeScheme,
     /// Global seed for the shifted/random schemes.
     pub seed: u64,
+    /// Worker threads for each rank's local GEMM step (`<= 1` computes
+    /// inline). Target blocks have independent accumulators, so they are
+    /// farmed out to scoped threads without changing the accumulation
+    /// order — results stay bit-identical to the single-threaded run.
+    pub threads: usize,
 }
 
 impl Default for DistOptions {
     fn default() -> Self {
-        Self { scheme: pselinv_trees::TreeScheme::ShiftedBinary, seed: 0x5e11 }
+        Self { scheme: pselinv_trees::TreeScheme::ShiftedBinary, seed: 0x5e11, threads: 1 }
     }
 }
 
@@ -71,12 +76,30 @@ fn find_block(sf: &SymbolicFactor, row_sn: usize, col_sn: usize) -> (usize, SnBl
     (sf.blocks_ptr[col_sn] + i, blocks[i])
 }
 
-fn flatten(m: &Mat) -> Vec<f64> {
-    m.data().to_vec()
+/// Packs a matrix into a sendable [`Payload`]. Shared-storage matrices
+/// hand out their existing buffer for free; owned ones pay one packing
+/// copy, charged to the rank's physical-copy counter.
+fn pack(ctx: &mut RankCtx, m: &Mat) -> Payload {
+    if !m.is_shared() {
+        ctx.account_copy((m.data().len() * 8) as u64);
+    }
+    Payload::from_arc(m.to_shared())
 }
 
-fn unflatten(nrows: usize, ncols: usize, data: &[f64]) -> Mat {
-    Mat::from_col_major(nrows, ncols, data)
+/// Wraps a received payload as a matrix without copying (copy-on-write:
+/// a later mutation detaches, so the sender's buffer is never scribbled).
+fn unpack(nrows: usize, ncols: usize, data: Payload) -> Mat {
+    Mat::from_shared(nrows, ncols, data.into_arc())
+}
+
+/// Moves an owned matrix into shared storage so every later send and
+/// same-rank transpose is a reference-count bump. The one packing copy is
+/// charged to the rank's physical-copy counter.
+fn share(ctx: &mut RankCtx, m: Mat) -> Mat {
+    if !m.is_shared() {
+        ctx.account_copy((m.data().len() * 8) as u64);
+    }
+    m.into_shared()
 }
 
 /// One rank's state during the distributed inversion.
@@ -172,10 +195,12 @@ pub fn distributed_selinv(
 ) -> (SelectedInverse, Vec<RankVolume>) {
     let layout = Layout::new(factor.symbolic.clone(), grid);
     let builder = TreeBuilder::new(opts.scheme, opts.seed);
-    let plan = CommPlan::new(layout.clone(), builder);
+    let plans = CommPlan::new(layout.clone(), builder).precompute_all();
 
     let (outputs, volumes): (Vec<RankOutput>, Vec<RankVolume>) =
-        pselinv_mpisim::run(grid.size(), |ctx| rank_main(ctx, factor, &layout, &plan));
+        pselinv_mpisim::run(grid.size(), |ctx| {
+            rank_main(ctx, factor, &layout, &plans, opts.threads)
+        });
 
     (assemble(factor, &layout, outputs), volumes)
 }
@@ -193,10 +218,10 @@ pub fn distributed_selinv_traced(
 ) -> (SelectedInverse, Vec<RankVolume>, Trace) {
     let layout = Layout::new(factor.symbolic.clone(), grid);
     let builder = TreeBuilder::new(opts.scheme, opts.seed);
-    let plan = CommPlan::new(layout.clone(), builder);
+    let plans = CommPlan::new(layout.clone(), builder).precompute_all();
 
     let (outputs, volumes, mut trace) = pselinv_mpisim::run_traced(grid.size(), label, |ctx| {
-        rank_main(ctx, factor, &layout, &plan)
+        rank_main(ctx, factor, &layout, &plans, opts.threads)
     });
     trace.set_meta("backend", "mpisim");
     trace.set_meta("grid", format!("{}x{}", grid.pr, grid.pc));
@@ -230,11 +255,67 @@ fn assemble(factor: &LdlFactor, layout: &Layout, outputs: Vec<RankOutput>) -> Se
     SelectedInverse { symbolic: sf, panels }
 }
 
+/// Step 1 of Algorithm 1 on one rank: for every target block `J` of
+/// supernode `k` whose GEMM participants include this rank, accumulate
+/// `−A⁻¹[RJ,RI]·L̂_{I,K}` over the ancestor blocks `I`. Each target block
+/// has its own accumulator and the per-target accumulation order is fixed
+/// (ascending `I`), so targets are distributed over `threads` scoped
+/// worker threads with bit-identical results to the inline path.
+fn local_gemms(
+    st: &RankState<'_>,
+    ucur: &HashMap<usize, Mat>,
+    blocks: &[SnBlock],
+    k: usize,
+    w: usize,
+    threads: usize,
+) -> HashMap<usize, Mat> {
+    let me = st.me;
+    let layout = st.layout;
+    // (target block index, participating ancestor block indices)
+    let mut tasks: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (bj_i, bj) in blocks.iter().enumerate() {
+        let prow_j = layout.grid.prow_of_block(bj.sn);
+        let mine: Vec<usize> = (0..blocks.len())
+            .filter(|&bi_i| {
+                layout.grid.rank_of(prow_j, layout.grid.pcol_of_block(blocks[bi_i].sn)) == me
+            })
+            .collect();
+        if !mine.is_empty() {
+            tasks.push((bj_i, mine));
+        }
+    }
+    let run_task = |task: &(usize, Vec<usize>)| -> (usize, Mat) {
+        let (bj_i, bi_list) = task;
+        let bj = &blocks[*bj_i];
+        let mut c = Mat::zeros(bj.nrows(), w);
+        for &bi_i in bi_list {
+            let s = st.gather_sub(k, bj, &blocks[bi_i]);
+            gemm(-1.0, &s, Transpose::No, &ucur[&bi_i], Transpose::No, 1.0, &mut c);
+        }
+        (*bj_i, c)
+    };
+    let computed: Vec<(usize, Mat)> = if threads <= 1 || tasks.len() <= 1 {
+        tasks.iter().map(run_task).collect()
+    } else {
+        let run_task = &run_task;
+        std::thread::scope(|scope| {
+            let per = tasks.len().div_ceil(threads);
+            let handles: Vec<_> = tasks
+                .chunks(per)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(run_task).collect::<Vec<_>>()))
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        })
+    };
+    computed.into_iter().collect()
+}
+
 fn rank_main(
     ctx: &mut RankCtx,
     factor: &LdlFactor,
     layout: &Layout,
-    plan: &CommPlan,
+    plans: &[SupernodePlan],
+    threads: usize,
 ) -> RankOutput {
     let sf = &*factor.symbolic;
     let me = ctx.rank();
@@ -252,7 +333,7 @@ fn rank_main(
 
     // ---- Phase 1 (ascending): normalize panels, L̂ = L_{R,K} L_{K,K}⁻¹. ----
     for k in 0..ns {
-        let sp = plan.supernode_plan(k);
+        let sp = &plans[k];
         let blocks = sf.blocks_of(k);
         let w = sf.width(k);
         let my_blocks: Vec<usize> =
@@ -267,12 +348,14 @@ fn rank_main(
         let diag = if layout.diag_owner(k) == me {
             let d = st.factor_diag(k);
             if !sp.diag_bcast.is_empty() {
-                tree_bcast(ctx, &sp.diag_bcast, tag(PHASE_DIAG_BCAST, k, 0), Some(flatten(&d)));
+                let p = pack(ctx, &d);
+                tree_bcast(ctx, &sp.diag_bcast, tag(PHASE_DIAG_BCAST, k, 0), Some(p));
             }
             Some(d)
         } else if in_bcast {
-            let data = tree_bcast(ctx, &sp.diag_bcast, tag(PHASE_DIAG_BCAST, k, 0), None);
-            Some(unflatten(w, w, &data))
+            let data =
+                tree_bcast(ctx, &sp.diag_bcast, tag(PHASE_DIAG_BCAST, k, 0), None::<Payload>);
+            Some(unpack(w, w, data))
         } else {
             None
         };
@@ -282,6 +365,9 @@ fn rank_main(
                 let b = blocks[bi];
                 let mut m = st.factor_block(k, bi, &b);
                 trsm_right_lower(&mut m, &d, true);
+                // Shared storage: the transpose send, the same-rank Û
+                // handle and the diag-reduce read all reuse this buffer.
+                let m = share(ctx, m);
                 st.lhat.insert(sf.blocks_ptr[k] + bi, m);
             }
         }
@@ -289,11 +375,13 @@ fn rank_main(
 
     // ---- Phase 2 (descending): Algorithm 1, steps 3–5. ----
     for k in (0..ns).rev() {
-        let sp = plan.supernode_plan(k);
+        let sp = &plans[k];
         let blocks = sf.blocks_of(k);
         let w = sf.width(k);
 
-        // Step a': transpose sends L̂_{I,K} → Û position (K, I).
+        // Step a': transpose sends L̂_{I,K} → Û position (K, I). The L̂
+        // blocks live in shared storage, so the same-rank case and every
+        // send are reference-count bumps on the phase-1 buffer.
         ctx.tracer().push_scope(CollKind::Transpose, k as u64);
         let mut ucur: HashMap<usize, Mat> = HashMap::new(); // key: bi
         for (bi, b) in blocks.iter().enumerate() {
@@ -304,43 +392,31 @@ fn rank_main(
                     ucur.insert(bi, st.lhat[&bid].clone());
                 }
             } else if me == src {
-                let data = flatten(&st.lhat[&bid]);
+                let data = pack(ctx, &st.lhat[&bid]);
                 ctx.send(dst, tag(PHASE_TRANSPOSE, k, bi), data);
             } else if me == dst {
                 let data = ctx.recv(src, tag(PHASE_TRANSPOSE, k, bi));
-                ucur.insert(bi, unflatten(b.nrows(), w, &data));
+                ucur.insert(bi, unpack(b.nrows(), w, data));
             }
         }
         ctx.tracer().pop_scope();
 
-        // Step a: Col-Bcast of Û_{K,I} within pc(I).
+        // Step a: Col-Bcast of Û_{K,I} within pc(I). The root re-shares
+        // the transpose buffer; receivers adopt the broadcast payload.
         ctx.tracer().push_scope(CollKind::ColBcast, k as u64);
         for (bi, b) in blocks.iter().enumerate() {
             let tree = &sp.col_bcasts[bi];
             if !tree.members().contains(&me) {
                 continue;
             }
-            let payload = if me == tree.root() { Some(flatten(&ucur[&bi])) } else { None };
+            let payload = if me == tree.root() { Some(pack(ctx, &ucur[&bi])) } else { None };
             let data = tree_bcast(ctx, tree, tag(PHASE_COL_BCAST, k, bi), payload);
-            ucur.entry(bi).or_insert_with(|| unflatten(b.nrows(), w, &data));
+            ucur.entry(bi).or_insert_with(|| unpack(b.nrows(), w, data));
         }
         ctx.tracer().pop_scope();
 
         // Step 1 (local GEMMs): contributions −A⁻¹[RJ,RI]·L̂_{I,K}.
-        let mut contrib: HashMap<usize, Mat> = HashMap::new(); // key: bj index
-        for (bj_i, bj) in blocks.iter().enumerate() {
-            let prow_j = layout.grid.prow_of_block(bj.sn);
-            for (bi_i, bi) in blocks.iter().enumerate() {
-                let pcol_i = layout.grid.pcol_of_block(bi.sn);
-                if layout.grid.rank_of(prow_j, pcol_i) != me {
-                    continue;
-                }
-                let s = st.gather_sub(k, bj, bi);
-                let y = &ucur[&bi_i];
-                let c = contrib.entry(bj_i).or_insert_with(|| Mat::zeros(bj.nrows(), w));
-                gemm(-1.0, &s, Transpose::No, y, Transpose::No, 1.0, c);
-            }
-        }
+        let mut contrib = local_gemms(&st, &ucur, blocks, k, w, threads);
 
         // Step b: Row-Reduce each target block onto the owner of A⁻¹_{J,K}.
         ctx.tracer().push_scope(CollKind::RowReduce, k as u64);
@@ -350,9 +426,10 @@ fn rank_main(
                 continue;
             }
             let local = contrib.remove(&bj_i).unwrap_or_else(|| Mat::zeros(bj.nrows(), w));
-            let total = tree_reduce(ctx, tree, tag(PHASE_ROW_REDUCE, k, bj_i), flatten(&local));
+            let total = tree_reduce(ctx, tree, tag(PHASE_ROW_REDUCE, k, bj_i), local.into_vec());
             if let Some(t) = total {
-                st.ainv_lower.insert(sf.blocks_ptr[k] + bj_i, unflatten(bj.nrows(), w, &t));
+                let m = share(ctx, Mat::from_vec(bj.nrows(), w, t));
+                st.ainv_lower.insert(sf.blocks_ptr[k] + bj_i, m);
             }
         }
         ctx.tracer().pop_scope();
@@ -380,15 +457,15 @@ fn rank_main(
                 );
             }
             let total = if sp.diag_reduce.is_empty() {
-                Some(flatten(&dcon))
+                Some(dcon.into_vec())
             } else if in_dreduce {
-                tree_reduce(ctx, &sp.diag_reduce, tag(PHASE_DIAG_REDUCE, k, 0), flatten(&dcon))
+                tree_reduce(ctx, &sp.diag_reduce, tag(PHASE_DIAG_REDUCE, k, 0), dcon.into_vec())
             } else {
                 None
             };
             if is_diag_owner {
                 let mut diag = ldlt_invert(&st.factor_diag(k));
-                let t = unflatten(w, w, &total.expect("diag owner must receive the reduction"));
+                let t = Mat::from_vec(w, w, total.expect("diag owner must receive the reduction"));
                 diag.axpy(-1.0, &t);
                 // symmetrize
                 for jl in 0..w {
@@ -403,7 +480,9 @@ fn rank_main(
         }
         ctx.tracer().pop_scope();
 
-        // Step 3': A⁻¹ transposes for the upper storage.
+        // Step 3': A⁻¹ transposes for the upper storage. Like step a',
+        // the blocks are shared, so the same-rank clone and the sends all
+        // alias the Row-Reduce result buffer.
         ctx.tracer().push_scope(CollKind::AinvTranspose, k as u64);
         for (bj_i, bj) in blocks.iter().enumerate() {
             let (src, dst) = sp.ainv_transposes[bj_i];
@@ -414,10 +493,11 @@ fn rank_main(
                     st.ainv_upper.insert(bid, m);
                 }
             } else if me == src {
-                ctx.send(dst, tag(PHASE_AINV_TRANS, k, bj_i), flatten(&st.ainv_lower[&bid]));
+                let data = pack(ctx, &st.ainv_lower[&bid]);
+                ctx.send(dst, tag(PHASE_AINV_TRANS, k, bj_i), data);
             } else if me == dst {
                 let data = ctx.recv(src, tag(PHASE_AINV_TRANS, k, bj_i));
-                st.ainv_upper.insert(bid, unflatten(bj.nrows(), w, &data));
+                st.ainv_upper.insert(bid, unpack(bj.nrows(), w, data));
             }
         }
         ctx.tracer().pop_scope();
@@ -443,7 +523,7 @@ mod tests {
         let sf = Arc::new(analyze(&a.pattern(), &AnalyzeOptions::default()));
         let f = pselinv_factor::factorize(a, sf.clone()).unwrap();
         let seq = selinv_ldlt(&f);
-        let (dist, _) = distributed_selinv(&f, grid, &DistOptions { scheme, seed: 7 });
+        let (dist, _) = distributed_selinv(&f, grid, &DistOptions { scheme, seed: 7, threads: 1 });
         for s in 0..sf.num_supernodes() {
             let d = (&seq.panels[s].diag, &dist.panels[s].diag);
             for j in 0..sf.width(s) {
@@ -512,6 +592,41 @@ mod tests {
     }
 
     #[test]
+    fn multithreaded_local_gemms_are_bit_identical_to_inline() {
+        // The threads knob only parallelizes independent per-target
+        // accumulators; results and communication volumes must match the
+        // inline path exactly, not just within tolerance.
+        let w = gen::grid_laplacian_2d(9, 9);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let f = pselinv_factor::factorize(&w.matrix, sf.clone()).unwrap();
+        let grid = Grid2D::new(2, 2);
+        let mk = |threads| DistOptions { scheme: TreeScheme::ShiftedBinary, seed: 7, threads };
+        let (base, vol1) = distributed_selinv(&f, grid, &mk(1));
+        for threads in [2, 4] {
+            let (par, voln) = distributed_selinv(&f, grid, &mk(threads));
+            assert_eq!(vol1, voln, "threads={threads}");
+            for s in 0..sf.num_supernodes() {
+                for j in 0..sf.width(s) {
+                    for i in 0..sf.width(s) {
+                        assert_eq!(
+                            base.panels[s].diag[(i, j)].to_bits(),
+                            par.panels[s].diag[(i, j)].to_bits(),
+                            "diag {s} ({i},{j}) threads={threads}"
+                        );
+                    }
+                    for i in 0..sf.rows_of(s).len() {
+                        assert_eq!(
+                            base.panels[s].below[(i, j)].to_bits(),
+                            par.panels[s].below[(i, j)].to_bits(),
+                            "below {s} ({i},{j}) threads={threads}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn runtime_volumes_match_structural_replay() {
         // The mpisim byte counters of the numeric run must agree exactly
         // with the structure-only replay used for the paper tables.
@@ -519,7 +634,7 @@ mod tests {
         let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
         let f = pselinv_factor::factorize(&w.matrix, sf.clone()).unwrap();
         let grid = Grid2D::new(3, 3);
-        let opts = DistOptions { scheme: TreeScheme::ShiftedBinary, seed: 7 };
+        let opts = DistOptions { scheme: TreeScheme::ShiftedBinary, seed: 7, threads: 1 };
         let (_, volumes) = distributed_selinv(&f, grid, &opts);
         let layout = Layout::new(sf, grid);
         let rep = crate::volume::replay_volumes(&layout, TreeBuilder::new(opts.scheme, opts.seed));
@@ -575,7 +690,7 @@ mod tests {
         let f = pselinv_factor::factorize(&w.matrix, sf.clone()).unwrap();
         let grid = Grid2D::new(3, 3);
         for scheme in [TreeScheme::Flat, TreeScheme::ShiftedBinary] {
-            let opts = DistOptions { scheme, seed: 7 };
+            let opts = DistOptions { scheme, seed: 7, threads: 1 };
             let (_, _, trace) = distributed_selinv_traced(&f, grid, &opts, "unit");
             let layout = Layout::new(sf.clone(), grid);
             let rep =

@@ -78,6 +78,15 @@ impl CommPlan {
         kind.key_base() | ((k as u64) << 24) | block_in_k as u64
     }
 
+    /// Builds the plans of every supernode once, for shared read-only use
+    /// by all rank threads. Without this, each rank rebuilds every tree of
+    /// every supernode in both traversal phases — `O(ranks × supernodes)`
+    /// redundant tree constructions per run.
+    pub fn precompute_all(&self) -> std::sync::Arc<Vec<SupernodePlan>> {
+        let ns = self.layout.symbolic.num_supernodes();
+        std::sync::Arc::new((0..ns).map(|k| self.supernode_plan(k)).collect())
+    }
+
     /// Builds the full communication plan of supernode `k`.
     pub fn supernode_plan(&self, k: usize) -> SupernodePlan {
         let sf = &*self.layout.symbolic;
@@ -248,6 +257,23 @@ mod tests {
             assert_eq!(a.col_bcasts, b.col_bcasts);
             assert_eq!(a.row_reduces, b.row_reduces);
             assert_eq!(a.transposes, b.transposes);
+        }
+    }
+
+    #[test]
+    fn precomputed_plans_match_on_demand_construction() {
+        let plan = make_plan(3, 4, TreeScheme::ShiftedBinary);
+        let all = plan.precompute_all();
+        assert_eq!(all.len(), plan.layout.symbolic.num_supernodes());
+        for (k, sp) in all.iter().enumerate() {
+            let fresh = plan.supernode_plan(k);
+            assert_eq!(sp.k, fresh.k);
+            assert_eq!(sp.diag_bcast, fresh.diag_bcast);
+            assert_eq!(sp.col_bcasts, fresh.col_bcasts);
+            assert_eq!(sp.row_reduces, fresh.row_reduces);
+            assert_eq!(sp.diag_reduce, fresh.diag_reduce);
+            assert_eq!(sp.transposes, fresh.transposes);
+            assert_eq!(sp.ainv_transposes, fresh.ainv_transposes);
         }
     }
 

@@ -1,0 +1,51 @@
+//! Property: zero-copy payload sharing is observationally safe. A rank
+//! that wraps a broadcast payload in a [`Mat`] without copying and then
+//! mutates it detaches (copy-on-write) — the write never lands in the
+//! buffer the root and the other receivers still hold.
+
+use proptest::prelude::*;
+use pselinv_dense::Mat;
+use pselinv_mpisim::collectives::tree_bcast;
+use pselinv_mpisim::run;
+use pselinv_trees::{TreeBuilder, TreeScheme};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn receiver_mutation_never_aliases_the_shared_broadcast_buffer(
+        seed in 0u64..1_000_000,
+        nranks in 3usize..9,
+        nrows in 1usize..7,
+        ncols in 1usize..7,
+        scheme_i in 0usize..4,
+    ) {
+        let scheme = [
+            TreeScheme::Flat,
+            TreeScheme::Binary,
+            TreeScheme::ShiftedBinary,
+            TreeScheme::RandomPerm,
+        ][scheme_i];
+        let receivers: Vec<usize> = (1..nranks).collect();
+        let tree = TreeBuilder::new(scheme, 0xa11a5).build(0, &receivers, seed);
+        let tree = &tree;
+        let original: Vec<f64> = (0..nrows * ncols).map(|i| seed as f64 + i as f64).collect();
+        let original = &original;
+        let (results, _) = run(nranks, move |ctx| {
+            let me = ctx.rank();
+            let data = tree_bcast(ctx, tree, 1, (me == 0).then(|| original.clone()));
+            // Wrap the shared payload without copying, then mutate: the
+            // write must land in a detached buffer, not in the payload the
+            // other ranks are still forwarding and reading.
+            let mut m = Mat::from_shared(nrows, ncols, data.as_arc().clone());
+            let was_shared = m.is_shared();
+            m[(0, 0)] += 1.0 + me as f64;
+            (data, was_shared, m.is_shared(), m[(0, 0)])
+        });
+        for (r, (data, was_shared, shared_after, mutated)) in results.into_iter().enumerate() {
+            prop_assert!(was_shared, "rank {r}: wrapping a payload must not copy");
+            prop_assert!(!shared_after, "rank {r}: mutation must detach the buffer");
+            prop_assert_eq!(&data.to_vec(), original, "rank {r}: shared payload was scribbled");
+            prop_assert_eq!(mutated, original[0] + 1.0 + r as f64, "rank {r}");
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! communicator creation, no synchronization) and exchanges point-to-point
 //! messages along its edges.
 
+use crate::payload::{IntoPayload, Payload};
 use crate::runtime::RankCtx;
 use pselinv_trace::CollKind;
 use pselinv_trees::CollectiveTree;
@@ -26,16 +27,25 @@ fn trace_enter(ctx: &mut RankCtx, kind: CollKind, tag: u64, tree: &CollectiveTre
 ///
 /// The root passes `Some(data)`, everyone else `None`; all participants
 /// return the payload. Non-participants must not call this.
-pub fn tree_bcast(
+///
+/// Zero-copy forwarding: the root packs its buffer into a shared
+/// [`Payload`] once (that one copy is counted), and every hop — root to
+/// children, interior ranks onward — sends `Arc` clones of the same
+/// buffer. The broadcast's physical copy cost is O(1) payloads regardless
+/// of tree shape or rank count.
+pub fn tree_bcast<P: IntoPayload>(
     ctx: &mut RankCtx,
     tree: &CollectiveTree,
     tag: u64,
-    data: Option<Vec<f64>>,
-) -> Vec<f64> {
+    data: Option<P>,
+) -> Payload {
     let me = ctx.rank();
     let pushed = trace_enter(ctx, CollKind::Bcast, tag, tree);
     let payload = if me == tree.root() {
-        data.expect("root must provide the broadcast payload")
+        let (payload, copied) =
+            data.expect("root must provide the broadcast payload").into_payload();
+        ctx.account_copy(copied);
+        payload
     } else {
         let parent = tree
             .parent_of(me)
@@ -53,6 +63,10 @@ pub fn tree_bcast(
 
 /// Reduces (element-wise sum) every participant's `local` contribution onto
 /// the tree's root. Returns `Some(total)` at the root, `None` elsewhere.
+///
+/// A reduction genuinely mutates at every interior node (the element-wise
+/// sum), so — unlike [`tree_bcast`] — each hop sends a freshly written
+/// buffer; leaves with no children forward their contribution unmodified.
 pub fn tree_reduce(
     ctx: &mut RankCtx,
     tree: &CollectiveTree,
@@ -65,7 +79,7 @@ pub fn tree_reduce(
     for child in tree.children_of(me) {
         let contrib = ctx.recv_seq(child, tag);
         assert_eq!(contrib.len(), acc.len(), "reduction contributions must have equal length");
-        for (a, c) in acc.iter_mut().zip(&contrib) {
+        for (a, c) in acc.iter_mut().zip(contrib.iter()) {
             *a += c;
         }
     }
@@ -110,9 +124,9 @@ mod tests {
                 if me == 5 {
                     tree_bcast(ctx, &tree, 9, Some(vec![3.25, -1.5]))
                 } else if receivers.contains(&me) {
-                    tree_bcast(ctx, &tree, 9, None)
+                    tree_bcast(ctx, &tree, 9, None::<Vec<f64>>)
                 } else {
-                    vec![]
+                    Payload::empty()
                 }
             });
             for &r in &receivers {
@@ -215,6 +229,28 @@ mod tests {
         };
         assert_eq!(by_depth.iter().sum::<u64>(), expected.iter().sum::<u64>());
         assert!(by_depth.len() <= tree.depth() + 1);
+    }
+
+    #[test]
+    fn bcast_copies_one_payload_regardless_of_fanout() {
+        // The zero-copy invariant: however many edges the tree has, the
+        // whole broadcast physically copies exactly one payload (the
+        // root's initial packing); every forward is an Arc clone.
+        for scheme in schemes() {
+            let nranks = 16usize;
+            let builder = TreeBuilder::new(scheme, 5);
+            let receivers: Vec<usize> = (1..nranks).collect();
+            let tree = builder.build(0, &receivers, 9);
+            let payload = 128usize;
+            let (_, volumes) = run(nranks, |ctx| {
+                tree_bcast(ctx, &tree, 0, (ctx.rank() == 0).then(|| vec![1.0; payload]));
+            });
+            let total_copied: u64 = volumes.iter().map(|v| v.copied).sum();
+            assert_eq!(total_copied, (payload * 8) as u64, "{scheme}");
+            // Logical volume is still the full per-edge traffic.
+            let total_sent: u64 = volumes.iter().map(|v| v.sent).sum();
+            assert_eq!(total_sent, ((nranks - 1) * payload * 8) as u64, "{scheme}");
+        }
     }
 
     #[test]

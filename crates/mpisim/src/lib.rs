@@ -20,10 +20,12 @@
 
 pub mod collectives;
 pub mod grid;
+pub mod payload;
 pub mod requests;
 pub mod runtime;
 
 pub use grid::Grid2D;
+pub use payload::{IntoPayload, Payload};
 pub use requests::{tree_barrier, wait_any, RecvRequest};
 pub use runtime::{
     run, run_traced, try_run, try_run_traced, BlockedOn, Message, RankCtx, RankVolume, RecvTimeout,

@@ -1,0 +1,179 @@
+//! Zero-copy message payloads.
+//!
+//! Every PSelInv message body is a dense `f64` block. A [`Payload`] wraps
+//! it in an `Arc<[f64]>`, so forwarding a message along a collective tree
+//! (or duplicating / holding it back under fault injection) clones a
+//! pointer, never the buffer. The [`IntoPayload`] conversion reports how
+//! many bytes each producer actually copied, which is what feeds the
+//! runtime's bytes-copied counter: a broadcast that packs its buffer once
+//! at the root and forwards by reference shows one payload's worth of
+//! copies regardless of tree size.
+//!
+//! Ownership rule: a payload is immutable. A receiver that wants to mutate
+//! the data must copy out first (`to_vec`), or wrap the buffer in a
+//! copy-on-write `Mat` (`pselinv_dense::Mat::from_shared`) whose first
+//! write detaches it — either way no mutation can alias a buffer another
+//! rank still holds.
+
+use std::sync::Arc;
+
+/// An immutable, reference-counted message payload. Cloning is O(1) and
+/// shares the buffer.
+#[derive(Clone, Debug)]
+pub struct Payload(Arc<[f64]>);
+
+impl Payload {
+    /// An empty payload (no allocation beyond the `Arc` header).
+    pub fn empty() -> Self {
+        Self(Arc::from(Vec::new()))
+    }
+
+    /// Wraps an already-shared buffer; never copies.
+    pub fn from_arc(data: Arc<[f64]>) -> Self {
+        Self(data)
+    }
+
+    /// The underlying shared buffer; never copies.
+    pub fn into_arc(self) -> Arc<[f64]> {
+        self.0
+    }
+
+    /// A reference to the underlying shared buffer.
+    pub fn as_arc(&self) -> &Arc<[f64]> {
+        &self.0
+    }
+
+    /// Copies the contents into a fresh `Vec` (an explicit, visible copy).
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.0.to_vec()
+    }
+
+    /// Payload size in bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.0.len() * std::mem::size_of::<f64>()) as u64
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        &self.0
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        self.0[..] == other.0[..]
+    }
+}
+
+impl PartialEq<Vec<f64>> for Payload {
+    fn eq(&self, other: &Vec<f64>) -> bool {
+        self.0[..] == other[..]
+    }
+}
+
+impl PartialEq<[f64]> for Payload {
+    fn eq(&self, other: &[f64]) -> bool {
+        self.0[..] == *other
+    }
+}
+
+impl PartialEq<Payload> for Vec<f64> {
+    fn eq(&self, other: &Payload) -> bool {
+        self[..] == other.0[..]
+    }
+}
+
+impl From<Vec<f64>> for Payload {
+    fn from(v: Vec<f64>) -> Self {
+        Self(Arc::from(v))
+    }
+}
+
+impl From<Arc<[f64]>> for Payload {
+    fn from(a: Arc<[f64]>) -> Self {
+        Self(a)
+    }
+}
+
+impl From<&[f64]> for Payload {
+    fn from(s: &[f64]) -> Self {
+        Self(Arc::from(s))
+    }
+}
+
+/// Conversion into a [`Payload`] that accounts for the bytes it copied.
+///
+/// Implementors return `(payload, bytes_copied)`: zero for producers that
+/// hand over an already-shared buffer ([`Payload`], `Arc<[f64]>`), the full
+/// buffer size for producers that must materialize one (`Vec<f64>`,
+/// `&[f64]`). [`RankCtx::send`](crate::RankCtx::send) feeds the copied
+/// count straight into [`RankVolume::copied`](crate::RankVolume::copied).
+pub trait IntoPayload {
+    /// Converts `self`, reporting how many bytes the conversion copied.
+    fn into_payload(self) -> (Payload, u64);
+}
+
+impl IntoPayload for Payload {
+    fn into_payload(self) -> (Payload, u64) {
+        (self, 0)
+    }
+}
+
+impl IntoPayload for Arc<[f64]> {
+    fn into_payload(self) -> (Payload, u64) {
+        (Payload(self), 0)
+    }
+}
+
+impl IntoPayload for Vec<f64> {
+    fn into_payload(self) -> (Payload, u64) {
+        // `Arc::from(Vec)` moves the elements into a fresh allocation that
+        // carries the refcount header: one full-buffer copy.
+        let bytes = (self.len() * std::mem::size_of::<f64>()) as u64;
+        (Payload(Arc::from(self)), bytes)
+    }
+}
+
+impl IntoPayload for &[f64] {
+    fn into_payload(self) -> (Payload, u64) {
+        let bytes = std::mem::size_of_val(self) as u64;
+        (Payload(Arc::from(self)), bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_conversion_counts_one_copy() {
+        let (p, copied) = vec![1.0, 2.0, 3.0].into_payload();
+        assert_eq!(copied, 24);
+        assert_eq!(p.bytes(), 24);
+        assert_eq!(p, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn shared_conversions_are_free() {
+        let (p, copied) = vec![4.0; 8].into_payload();
+        assert_eq!(copied, 64);
+        let (q, forwarded) = p.clone().into_payload();
+        assert_eq!(forwarded, 0);
+        assert!(Arc::ptr_eq(p.as_arc(), q.as_arc()));
+        let (r, from_arc) = p.clone().into_arc().into_payload();
+        assert_eq!(from_arc, 0);
+        assert_eq!(r, q);
+    }
+
+    #[test]
+    fn deref_and_eq_match_slice_semantics() {
+        let p = Payload::from(vec![1.0, 2.0]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[1], 2.0);
+        assert_eq!(p.iter().sum::<f64>(), 3.0);
+        assert_eq!(p, *[1.0, 2.0].as_slice());
+        assert!(Payload::empty().is_empty());
+    }
+}

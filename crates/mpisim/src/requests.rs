@@ -5,6 +5,7 @@
 //! the receive side PSelInv-style engines poll on: post a set of expected
 //! receives, then make progress on whichever arrives first.
 
+use crate::payload::Payload;
 use crate::runtime::{Message, RankCtx};
 
 /// A posted receive: matches one message by `(source, tag)`.
@@ -20,7 +21,7 @@ pub struct RecvRequest {
 #[derive(Clone, Debug, PartialEq)]
 enum State {
     Pending,
-    Done(Vec<f64>),
+    Done(Payload),
 }
 
 impl RecvRequest {
@@ -48,7 +49,7 @@ impl RecvRequest {
     }
 
     /// Blocks until the message arrives (≈ `MPI_Wait`) and returns it.
-    pub fn wait(self, ctx: &mut RankCtx) -> Vec<f64> {
+    pub fn wait(self, ctx: &mut RankCtx) -> Payload {
         match self.state {
             State::Done(d) => d,
             State::Pending => ctx.recv(self.src, self.tag),
@@ -56,7 +57,7 @@ impl RecvRequest {
     }
 
     /// Takes the payload if complete.
-    pub fn take(self) -> Option<Vec<f64>> {
+    pub fn take(self) -> Option<Payload> {
         match self.state {
             State::Done(d) => Some(d),
             State::Pending => None,

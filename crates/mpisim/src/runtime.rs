@@ -17,6 +17,7 @@
 //!   [`RankCtx::recv_seq`]) mask duplicated and reordered deliveries, so
 //!   any crash-free schedule yields bit-identical results.
 
+use crate::payload::{IntoPayload, Payload};
 use pselinv_chaos::FaultPlan;
 use pselinv_trace::{FaultKind, RankTrace, RankTracer, Trace};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -30,8 +31,11 @@ use std::time::{Duration, Instant};
 /// per-`(src, tag)` non-overtaking.
 pub const NO_SEQ: u64 = u64::MAX;
 
-/// A tagged message between ranks. Payloads are `f64` slices because every
-/// PSelInv message is a dense block (plus small headers encoded in the tag).
+/// A tagged message between ranks. Payloads are shared `f64` buffers
+/// ([`Payload`]) because every PSelInv message is a dense block (plus small
+/// headers encoded in the tag): cloning a message — for an injected
+/// duplicate, a reorder hold-back, or a tree forward — shares the buffer
+/// instead of copying it.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Message {
     /// Sending rank.
@@ -47,8 +51,8 @@ pub struct Message {
     /// payload: excluded from [`Message::bytes`], so volume accounting is
     /// identical with and without masking.
     pub seq: u64,
-    /// Payload.
-    pub data: Vec<f64>,
+    /// Payload (shared; cloning the message never copies the buffer).
+    pub data: Payload,
 }
 
 impl Message {
@@ -69,6 +73,11 @@ pub struct RankVolume {
     pub msgs_sent: u64,
     /// Messages received.
     pub msgs_received: u64,
+    /// Payload bytes physically copied on this rank to produce sent
+    /// messages ([`IntoPayload`] accounting). A rank that forwards shared
+    /// payloads — every interior hop of a tree broadcast — adds nothing
+    /// here; `sent`/`received` still count the full logical volume.
+    pub copied: u64,
 }
 
 /// What a rank is currently blocked on (for the watchdog's wait-for graph).
@@ -386,9 +395,13 @@ impl RankCtx {
     /// Counts one send/receive operation against the chaos stall/crash
     /// triggers of this rank.
     fn chaos_op(&mut self) {
-        let Some(plan) = self.plan.clone() else { return };
+        // Copy the (small) spec out instead of cloning the whole plan Arc
+        // on every operation: this runs on the per-message hot path.
+        let spec = match self.plan.as_deref() {
+            Some(plan) => *plan.spec(self.rank),
+            None => return,
+        };
         self.ops += 1;
-        let spec = *plan.spec(self.rank);
         if let Some(at) = spec.crash_after_ops {
             if self.ops > at {
                 self.tracer.fault(FaultKind::Crashed, self.rank, 0);
@@ -436,25 +449,35 @@ impl RankCtx {
     /// which the masked receive path can repair (plain sends keep exactly
     /// MPI's ordering guarantee, faults or not).
     fn deliver(&mut self, dst: usize, msg: Message) {
-        let Some(plan) = self.plan.clone() else {
-            return self.push_raw(dst, msg);
+        // Draw every fault decision up front from a borrowed plan — no
+        // per-message Arc clone on the delivery hot path.
+        let (delay, slow, dup, reord) = match self.plan.as_deref() {
+            None => return self.push_raw(dst, msg),
+            Some(plan) => {
+                let cseq = self.msg_seq[dst];
+                self.msg_seq[dst] += 1;
+                (
+                    plan.delay_us(self.rank, dst, cseq),
+                    plan.slowdown(self.rank).max(0.0),
+                    plan.duplicates(self.rank, dst, cseq),
+                    plan.reorders(self.rank, dst, cseq),
+                )
+            }
         };
-        let cseq = self.msg_seq[dst];
-        self.msg_seq[dst] += 1;
-        let delay = plan.delay_us(self.rank, dst, cseq);
         if delay > 0 {
             self.tracer.fault(FaultKind::Delayed, dst, msg.tag);
-            let slow = plan.slowdown(self.rank).max(0.0);
             std::thread::sleep(Duration::from_micros((delay as f64 * slow) as u64));
         }
         let masked = msg.seq != NO_SEQ;
-        if masked && plan.duplicates(self.rank, dst, cseq) {
+        if masked && dup {
             self.tracer.fault(FaultKind::Duplicated, dst, msg.tag);
+            // The clone shares the payload buffer: a duplicate costs a
+            // header, not a block copy.
             self.push_raw(dst, msg.clone());
             self.push_raw(dst, msg);
             return;
         }
-        if masked && plan.reorders(self.rank, dst, cseq) {
+        if masked && reord {
             self.tracer.fault(FaultKind::Reordered, dst, msg.tag);
             if let Some(prev) = self.held[dst].replace(msg) {
                 self.push_raw(dst, prev);
@@ -479,7 +502,17 @@ impl RankCtx {
         }
     }
 
-    fn send_inner(&mut self, dst: usize, tag: u64, seq: u64, data: Vec<f64>) {
+    /// Charges `bytes` of physical payload copying to this rank's
+    /// counters. Called by the [`IntoPayload`] conversions on send and by
+    /// collectives that materialize a buffer outside a send.
+    pub fn account_copy(&mut self, bytes: u64) {
+        if bytes > 0 {
+            self.volume.copied += bytes;
+            self.tracer.copy_bytes(bytes);
+        }
+    }
+
+    fn send_inner(&mut self, dst: usize, tag: u64, seq: u64, data: Payload) {
         self.chaos_op();
         assert!(dst < self.size, "destination {dst} out of range");
         assert_ne!(dst, self.rank, "self-sends are not modeled (use local data)");
@@ -492,19 +525,25 @@ impl RankCtx {
     }
 
     /// Buffered non-blocking send (≈ `MPI_Isend` whose buffer is owned by
-    /// the runtime — the call returns immediately).
-    pub fn send(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
-        self.send_inner(dst, tag, NO_SEQ, data);
+    /// the runtime — the call returns immediately). Accepts anything
+    /// [`IntoPayload`]: a `Vec<f64>` is packed into a shared buffer (one
+    /// counted copy), a [`Payload`] is forwarded as-is (zero copies).
+    pub fn send<P: IntoPayload>(&mut self, dst: usize, tag: u64, data: P) {
+        let (payload, copied) = data.into_payload();
+        self.account_copy(copied);
+        self.send_inner(dst, tag, NO_SEQ, payload);
     }
 
     /// Like [`RankCtx::send`], but stamps a per-`(dst, tag)` sequence
     /// number so the matching [`RankCtx::recv_seq`] can suppress duplicated
     /// and reorder-displaced deliveries. The collectives use this pair.
-    pub fn send_seq(&mut self, dst: usize, tag: u64, data: Vec<f64>) {
+    pub fn send_seq<P: IntoPayload>(&mut self, dst: usize, tag: u64, data: P) {
+        let (payload, copied) = data.into_payload();
+        self.account_copy(copied);
         let c = self.seq_tx.entry((dst, tag)).or_insert(0);
         let seq = *c;
         *c += 1;
-        self.send_inner(dst, tag, seq, data);
+        self.send_inner(dst, tag, seq, payload);
     }
 
     /// Blocking receive with a deadline: the core primitive under every
@@ -564,7 +603,10 @@ impl RankCtx {
     /// into late-sender wait vs transfer time against the matching
     /// message's send timestamp (a stash hit never blocked, so records
     /// neither).
-    pub fn recv(&mut self, src: usize, tag: u64) -> Vec<f64> {
+    ///
+    /// Returns the shared payload: reading it is zero-copy, and forwarding
+    /// it into another [`RankCtx::send`] shares the buffer.
+    pub fn recv(&mut self, src: usize, tag: u64) -> Payload {
         loop {
             if let Ok(m) = self.recv_msg_timeout(src, tag, FOREVER) {
                 return m.data;
@@ -579,7 +621,7 @@ impl RankCtx {
         src: usize,
         tag: u64,
         dur: Duration,
-    ) -> Result<Vec<f64>, RecvTimeout> {
+    ) -> Result<Payload, RecvTimeout> {
         self.recv_msg_timeout(src, tag, dur).map(|m| m.data)
     }
 
@@ -589,7 +631,7 @@ impl RankCtx {
     /// reversed) and buffering early arrivals. The sequence counters
     /// persist across collective calls on the same edge, which is what
     /// makes repeated collectives on a reused tag safe under duplication.
-    pub fn recv_seq(&mut self, src: usize, tag: u64) -> Vec<f64> {
+    pub fn recv_seq(&mut self, src: usize, tag: u64) -> Payload {
         let c = self.seq_rx.entry((src, tag)).or_insert(0);
         let want = *c;
         *c += 1;
@@ -668,7 +710,7 @@ impl RankCtx {
     /// Non-blocking match of `(src, tag)`: drains any queued arrivals into
     /// the stash and returns the payload if a matching message is present
     /// (≈ `MPI_Iprobe` + receive). Used by the request API.
-    pub fn try_match(&mut self, src: usize, tag: u64) -> Option<Vec<f64>> {
+    pub fn try_match(&mut self, src: usize, tag: u64) -> Option<Payload> {
         self.check_abort();
         self.flush_held();
         let mut drained = false;
@@ -1030,7 +1072,7 @@ mod tests {
         let (results, volumes) = run(2, |ctx| {
             if ctx.rank() == 0 {
                 ctx.send(1, 7, vec![1.0, 2.0, 3.0]);
-                ctx.recv(1, 8)
+                ctx.recv(1, 8).to_vec()
             } else {
                 let d = ctx.recv(0, 7);
                 let doubled: Vec<f64> = d.iter().map(|x| x * 2.0).collect();
@@ -1336,7 +1378,7 @@ mod tests {
                 assert!(err.waited >= Duration::from_millis(60));
                 // Tell rank 1 we are done probing, then take its message.
                 ctx.send(1, 1, vec![0.0]);
-                ctx.recv_timeout(1, 2, Duration::from_secs(10)).expect("sent: must match")
+                ctx.recv_timeout(1, 2, Duration::from_secs(10)).expect("sent: must match").to_vec()
             } else {
                 let _ = ctx.recv(0, 1);
                 ctx.send(0, 2, vec![5.0]);

@@ -209,7 +209,7 @@ fn chaos_schedule_is_reproducible() {
     let tree = &tree;
     let body = move |ctx: &mut RankCtx| {
         let b = tree_bcast(ctx, tree, 5, (ctx.rank() == 0).then(|| vec![2.5; 8]));
-        tree_reduce(ctx, tree, 6, b)
+        tree_reduce(ctx, tree, 6, b.to_vec())
     };
     let (r1, v1) = try_run(6, &chaos_opts(mk_plan()), body).unwrap();
     let (r2, v2) = try_run(6, &chaos_opts(mk_plan()), body).unwrap();

@@ -42,6 +42,11 @@ pub struct RankMetrics {
     pub msg_size_log2: [u64; 33],
     /// High-water mark of the out-of-order stash.
     pub stash_hwm: usize,
+    /// Payload bytes physically copied on this rank (packing a buffer for
+    /// a send). Forwarded shared payloads add nothing here, so this is the
+    /// data-movement cost the zero-copy paths avoid — distinct from the
+    /// logical `bytes_sent`/`bytes_recv` volumes, which are unaffected.
+    pub bytes_copied: u64,
 }
 
 impl Default for RankMetrics {
@@ -52,6 +57,7 @@ impl Default for RankMetrics {
             depth_sent_msgs: Vec::new(),
             msg_size_log2: [0; 33],
             stash_hwm: 0,
+            bytes_copied: 0,
         }
     }
 }
@@ -119,6 +125,11 @@ impl RankMetrics {
     /// Updates the stash high-water mark.
     pub fn on_stash_depth(&mut self, depth: usize) {
         self.stash_hwm = self.stash_hwm.max(depth);
+    }
+
+    /// Records `bytes` of physical payload copying.
+    pub fn on_copy(&mut self, bytes: u64) {
+        self.bytes_copied += bytes;
     }
 
     /// Total bytes sent across all kinds.

@@ -244,6 +244,14 @@ impl RankTracer {
         }
     }
 
+    /// Records `bytes` of physical payload copying (metrics only, no
+    /// event: copies are frequent and carry no timing information).
+    pub fn copy_bytes(&mut self, bytes: u64) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            inner.metrics.on_copy(bytes);
+        }
+    }
+
     /// Reports the current out-of-order stash depth. Updates the high-water
     /// mark; emits a counter event only when the depth changed.
     pub fn stash_depth(&mut self, depth: usize) {
