@@ -35,7 +35,7 @@ fn main() {
         eprintln!(
             "usage: figures [--out DIR] [--seeds N] [--grid D] \
              {{all|table1|table2|fig4|fig5|fig6|fig7|fig8a|fig8b|fig9|trace\
-             |hotspots|critpath|bench-smoke|perf|faults\
+             |hotspots|critpath|bench-smoke|perf|faults|async\
              |ablation-nic|ablation-shift|ablation-arity}}+"
         );
         std::process::exit(2);
@@ -57,6 +57,7 @@ fn main() {
             "bench-smoke",
             "perf",
             "faults",
+            "async",
             "ablation-nic",
             "ablation-shift",
             "ablation-arity",
@@ -85,6 +86,7 @@ fn main() {
             "bench-smoke" => experiments::bench_smoke(&out),
             "perf" => experiments::perf(&out),
             "faults" => experiments::faults(&out),
+            "async" => experiments::async_overlap(&out),
             "ablation-nic" => experiments::ablation_nic(&out),
             "ablation-shift" => experiments::ablation_shift(&out),
             "ablation-arity" => experiments::ablation_arity(&out),

@@ -462,7 +462,7 @@ pub fn trace_profile(out: &OutDir) -> std::io::Result<String> {
     for (name, scheme) in
         [("Flat-Tree", TreeScheme::Flat), ("Shifted Binary-Tree", TreeScheme::ShiftedBinary)]
     {
-        let opts = DistOptions { scheme, seed: TREE_SEED, threads: 1 };
+        let opts = DistOptions { scheme, seed: TREE_SEED, threads: 1, lookahead: 1 };
         let (_, _, trace) = distributed_selinv_traced(&f, grid, &opts, name);
         // Measured bytes must equal the structural prediction exactly.
         let layout = Layout::new(sf.clone(), grid);
@@ -812,7 +812,7 @@ pub fn perf(out: &OutDir) -> std::io::Result<String> {
     let layout = Layout::new(sf.clone(), grid);
     let mut selinv_rows = Vec::new();
     for (name, scheme) in schemes_with_names() {
-        let opts = DistOptions { scheme, seed: TREE_SEED, threads: 1 };
+        let opts = DistOptions { scheme, seed: TREE_SEED, threads: 1, lookahead: 1 };
         let t0 = Instant::now();
         let (_, vols, trace) = distributed_selinv_traced(&f, grid, &opts, name);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -1042,6 +1042,121 @@ pub fn faults(out: &OutDir) -> std::io::Result<String> {
     ]);
     out.write_json("BENCH_fault.json", &doc)?;
     out.write_text("faults.txt", &txt)?;
+    Ok(txt)
+}
+
+/// Sync-vs-async numeric engine comparison (`figures -- async`).
+///
+/// Runs the *real* numeric selected inversion on the mpisim backend per
+/// tree scheme, synchronously (`lookahead = 1`) and with the pipelined
+/// window (`lookahead = 4`), and reports per scheme: wall time, total
+/// late-sender wait summed across ranks, and the overlap high-water mark
+/// (max collectives simultaneously outstanding on any rank). Along the
+/// way it *asserts* the async engine's contract — bit-identical panels,
+/// identical per-rank volume counters, and measured bytes equal to the
+/// structural replay — so the benchmark doubles as an acceptance check.
+///
+/// Emits `BENCH_async.json` (uploaded by the CI `async-smoke` job) plus
+/// `async_overlap.txt`.
+pub fn async_overlap(out: &OutDir) -> std::io::Result<String> {
+    use pselinv_dist::{distributed_selinv_traced, DistOptions};
+    use pselinv_order::{analyze, AnalyzeOptions};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let w = pselinv_sparse::gen::fem_3d(6, 6, 6, 1, 0x7ace);
+    let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+    let f = pselinv_factor::factorize(&w.matrix, sf.clone()).expect("proxy FEM matrix must factor");
+    let grid = Grid2D::new(3, 3);
+    const LOOKAHEAD: usize = 4;
+    let mut txt = format!(
+        "Sync vs async pipelined engine: {} (n = {}) on a 3x3 grid, lookahead {LOOKAHEAD}\n\n\
+         {:<22} {:>12} {:>12} {:>14} {:>14} {:>9}\n",
+        w.name,
+        w.matrix.nrows(),
+        "scheme",
+        "sync ms",
+        "async ms",
+        "sync wait µs",
+        "async wait µs",
+        "overlap"
+    );
+    let mut rows: Vec<Json> = Vec::new();
+    for (name, scheme) in schemes_with_names() {
+        let mk = |lookahead| DistOptions { scheme, seed: TREE_SEED, threads: 1, lookahead };
+        let t0 = Instant::now();
+        let (sync, sync_vol, sync_trace) =
+            distributed_selinv_traced(&f, grid, &mk(1), &format!("{name}/sync"));
+        let sync_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let (asyn, asyn_vol, asyn_trace) =
+            distributed_selinv_traced(&f, grid, &mk(LOOKAHEAD), &format!("{name}/async"));
+        let async_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        // Contract: reordered communication, identical arithmetic and
+        // identical logical volumes.
+        for s in 0..sf.num_supernodes() {
+            for j in 0..sf.width(s) {
+                for i in 0..sf.width(s) {
+                    assert_eq!(
+                        sync.panels[s].diag[(i, j)].to_bits(),
+                        asyn.panels[s].diag[(i, j)].to_bits(),
+                        "{name}: async diag {s} diverged"
+                    );
+                }
+                for i in 0..sf.rows_of(s).len() {
+                    assert_eq!(
+                        sync.panels[s].below[(i, j)].to_bits(),
+                        asyn.panels[s].below[(i, j)].to_bits(),
+                        "{name}: async below {s} diverged"
+                    );
+                }
+            }
+        }
+        assert_eq!(sync_vol, asyn_vol, "{name}: async volumes diverged from sync");
+        let layout = Layout::new(sf.clone(), grid);
+        let rep = replay_volumes(&layout, TreeBuilder::new(scheme, TREE_SEED));
+        let measured: u64 = asyn_vol.iter().map(|v| v.sent).sum();
+        assert_eq!(measured, rep.total_bytes(), "{name}: async bytes diverge from replay");
+
+        let wait = |t: &pselinv_trace::Trace| -> u64 {
+            t.ranks.iter().map(|r| r.metrics.total_wait_us()).sum()
+        };
+        let (sync_wait, async_wait) = (wait(&sync_trace), wait(&asyn_trace));
+        let overlap = asyn_trace.ranks.iter().map(|r| r.metrics.outstanding_hwm).max().unwrap_or(0);
+        assert!(overlap > 1, "{name}: lookahead {LOOKAHEAD} never overlapped collectives");
+        let _ = writeln!(
+            txt,
+            "{name:<22} {sync_ms:>12.2} {async_ms:>12.2} {sync_wait:>14} {async_wait:>14} \
+             {overlap:>9}"
+        );
+        rows.push(Json::obj([
+            ("scheme", name.into()),
+            ("sync_wall_ms", sync_ms.into()),
+            ("async_wall_ms", async_ms.into()),
+            ("sync_wait_us", sync_wait.into()),
+            ("async_wait_us", async_wait.into()),
+            ("overlap_hwm", overlap.into()),
+            ("bit_identical", true.into()),
+            ("volumes_identical", true.into()),
+        ]));
+    }
+    let _ = writeln!(
+        txt,
+        "\n(wait µs = late-sender blocked time summed over ranks; overlap = max\n\
+         collectives simultaneously outstanding on any rank; results asserted\n\
+         bit-identical and volume-identical between the two engines)"
+    );
+    let doc = Json::obj([
+        ("bench", "async".into()),
+        ("matrix", w.name.as_str().into()),
+        ("grid", "3x3".into()),
+        ("lookahead", (LOOKAHEAD as u64).into()),
+        ("tree_seed", TREE_SEED.into()),
+        ("schemes", Json::Arr(rows)),
+    ]);
+    out.write_json("BENCH_async.json", &doc)?;
+    out.write_text("async_overlap.txt", &txt)?;
     Ok(txt)
 }
 

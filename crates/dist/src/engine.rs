@@ -1,0 +1,550 @@
+//! The asynchronous pipelined phase-2 engine.
+//!
+//! The synchronous loop in [`crate::numeric`] executes descending
+//! supernodes strictly one at a time with blocking collectives — exactly
+//! the lock-step schedule the paper's tree-based *asynchronous*
+//! communication is designed to beat. This module converts that loop into
+//! an event-driven state machine: each in-flight supernode is a
+//! [`SnTask`] whose stages (transpose exchange, `Col-Bcast`s, local
+//! GEMMs, `Row-Reduce`s, the diagonal reduction, the step-5 `A⁻¹`
+//! transposes) advance independently as their inputs arrive, over the
+//! nonblocking tree collectives of [`pselinv_mpisim::nb`]. A per-rank
+//! progress loop keeps up to `lookahead` supernodes active at once and
+//! blocks on the inbox only when no task can advance.
+//!
+//! # Determinism
+//!
+//! The asynchronous schedule reorders *communication*, never
+//! *arithmetic*:
+//!
+//! * every GEMM target block keeps its fixed ascending-ancestor
+//!   accumulation order ([`local_gemms`] is shared with the synchronous
+//!   path);
+//! * nonblocking reductions consume child contributions in arrival order
+//!   but park them in per-child slots summed in the tree's fixed child
+//!   order ([`TreeReduceNb`]);
+//! * the diagonal update accumulates its block contributions in block
+//!   order, as before.
+//!
+//! Results are therefore bit-identical to the synchronous engine at any
+//! window size, and the logical communication volumes (bytes, messages,
+//! physical copies) are unchanged — the same messages travel the same
+//! tree edges, just earlier.
+//!
+//! # Deadlock freedom
+//!
+//! Each rank activates the supernodes it participates in, in descending
+//! order, and a task stays active until done. Consider the globally
+//! highest-indexed unfinished supernode `k*`: on every participating rank
+//! all supernodes above `k*` are finished, so `k*` is active there (a
+//! full window would imply an unfinished task above `k*`). Its stage
+//! dependencies reach only finished supernodes and `k*` itself, so some
+//! rank can always advance it; induction drains the schedule.
+
+use crate::numeric::{
+    find_block, local_gemms, pack, share, tag, unpack, RankState, PHASE_AINV_TRANS,
+    PHASE_COL_BCAST, PHASE_DIAG_REDUCE, PHASE_ROW_REDUCE, PHASE_TRANSPOSE,
+};
+use crate::plan::SupernodePlan;
+use pselinv_dense::{gemm, ldlt_invert, Mat, Transpose};
+use pselinv_mpisim::{Payload, RankCtx, RecvRequest, TreeBcastNb, TreeReduceNb};
+use pselinv_trace::CollKind;
+use std::collections::HashMap;
+
+/// Ancestor data a supernode's GEMM stage reads from [`RankState`], i.e.
+/// an output of an earlier (higher-indexed) supernode's task on this rank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Need {
+    /// `ainv_lower[bid]` — produced by a `Row-Reduce` root.
+    Lower(usize),
+    /// `ainv_upper[bid]` — produced by a step-5 `A⁻¹` transpose.
+    Upper(usize),
+    /// `ainv_diag[sn]` — produced by a diagonal reduction.
+    Diag(usize),
+}
+
+impl Need {
+    fn satisfied(self, st: &RankState<'_>) -> bool {
+        match self {
+            Need::Lower(bid) => st.ainv_lower.contains_key(&bid),
+            Need::Upper(bid) => st.ainv_upper.contains_key(&bid),
+            Need::Diag(sn) => st.ainv_diag.contains_key(&sn),
+        }
+    }
+}
+
+/// Per-block `Col-Bcast` progress.
+enum Cb {
+    /// This rank is not a member of the tree.
+    Out,
+    /// This rank is the root, still waiting for the transpose to deliver
+    /// `Û_{K,I}` before it can launch the broadcast.
+    Root,
+    /// In flight.
+    Run(TreeBcastNb),
+    Done,
+}
+
+/// Per-block `Row-Reduce` progress.
+enum Rr {
+    Out,
+    /// Member, waiting for the local GEMM stage to produce contributions.
+    Wait,
+    Run(TreeReduceNb),
+    Done,
+}
+
+/// Diagonal-reduction progress.
+enum Dr {
+    Out,
+    /// Participant, waiting for this rank's owned `A⁻¹` lower blocks.
+    Wait,
+    Run(TreeReduceNb),
+    Done,
+}
+
+/// One in-flight descending supernode on one rank: the rank-local slice of
+/// steps a′/a/1/b/2+c/3′ of Algorithm 1, as an explicit state machine.
+struct SnTask {
+    k: usize,
+    /// Pending transpose receives `(bi, request)`.
+    t_recvs: Vec<(usize, RecvRequest)>,
+    /// `Û_{K,I}` blocks available on this rank, keyed by block index.
+    ucur: HashMap<usize, Mat>,
+    cb: Vec<Cb>,
+    /// Ancestor `A⁻¹` data the GEMM stage needs (deduplicated).
+    needs: Vec<Need>,
+    gemm_done: bool,
+    contrib: HashMap<usize, Mat>,
+    rr: Vec<Rr>,
+    /// Block indices whose `Row-Reduce` roots on this rank (the owned
+    /// `A⁻¹_{J,K}` blocks) gate the diagonal contribution.
+    owned_bids: Vec<usize>,
+    dr: Dr,
+    /// Pending step-5 `A⁻¹` transpose receives `(bj_i, request)`.
+    at_recvs: Vec<(usize, RecvRequest)>,
+    /// Step-5 sends/self-copies waiting for this rank's `A⁻¹_{J,K}`.
+    at_pending: Vec<usize>,
+}
+
+impl SnTask {
+    /// Activates supernode `k` on this rank: issues the transpose sends,
+    /// posts every receive the task will ever need, and launches the
+    /// non-root sides of the `Col-Bcast`s.
+    fn activate(ctx: &mut RankCtx, st: &RankState<'_>, sp: &SupernodePlan, k: usize) -> Self {
+        let sf = st.sf;
+        let me = st.me;
+        let layout = st.layout;
+        let blocks = sf.blocks_of(k);
+
+        // Step a': transpose sends fire immediately (L̂ is shared storage
+        // from phase 1, so each send is a reference-count bump); receives
+        // are posted as requests for the progress loop.
+        ctx.tracer().push_scope(CollKind::Transpose, k as u64);
+        let mut ucur: HashMap<usize, Mat> = HashMap::new();
+        let mut t_recvs = Vec::new();
+        for (bi, _b) in blocks.iter().enumerate() {
+            let (src, dst) = sp.transposes[bi];
+            let bid = sf.blocks_ptr[k] + bi;
+            if src == dst {
+                if me == src {
+                    ucur.insert(bi, st.lhat[&bid].clone());
+                }
+            } else if me == src {
+                let data = pack(ctx, &st.lhat[&bid]);
+                ctx.send(dst, tag(PHASE_TRANSPOSE, k, bi), data);
+            } else if me == dst {
+                t_recvs.push((bi, RecvRequest::post(src, tag(PHASE_TRANSPOSE, k, bi))));
+            }
+        }
+        ctx.tracer().pop_scope();
+
+        // Step a: non-root Col-Bcast members post their parent receive now;
+        // a root waits until the transpose delivers its Û block.
+        ctx.tracer().push_scope(CollKind::ColBcast, k as u64);
+        let cb: Vec<Cb> = (0..blocks.len())
+            .map(|bi| {
+                let tree = &sp.col_bcasts[bi];
+                if !tree.members().contains(&me) {
+                    Cb::Out
+                } else if me == tree.root() {
+                    Cb::Root
+                } else {
+                    Cb::Run(TreeBcastNb::start(
+                        ctx,
+                        tree,
+                        tag(PHASE_COL_BCAST, k, bi),
+                        None::<Payload>,
+                    ))
+                }
+            })
+            .collect();
+        ctx.tracer().pop_scope();
+
+        // GEMM dependency set: the ancestor A⁻¹ pieces gather_sub will
+        // read, exactly the (target, ancestor) pairs local_gemms runs here.
+        let mut needs: Vec<Need> = Vec::new();
+        for bj in blocks {
+            let prow_j = layout.grid.prow_of_block(bj.sn);
+            for bi in blocks {
+                if layout.grid.rank_of(prow_j, layout.grid.pcol_of_block(bi.sn)) != me {
+                    continue;
+                }
+                let need = match bj.sn.cmp(&bi.sn) {
+                    std::cmp::Ordering::Greater => Need::Lower(find_block(sf, bj.sn, bi.sn).0),
+                    std::cmp::Ordering::Less => Need::Upper(find_block(sf, bi.sn, bj.sn).0),
+                    std::cmp::Ordering::Equal => Need::Diag(bj.sn),
+                };
+                if !needs.contains(&need) {
+                    needs.push(need);
+                }
+            }
+        }
+
+        let rr: Vec<Rr> = (0..blocks.len())
+            .map(
+                |bj_i| {
+                    if sp.row_reduces[bj_i].members().contains(&me) {
+                        Rr::Wait
+                    } else {
+                        Rr::Out
+                    }
+                },
+            )
+            .collect();
+        let owned_bids: Vec<usize> = blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| layout.lower_owner(b, k) == me)
+            .map(|(bj_i, _)| sf.blocks_ptr[k] + bj_i)
+            .collect();
+        let dr = if layout.diag_owner(k) == me || sp.diag_reduce.members().contains(&me) {
+            Dr::Wait
+        } else {
+            Dr::Out
+        };
+
+        // Step 3': post the A⁻¹ transpose receives; queue the sends until
+        // the Row-Reduce produces the owned block.
+        let mut at_recvs = Vec::new();
+        let mut at_pending = Vec::new();
+        for bj_i in 0..blocks.len() {
+            let (src, dst) = sp.ainv_transposes[bj_i];
+            if me == src {
+                at_pending.push(bj_i);
+            } else if me == dst {
+                at_recvs.push((bj_i, RecvRequest::post(src, tag(PHASE_AINV_TRANS, k, bj_i))));
+            }
+        }
+
+        SnTask {
+            k,
+            t_recvs,
+            ucur,
+            cb,
+            needs,
+            gemm_done: false,
+            contrib: HashMap::new(),
+            rr,
+            owned_bids,
+            dr,
+            at_recvs,
+            at_pending,
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.t_recvs.is_empty()
+            && self.cb.iter().all(|c| matches!(c, Cb::Out | Cb::Done))
+            && self.gemm_done
+            && self.rr.iter().all(|r| matches!(r, Rr::Out | Rr::Done))
+            && matches!(self.dr, Dr::Out | Dr::Done)
+            && self.at_recvs.is_empty()
+            && self.at_pending.is_empty()
+    }
+
+    /// Advances every stage as far as its inputs allow; returns whether
+    /// anything changed (the progress loop blocks only when no task moved).
+    fn poll(
+        &mut self,
+        ctx: &mut RankCtx,
+        st: &mut RankState<'_>,
+        sp: &SupernodePlan,
+        threads: usize,
+    ) -> bool {
+        let k = self.k;
+        let sf = st.sf;
+        let me = st.me;
+        let blocks = sf.blocks_of(k);
+        let w = sf.width(k);
+        let mut progressed = false;
+
+        // Step a': drain arrived transposes into Û.
+        if !self.t_recvs.is_empty() {
+            ctx.tracer().push_scope(CollKind::Transpose, k as u64);
+            let ucur = &mut self.ucur;
+            self.t_recvs.retain_mut(|(bi, req)| {
+                if req.test(ctx) {
+                    let data = std::mem::replace(req, RecvRequest::post(0, 0))
+                        .take()
+                        .expect("completed request has a payload");
+                    ucur.insert(*bi, unpack(blocks[*bi].nrows(), w, data));
+                    progressed = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            ctx.tracer().pop_scope();
+        }
+
+        // Step a: launch root broadcasts whose Û arrived; forward/finish
+        // the rest.
+        for (bi, b) in blocks.iter().enumerate() {
+            let tree = &sp.col_bcasts[bi];
+            match &mut self.cb[bi] {
+                Cb::Root if self.ucur.contains_key(&bi) => {
+                    ctx.tracer().push_scope(CollKind::ColBcast, k as u64);
+                    let payload = pack(ctx, &self.ucur[&bi]);
+                    let nb =
+                        TreeBcastNb::start(ctx, tree, tag(PHASE_COL_BCAST, k, bi), Some(payload));
+                    debug_assert!(nb.is_done(), "the root side completes at start");
+                    ctx.tracer().pop_scope();
+                    self.cb[bi] = Cb::Done;
+                    progressed = true;
+                }
+                Cb::Run(nb) => {
+                    ctx.tracer().push_scope(CollKind::ColBcast, k as u64);
+                    if nb.poll(ctx, tree) {
+                        let data = std::mem::replace(&mut self.cb[bi], Cb::Done);
+                        if let Cb::Run(nb) = data {
+                            let p = nb.into_payload().expect("non-root member got the payload");
+                            self.ucur.entry(bi).or_insert_with(|| unpack(b.nrows(), w, p));
+                        }
+                        progressed = true;
+                    }
+                    ctx.tracer().pop_scope();
+                }
+                _ => {}
+            }
+        }
+
+        // Step 1: the local GEMMs, once every Û block and every ancestor
+        // A⁻¹ piece this rank reads is available.
+        if !self.gemm_done
+            && self.t_recvs.is_empty()
+            && self.cb.iter().all(|c| matches!(c, Cb::Out | Cb::Done))
+            && self.needs.iter().all(|n| n.satisfied(st))
+        {
+            self.contrib = local_gemms(st, &self.ucur, blocks, k, w, threads);
+            self.gemm_done = true;
+            progressed = true;
+        }
+
+        // Step b: Row-Reduces — start once the GEMM contributions exist,
+        // then advance on child arrivals.
+        for (bj_i, bj) in blocks.iter().enumerate() {
+            let tree = &sp.row_reduces[bj_i];
+            match &mut self.rr[bj_i] {
+                Rr::Wait if self.gemm_done => {
+                    ctx.tracer().push_scope(CollKind::RowReduce, k as u64);
+                    let local =
+                        self.contrib.remove(&bj_i).unwrap_or_else(|| Mat::zeros(bj.nrows(), w));
+                    let nb = TreeReduceNb::start(
+                        ctx,
+                        tree,
+                        tag(PHASE_ROW_REDUCE, k, bj_i),
+                        local.into_vec(),
+                    );
+                    ctx.tracer().pop_scope();
+                    self.rr[bj_i] = Rr::Run(nb);
+                    progressed = true;
+                }
+                _ => {}
+            }
+            if let Rr::Run(nb) = &mut self.rr[bj_i] {
+                ctx.tracer().push_scope(CollKind::RowReduce, k as u64);
+                if nb.poll(ctx, tree) {
+                    if let Rr::Run(nb) = std::mem::replace(&mut self.rr[bj_i], Rr::Done) {
+                        if me == tree.root() {
+                            let t = nb.into_result().expect("reduce root has the total");
+                            let m = share(ctx, Mat::from_vec(bj.nrows(), w, t));
+                            st.ainv_lower.insert(sf.blocks_ptr[k] + bj_i, m);
+                        }
+                    }
+                    progressed = true;
+                }
+                ctx.tracer().pop_scope();
+            }
+        }
+
+        // Steps 2 + c: diagonal contribution and reduction.
+        let is_diag_owner = st.layout.diag_owner(k) == me;
+        if matches!(self.dr, Dr::Wait)
+            && self.gemm_done
+            && self.owned_bids.iter().all(|bid| st.ainv_lower.contains_key(bid))
+        {
+            ctx.tracer().push_scope(CollKind::DiagReduce, k as u64);
+            let mut dcon = Mat::zeros(w, w);
+            for &bid in &self.owned_bids {
+                gemm(
+                    1.0,
+                    &st.lhat[&bid],
+                    Transpose::Yes,
+                    &st.ainv_lower[&bid],
+                    Transpose::No,
+                    1.0,
+                    &mut dcon,
+                );
+            }
+            if sp.diag_reduce.is_empty() {
+                if is_diag_owner {
+                    finish_diag(st, k, w, dcon.into_vec());
+                }
+                self.dr = Dr::Done;
+            } else {
+                let nb = TreeReduceNb::start(
+                    ctx,
+                    &sp.diag_reduce,
+                    tag(PHASE_DIAG_REDUCE, k, 0),
+                    dcon.into_vec(),
+                );
+                self.dr = Dr::Run(nb);
+            }
+            ctx.tracer().pop_scope();
+            progressed = true;
+        }
+        if let Dr::Run(nb) = &mut self.dr {
+            ctx.tracer().push_scope(CollKind::DiagReduce, k as u64);
+            if nb.poll(ctx, &sp.diag_reduce) {
+                if let Dr::Run(nb) = std::mem::replace(&mut self.dr, Dr::Done) {
+                    if is_diag_owner {
+                        let total =
+                            nb.into_result().expect("diag owner must receive the reduction");
+                        finish_diag(st, k, w, total);
+                    }
+                }
+                progressed = true;
+            }
+            ctx.tracer().pop_scope();
+        }
+
+        // Step 3': A⁻¹ transposes — sends fire as soon as the Row-Reduce
+        // lands the owned block; receives drain as they arrive.
+        if !self.at_pending.is_empty() || !self.at_recvs.is_empty() {
+            ctx.tracer().push_scope(CollKind::AinvTranspose, k as u64);
+            let mut still = Vec::with_capacity(self.at_pending.len());
+            for bj_i in self.at_pending.drain(..) {
+                let (src, dst) = sp.ainv_transposes[bj_i];
+                let bid = sf.blocks_ptr[k] + bj_i;
+                if !st.ainv_lower.contains_key(&bid) {
+                    still.push(bj_i);
+                    continue;
+                }
+                if src == dst {
+                    let m = st.ainv_lower[&bid].clone();
+                    st.ainv_upper.insert(bid, m);
+                } else {
+                    let data = pack(ctx, &st.ainv_lower[&bid]);
+                    ctx.send(dst, tag(PHASE_AINV_TRANS, k, bj_i), data);
+                }
+                progressed = true;
+            }
+            self.at_pending = still;
+            let (ainv_upper, blocks_ptr) = (&mut st.ainv_upper, sf.blocks_ptr[k]);
+            self.at_recvs.retain_mut(|(bj_i, req)| {
+                if req.test(ctx) {
+                    let data = std::mem::replace(req, RecvRequest::post(0, 0))
+                        .take()
+                        .expect("completed request has a payload");
+                    ainv_upper.insert(blocks_ptr + *bj_i, unpack(blocks[*bj_i].nrows(), w, data));
+                    progressed = true;
+                    false
+                } else {
+                    true
+                }
+            });
+            ctx.tracer().pop_scope();
+        }
+
+        progressed
+    }
+}
+
+/// `A⁻¹_{K,K} = (L D Lᵀ)⁻¹ − Σ`, symmetrized — identical arithmetic to the
+/// synchronous path (contributions were accumulated in block order).
+fn finish_diag(st: &mut RankState<'_>, k: usize, w: usize, total: Vec<f64>) {
+    let mut diag = ldlt_invert(&st.factor_diag(k));
+    let t = Mat::from_vec(w, w, total);
+    diag.axpy(-1.0, &t);
+    for jl in 0..w {
+        for il in (jl + 1)..w {
+            let v = 0.5 * (diag[(il, jl)] + diag[(jl, il)]);
+            diag[(il, jl)] = v;
+            diag[(jl, il)] = v;
+        }
+    }
+    st.ainv_diag.insert(k, diag);
+}
+
+/// Does this rank touch supernode `k`'s phase-2 work at all? Skipped
+/// supernodes never occupy a window slot.
+fn participates(st: &RankState<'_>, sp: &SupernodePlan, k: usize) -> bool {
+    let me = st.me;
+    if st.layout.diag_owner(k) == me
+        || sp.diag_reduce.members().contains(&me)
+        || sp.transposes.iter().any(|&(s, d)| s == me || d == me)
+        || sp.ainv_transposes.iter().any(|&(s, d)| s == me || d == me)
+    {
+        return true;
+    }
+    sp.col_bcasts.iter().any(|t| t.members().contains(&me))
+        || sp.row_reduces.iter().any(|t| t.members().contains(&me))
+}
+
+/// Phase 2 (descending), asynchronous: a sliding window of up to
+/// `lookahead` supernode tasks driven by one progress loop per rank. The
+/// loop polls every active task; when nothing advances and the window
+/// cannot grow, it parks on the inbox (visible to the watchdog) until a
+/// message arrives.
+pub(crate) fn phase2_async(
+    ctx: &mut RankCtx,
+    st: &mut RankState<'_>,
+    plans: &[SupernodePlan],
+    threads: usize,
+    lookahead: usize,
+) {
+    debug_assert!(lookahead >= 2, "the synchronous loop handles lookahead <= 1");
+    let ns = st.sf.num_supernodes();
+    let mut next = ns; // supernodes next..ns are activated or skipped
+    let mut active: Vec<SnTask> = Vec::new();
+    loop {
+        let mut progressed = false;
+        // Grow the window in descending supernode order.
+        while active.len() < lookahead && next > 0 {
+            let k = next - 1;
+            if participates(st, &plans[k], k) {
+                active.push(SnTask::activate(ctx, st, &plans[k], k));
+                progressed = true;
+            }
+            next -= 1;
+        }
+        if active.is_empty() {
+            break; // next == 0 and nothing in flight
+        }
+        ctx.tracer().outstanding(active.len());
+        for t in &mut active {
+            progressed |= t.poll(ctx, st, &plans[t.k], threads);
+        }
+        let before = active.len();
+        active.retain(|t| !t.is_done());
+        progressed |= active.len() != before;
+        if !progressed {
+            // Nothing moved and the window is as full as it can get: every
+            // pending stage awaits a message. Park on the inbox so the
+            // watchdog sees a blocked rank instead of a hot spin.
+            ctx.wait_for_arrival();
+        }
+    }
+    ctx.tracer().outstanding(0);
+}

@@ -20,6 +20,7 @@
 //!   the strong-scaling and time-breakdown experiments (Figs. 8–9), plus a
 //!   SuperLU-style factorization DAG for the reference curve.
 
+pub mod engine;
 pub mod layout;
 pub mod numeric;
 pub mod plan;
@@ -27,6 +28,8 @@ pub mod taskgraph;
 pub mod volume;
 
 pub use layout::Layout;
-pub use numeric::{distributed_selinv, distributed_selinv_traced, DistOptions};
+pub use numeric::{
+    distributed_selinv, distributed_selinv_traced, try_distributed_selinv, DistOptions,
+};
 pub use plan::{CommPlan, SupernodePlan};
 pub use volume::{replay_volumes, VolumeReport};

@@ -36,27 +36,41 @@ pub struct DistOptions {
     /// farmed out to scoped threads without changing the accumulation
     /// order — results stay bit-identical to the single-threaded run.
     pub threads: usize,
+    /// How many descending supernodes may be in flight at once in phase 2.
+    /// `1` (the default) runs the synchronous engine — supernodes strictly
+    /// one at a time with blocking collectives. `>= 2` runs the
+    /// asynchronous pipelined engine ([`crate::engine`]): nonblocking tree
+    /// collectives driven by a per-rank progress loop, with up to
+    /// `lookahead` supernodes overlapping (use `usize::MAX` for an
+    /// unbounded window). Results stay bit-identical and logical
+    /// communication volumes unchanged at any window size.
+    pub lookahead: usize,
 }
 
 impl Default for DistOptions {
     fn default() -> Self {
-        Self { scheme: pselinv_trees::TreeScheme::ShiftedBinary, seed: 0x5e11, threads: 1 }
+        Self {
+            scheme: pselinv_trees::TreeScheme::ShiftedBinary,
+            seed: 0x5e11,
+            threads: 1,
+            lookahead: 1,
+        }
     }
 }
 
-const PHASE_DIAG_BCAST: u64 = 1 << 56;
-const PHASE_TRANSPOSE: u64 = 2 << 56;
-const PHASE_COL_BCAST: u64 = 3 << 56;
-const PHASE_ROW_REDUCE: u64 = 4 << 56;
-const PHASE_DIAG_REDUCE: u64 = 5 << 56;
-const PHASE_AINV_TRANS: u64 = 6 << 56;
+pub(crate) const PHASE_DIAG_BCAST: u64 = 1 << 56;
+pub(crate) const PHASE_TRANSPOSE: u64 = 2 << 56;
+pub(crate) const PHASE_COL_BCAST: u64 = 3 << 56;
+pub(crate) const PHASE_ROW_REDUCE: u64 = 4 << 56;
+pub(crate) const PHASE_DIAG_REDUCE: u64 = 5 << 56;
+pub(crate) const PHASE_AINV_TRANS: u64 = 6 << 56;
 
 /// Packs `(phase, supernode, block)` into one message tag: the phase in the
 /// top byte, the supernode in bits 24..56, the block index in bits 0..24.
 /// The fields must stay inside their lanes or tags of different collectives
 /// collide and messages cross-match; the debug assertions catch any workload
 /// large enough to overflow.
-fn tag(phase: u64, k: usize, bi: usize) -> u64 {
+pub(crate) fn tag(phase: u64, k: usize, bi: usize) -> u64 {
     debug_assert!(
         phase != 0 && phase.trailing_zeros() >= 56,
         "phase {phase:#x} outside the top byte"
@@ -68,7 +82,7 @@ fn tag(phase: u64, k: usize, bi: usize) -> u64 {
 
 /// Finds the block of supernode `col_sn` whose ancestor is `row_sn`
 /// (i.e. block `(row_sn, col_sn)`), returning `(global block index, block)`.
-fn find_block(sf: &SymbolicFactor, row_sn: usize, col_sn: usize) -> (usize, SnBlock) {
+pub(crate) fn find_block(sf: &SymbolicFactor, row_sn: usize, col_sn: usize) -> (usize, SnBlock) {
     let blocks = sf.blocks_of(col_sn);
     let i = blocks
         .binary_search_by_key(&row_sn, |b| b.sn)
@@ -79,7 +93,7 @@ fn find_block(sf: &SymbolicFactor, row_sn: usize, col_sn: usize) -> (usize, SnBl
 /// Packs a matrix into a sendable [`Payload`]. Shared-storage matrices
 /// hand out their existing buffer for free; owned ones pay one packing
 /// copy, charged to the rank's physical-copy counter.
-fn pack(ctx: &mut RankCtx, m: &Mat) -> Payload {
+pub(crate) fn pack(ctx: &mut RankCtx, m: &Mat) -> Payload {
     if !m.is_shared() {
         ctx.account_copy((m.data().len() * 8) as u64);
     }
@@ -88,14 +102,14 @@ fn pack(ctx: &mut RankCtx, m: &Mat) -> Payload {
 
 /// Wraps a received payload as a matrix without copying (copy-on-write:
 /// a later mutation detaches, so the sender's buffer is never scribbled).
-fn unpack(nrows: usize, ncols: usize, data: Payload) -> Mat {
+pub(crate) fn unpack(nrows: usize, ncols: usize, data: Payload) -> Mat {
     Mat::from_shared(nrows, ncols, data.into_arc())
 }
 
 /// Moves an owned matrix into shared storage so every later send and
 /// same-rank transpose is a reference-count bump. The one packing copy is
 /// charged to the rank's physical-copy counter.
-fn share(ctx: &mut RankCtx, m: Mat) -> Mat {
+pub(crate) fn share(ctx: &mut RankCtx, m: Mat) -> Mat {
     if !m.is_shared() {
         ctx.account_copy((m.data().len() * 8) as u64);
     }
@@ -103,41 +117,41 @@ fn share(ctx: &mut RankCtx, m: Mat) -> Mat {
 }
 
 /// One rank's state during the distributed inversion.
-struct RankState<'a> {
-    sf: &'a SymbolicFactor,
-    factor: &'a LdlFactor,
-    layout: &'a Layout,
-    me: usize,
+pub(crate) struct RankState<'a> {
+    pub(crate) sf: &'a SymbolicFactor,
+    pub(crate) factor: &'a LdlFactor,
+    pub(crate) layout: &'a Layout,
+    pub(crate) me: usize,
     /// `L̂` blocks this rank owns, keyed by global block index.
-    lhat: HashMap<usize, Mat>,
+    pub(crate) lhat: HashMap<usize, Mat>,
     /// Computed `A⁻¹` lower blocks, keyed by global block index.
-    ainv_lower: HashMap<usize, Mat>,
+    pub(crate) ainv_lower: HashMap<usize, Mat>,
     /// Computed `A⁻¹` upper blocks (stored transposed), keyed by the
     /// corresponding lower block's global index.
-    ainv_upper: HashMap<usize, Mat>,
+    pub(crate) ainv_upper: HashMap<usize, Mat>,
     /// Computed `A⁻¹` diagonal blocks, keyed by supernode.
-    ainv_diag: HashMap<usize, Mat>,
+    pub(crate) ainv_diag: HashMap<usize, Mat>,
 }
 
 impl<'a> RankState<'a> {
     /// Reads the factor's block `(b.sn, k)` as a dense matrix; only legal
     /// on the owning rank (asserted) — the discipline that turns shared
     /// memory into distributed memory.
-    fn factor_block(&self, k: usize, bi: usize, b: &SnBlock) -> Mat {
+    pub(crate) fn factor_block(&self, k: usize, bi: usize, b: &SnBlock) -> Mat {
         assert_eq!(self.layout.lower_owner(b, k), self.me, "reading a non-owned block");
         let _ = bi;
         let lb = b.rows_begin - self.sf.rows_ptr[k];
         self.factor.panels[k].below.submatrix(lb, 0, b.nrows(), self.sf.width(k))
     }
 
-    fn factor_diag(&self, k: usize) -> Mat {
+    pub(crate) fn factor_diag(&self, k: usize) -> Mat {
         assert_eq!(self.layout.diag_owner(k), self.me, "reading a non-owned diagonal");
         self.factor.panels[k].diag.clone()
     }
 
     /// Extracts `A⁻¹[RJ, RI]` for the GEMM of target block `bj` with
     /// ancestor block `bi` (both blocks of supernode `k`).
-    fn gather_sub(&self, _k: usize, bj: &SnBlock, bi: &SnBlock) -> Mat {
+    pub(crate) fn gather_sub(&self, _k: usize, bj: &SnBlock, bi: &SnBlock) -> Mat {
         let sf = self.sf;
         let rj = sf.block_rows(bj);
         let ri = sf.block_rows(bi);
@@ -182,7 +196,7 @@ impl<'a> RankState<'a> {
 }
 
 /// Output of one rank: its owned pieces of the selected inverse.
-type RankOutput = (HashMap<usize, Mat>, HashMap<usize, Mat>);
+pub(crate) type RankOutput = (HashMap<usize, Mat>, HashMap<usize, Mat>);
 
 /// Runs the distributed selected inversion on `grid.size()` rank threads
 /// and assembles the result. Panics propagate from rank threads.
@@ -193,16 +207,31 @@ pub fn distributed_selinv(
     grid: Grid2D,
     opts: &DistOptions,
 ) -> (SelectedInverse, Vec<RankVolume>) {
+    try_distributed_selinv(factor, grid, opts, &pselinv_mpisim::RunOptions::default())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`distributed_selinv`] under explicit [`RunOptions`] (watchdog budget,
+/// poll interval, fault injection), surfacing runtime failures instead of
+/// panicking — the entry point for chaos testing the numeric engines.
+///
+/// [`RunOptions`]: pselinv_mpisim::RunOptions
+pub fn try_distributed_selinv(
+    factor: &LdlFactor,
+    grid: Grid2D,
+    opts: &DistOptions,
+    run_opts: &pselinv_mpisim::RunOptions,
+) -> Result<(SelectedInverse, Vec<RankVolume>), pselinv_mpisim::RunError> {
     let layout = Layout::new(factor.symbolic.clone(), grid);
     let builder = TreeBuilder::new(opts.scheme, opts.seed);
     let plans = CommPlan::new(layout.clone(), builder).precompute_all();
 
     let (outputs, volumes): (Vec<RankOutput>, Vec<RankVolume>) =
-        pselinv_mpisim::run(grid.size(), |ctx| {
-            rank_main(ctx, factor, &layout, &plans, opts.threads)
-        });
+        pselinv_mpisim::try_run(grid.size(), run_opts, |ctx| {
+            rank_entry(ctx, factor, &layout, &plans, opts)
+        })?;
 
-    (assemble(factor, &layout, outputs), volumes)
+    Ok((assemble(factor, &layout, outputs), volumes))
 }
 
 /// [`distributed_selinv`] with tracing enabled on every rank: the returned
@@ -221,12 +250,13 @@ pub fn distributed_selinv_traced(
     let plans = CommPlan::new(layout.clone(), builder).precompute_all();
 
     let (outputs, volumes, mut trace) = pselinv_mpisim::run_traced(grid.size(), label, |ctx| {
-        rank_main(ctx, factor, &layout, &plans, opts.threads)
+        rank_entry(ctx, factor, &layout, &plans, opts)
     });
     trace.set_meta("backend", "mpisim");
     trace.set_meta("grid", format!("{}x{}", grid.pr, grid.pc));
     trace.set_meta("scheme", opts.scheme.to_string());
     trace.set_meta("seed", opts.seed.to_string());
+    trace.set_meta("lookahead", opts.lookahead.to_string());
 
     (assemble(factor, &layout, outputs), volumes, trace)
 }
@@ -261,7 +291,7 @@ fn assemble(factor: &LdlFactor, layout: &Layout, outputs: Vec<RankOutput>) -> Se
 /// has its own accumulator and the per-target accumulation order is fixed
 /// (ascending `I`), so targets are distributed over `threads` scoped
 /// worker threads with bit-identical results to the inline path.
-fn local_gemms(
+pub(crate) fn local_gemms(
     st: &RankState<'_>,
     ucur: &HashMap<usize, Mat>,
     blocks: &[SnBlock],
@@ -310,28 +340,41 @@ fn local_gemms(
     computed.into_iter().collect()
 }
 
-fn rank_main(
+/// Entry point of one rank: phase 1 always runs synchronously; phase 2 is
+/// dispatched to the synchronous loop (`lookahead <= 1`) or the
+/// asynchronous pipelined engine (`lookahead >= 2`, [`crate::engine`]).
+pub(crate) fn rank_entry(
     ctx: &mut RankCtx,
     factor: &LdlFactor,
     layout: &Layout,
     plans: &[SupernodePlan],
-    threads: usize,
+    opts: &DistOptions,
 ) -> RankOutput {
-    let sf = &*factor.symbolic;
-    let me = ctx.rank();
-    let ns = sf.num_supernodes();
     let mut st = RankState {
-        sf,
+        sf: &factor.symbolic,
         factor,
         layout,
-        me,
+        me: ctx.rank(),
         lhat: HashMap::new(),
         ainv_lower: HashMap::new(),
         ainv_upper: HashMap::new(),
         ainv_diag: HashMap::new(),
     };
+    phase1(ctx, &mut st, plans);
+    if opts.lookahead <= 1 {
+        phase2_sync(ctx, &mut st, plans, opts.threads);
+    } else {
+        crate::engine::phase2_async(ctx, &mut st, plans, opts.threads, opts.lookahead);
+    }
+    (st.ainv_diag, st.ainv_lower)
+}
 
-    // ---- Phase 1 (ascending): normalize panels, L̂ = L_{R,K} L_{K,K}⁻¹. ----
+/// Phase 1 (ascending): normalize panels, L̂ = L_{R,K} L_{K,K}⁻¹.
+pub(crate) fn phase1(ctx: &mut RankCtx, st: &mut RankState<'_>, plans: &[SupernodePlan]) {
+    let sf = st.sf;
+    let me = st.me;
+    let layout = st.layout;
+    let ns = sf.num_supernodes();
     for k in 0..ns {
         let sp = &plans[k];
         let blocks = sf.blocks_of(k);
@@ -372,8 +415,15 @@ fn rank_main(
             }
         }
     }
+}
 
-    // ---- Phase 2 (descending): Algorithm 1, steps 3–5. ----
+/// Phase 2 (descending): Algorithm 1, steps 3–5, synchronous schedule —
+/// supernodes strictly one at a time with blocking collectives.
+fn phase2_sync(ctx: &mut RankCtx, st: &mut RankState<'_>, plans: &[SupernodePlan], threads: usize) {
+    let sf = st.sf;
+    let me = st.me;
+    let layout = st.layout;
+    let ns = sf.num_supernodes();
     for k in (0..ns).rev() {
         let sp = &plans[k];
         let blocks = sf.blocks_of(k);
@@ -416,7 +466,7 @@ fn rank_main(
         ctx.tracer().pop_scope();
 
         // Step 1 (local GEMMs): contributions −A⁻¹[RJ,RI]·L̂_{I,K}.
-        let mut contrib = local_gemms(&st, &ucur, blocks, k, w, threads);
+        let mut contrib = local_gemms(st, &ucur, blocks, k, w, threads);
 
         // Step b: Row-Reduce each target block onto the owner of A⁻¹_{J,K}.
         ctx.tracer().push_scope(CollKind::RowReduce, k as u64);
@@ -502,8 +552,6 @@ fn rank_main(
         }
         ctx.tracer().pop_scope();
     }
-
-    (st.ainv_diag, st.ainv_lower)
 }
 
 #[cfg(test)]
@@ -523,7 +571,11 @@ mod tests {
         let sf = Arc::new(analyze(&a.pattern(), &AnalyzeOptions::default()));
         let f = pselinv_factor::factorize(a, sf.clone()).unwrap();
         let seq = selinv_ldlt(&f);
-        let (dist, _) = distributed_selinv(&f, grid, &DistOptions { scheme, seed: 7, threads: 1 });
+        let (dist, _) = distributed_selinv(
+            &f,
+            grid,
+            &DistOptions { scheme, seed: 7, threads: 1, lookahead: 1 },
+        );
         for s in 0..sf.num_supernodes() {
             let d = (&seq.panels[s].diag, &dist.panels[s].diag);
             for j in 0..sf.width(s) {
@@ -600,7 +652,12 @@ mod tests {
         let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
         let f = pselinv_factor::factorize(&w.matrix, sf.clone()).unwrap();
         let grid = Grid2D::new(2, 2);
-        let mk = |threads| DistOptions { scheme: TreeScheme::ShiftedBinary, seed: 7, threads };
+        let mk = |threads| DistOptions {
+            scheme: TreeScheme::ShiftedBinary,
+            seed: 7,
+            threads,
+            lookahead: 1,
+        };
         let (base, vol1) = distributed_selinv(&f, grid, &mk(1));
         for threads in [2, 4] {
             let (par, voln) = distributed_selinv(&f, grid, &mk(threads));
@@ -634,7 +691,8 @@ mod tests {
         let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
         let f = pselinv_factor::factorize(&w.matrix, sf.clone()).unwrap();
         let grid = Grid2D::new(3, 3);
-        let opts = DistOptions { scheme: TreeScheme::ShiftedBinary, seed: 7, threads: 1 };
+        let opts =
+            DistOptions { scheme: TreeScheme::ShiftedBinary, seed: 7, threads: 1, lookahead: 1 };
         let (_, volumes) = distributed_selinv(&f, grid, &opts);
         let layout = Layout::new(sf, grid);
         let rep = crate::volume::replay_volumes(&layout, TreeBuilder::new(opts.scheme, opts.seed));
@@ -671,6 +729,27 @@ mod tests {
             }
         }
         assert_eq!(seen.len(), phases.len() * ks.len() * bis.len());
+        // The runtime's barrier owns two reserved values in the same top
+        // byte. They must never land in one of our six phase lanes, for any
+        // low-56-bit caller tag — the barrier's original design (flipping
+        // the caller tag's top bit) would have collided with PHASE_* lanes.
+        use pselinv_mpisim::{BARRIER_DOWN_LANE, BARRIER_UP_LANE};
+        for lane in [BARRIER_UP_LANE, BARRIER_DOWN_LANE] {
+            for &p in &phases {
+                assert_ne!(lane >> 56, p >> 56, "barrier lane collides with phase {p:#x}");
+            }
+            for &k in &ks {
+                for &bi in &bis {
+                    // Low-56-bit part of any phase tag.
+                    let caller = ((k as u64) << 24) | bi as u64;
+                    assert!(
+                        !seen.contains_key(&(lane | caller)),
+                        "barrier tag {:#x} collides with a phase tag",
+                        lane | caller
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -690,7 +769,7 @@ mod tests {
         let f = pselinv_factor::factorize(&w.matrix, sf.clone()).unwrap();
         let grid = Grid2D::new(3, 3);
         for scheme in [TreeScheme::Flat, TreeScheme::ShiftedBinary] {
-            let opts = DistOptions { scheme, seed: 7, threads: 1 };
+            let opts = DistOptions { scheme, seed: 7, threads: 1, lookahead: 1 };
             let (_, _, trace) = distributed_selinv_traced(&f, grid, &opts, "unit");
             let layout = Layout::new(sf.clone(), grid);
             let rep =

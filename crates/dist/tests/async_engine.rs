@@ -1,0 +1,211 @@
+//! Acceptance tests for the asynchronous pipelined supernode engine
+//! (`lookahead >= 2`).
+//!
+//! The async engine reorders *communication*, never *arithmetic*: for every
+//! grid, tree scheme, lookahead window and benign fault schedule, its result
+//! panels must be bit-identical to the synchronous path and its per-rank
+//! communication volumes (bytes, message counts, copied bytes) must be
+//! exactly equal — the logical communication pattern is unchanged, only the
+//! overlap differs.
+
+use proptest::prelude::*;
+use pselinv_chaos::{FaultPlan, FaultSpec};
+use pselinv_dist::{
+    distributed_selinv, distributed_selinv_traced, try_distributed_selinv, DistOptions, Layout,
+};
+use pselinv_factor::LdlFactor;
+use pselinv_mpisim::{Grid2D, RankVolume, RunOptions};
+use pselinv_order::{analyze, AnalyzeOptions};
+use pselinv_selinv::SelectedInverse;
+use pselinv_sparse::gen;
+use pselinv_trees::{TreeBuilder, TreeScheme};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Shared small factor so the proptest cases don't re-factorize each time.
+fn small_factor() -> &'static LdlFactor {
+    static F: OnceLock<LdlFactor> = OnceLock::new();
+    F.get_or_init(|| {
+        let w = gen::grid_laplacian_2d(7, 7);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        pselinv_factor::factorize(&w.matrix, sf).unwrap()
+    })
+}
+
+fn assert_bit_identical(a: &SelectedInverse, b: &SelectedInverse, what: &str) {
+    let sf = &a.symbolic;
+    for s in 0..sf.num_supernodes() {
+        for j in 0..sf.width(s) {
+            for i in 0..sf.width(s) {
+                assert_eq!(
+                    a.panels[s].diag[(i, j)].to_bits(),
+                    b.panels[s].diag[(i, j)].to_bits(),
+                    "{what}: diag {s} ({i},{j})"
+                );
+            }
+            for i in 0..sf.rows_of(s).len() {
+                assert_eq!(
+                    a.panels[s].below[(i, j)].to_bits(),
+                    b.panels[s].below[(i, j)].to_bits(),
+                    "{what}: below {s} ({i},{j})"
+                );
+            }
+        }
+    }
+}
+
+fn assert_volumes_equal(a: &[RankVolume], b: &[RankVolume], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: rank count");
+    for (r, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x, y, "{what}: rank {r} volume");
+    }
+}
+
+fn opts(scheme: TreeScheme, lookahead: usize) -> DistOptions {
+    DistOptions { scheme, seed: 7, threads: 1, lookahead }
+}
+
+#[test]
+fn async_engine_is_bit_identical_across_windows_and_schemes() {
+    let f = small_factor();
+    for grid in [Grid2D::new(2, 2), Grid2D::new(2, 3), Grid2D::new(3, 1)] {
+        for scheme in [
+            TreeScheme::Flat,
+            TreeScheme::Binary,
+            TreeScheme::ShiftedBinary,
+            TreeScheme::RandomPerm,
+        ] {
+            let (sync, sync_vol) = distributed_selinv(f, grid, &opts(scheme, 1));
+            for lookahead in [2usize, 4, usize::MAX] {
+                let (asyn, asyn_vol) = distributed_selinv(f, grid, &opts(scheme, lookahead));
+                let what = format!("{}x{} {scheme} lookahead={lookahead}", grid.pr, grid.pc);
+                assert_bit_identical(&sync, &asyn, &what);
+                assert_volumes_equal(&sync_vol, &asyn_vol, &what);
+            }
+        }
+    }
+}
+
+#[test]
+fn async_volumes_match_structural_replay() {
+    // The async path must preserve the *logical* communication exactly: its
+    // measured byte counters still equal the structure-only replay used for
+    // the paper tables.
+    let f = small_factor();
+    let grid = Grid2D::new(2, 3);
+    let o = opts(TreeScheme::ShiftedBinary, usize::MAX);
+    let (_, volumes) = distributed_selinv(f, grid, &o);
+    let layout = Layout::new(f.symbolic.clone(), grid);
+    let rep = pselinv_dist::replay_volumes(&layout, TreeBuilder::new(o.scheme, o.seed));
+    let measured_total: u64 = volumes.iter().map(|v| v.sent).sum();
+    assert_eq!(measured_total, rep.total_bytes());
+}
+
+#[test]
+fn async_engine_overlaps_collectives() {
+    // The whole point of the window: with lookahead > 1 at least one rank
+    // must have had more than one collective outstanding at once, and the
+    // sync path never exceeds one.
+    let f = small_factor();
+    let grid = Grid2D::new(2, 2);
+    let (_, _, sync_trace) =
+        distributed_selinv_traced(f, grid, &opts(TreeScheme::ShiftedBinary, 1), "sync");
+    let (_, _, asyn_trace) =
+        distributed_selinv_traced(f, grid, &opts(TreeScheme::ShiftedBinary, 4), "async");
+    let hwm = |t: &pselinv_trace::Trace| {
+        t.ranks.iter().map(|r| r.metrics.outstanding_hwm).max().unwrap_or(0)
+    };
+    assert_eq!(hwm(&sync_trace), 0, "sync path never reports outstanding collectives");
+    let h = hwm(&asyn_trace);
+    assert!(h > 1, "lookahead=4 should overlap supernodes, got high-water {h}");
+}
+
+#[test]
+fn async_engine_multithreaded_gemms_stay_bit_identical() {
+    let f = small_factor();
+    let grid = Grid2D::new(2, 2);
+    let mk = |threads, lookahead| DistOptions {
+        scheme: TreeScheme::ShiftedBinary,
+        seed: 7,
+        threads,
+        lookahead,
+    };
+    let (sync, sync_vol) = distributed_selinv(f, grid, &mk(1, 1));
+    for threads in [2, 4] {
+        let (asyn, asyn_vol) = distributed_selinv(f, grid, &mk(threads, 4));
+        let what = format!("threads={threads} lookahead=4");
+        assert_bit_identical(&sync, &asyn, &what);
+        assert_volumes_equal(&sync_vol, &asyn_vol, &what);
+    }
+}
+
+fn chaos_opts(plan: FaultPlan) -> RunOptions {
+    RunOptions {
+        watchdog: Some(Duration::from_secs(30)),
+        poll: Duration::from_millis(5),
+        faults: Some(plan),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn async_engine_survives_chaos_bit_identically(
+        seed in 0u64..1_000_000,
+        scheme_i in 0usize..4,
+        la_i in 0usize..3,
+        grid_i in 0usize..2,
+        delay in 0u64..40,
+        jitter in 0u64..40,
+        dup in 0u16..400,
+        reorder in 0u16..400,
+    ) {
+        let scheme = [
+            TreeScheme::Flat,
+            TreeScheme::Binary,
+            TreeScheme::ShiftedBinary,
+            TreeScheme::RandomPerm,
+        ][scheme_i];
+        let lookahead = [2usize, 4, usize::MAX][la_i];
+        let grid = [Grid2D::new(2, 2), Grid2D::new(2, 3)][grid_i];
+        let f = small_factor();
+
+        let (baseline, base_vol) = distributed_selinv(f, grid, &opts(scheme, 1));
+
+        let plan = FaultPlan::new(seed ^ 0xa5a5_5a5a).with_default(FaultSpec {
+            delay_us: delay,
+            jitter_us: jitter,
+            duplicate_permille: dup,
+            reorder_permille: reorder,
+            ..FaultSpec::default()
+        });
+        let (chaotic, vol) =
+            try_distributed_selinv(f, grid, &opts(scheme, lookahead), &chaos_opts(plan))
+                .expect("a crash-free fault plan must complete");
+
+        let sf = &baseline.symbolic;
+        for s in 0..sf.num_supernodes() {
+            for j in 0..sf.width(s) {
+                for i in 0..sf.width(s) {
+                    prop_assert_eq!(
+                        baseline.panels[s].diag[(i, j)].to_bits(),
+                        chaotic.panels[s].diag[(i, j)].to_bits(),
+                        "diag {} ({},{})", s, i, j
+                    );
+                }
+                for i in 0..sf.rows_of(s).len() {
+                    prop_assert_eq!(
+                        baseline.panels[s].below[(i, j)].to_bits(),
+                        chaotic.panels[s].below[(i, j)].to_bits(),
+                        "below {} ({},{})", s, i, j
+                    );
+                }
+            }
+        }
+        // Duplicate suppression reverses its accounting, so even the chaos
+        // run's volumes equal the fault-free synchronous ones exactly.
+        for r in 0..vol.len() {
+            prop_assert_eq!(vol[r], base_vol[r], "rank {} volume diverged", r);
+        }
+    }
+}

@@ -20,13 +20,15 @@
 
 pub mod collectives;
 pub mod grid;
+pub mod nb;
 pub mod payload;
 pub mod requests;
 pub mod runtime;
 
 pub use grid::Grid2D;
+pub use nb::{TreeBcastNb, TreeReduceNb};
 pub use payload::{IntoPayload, Payload};
-pub use requests::{tree_barrier, wait_any, RecvRequest};
+pub use requests::{tree_barrier, wait_any, RecvRequest, BARRIER_DOWN_LANE, BARRIER_UP_LANE};
 pub use runtime::{
     run, run_traced, try_run, try_run_traced, BlockedOn, Message, RankCtx, RankVolume, RecvTimeout,
     RunError, RunOptions, StallDiagnostic, NO_SEQ,

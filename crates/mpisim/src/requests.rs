@@ -6,7 +6,7 @@
 //! receives, then make progress on whichever arrives first.
 
 use crate::payload::Payload;
-use crate::runtime::{Message, RankCtx};
+use crate::runtime::{BlockedOn, RankCtx};
 
 /// A posted receive: matches one message by `(source, tag)`.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,6 +67,13 @@ impl RecvRequest {
 
 /// Progresses a set of posted receives until at least one completes;
 /// returns the index of a completed request (≈ `MPI_Waitany`).
+///
+/// When no request can be satisfied, this *blocks on the inbox* until a
+/// new message arrives (reporting what it awaits to the watchdog) instead
+/// of popping the stash: taking a stashed message the request set rejects
+/// and re-fronting it would spin at 100% CPU without ever registering as
+/// blocked, making an all-ranks-in-`wait_any` deadlock invisible to the
+/// watchdog and flooding the trace with receive/undo event pairs.
 pub fn wait_any(ctx: &mut RankCtx, reqs: &mut [RecvRequest]) -> usize {
     assert!(!reqs.is_empty(), "wait_any on an empty request set");
     loop {
@@ -75,22 +82,39 @@ pub fn wait_any(ctx: &mut RankCtx, reqs: &mut [RecvRequest]) -> usize {
                 return i;
             }
         }
-        // nothing matched: block on the next arrival (any source/tag),
-        // stash it, and re-test
-        let m: Message = ctx.recv_any();
-        ctx.stash_back(m);
+        // Nothing matched, so every request is still pending. Report the
+        // sharpest wait-for edge the set allows: a single awaited source
+        // lets the watchdog chase deadlock cycles through this rank.
+        let mut srcs = reqs.iter().map(|r| r.src);
+        let src = srcs.next().filter(|&s| srcs.all(|o| o == s));
+        let tag = if reqs.len() == 1 { Some(reqs[0].tag) } else { None };
+        ctx.wait_for_arrival_as(BlockedOn { src, tag });
     }
 }
 
+/// Tag lanes reserved for [`tree_barrier`]'s two internal collectives.
+///
+/// The top byte of the tag space is a phase namespace (`pselinv-dist`
+/// claims values for its six phase lanes); the barrier owns these two
+/// values so its up/down messages can never cross-match a caller's tags —
+/// deriving the down-phase tag by flipping the top bit of the caller's tag
+/// (as this barrier originally did) collides with any namespace that uses
+/// the full top byte.
+pub const BARRIER_UP_LANE: u64 = 0xB0 << 56;
+/// Down-phase companion of [`BARRIER_UP_LANE`].
+pub const BARRIER_DOWN_LANE: u64 = 0xB1 << 56;
+
 /// A dissemination-style barrier over an arbitrary rank subset using a
 /// tree: reduce up, broadcast down. All listed ranks must call it with the
-/// same arguments.
+/// same arguments. `tag` distinguishes concurrent barriers and must fit in
+/// the low 56 bits — the top byte belongs to the barrier's reserved lanes.
 pub fn tree_barrier(ctx: &mut RankCtx, tree: &pselinv_trees::CollectiveTree, tag: u64) {
-    crate::collectives::tree_reduce(ctx, tree, tag, vec![0.0]);
+    assert!(tag < (1 << 56), "barrier tag {tag:#x} overflows into the reserved lane byte");
+    crate::collectives::tree_reduce(ctx, tree, BARRIER_UP_LANE | tag, vec![0.0]);
     crate::collectives::tree_bcast(
         ctx,
         tree,
-        tag ^ 0x8000_0000_0000_0000,
+        BARRIER_DOWN_LANE | tag,
         (ctx.rank() == tree.root()).then(|| vec![0.0]),
     );
 }

@@ -710,9 +710,24 @@ impl RankCtx {
     /// Non-blocking match of `(src, tag)`: drains any queued arrivals into
     /// the stash and returns the payload if a matching message is present
     /// (≈ `MPI_Iprobe` + receive). Used by the request API.
+    ///
+    /// Sequence-aware: on an edge carrying [`RankCtx::send_seq`] traffic,
+    /// messages are consumed strictly in sequence order — stale duplicates
+    /// are suppressed on the spot (they were never accounted, so no
+    /// reversal is needed) and early arrivals are parked in the same
+    /// early-arrival buffer [`RankCtx::recv_seq`] drains. Without this, a
+    /// nonblocking receiver under injected duplication/reordering would
+    /// deliver whichever copy reached the stash first, breaking the
+    /// fault-masking guarantee the blocking path provides.
     pub fn try_match(&mut self, src: usize, tag: u64) -> Option<Payload> {
         self.check_abort();
         self.flush_held();
+        let want = self.seq_rx.get(&(src, tag)).copied().unwrap_or(0);
+        // A sequenced message already held for this edge has its turn now.
+        if let Some(m) = self.early.get_mut(&(src, tag)).and_then(|b| b.remove(&want)) {
+            self.seq_rx.insert((src, tag), want + 1);
+            return Some(self.account_recv(m).data);
+        }
         let mut drained = false;
         while let Ok(m) = self.inbox.try_recv() {
             self.bump_progress();
@@ -723,11 +738,77 @@ impl RankCtx {
         if drained {
             self.snapshot_stash();
         }
-        let i = self.stash.iter().position(|m| m.src == src && m.tag == tag)?;
-        let m = self.stash.remove(i).unwrap();
+        let mut i = 0;
+        let mut matched = None;
+        while i < self.stash.len() {
+            if self.stash[i].src != src || self.stash[i].tag != tag {
+                i += 1;
+                continue;
+            }
+            // `remove` keeps the rest of the stash in arrival order,
+            // preserving per-(src, tag) FIFO delivery.
+            let m = self.stash.remove(i).unwrap();
+            if m.seq == NO_SEQ || m.seq == want {
+                if m.seq == want {
+                    self.seq_rx.insert((src, tag), want + 1);
+                }
+                matched = Some(m);
+                break;
+            } else if m.seq < want {
+                // Stale duplicate of an already-consumed message. Stash
+                // entries carry no receive accounting yet, so dropping it
+                // here leaves the volume counters exactly as if the
+                // duplicate had been accounted and then reversed.
+                self.tracer.fault(FaultKind::DuplicateSuppressed, src, tag);
+            } else if self.early.entry((src, tag)).or_default().insert(m.seq, m).is_some() {
+                // Duplicate of a message already buffered ahead.
+                self.tracer.fault(FaultKind::DuplicateSuppressed, src, tag);
+            }
+            // The removal shifted the deque; re-inspect index `i`.
+        }
         self.tracer.stash_depth(self.stash.len());
         self.snapshot_stash();
-        Some(self.account_recv(m).data)
+        matched.map(|m| self.account_recv(m).data)
+    }
+
+    /// Blocks until at least one *new* message arrives and stashes it
+    /// without consuming it (no receive accounting — a later matched
+    /// receive accounts it). This is the progress engine's blocking point:
+    /// unlike popping the stash, it can never livelock on messages no
+    /// posted request matches, and it reports `on` to the watchdog while
+    /// parked, so an all-ranks-blocked progress loop is diagnosed like any
+    /// other deadlock. Blocked time is classified against the arriving
+    /// message's send timestamp.
+    pub fn wait_for_arrival_as(&mut self, on: BlockedOn) {
+        self.chaos_op();
+        self.flush_held();
+        let posted_us = self.tracer.now_us();
+        self.set_blocked(on);
+        loop {
+            match self.inbox.recv_timeout(self.poll) {
+                Ok(m) => {
+                    self.bump_progress();
+                    self.clear_blocked();
+                    self.tracer.recv_wait(posted_us, m.sent_us);
+                    self.stash.push_back(m);
+                    self.tracer.stash_depth(self.stash.len());
+                    self.snapshot_stash();
+                    return;
+                }
+                Err(RecvTimeoutError::Timeout) => self.check_abort(),
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.check_abort();
+                    std::thread::sleep(self.poll);
+                    self.check_abort();
+                    panic!("all senders hung up while receiving");
+                }
+            }
+        }
+    }
+
+    /// [`RankCtx::wait_for_arrival_as`] with a wildcard blocked-on report.
+    pub fn wait_for_arrival(&mut self) {
+        self.wait_for_arrival_as(BlockedOn { src: None, tag: None });
     }
 
     /// Returns a message taken with [`RankCtx::recv_any`] to the stash

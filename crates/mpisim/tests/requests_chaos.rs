@@ -1,0 +1,131 @@
+//! Chaos coverage for the nonblocking receive path: sequenced edges driven
+//! through `RecvRequest::test` / `wait_any` must mask duplication and
+//! reordering exactly like the blocking `recv_seq` path does, and the
+//! sender-side reorder hold-back slot must be flushed when a rank returns.
+
+use proptest::prelude::*;
+use pselinv_chaos::{FaultPlan, FaultSpec};
+use pselinv_mpisim::{try_run, wait_any, RecvRequest, RunOptions};
+use std::time::Duration;
+
+fn chaos_opts(plan: FaultPlan) -> RunOptions {
+    RunOptions {
+        watchdog: Some(Duration::from_secs(30)),
+        poll: Duration::from_millis(5),
+        faults: Some(plan),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn sequenced_requests_mask_duplication_and_reordering(
+        seed in 0u64..1_000_000,
+        n_msgs in 4usize..20,
+        dup in 100u16..700,
+        reorder in 100u16..700,
+    ) {
+        // The old `try_match` ignored sequence numbers: a duplicated
+        // message was delivered twice and a held-back one out of order,
+        // so the per-(src, tag) streams observed through RecvRequest
+        // diverged from send order. The seq-aware matcher suppresses
+        // stale duplicates and buffers early arrivals.
+        const N_TAGS: u64 = 2;
+        let plan = FaultPlan::new(seed).with_default(FaultSpec {
+            duplicate_permille: dup,
+            reorder_permille: reorder,
+            ..FaultSpec::default()
+        });
+        let (results, _) = try_run(2, &chaos_opts(plan), move |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..n_msgs {
+                    ctx.send_seq(1, i as u64 % N_TAGS, vec![i as f64]);
+                }
+                Ok(())
+            } else {
+                // One posted request per expected message, all outstanding
+                // at once — the worst case for unsequenced matching.
+                let mut reqs: Vec<RecvRequest> =
+                    (0..n_msgs).map(|i| RecvRequest::post(0, i as u64 % N_TAGS)).collect();
+                let mut seen: Vec<Vec<f64>> = vec![Vec::new(); N_TAGS as usize];
+                while !reqs.is_empty() {
+                    let i = wait_any(ctx, &mut reqs);
+                    let req = reqs.remove(i);
+                    let tag = req.tag;
+                    let data = req.take().expect("wait_any returned a done request");
+                    seen[tag as usize].push(data[0]);
+                }
+                // Per-(src, tag) delivery order must equal send order.
+                for tag in 0..N_TAGS {
+                    let sent: Vec<f64> = (0..n_msgs)
+                        .filter(|i| *i as u64 % N_TAGS == tag)
+                        .map(|i| i as f64)
+                        .collect();
+                    if seen[tag as usize] != sent {
+                        return Err(format!(
+                            "tag {tag}: got {:?}, sent {sent:?}",
+                            seen[tag as usize]
+                        ));
+                    }
+                }
+                Ok(())
+            }
+        })
+        .expect("benign faults must not wedge the nonblocking path");
+        for r in results {
+            prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+        }
+    }
+}
+
+#[test]
+fn rank_epilogue_flushes_the_reorder_holdback_slot() {
+    // With reorder_permille=1000 every masked send is parked in the
+    // per-destination hold-back slot, displacing the previous one. After
+    // the sender's last send one message is still held; if the runtime
+    // did not flush it when the rank function returns, the receiver would
+    // wait forever. This pins the epilogue `flush_held`.
+    let plan = FaultPlan::new(3)
+        .with_default(FaultSpec { reorder_permille: 1000, ..FaultSpec::default() });
+    let opts = RunOptions {
+        watchdog: Some(Duration::from_secs(5)),
+        poll: Duration::from_millis(5),
+        faults: Some(plan),
+    };
+    let (results, _) = try_run(2, &opts, |ctx| {
+        if ctx.rank() == 0 {
+            for i in 0..3 {
+                ctx.send_seq(1, 4, vec![10.0 + i as f64]);
+            }
+            // Return immediately: no further send or blocking point on
+            // this rank will flush the held message.
+            Vec::new()
+        } else {
+            (0..3).map(|_| ctx.recv_seq(0, 4)[0]).collect::<Vec<f64>>()
+        }
+    })
+    .expect("the epilogue flush must release the last held message");
+    assert_eq!(results[1], vec![10.0, 11.0, 12.0]);
+}
+
+#[test]
+fn wait_any_leaves_unmatched_stash_intact() {
+    // `wait_any` must not consume or reorder messages its request set does
+    // not match: an unrelated tag that arrives first stays stashed and is
+    // still receivable afterwards, in order.
+    let (results, _) = pselinv_mpisim::run(2, |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 5, vec![1.0]);
+            ctx.send(1, 5, vec![2.0]);
+            ctx.send(1, 7, vec![3.0]);
+            Vec::new()
+        } else {
+            let mut reqs = vec![RecvRequest::post(0, 7)];
+            let i = wait_any(ctx, &mut reqs);
+            let got = reqs.remove(i).take().unwrap()[0];
+            assert_eq!(got, 3.0);
+            vec![ctx.recv(0, 5)[0], ctx.recv(0, 5)[0]]
+        }
+    });
+    assert_eq!(results[1], vec![1.0, 2.0]);
+}

@@ -192,3 +192,51 @@ fn recv_timeout_escapes_a_missing_sender() {
     assert!(results[0].contains("timed out"), "{}", results[0]);
     assert!(results[0].contains("src=1"), "{}", results[0]);
 }
+
+#[test]
+fn wait_any_ring_deadlock_is_diagnosed_not_livelocked() {
+    // Every rank parks in `wait_any` on a request ring nobody feeds. The
+    // old implementation popped the stash and re-fronted rejected messages
+    // in a hot loop, so it never registered as blocked: the watchdog saw
+    // four busy ranks and the run hung forever at 100% CPU. The fixed
+    // `wait_any` blocks on the inbox and reports its wait-for edge, so the
+    // watchdog names the cycle and kills the run promptly.
+    use pselinv_mpisim::{wait_any, RecvRequest};
+    let t0 = Instant::now();
+    let err = try_run(4, &short_watchdog(), |ctx| {
+        let me = ctx.rank();
+        let mut reqs = vec![RecvRequest::post((me + 1) % 4, 7)];
+        wait_any(ctx, &mut reqs);
+    })
+    .expect_err("a wait_any receive ring must stall");
+    assert!(t0.elapsed() < Duration::from_secs(5), "took {:?}", t0.elapsed());
+    let RunError::Stalled(diag) = err else {
+        panic!("expected a stall diagnostic, got: {err}");
+    };
+    let text = diag.to_string();
+    for r in 0..4 {
+        let triple = format!("rank {} blocked on recv(src={}, tag=7)", r, (r + 1) % 4);
+        assert!(text.contains(&triple), "missing {triple:?} in:\n{text}");
+    }
+    assert!(text.contains("deadlock cycle:"), "no cycle line in:\n{text}");
+}
+
+#[test]
+fn wait_any_mixed_sources_reports_wildcard_block() {
+    // With requests on different sources there is no single wait-for edge;
+    // the rank must still register as blocked (as a wildcard) rather than
+    // spin invisibly.
+    use pselinv_mpisim::{wait_any, RecvRequest};
+    let err = try_run(3, &short_watchdog(), |ctx| {
+        if ctx.rank() == 0 {
+            let mut reqs = vec![RecvRequest::post(1, 1), RecvRequest::post(2, 2)];
+            wait_any(ctx, &mut reqs);
+        }
+    })
+    .expect_err("nobody sends; rank 0 must stall");
+    let RunError::Stalled(diag) = err else {
+        panic!("expected a stall diagnostic, got: {err}");
+    };
+    let text = diag.to_string();
+    assert!(text.contains("rank 0 blocked on recv(any)"), "{text}");
+}

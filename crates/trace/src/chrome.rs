@@ -91,6 +91,17 @@ pub fn to_chrome(trace: &Trace) -> Json {
                         ("args", Json::obj([("depth", (*depth).into())])),
                     ]));
                 }
+                EventKind::Outstanding { count } => {
+                    events.push(Json::obj([
+                        ("name", "outstanding".into()),
+                        ("cat", "overlap".into()),
+                        ("ph", "C".into()),
+                        ("pid", 0u64.into()),
+                        ("tid", tid.clone()),
+                        ("ts", e.ts_us.into()),
+                        ("args", Json::obj([("count", (*count).into())])),
+                    ]));
+                }
                 EventKind::Fault { what, peer, tag } => {
                     events.push(Json::obj([
                         ("name", format!("fault:{}", what.name()).into()),

@@ -137,6 +137,10 @@ pub enum EventKind {
     MsgRecv { peer: usize, tag: u64, bytes: u64, coll: CollKind },
     /// The out-of-order stash changed size (emitted on change only).
     StashDepth { depth: usize },
+    /// The number of nonblocking collectives in flight on this rank
+    /// changed (emitted on change only) — the async engine's
+    /// communication/computation overlap counter.
+    Outstanding { count: usize },
     /// Time this rank spent blocked waiting for a message, classified
     /// Scalasca-style: `wait_us` is late-sender time (blocked before the
     /// matching send was even issued), `transfer_us` is the remainder of
@@ -164,6 +168,9 @@ impl TraceEvent {
                 format!("[{t} µs] recv <- {peer} tag={tag} {bytes} B ({})", coll.name())
             }
             EventKind::StashDepth { depth } => format!("[{t} µs] stash depth {depth}"),
+            EventKind::Outstanding { count } => {
+                format!("[{t} µs] outstanding collectives {count}")
+            }
             EventKind::Wait { coll, wait_us, transfer_us, .. } => {
                 format!(
                     "[{t} µs] blocked {} µs (wait {wait_us} + transfer {transfer_us}, {})",

@@ -42,6 +42,10 @@ pub struct RankMetrics {
     pub msg_size_log2: [u64; 33],
     /// High-water mark of the out-of-order stash.
     pub stash_hwm: usize,
+    /// High-water mark of simultaneously outstanding nonblocking
+    /// collectives (the async engine's communication/computation overlap:
+    /// a synchronous schedule never exceeds 1).
+    pub outstanding_hwm: usize,
     /// Payload bytes physically copied on this rank (packing a buffer for
     /// a send). Forwarded shared payloads add nothing here, so this is the
     /// data-movement cost the zero-copy paths avoid — distinct from the
@@ -57,6 +61,7 @@ impl Default for RankMetrics {
             depth_sent_msgs: Vec::new(),
             msg_size_log2: [0; 33],
             stash_hwm: 0,
+            outstanding_hwm: 0,
             bytes_copied: 0,
         }
     }
@@ -125,6 +130,11 @@ impl RankMetrics {
     /// Updates the stash high-water mark.
     pub fn on_stash_depth(&mut self, depth: usize) {
         self.stash_hwm = self.stash_hwm.max(depth);
+    }
+
+    /// Updates the outstanding-collectives high-water mark.
+    pub fn on_outstanding(&mut self, count: usize) {
+        self.outstanding_hwm = self.outstanding_hwm.max(count);
     }
 
     /// Records `bytes` of physical payload copying.

@@ -47,6 +47,9 @@ struct Inner {
     depth: Option<usize>,
     /// Last reported stash depth (events are emitted on change only).
     last_stash: usize,
+    /// Last reported outstanding-collectives count (events are emitted on
+    /// change only).
+    last_outstanding: usize,
     events: Vec<TraceEvent>,
     metrics: RankMetrics,
 }
@@ -71,6 +74,7 @@ impl RankTracer {
             scopes: Vec::new(),
             depth: None,
             last_stash: 0,
+            last_outstanding: 0,
             events: Vec::new(),
             metrics: RankMetrics::default(),
         })))
@@ -85,6 +89,7 @@ impl RankTracer {
             scopes: Vec::new(),
             depth: None,
             last_stash: 0,
+            last_outstanding: 0,
             events: Vec::new(),
             metrics: RankMetrics::default(),
         })))
@@ -261,6 +266,20 @@ impl RankTracer {
                 inner.last_stash = depth;
                 let ts_us = inner.clock.now_us();
                 inner.events.push(TraceEvent { ts_us, kind: EventKind::StashDepth { depth } });
+            }
+        }
+    }
+
+    /// Reports the number of nonblocking collectives currently in flight on
+    /// this rank (the async engine's overlap signal). Updates the
+    /// high-water mark; emits a counter event only when the count changed.
+    pub fn outstanding(&mut self, count: usize) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            inner.metrics.on_outstanding(count);
+            if count != inner.last_outstanding {
+                inner.last_outstanding = count;
+                let ts_us = inner.clock.now_us();
+                inner.events.push(TraceEvent { ts_us, kind: EventKind::Outstanding { count } });
             }
         }
     }
@@ -499,6 +518,17 @@ impl Trace {
              {nonzero}/{} ranks ever stashed",
             hwms.len()
         );
+        // Overlap signal from the async engine: how many nonblocking
+        // collectives any rank ever had in flight at once (1 ≡ synchronous).
+        let o_max = self.ranks.iter().map(|r| r.metrics.outstanding_hwm).max().unwrap_or(0);
+        if o_max > 0 {
+            let o_mean = self.ranks.iter().map(|r| r.metrics.outstanding_hwm).sum::<usize>() as f64
+                / self.ranks.len() as f64;
+            let _ = writeln!(
+                out,
+                "outstanding collectives high-water: max {o_max}, mean {o_mean:.2} across ranks"
+            );
+        }
         out
     }
 }

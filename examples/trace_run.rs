@@ -59,7 +59,7 @@ fn main() {
         let rep = replay_volumes(&layout, TreeBuilder::new(scheme, TREE_SEED));
 
         // Backend 1: thread-per-rank mpisim, wall-clock trace.
-        let opts = DistOptions { scheme, seed: TREE_SEED, threads: 1 };
+        let opts = DistOptions { scheme, seed: TREE_SEED, threads: 1, lookahead: 1 };
         let (_, _, trace) = distributed_selinv_traced(&f, grid, &opts, &format!("mpisim/{slug}"));
         assert_eq!(
             trace.sent_bytes(CollKind::ColBcast),

@@ -24,7 +24,7 @@ fn full_pipeline(a: &SparseMatrix, opts: &AnalyzeOptions, grid: Grid2D, scheme: 
     let f = factorize(a, sf.clone()).unwrap();
     let seq = selinv_ldlt(&f);
     let (dist, volumes) =
-        distributed_selinv(&f, grid, &DistOptions { scheme, seed: 1, threads: 1 });
+        distributed_selinv(&f, grid, &DistOptions { scheme, seed: 1, threads: 1, lookahead: 1 });
     let dense = dense_inverse(a);
     let scale = 1.0 + dense.norm_max();
 
