@@ -4,13 +4,55 @@
 //! cargo run --release -p pselinv-bench --bin figures -- all
 //! cargo run --release -p pselinv-bench --bin figures -- table1 fig8a
 //! cargo run --release -p pselinv-bench --bin figures -- --out results/ fig9
+//! cargo run --release -p pselinv-bench --bin figures -- perf
+//! cargo run --release -p pselinv-bench --bin figures -- regress
 //! ```
 //!
-//! Artifacts (text + JSON/CSV) land in `target/figures/` by default.
+//! Artifacts (text + JSON/CSV) land in `target/figures/` by default. The
+//! measured targets (`perf`, `async`, `faults`, `trace`) additionally
+//! archive their machine-readable outputs into `results/runs/` so that
+//! `regress` can diff the newest perf run against the committed baseline
+//! (`results/baseline.json`); `regress` exits nonzero on regression.
 
 use pselinv_bench::experiments::{self, OutDir};
-use pselinv_bench::workloads;
+use pselinv_bench::{regress, workloads};
+use std::path::Path;
 use std::time::Instant;
+
+const USAGE: &str = "\
+usage: figures [--out DIR] [--seeds N] [--grid D] TARGET+
+
+paper artifacts:
+  all        every target below (except regress/baseline)
+  table1     Table I  — Col-Bcast volume per scheme (audikw_1 proxy, 46x46)
+  table2     Table II — Row-Reduce volume per scheme
+  fig4       volume histograms per scheme
+  fig5-fig7  Pr x Pc heat maps (flat root hot spots vs shifted balance)
+  fig8a/b    DES strong scaling (DG P3/audikw_1 proxies)
+  fig9       time breakdown per phase
+
+profiling & runtime:
+  trace      traced numeric run: summary tables + Chrome trace exports
+  hotspots   per-rank load heat maps from a traced run
+  critpath   DES critical-path extraction
+  bench-smoke smoke-sized kernel/collective benchmark table
+
+measured targets (archived into results/runs/):
+  perf       blocked-kernel throughput, zero-copy accounting, selinv walls
+  async      async-engine overlap sweep
+  faults     degraded-tree resilience under rank crashes
+  ablation-nic|ablation-shift|ablation-arity  model ablations
+
+perf-regression sentinel:
+  regress    diff newest archived perf run vs results/baseline.json;
+             exits 1 if any metric leaves its threshold band
+  baseline   (re)write results/baseline.json from the newest perf run
+
+options:
+  --out DIR   artifact directory            (default target/figures)
+  --seeds N   seeds per DES scaling point   (default 6)
+  --grid D    grid dimension for hotspots/critpath (default 46)
+  --help      this listing";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +63,10 @@ fn main() {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
             "--out" => out_path = it.next().expect("--out needs a path"),
             "--seeds" => {
                 seeds = it.next().expect("--seeds needs a number").parse().expect("bad seed count")
@@ -32,12 +78,7 @@ fn main() {
         }
     }
     if targets.is_empty() {
-        eprintln!(
-            "usage: figures [--out DIR] [--seeds N] [--grid D] \
-             {{all|table1|table2|fig4|fig5|fig6|fig7|fig8a|fig8b|fig9|trace\
-             |hotspots|critpath|bench-smoke|perf|faults|async\
-             |ablation-nic|ablation-shift|ablation-arity}}+"
-        );
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
     if targets.iter().any(|t| t == "all") {
@@ -68,6 +109,8 @@ fn main() {
     }
 
     let out = OutDir::new(&out_path).expect("cannot create output directory");
+    let runs_dir = Path::new(regress::RUNS_DIR);
+    let baseline = Path::new(regress::BASELINE);
     for t in &targets {
         let t0 = Instant::now();
         let txt = match t.as_str() {
@@ -90,13 +133,40 @@ fn main() {
             "ablation-nic" => experiments::ablation_nic(&out),
             "ablation-shift" => experiments::ablation_shift(&out),
             "ablation-arity" => experiments::ablation_arity(&out),
+            "baseline" => regress::write_baseline(runs_dir, baseline),
+            "regress" => match regress::regress(runs_dir, baseline) {
+                Ok((txt, true)) => Ok(txt),
+                Ok((txt, false)) => {
+                    println!("{txt}");
+                    std::process::exit(1);
+                }
+                Err(e) => Err(e),
+            },
             other => {
-                eprintln!("unknown target: {other}");
+                eprintln!("unknown target: {other}\n\n{USAGE}");
                 std::process::exit(2);
             }
         }
         .unwrap_or_else(|e| panic!("experiment {t} failed: {e}"));
         println!("{txt}");
+
+        // Archive the measured targets so `regress` has a run history.
+        let archived: Option<&[&str]> = match t.as_str() {
+            "perf" => Some(&["BENCH_perf.json", "perf.txt"]),
+            "async" => Some(&["BENCH_async.json", "async_overlap.txt"]),
+            "faults" => Some(&["BENCH_fault.json", "faults.txt"]),
+            "trace" => Some(&[
+                "trace_profile.txt",
+                "trace_flat_tree.trace.json",
+                "trace_shifted_binary_tree.trace.json",
+            ]),
+            _ => None,
+        };
+        if let Some(files) = archived {
+            let dir = regress::archive_run(Path::new(&out_path), runs_dir, t, files)
+                .expect("cannot archive run");
+            eprintln!("[archived into {}]", dir.display());
+        }
         eprintln!("[{t} done in {:.1?}; artifacts in {out_path}]", t0.elapsed());
     }
 }

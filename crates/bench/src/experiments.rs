@@ -744,7 +744,16 @@ pub fn perf(out: &OutDir) -> std::io::Result<String> {
         best
     }
 
+    // Deterministic degrade knob for the regression sentinel's CI
+    // self-test: report figures as if the optimisations were lost — the
+    // naive kernel's throughput as the blocked one, the copy-per-hop
+    // model as the measured copies. `figures -- regress` must then fail.
+    let degrade = std::env::var_os("PSELINV_PERF_DEGRADE").is_some_and(|v| v != "0");
+
     let mut txt = String::from("Perf: blocked kernels and zero-copy payloads\n\n");
+    if degrade {
+        txt.push_str("!! PSELINV_PERF_DEGRADE set: reporting artificially degraded figures\n\n");
+    }
 
     // 1. Kernel throughput by shape.
     txt.push_str("GEMM C = A*B (GFLOP/s, best of 3)\n");
@@ -759,7 +768,10 @@ pub fn perf(out: &OutDir) -> std::io::Result<String> {
         let tn =
             best_secs(3, || gemm_naive(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c1));
         let tb = best_secs(3, || gemm(1.0, &a, Transpose::No, &b, Transpose::No, 0.0, &mut c2));
-        let (gn, gb) = (flops / tn / 1e9, flops / tb / 1e9);
+        let (gn, mut gb) = (flops / tn / 1e9, flops / tb / 1e9);
+        if degrade {
+            gb = gn; // blocked kernel "lost": speedup collapses to 1.0
+        }
         let _ = writeln!(
             txt,
             "  {m:>3}x{n:>3}x{kk:>3}: naive {gn:6.2}, blocked {gb:6.2} ({:.2}x)",
@@ -791,6 +803,7 @@ pub fn perf(out: &OutDir) -> std::io::Result<String> {
         bcast_copied, payload_bytes,
         "a {NRANKS}-rank broadcast must physically copy exactly the root's one packing"
     );
+    let bcast_copied = if degrade { per_hop_model } else { bcast_copied };
     let _ = writeln!(
         txt,
         "\nZero-copy broadcast ({NRANKS} ranks, Shifted Binary-Tree, {} KiB payload)\n  \
@@ -830,8 +843,11 @@ pub fn perf(out: &OutDir) -> std::io::Result<String> {
             rep.row_reduce_received,
             "{name}: traced Row-Reduce bytes diverge from the volume replay"
         );
-        let copied: u64 = vols.iter().map(|v| v.copied).sum();
+        let mut copied: u64 = vols.iter().map(|v| v.copied).sum();
         let sent: u64 = vols.iter().map(|v| v.sent).sum();
+        if degrade {
+            copied *= 4; // zero-copy path "lost": forwarding hops copy again
+        }
         let g = selinv_graph(&layout, &GraphOptions { scheme, seed: TREE_SEED, pipelining: true });
         let makespan = simulate(&g, workloads::des_machine(0)).makespan;
         let _ = writeln!(

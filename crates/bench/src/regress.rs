@@ -1,0 +1,378 @@
+//! Perf-regression sentinel: a run registry plus a baseline differ.
+//!
+//! Every `figures -- perf|async|faults|trace` invocation archives its
+//! machine-readable artifacts into `results/runs/<NNN>-<target>/` next
+//! to a `meta.json` (git revision, target, backend/seed context), so the
+//! repository accumulates an append-only history of measured runs.
+//! `figures -- regress` then extracts a fixed set of scalar metrics from
+//! the newest archived perf run, compares each against the committed
+//! baseline (`results/baseline.json`) under per-metric relative
+//! thresholds, and reports pass/fail — the CI gate exits nonzero on any
+//! regression.
+//!
+//! The metric set deliberately mixes deterministic invariants (copied
+//! bytes, DES makespans — any drift is a real behavioural change) with
+//! loosely-thresholded timing ratios (GEMM blocked-vs-naive speedup —
+//! noisy on shared runners, so the threshold only catches collapse, e.g.
+//! the blocked kernel silently falling back to the naive one).
+
+use pselinv_trace::Json;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Default location of the run registry, relative to the working
+/// directory (the repository root in CI).
+pub const RUNS_DIR: &str = "results/runs";
+/// Default location of the committed baseline.
+pub const BASELINE: &str = "results/baseline.json";
+
+/// One scalar metric extracted from a perf run, with its acceptance
+/// band relative to the baseline value.
+#[derive(Clone, Debug)]
+pub struct Metric {
+    pub name: &'static str,
+    pub value: f64,
+    /// Fail if `value < baseline * min_ratio`.
+    pub min_ratio: Option<f64>,
+    /// Fail if `value > baseline * max_ratio`.
+    pub max_ratio: Option<f64>,
+}
+
+fn f(j: &Json, key: &str) -> Option<f64> {
+    j.get(key).and_then(Json::as_f64)
+}
+
+/// Extracts the sentinel's metric set from a `BENCH_perf.json` document.
+///
+/// Returns `None` when the document does not look like a perf run.
+pub fn perf_metrics(doc: &Json) -> Option<Vec<Metric>> {
+    if doc.get("bench").and_then(Json::as_str) != Some("perf") {
+        return None;
+    }
+    let mut m = Vec::new();
+    let gemm = doc.get("gemm")?.as_arr()?;
+    let min_speedup = gemm.iter().filter_map(|r| f(r, "speedup")).fold(f64::INFINITY, f64::min);
+    if min_speedup.is_finite() {
+        // Timing-based and noisy: the band only catches the blocked
+        // kernel collapsing to naive throughput.
+        m.push(Metric {
+            name: "gemm_min_speedup",
+            value: min_speedup,
+            min_ratio: Some(0.35),
+            max_ratio: None,
+        });
+    }
+    let bc = doc.get("bcast_zero_copy")?;
+    m.push(Metric {
+        name: "bcast_copied_bytes",
+        value: f(bc, "copied_bytes_measured")?,
+        min_ratio: None,
+        // Deterministic: any growth means a zero-copy path regressed to
+        // physical copies.
+        max_ratio: Some(1.5),
+    });
+    m.push(Metric {
+        name: "bcast_logical_bytes",
+        value: f(bc, "logical_sent_bytes")?,
+        // Deterministic identity — must not move in either direction.
+        min_ratio: Some(0.999),
+        max_ratio: Some(1.001),
+    });
+    let selinv = doc.get("selinv")?.as_arr()?;
+    let copied: f64 = selinv.iter().filter_map(|r| f(r, "bytes_copied")).sum();
+    let sent: f64 = selinv.iter().filter_map(|r| f(r, "bytes_sent")).sum();
+    m.push(Metric {
+        name: "selinv_copied_bytes",
+        value: copied,
+        min_ratio: None,
+        max_ratio: Some(1.5),
+    });
+    m.push(Metric {
+        name: "selinv_logical_bytes",
+        value: sent,
+        min_ratio: Some(0.999),
+        max_ratio: Some(1.001),
+    });
+    for r in selinv {
+        if let (Some(name), Some(mk)) = (r.get("scheme").and_then(Json::as_str), f(r, "makespan_s"))
+        {
+            if name.contains("Shifted") {
+                // DES makespan is deterministic; small band for model tweaks.
+                m.push(Metric {
+                    name: "selinv_makespan_shifted_s",
+                    value: mk,
+                    min_ratio: None,
+                    max_ratio: Some(1.10),
+                });
+            }
+        }
+    }
+    Some(m)
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Archives the named artifact files of a just-finished `figures` target
+/// from `out_dir` into `<runs_dir>/<NNN>-<target>/`, with a `meta.json`
+/// recording the target, git revision and the archived file list. `NNN`
+/// is one past the highest existing run number, so the registry is
+/// append-only and `latest run` is well-defined. Files listed but not
+/// produced by the target are skipped silently (e.g. optional exports).
+pub fn archive_run(
+    out_dir: &Path,
+    runs_dir: &Path,
+    target: &str,
+    files: &[&str],
+) -> std::io::Result<PathBuf> {
+    fs::create_dir_all(runs_dir)?;
+    let next = next_run_number(runs_dir)?;
+    let run_dir = runs_dir.join(format!("{next:03}-{target}"));
+    fs::create_dir_all(&run_dir)?;
+    let mut archived = Vec::new();
+    for name in files {
+        let src = out_dir.join(name);
+        if src.is_file() {
+            fs::copy(&src, run_dir.join(name))?;
+            archived.push(Json::from(*name));
+        }
+    }
+    let meta = Json::obj([
+        ("target", Json::from(target)),
+        ("run", (next as f64).into()),
+        ("git_rev", Json::from(git_rev().as_str())),
+        ("files", Json::Arr(archived)),
+    ]);
+    fs::write(run_dir.join("meta.json"), meta.to_string_pretty())?;
+    Ok(run_dir)
+}
+
+fn next_run_number(runs_dir: &Path) -> std::io::Result<u32> {
+    let mut max = 0u32;
+    for e in fs::read_dir(runs_dir)? {
+        let name = e?.file_name();
+        let name = name.to_string_lossy();
+        if let Some((num, _)) = name.split_once('-') {
+            if let Ok(n) = num.parse::<u32>() {
+                max = max.max(n);
+            }
+        }
+    }
+    Ok(max + 1)
+}
+
+/// Finds the newest archived run containing `artifact` and parses it.
+pub fn latest_artifact(runs_dir: &Path, artifact: &str) -> Option<(PathBuf, Json)> {
+    let mut best: Option<(u32, PathBuf)> = None;
+    for e in fs::read_dir(runs_dir).ok()? {
+        let path = e.ok()?.path();
+        let name = path.file_name()?.to_string_lossy().to_string();
+        let num: u32 = name.split_once('-')?.0.parse().ok()?;
+        if path.join(artifact).is_file() && best.as_ref().is_none_or(|(n, _)| num > *n) {
+            best = Some((num, path));
+        }
+    }
+    let (_, dir) = best?;
+    let text = fs::read_to_string(dir.join(artifact)).ok()?;
+    Json::parse(&text).ok().map(|j| (dir, j))
+}
+
+/// Writes `results/baseline.json` from the newest archived perf run.
+pub fn write_baseline(runs_dir: &Path, baseline: &Path) -> std::io::Result<String> {
+    let (dir, doc) = latest_artifact(runs_dir, "BENCH_perf.json").ok_or_else(|| {
+        std::io::Error::other(format!("no archived perf run under {}", runs_dir.display()))
+    })?;
+    let metrics = perf_metrics(&doc)
+        .ok_or_else(|| std::io::Error::other("archived BENCH_perf.json is not a perf document"))?;
+    let entries: Vec<(String, Json)> = metrics
+        .iter()
+        .map(|m| {
+            let mut fields = vec![("value".to_string(), Json::from(m.value))];
+            if let Some(r) = m.min_ratio {
+                fields.push(("min_ratio".to_string(), r.into()));
+            }
+            if let Some(r) = m.max_ratio {
+                fields.push(("max_ratio".to_string(), r.into()));
+            }
+            (m.name.to_string(), Json::Obj(fields))
+        })
+        .collect();
+    let doc = Json::obj([
+        ("baseline_of", Json::from(dir.file_name().unwrap().to_string_lossy().as_ref())),
+        ("git_rev", Json::from(git_rev().as_str())),
+        ("metrics", Json::Obj(entries)),
+    ]);
+    if let Some(parent) = baseline.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(baseline, doc.to_string_pretty())?;
+    Ok(format!(
+        "baseline written to {} from {} ({} metrics)",
+        baseline.display(),
+        dir.display(),
+        metrics.len()
+    ))
+}
+
+/// Compares one metric against its baseline entry. Returns the rendered
+/// row and whether it passed.
+fn check(m: &Metric, base: &Json) -> (String, bool) {
+    let Some(bv) = base.get("value").and_then(Json::as_f64) else {
+        return (format!("  {:<26} SKIP (no baseline value)", m.name), true);
+    };
+    let min_ratio = base.get("min_ratio").and_then(Json::as_f64).or(m.min_ratio);
+    let max_ratio = base.get("max_ratio").and_then(Json::as_f64).or(m.max_ratio);
+    let ratio = if bv != 0.0 { m.value / bv } else { f64::INFINITY };
+    let mut ok = true;
+    let mut why = String::new();
+    if let Some(r) = min_ratio {
+        if ratio < r {
+            ok = false;
+            let _ = write!(why, " < {r:.2}x floor");
+        }
+    }
+    if let Some(r) = max_ratio {
+        if ratio > r {
+            ok = false;
+            let _ = write!(why, " > {r:.2}x ceiling");
+        }
+    }
+    let row = format!(
+        "  {:<26} {:>14.4} vs {:>14.4} ({:>6.3}x) {}{}",
+        m.name,
+        m.value,
+        bv,
+        ratio,
+        if ok { "ok" } else { "REGRESSION" },
+        why
+    );
+    (row, ok)
+}
+
+/// The `figures -- regress` entry point: diff the newest archived perf
+/// run against the committed baseline. Returns the rendered report and
+/// whether every metric stayed inside its band.
+pub fn regress(runs_dir: &Path, baseline: &Path) -> std::io::Result<(String, bool)> {
+    let base_text = fs::read_to_string(baseline).map_err(|e| {
+        std::io::Error::other(format!(
+            "cannot read baseline {} ({e}); run `figures -- perf` then `figures -- baseline`",
+            baseline.display()
+        ))
+    })?;
+    let base = Json::parse(&base_text)
+        .map_err(|e| std::io::Error::other(format!("baseline is not valid JSON: {e}")))?;
+    let base_metrics = base
+        .get("metrics")
+        .ok_or_else(|| std::io::Error::other("baseline has no `metrics` object"))?;
+    let (dir, doc) = latest_artifact(runs_dir, "BENCH_perf.json").ok_or_else(|| {
+        std::io::Error::other(format!(
+            "no archived perf run under {}; run `figures -- perf` first",
+            runs_dir.display()
+        ))
+    })?;
+    let metrics = perf_metrics(&doc)
+        .ok_or_else(|| std::io::Error::other("archived BENCH_perf.json is not a perf document"))?;
+
+    let mut txt =
+        format!("Perf regression check: {} vs baseline {}\n", dir.display(), baseline.display());
+    let mut all_ok = true;
+    for m in &metrics {
+        match base_metrics.get(m.name) {
+            Some(b) => {
+                let (row, ok) = check(m, b);
+                all_ok &= ok;
+                txt.push_str(&row);
+                txt.push('\n');
+            }
+            None => {
+                let _ = writeln!(txt, "  {:<26} NEW (not in baseline)", m.name);
+            }
+        }
+    }
+    let _ = writeln!(txt, "{}", if all_ok { "PASS" } else { "FAIL: perf regression detected" });
+    Ok((txt, all_ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perf_doc(copied: f64, speedup: f64) -> Json {
+        Json::obj([
+            ("bench", "perf".into()),
+            (
+                "gemm",
+                Json::from(vec![
+                    Json::obj([("speedup", speedup.into())]),
+                    Json::obj([("speedup", (speedup * 2.0).into())]),
+                ]),
+            ),
+            (
+                "bcast_zero_copy",
+                Json::obj([
+                    ("copied_bytes_measured", copied.into()),
+                    ("logical_sent_bytes", 1000.0.into()),
+                ]),
+            ),
+            (
+                "selinv",
+                Json::from(vec![Json::obj([
+                    ("scheme", "Shifted Binary-Tree".into()),
+                    ("bytes_copied", 50.0.into()),
+                    ("bytes_sent", 200.0.into()),
+                    ("makespan_s", 1.25.into()),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn metric_extraction_reads_the_perf_document() {
+        let m = perf_metrics(&perf_doc(100.0, 2.0)).unwrap();
+        let by_name = |n: &str| m.iter().find(|x| x.name == n).unwrap().value;
+        assert_eq!(by_name("gemm_min_speedup"), 2.0);
+        assert_eq!(by_name("bcast_copied_bytes"), 100.0);
+        assert_eq!(by_name("selinv_makespan_shifted_s"), 1.25);
+        assert!(perf_metrics(&Json::obj([("bench", "faults".into())])).is_none());
+    }
+
+    #[test]
+    fn regress_passes_on_self_compare_and_fails_on_degraded_run() {
+        let tmp = std::env::temp_dir().join("pselinv_regress_test");
+        let _ = fs::remove_dir_all(&tmp);
+        let runs = tmp.join("runs");
+        let out = tmp.join("figures");
+        fs::create_dir_all(&out).unwrap();
+        fs::write(out.join("BENCH_perf.json"), perf_doc(100.0, 2.0).to_string_pretty()).unwrap();
+        archive_run(&out, &runs, "perf", &["BENCH_perf.json"]).unwrap();
+
+        let baseline = tmp.join("baseline.json");
+        write_baseline(&runs, &baseline).unwrap();
+
+        // Self-compare: every ratio is exactly 1.0.
+        let (report, ok) = regress(&runs, &baseline).unwrap();
+        assert!(ok, "self-compare must pass:\n{report}");
+
+        // Degraded run: copied bytes ballooned, blocked kernel collapsed.
+        fs::write(out.join("BENCH_perf.json"), perf_doc(6400.0, 0.5).to_string_pretty()).unwrap();
+        let run2 = archive_run(&out, &runs, "perf", &["BENCH_perf.json"]).unwrap();
+        assert!(run2.file_name().unwrap().to_string_lossy().starts_with("002-"));
+        let (report, ok) = regress(&runs, &baseline).unwrap();
+        assert!(!ok, "degraded run must fail:\n{report}");
+        assert!(report.contains("REGRESSION"));
+
+        // meta.json records target and run number.
+        let meta = Json::parse(&fs::read_to_string(run2.join("meta.json")).unwrap()).unwrap();
+        assert_eq!(meta.get("target").and_then(Json::as_str), Some("perf"));
+        assert_eq!(meta.get("run").and_then(Json::as_f64), Some(2.0));
+        let _ = fs::remove_dir_all(&tmp);
+    }
+}

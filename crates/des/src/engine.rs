@@ -116,6 +116,10 @@ enum Event {
         bytes: u64,
         /// Injection time at the source (for transfer/wait accounting).
         sent: f64,
+        /// Sender's Lamport clock at the send (0 when untraced).
+        clock: u64,
+        /// Sender's monotonic send index (0 when untraced).
+        idx: u64,
     },
 }
 
@@ -343,6 +347,16 @@ fn simulate_impl(
     let mut ready_at = vec![0.0f64; n];
     let mut last_on_rank: Vec<Option<TaskId>> = vec![None; p];
 
+    // Causal stamps, mirroring the mpisim runtime: a per-rank Lamport
+    // clock (ticked at send, merged `max + 1` at the consuming receive)
+    // and a per-rank monotonic send counter, so `(rank, idx)` names each
+    // simulated message. `cause[t]` remembers which message satisfied
+    // task `t`'s final dependency — the provenance a later wait span on
+    // that task blames.
+    let mut lamport = vec![0u64; p];
+    let mut sendno = vec![0u64; p];
+    let mut cause: Vec<Option<(usize, u64)>> = vec![None; n];
+
     // Dispatch the next ready task on `rank` if it is idle.
     macro_rules! dispatch {
         ($rank:expr, $now:expr) => {{
@@ -371,7 +385,13 @@ fn simulate_impl(
                     if traced {
                         let (coll, sn) = unpack_task_tag(graph.task_tag[t as usize]);
                         if us(start) > us(idle_from) {
-                            tracers[r].wait_at(coll, sn as u64, us(idle_from), us(start));
+                            tracers[r].wait_at(
+                                coll,
+                                sn as u64,
+                                us(idle_from),
+                                us(start),
+                                cause[t as usize],
+                            );
                         }
                         tracers[r].span_at(coll, sn as u64, us(start), us(end));
                     }
@@ -465,10 +485,15 @@ fn simulate_impl(
                         let dst = graph.task_rank[s as usize] as usize;
                         messages += 1;
                         bytes_total += b;
+                        let (mut clock, mut idx) = (0u64, 0u64);
                         if traced {
                             // The message is attributed to the phase of the
                             // task it feeds (the collective that routed it).
                             let (coll, _) = unpack_task_tag(graph.task_tag[s as usize]);
+                            lamport[r] += 1;
+                            clock = lamport[r];
+                            idx = sendno[r];
+                            sendno[r] += 1;
                             tracers[r].set_time_us(us(time));
                             tracers[r].msg_send_as(
                                 coll,
@@ -476,6 +501,8 @@ fn simulate_impl(
                                 graph.task_tag[s as usize] as u64,
                                 b,
                                 None,
+                                clock,
+                                idx,
                             );
                         }
                         let tt = topo.transfer_time(r, dst, b);
@@ -510,6 +537,8 @@ fn simulate_impl(
                                 src_rank: r as u32,
                                 bytes: b,
                                 sent: time,
+                                clock,
+                                idx,
                             },
                             &mut seq,
                         );
@@ -517,7 +546,7 @@ fn simulate_impl(
                 }
                 dispatch!(r, time);
             }
-            Event::Arrive { dst_task, src_task, src_rank, bytes, sent } => {
+            Event::Arrive { dst_task, src_task, src_rank, bytes, sent, clock, idx } => {
                 let dst = graph.task_rank[dst_task as usize] as usize;
                 if plan.is_some_and(|p| p.down_at(dst, time)) {
                     // Delivery to a dead rank: the message is lost and the
@@ -544,12 +573,15 @@ fn simulate_impl(
                 };
                 if traced {
                     let (coll, _) = unpack_task_tag(graph.task_tag[dst_task as usize]);
+                    lamport[dst] = lamport[dst].max(clock) + 1;
                     tracers[dst].set_time_us(us(deliver));
                     tracers[dst].msg_recv_as(
                         coll,
                         src_rank as usize,
                         graph.task_tag[dst_task as usize] as u64,
                         bytes,
+                        lamport[dst],
+                        idx,
                     );
                     // Simulated in-flight time of the message, attributed
                     // to the kind of the task that consumes it.
@@ -558,6 +590,7 @@ fn simulate_impl(
                 deps[dst_task as usize] -= 1;
                 if deps[dst_task as usize] == 0 {
                     ready_at[dst_task as usize] = deliver;
+                    cause[dst_task as usize] = Some((src_rank as usize, idx));
                     if let Some(prof) = profile.as_deref_mut() {
                         prof.task_ready_us[dst_task as usize] = us(deliver);
                         prof.pred[dst_task as usize] =

@@ -532,7 +532,7 @@ pub(crate) fn phase2_async(
         if active.is_empty() {
             break; // next == 0 and nothing in flight
         }
-        ctx.tracer().outstanding(active.len());
+        ctx.outstanding(active.len());
         for t in &mut active {
             progressed |= t.poll(ctx, st, &plans[t.k], threads);
         }
@@ -546,5 +546,5 @@ pub(crate) fn phase2_async(
             ctx.wait_for_arrival();
         }
     }
-    ctx.tracer().outstanding(0);
+    ctx.outstanding(0);
 }

@@ -29,7 +29,8 @@ pub mod volume;
 
 pub use layout::Layout;
 pub use numeric::{
-    distributed_selinv, distributed_selinv_traced, try_distributed_selinv, DistOptions,
+    distributed_selinv, distributed_selinv_traced, try_distributed_selinv,
+    try_distributed_selinv_traced, DistOptions,
 };
 pub use plan::{CommPlan, SupernodePlan};
 pub use volume::{replay_volumes, VolumeReport};

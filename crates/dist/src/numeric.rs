@@ -245,20 +245,38 @@ pub fn distributed_selinv_traced(
     opts: &DistOptions,
     label: &str,
 ) -> (SelectedInverse, Vec<RankVolume>, Trace) {
+    try_distributed_selinv_traced(factor, grid, opts, &pselinv_mpisim::RunOptions::default(), label)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`distributed_selinv_traced`] under explicit [`RunOptions`] — the entry
+/// point for traced runs with live telemetry ([`RunOptions::telemetry`])
+/// or fault injection attached.
+///
+/// [`RunOptions`]: pselinv_mpisim::RunOptions
+/// [`RunOptions::telemetry`]: pselinv_mpisim::RunOptions::telemetry
+pub fn try_distributed_selinv_traced(
+    factor: &LdlFactor,
+    grid: Grid2D,
+    opts: &DistOptions,
+    run_opts: &pselinv_mpisim::RunOptions,
+    label: &str,
+) -> Result<(SelectedInverse, Vec<RankVolume>, Trace), pselinv_mpisim::RunError> {
     let layout = Layout::new(factor.symbolic.clone(), grid);
     let builder = TreeBuilder::new(opts.scheme, opts.seed);
     let plans = CommPlan::new(layout.clone(), builder).precompute_all();
 
-    let (outputs, volumes, mut trace) = pselinv_mpisim::run_traced(grid.size(), label, |ctx| {
-        rank_entry(ctx, factor, &layout, &plans, opts)
-    });
+    let (outputs, volumes, mut trace) =
+        pselinv_mpisim::try_run_traced(grid.size(), label, run_opts, |ctx| {
+            rank_entry(ctx, factor, &layout, &plans, opts)
+        })?;
     trace.set_meta("backend", "mpisim");
     trace.set_meta("grid", format!("{}x{}", grid.pr, grid.pc));
     trace.set_meta("scheme", opts.scheme.to_string());
     trace.set_meta("seed", opts.seed.to_string());
     trace.set_meta("lookahead", opts.lookahead.to_string());
 
-    (assemble(factor, &layout, outputs), volumes, trace)
+    Ok((assemble(factor, &layout, outputs), volumes, trace))
 }
 
 /// Assembles the per-rank output pieces into a [`SelectedInverse`].

@@ -24,6 +24,7 @@ pub mod nb;
 pub mod payload;
 pub mod requests;
 pub mod runtime;
+pub mod telemetry;
 
 pub use grid::Grid2D;
 pub use nb::{TreeBcastNb, TreeReduceNb};
@@ -33,3 +34,4 @@ pub use runtime::{
     run, run_traced, try_run, try_run_traced, BlockedOn, Message, RankCtx, RankVolume, RecvTimeout,
     RunError, RunOptions, StallDiagnostic, NO_SEQ,
 };
+pub use telemetry::{Telemetry, TelemetrySample};

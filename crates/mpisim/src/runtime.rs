@@ -18,6 +18,7 @@
 //!   any crash-free schedule yields bit-identical results.
 
 use crate::payload::{IntoPayload, Payload};
+use crate::telemetry::{sampler, Telemetry};
 use pselinv_chaos::FaultPlan;
 use pselinv_trace::{FaultKind, RankTrace, RankTracer, Trace};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -51,6 +52,15 @@ pub struct Message {
     /// payload: excluded from [`Message::bytes`], so volume accounting is
     /// identical with and without masking.
     pub seq: u64,
+    /// Sender's Lamport clock at the send instant. A header like `seq`:
+    /// excluded from [`Message::bytes`], so causal stamping never perturbs
+    /// the volume identities.
+    pub clock: u64,
+    /// Sender's monotonic send index (counts every send this rank issued,
+    /// across all destinations and tags): `(src, idx)` names this send
+    /// uniquely for the whole run, which is the provenance causal tracing
+    /// records on the matching receive.
+    pub idx: u64,
     /// Payload (shared; cloning the message never copies the buffer).
     pub data: Payload,
 }
@@ -222,6 +232,14 @@ pub struct RunOptions {
     pub poll: Duration,
     /// Fault schedule to inject, if any.
     pub faults: Option<FaultPlan>,
+    /// Live-telemetry handle: when set, a sampler thread periodically
+    /// snapshots per-rank gauges (blocked-on state, inbox/stash depth,
+    /// outstanding collectives, bytes sent/copied, progress counter) into
+    /// the handle's ring buffer while the run executes. The caller keeps a
+    /// clone and reads [`Telemetry::samples`] during or after the run.
+    /// `None` (the default) keeps the hot send/recv path entirely free of
+    /// gauge updates — the same single-branch guard as the trace layer.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for RunOptions {
@@ -230,6 +248,7 @@ impl Default for RunOptions {
             watchdog: Some(Duration::from_secs(30)),
             poll: Duration::from_millis(25),
             faults: None,
+            telemetry: None,
         }
     }
 }
@@ -239,33 +258,47 @@ impl Default for RunOptions {
 /// original failure is reported.
 struct Aborted;
 
-/// Per-rank state visible to the watchdog monitor.
+/// Per-rank state visible to the watchdog monitor and the telemetry
+/// sampler.
 #[derive(Default)]
-struct RankState {
+pub(crate) struct RankState {
     /// Bumped on every completed send and every message taken off the
     /// inbox; the monitor detects stalls as "no counter moved".
-    progress: AtomicU64,
+    pub(crate) progress: AtomicU64,
     done: AtomicBool,
-    blocked: Mutex<Option<BlockedOn>>,
+    pub(crate) blocked: Mutex<Option<BlockedOn>>,
     /// `(src, tag)` of stashed messages, refreshed on stash changes.
-    stash: Mutex<Vec<(usize, u64)>>,
+    pub(crate) stash: Mutex<Vec<(usize, u64)>>,
+    /// Messages currently queued in this rank's inbox (telemetry gauge;
+    /// maintained only when telemetry is enabled).
+    pub(crate) inbox_len: AtomicUsize,
+    /// Nonblocking collectives currently in flight on this rank
+    /// (telemetry gauge, mirrored from [`RankCtx::outstanding`]).
+    pub(crate) outstanding: AtomicUsize,
+    /// Running total of bytes sent (telemetry gauge).
+    pub(crate) sent_bytes: AtomicU64,
+    /// Running total of payload bytes physically copied (telemetry gauge).
+    pub(crate) copied_bytes: AtomicU64,
 }
 
-/// Run-global state shared by rank threads and the monitor.
-struct Shared {
-    states: Vec<RankState>,
-    abort: AtomicBool,
+/// Run-global state shared by rank threads, the monitor and the sampler.
+pub(crate) struct Shared {
+    pub(crate) states: Vec<RankState>,
+    pub(crate) abort: AtomicBool,
     /// First failure wins; later ones (usually secondary) are dropped.
     verdict: Mutex<Option<RunError>>,
     trace_tails: Mutex<Vec<(usize, Vec<String>)>>,
-    finished: AtomicUsize,
-    cv_lock: Mutex<()>,
-    cv: Condvar,
+    pub(crate) finished: AtomicUsize,
+    pub(crate) cv_lock: Mutex<()>,
+    pub(crate) cv: Condvar,
     watchdog: bool,
+    /// Whether telemetry gauges are maintained. Checked with one branch on
+    /// the hot paths, exactly like the disabled trace sink.
+    telemetry: bool,
 }
 
 impl Shared {
-    fn new(nranks: usize, watchdog: bool) -> Self {
+    fn new(nranks: usize, watchdog: bool, telemetry: bool) -> Self {
         Self {
             states: (0..nranks).map(|_| RankState::default()).collect(),
             abort: AtomicBool::new(false),
@@ -275,7 +308,14 @@ impl Shared {
             cv_lock: Mutex::new(()),
             cv: Condvar::new(),
             watchdog,
+            telemetry,
         }
+    }
+
+    /// Whether any observer (watchdog or sampler) reads the blocked/stash
+    /// mirrors.
+    fn observed(&self) -> bool {
+        self.watchdog || self.telemetry
     }
 
     fn record_verdict(&self, e: RunError) {
@@ -329,6 +369,13 @@ pub struct RankCtx {
     seq_rx: HashMap<(usize, u64), u64>,
     /// Sequenced messages that arrived ahead of their turn.
     early: HashMap<(usize, u64), BTreeMap<u64, Message>>,
+    /// This rank's Lamport clock: ticked on every send, merged (`max + 1`)
+    /// on every consumed receive. Two plain `u64` bumps per message, so the
+    /// stamps are always on — which is what lets any traced run be
+    /// causally validated after the fact.
+    clock: u64,
+    /// Monotonic send counter ([`Message::idx`] provenance).
+    sends: u64,
 }
 
 /// Duration slice for "block forever" receives; abort checks run every
@@ -374,21 +421,28 @@ impl RankCtx {
     }
 
     fn set_blocked(&self, on: BlockedOn) {
-        if self.shared.watchdog {
+        if self.shared.observed() {
             *self.shared.states[self.rank].blocked.lock().unwrap() = Some(on);
         }
     }
 
     fn clear_blocked(&self) {
-        if self.shared.watchdog {
+        if self.shared.observed() {
             *self.shared.states[self.rank].blocked.lock().unwrap() = None;
         }
     }
 
     fn snapshot_stash(&self) {
-        if self.shared.watchdog {
+        if self.shared.observed() {
             *self.shared.states[self.rank].stash.lock().unwrap() =
                 self.stash.iter().map(|m| (m.src, m.tag)).collect();
+        }
+    }
+
+    /// Telemetry gauge: one message was taken off this rank's inbox.
+    fn note_inbox_pop(&self) {
+        if self.shared.telemetry {
+            self.shared.states[self.rank].inbox_len.fetch_sub(1, Ordering::Relaxed);
         }
     }
 
@@ -421,7 +475,15 @@ impl RankCtx {
 
     /// Hands a message to the destination mailbox, no interposition.
     fn push_raw(&mut self, dst: usize, msg: Message) {
+        // Gauge before the channel send: the channel's own synchronization
+        // orders this increment before the receiver's matching decrement.
+        if self.shared.telemetry {
+            self.shared.states[dst].inbox_len.fetch_add(1, Ordering::Relaxed);
+        }
         if self.senders[dst].send(msg).is_err() {
+            if self.shared.telemetry {
+                self.shared.states[dst].inbox_len.fetch_sub(1, Ordering::Relaxed);
+            }
             // The peer's inbox is gone. A peer that finished cleanly marks
             // itself done *before* dropping its inbox, so this send is a
             // surplus message racing the peer's exit (e.g. an injected
@@ -509,17 +571,45 @@ impl RankCtx {
         if bytes > 0 {
             self.volume.copied += bytes;
             self.tracer.copy_bytes(bytes);
+            if self.shared.telemetry {
+                self.shared.states[self.rank].copied_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
         }
+    }
+
+    /// Reports the number of nonblocking collectives currently in flight on
+    /// this rank: forwards to the trace sink and mirrors the value into the
+    /// telemetry gauge. The async engine calls this as its window changes.
+    pub fn outstanding(&mut self, count: usize) {
+        if self.shared.telemetry {
+            self.shared.states[self.rank].outstanding.store(count, Ordering::Relaxed);
+        }
+        self.tracer.outstanding(count);
     }
 
     fn send_inner(&mut self, dst: usize, tag: u64, seq: u64, data: Payload) {
         self.chaos_op();
         assert!(dst < self.size, "destination {dst} out of range");
         assert_ne!(dst, self.rank, "self-sends are not modeled (use local data)");
-        let msg = Message { src: self.rank, tag, sent_us: self.tracer.now_us(), seq, data };
+        // Lamport tick + provenance stamp, unconditionally: two u64 bumps.
+        self.clock += 1;
+        let idx = self.sends;
+        self.sends += 1;
+        let msg = Message {
+            src: self.rank,
+            tag,
+            sent_us: self.tracer.now_us(),
+            seq,
+            clock: self.clock,
+            idx,
+            data,
+        };
         self.volume.sent += msg.bytes();
         self.volume.msgs_sent += 1;
-        self.tracer.msg_send(dst, tag, msg.bytes());
+        self.tracer.msg_send(dst, tag, msg.bytes(), self.clock, idx);
+        if self.shared.telemetry {
+            self.shared.states[self.rank].sent_bytes.fetch_add(msg.bytes(), Ordering::Relaxed);
+        }
         self.deliver(dst, msg);
         self.bump_progress();
     }
@@ -576,9 +666,10 @@ impl RankCtx {
             match self.inbox.recv_timeout(remaining.min(self.poll)) {
                 Ok(m) => {
                     self.bump_progress();
+                    self.note_inbox_pop();
                     if m.src == src && m.tag == tag {
                         self.clear_blocked();
-                        self.tracer.recv_wait(posted_us, m.sent_us);
+                        self.tracer.recv_wait(posted_us, m.sent_us, Some((m.src, m.idx)));
                         return Ok(self.account_recv(m));
                     }
                     self.stash.push_back(m);
@@ -674,8 +765,9 @@ impl RankCtx {
             match self.inbox.recv_timeout(self.poll) {
                 Ok(m) => {
                     self.bump_progress();
+                    self.note_inbox_pop();
                     self.clear_blocked();
-                    self.tracer.recv_wait(posted_us, m.sent_us);
+                    self.tracer.recv_wait(posted_us, m.sent_us, Some((m.src, m.idx)));
                     return self.account_recv(m);
                 }
                 Err(RecvTimeoutError::Timeout) => self.check_abort(),
@@ -701,6 +793,7 @@ impl RankCtx {
         match self.inbox.try_recv() {
             Ok(m) => {
                 self.bump_progress();
+                self.note_inbox_pop();
                 Some(self.account_recv(m))
             }
             Err(_) => None,
@@ -731,6 +824,7 @@ impl RankCtx {
         let mut drained = false;
         while let Ok(m) = self.inbox.try_recv() {
             self.bump_progress();
+            self.note_inbox_pop();
             self.stash.push_back(m);
             self.tracer.stash_depth(self.stash.len());
             drained = true;
@@ -788,8 +882,9 @@ impl RankCtx {
             match self.inbox.recv_timeout(self.poll) {
                 Ok(m) => {
                     self.bump_progress();
+                    self.note_inbox_pop();
                     self.clear_blocked();
-                    self.tracer.recv_wait(posted_us, m.sent_us);
+                    self.tracer.recv_wait(posted_us, m.sent_us, Some((m.src, m.idx)));
                     self.stash.push_back(m);
                     self.tracer.stash_depth(self.stash.len());
                     self.snapshot_stash();
@@ -828,7 +923,12 @@ impl RankCtx {
     fn account_recv(&mut self, m: Message) -> Message {
         self.volume.received += m.bytes();
         self.volume.msgs_received += 1;
-        self.tracer.msg_recv(m.src, m.tag, m.bytes());
+        // Lamport merge at the consumption point. An un-received message
+        // (stash_back / sequenced re-stash) leaves the clock elevated,
+        // which is still a valid Lamport history: later receives only ever
+        // record strictly larger clocks.
+        self.clock = self.clock.max(m.clock) + 1;
+        self.tracer.msg_recv(m.src, m.tag, m.bytes(), self.clock, m.idx);
         m
     }
 
@@ -1000,7 +1100,8 @@ where
 {
     assert!(nranks > 0);
     let plan = opts.faults.as_ref().map(|p| Arc::new(p.clone()));
-    let shared = Arc::new(Shared::new(nranks, opts.watchdog.is_some()));
+    let shared = Arc::new(Shared::new(nranks, opts.watchdog.is_some(), opts.telemetry.is_some()));
+    let epoch = Instant::now();
     let mut senders = Vec::with_capacity(nranks);
     let mut receivers = Vec::with_capacity(nranks);
     for _ in 0..nranks {
@@ -1033,6 +1134,8 @@ where
                     seq_tx: HashMap::new(),
                     seq_rx: HashMap::new(),
                     early: HashMap::new(),
+                    clock: 0,
+                    sends: 0,
                 };
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
                 match result {
@@ -1058,6 +1161,10 @@ where
             let shared = shared.clone();
             let poll = opts.poll;
             scope.spawn(move || monitor(&shared, nranks, stall, poll));
+        }
+        if let Some(tel) = opts.telemetry.clone() {
+            let shared = shared.clone();
+            scope.spawn(move || sampler(&shared, nranks, &tel, epoch));
         }
         joins.into_iter().map(|j| j.join().expect("rank thread panicked unexpectedly")).collect()
     });

@@ -18,6 +18,7 @@ fn chaos_opts(plan: FaultPlan) -> RunOptions {
         watchdog: Some(Duration::from_secs(30)),
         poll: Duration::from_millis(5),
         faults: Some(plan),
+        telemetry: None,
     }
 }
 

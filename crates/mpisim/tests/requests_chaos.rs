@@ -13,6 +13,7 @@ fn chaos_opts(plan: FaultPlan) -> RunOptions {
         watchdog: Some(Duration::from_secs(30)),
         poll: Duration::from_millis(5),
         faults: Some(plan),
+        telemetry: None,
     }
 }
 
@@ -91,6 +92,7 @@ fn rank_epilogue_flushes_the_reorder_holdback_slot() {
         watchdog: Some(Duration::from_secs(5)),
         poll: Duration::from_millis(5),
         faults: Some(plan),
+        telemetry: None,
     };
     let (results, _) = try_run(2, &opts, |ctx| {
         if ctx.rank() == 0 {

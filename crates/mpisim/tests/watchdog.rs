@@ -13,6 +13,7 @@ fn short_watchdog() -> RunOptions {
         watchdog: Some(Duration::from_millis(800)),
         poll: Duration::from_millis(10),
         faults: None,
+        telemetry: None,
     }
 }
 
@@ -67,7 +68,12 @@ fn rank_panic_unwinds_siblings_with_original_message() {
     let err = try_run(
         4,
         // Watchdog disabled on purpose: propagation must not depend on it.
-        &RunOptions { watchdog: None, poll: Duration::from_millis(10), faults: None },
+        &RunOptions {
+            watchdog: None,
+            poll: Duration::from_millis(10),
+            faults: None,
+            telemetry: None,
+        },
         |ctx| {
             if ctx.rank() == 2 {
                 panic!("numerical factorization failed on rank 2");
@@ -121,6 +127,7 @@ fn injected_crash_surfaces_as_rank_panic() {
         watchdog: Some(Duration::from_secs(5)),
         poll: Duration::from_millis(10),
         faults: Some(plan),
+        telemetry: None,
     };
     let err = try_run(3, &opts, |ctx| {
         let me = ctx.rank();
@@ -152,6 +159,7 @@ fn injected_stall_trips_the_watchdog() {
         watchdog: Some(Duration::from_millis(600)),
         poll: Duration::from_millis(10),
         faults: Some(plan),
+        telemetry: None,
     };
     let err = try_run(4, &opts, |ctx| {
         let me = ctx.rank();
@@ -176,7 +184,12 @@ fn recv_timeout_escapes_a_missing_sender() {
     // watchdog, no panic — the rank just gets the timeout back.
     let (results, _) = try_run(
         2,
-        &RunOptions { watchdog: None, poll: Duration::from_millis(5), faults: None },
+        &RunOptions {
+            watchdog: None,
+            poll: Duration::from_millis(5),
+            faults: None,
+            telemetry: None,
+        },
         |ctx| {
             if ctx.rank() == 0 {
                 let e = ctx

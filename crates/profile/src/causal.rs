@@ -1,0 +1,590 @@
+//! Happens-before reconstruction and blame-chain extraction from the
+//! causal stamps both backends put on every message.
+//!
+//! Every traced message carries the sender's Lamport clock and a
+//! per-sender monotonic send index, and every consumed receive records the
+//! merged clock plus the matching send's `(rank, idx)` provenance
+//! ([`EventKind::MsgSend`] / [`EventKind::MsgRecv`]). [`CausalChains`]
+//! rebuilds the happens-before relation from those stamps and does two
+//! things with it:
+//!
+//! * **Validation** — per-rank clock monotonicity, recv-after-send clock
+//!   ordering, unique consumption of each send, and an explicit
+//!   topological check of the whole event graph. Any violation means the
+//!   runtime delivered or accounted messages out of causal order — a free
+//!   race/ordering detector for the async engine, checked on every traced
+//!   run in the test suite.
+//! * **Blame chains** — for each late-sender wait, the upstream chain of
+//!   waits that explains it: the wait names the `(sender, idx)` of the
+//!   message that ended it; that send's rank in turn records which wait
+//!   *it* was last stalled by before issuing the send; and so on. The
+//!   chain's summed wait time is the serialized stall the terminal wait
+//!   sits at the end of, attributed per `(CollKind, supernode)` — the
+//!   "which upstream chain made this rank late" question the per-rank
+//!   wait-state report cannot answer.
+//!
+//! [`EventKind::MsgSend`]: pselinv_trace::EventKind::MsgSend
+//! [`EventKind::MsgRecv`]: pselinv_trace::EventKind::MsgRecv
+
+use pselinv_trace::{CollKind, EventKind, Json, Trace, NO_KEY};
+use std::collections::HashMap;
+
+/// Renders a span key for humans: supernode index, or `-` for
+/// [`NO_KEY`] (events outside any keyed collective).
+fn key_str(key: u64) -> String {
+    if key == NO_KEY {
+        "-".to_string()
+    } else {
+        key.to_string()
+    }
+}
+
+/// One wait on one rank, as a link of a blame chain (upstream first).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlameLink {
+    /// Rank that waited.
+    pub rank: usize,
+    /// Kind the wait was attributed to.
+    pub coll: CollKind,
+    /// Supernode key of the wait span.
+    pub key: u64,
+    /// Late-sender component of the wait (µs).
+    pub wait_us: u64,
+    /// Transfer component (µs).
+    pub transfer_us: u64,
+    /// When the wait was posted (trace timestamp, µs).
+    pub ts_us: u64,
+}
+
+/// A chain of causally linked waits, upstream (root cause) first. The
+/// terminal link is the late-sender wait the chain explains.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlameChain {
+    pub links: Vec<BlameLink>,
+}
+
+impl BlameChain {
+    /// Summed late-sender wait along the chain (µs).
+    pub fn wait_us(&self) -> u64 {
+        self.links.iter().map(|l| l.wait_us).sum()
+    }
+
+    /// The wait the chain terminates in.
+    pub fn terminal(&self) -> &BlameLink {
+        self.links.last().expect("blame chain has at least one link")
+    }
+
+    /// Ranks the chain passes through, upstream first, consecutive
+    /// duplicates collapsed.
+    pub fn rank_sequence(&self) -> Vec<usize> {
+        let mut seq: Vec<usize> = Vec::new();
+        for l in &self.links {
+            if seq.last() != Some(&l.rank) {
+                seq.push(l.rank);
+            }
+        }
+        seq
+    }
+}
+
+/// Internal: one recorded send, located by `(rank, idx)`.
+#[derive(Clone, Copy, Debug)]
+struct SendRec {
+    /// Position in the sender rank's event list.
+    pos: usize,
+    clock: u64,
+    /// Destination rank the send named.
+    peer: usize,
+}
+
+/// Internal: one wait span.
+#[derive(Clone, Copy, Debug)]
+struct WaitRec {
+    rank: usize,
+    /// Position in the rank's event list.
+    pos: usize,
+    coll: CollKind,
+    key: u64,
+    wait_us: u64,
+    transfer_us: u64,
+    ts_us: u64,
+    cause: Option<(usize, u64)>,
+}
+
+/// The reconstructed causal structure of one traced run.
+#[derive(Clone, Debug)]
+pub struct CausalChains {
+    /// Human-readable consistency violations (empty for a causally clean
+    /// run).
+    violations: Vec<String>,
+    /// Blame chains for every late-sender wait, longest summed wait first.
+    chains: Vec<BlameChain>,
+    /// Total late-sender wait across the whole trace (µs) — the quantity
+    /// the chains partition blame over.
+    total_wait_us: u64,
+    /// Messages matched send→recv.
+    matched_edges: usize,
+}
+
+impl CausalChains {
+    /// Reconstructs and validates happens-before from `trace`, then
+    /// extracts the blame chains.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut violations = Vec::new();
+
+        // Index sends, receives and waits per rank, preserving each rank's
+        // recorded order (program order on that rank).
+        let mut sends: HashMap<(usize, u64), SendRec> = HashMap::new();
+        let mut recvs: Vec<(usize, usize, usize, u64, u64)> = Vec::new(); // (rank, pos, peer, idx, clock)
+        let mut waits: Vec<WaitRec> = Vec::new();
+        let mut total_wait_us = 0u64;
+        for rt in &trace.ranks {
+            let mut last_clock: Option<u64> = None;
+            for (pos, e) in rt.events.iter().enumerate() {
+                match e.kind {
+                    EventKind::MsgSend { peer, clock, idx, .. } => {
+                        if last_clock.is_some_and(|c| clock <= c) {
+                            violations.push(format!(
+                                "rank {}: send clk={clock} at event {pos} does not exceed \
+                                 the previous message clock {}",
+                                rt.rank,
+                                last_clock.unwrap()
+                            ));
+                        }
+                        last_clock = Some(clock);
+                        if sends.insert((rt.rank, idx), SendRec { pos, clock, peer }).is_some() {
+                            violations.push(format!("rank {}: duplicate send idx {idx}", rt.rank));
+                        }
+                    }
+                    EventKind::MsgRecv { peer, clock, idx, .. } => {
+                        if last_clock.is_some_and(|c| clock <= c) {
+                            violations.push(format!(
+                                "rank {}: recv clk={clock} at event {pos} does not exceed \
+                                 the previous message clock {}",
+                                rt.rank,
+                                last_clock.unwrap()
+                            ));
+                        }
+                        last_clock = Some(clock);
+                        recvs.push((rt.rank, pos, peer, idx, clock));
+                    }
+                    EventKind::Wait { coll, key, wait_us, transfer_us, cause } => {
+                        total_wait_us += wait_us;
+                        waits.push(WaitRec {
+                            rank: rt.rank,
+                            pos,
+                            coll,
+                            key,
+                            wait_us,
+                            transfer_us,
+                            ts_us: e.ts_us,
+                            cause,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Cross-rank edges: every consumed receive must point at a send
+        // with a strictly smaller clock, and no send may be consumed
+        // twice (a consumed injected duplicate would show up here).
+        let mut consumed: HashMap<(usize, u64), usize> = HashMap::new();
+        let mut edges: Vec<((usize, usize), (usize, usize))> = Vec::new();
+        for &(rank, pos, peer, idx, clock) in &recvs {
+            match sends.get(&(peer, idx)) {
+                None => violations
+                    .push(format!("rank {rank}: recv of {peer}:{idx} has no matching send event")),
+                Some(s) => {
+                    if s.peer != rank {
+                        violations.push(format!(
+                            "rank {rank}: consumed send {peer}:{idx} addressed to rank {}",
+                            s.peer
+                        ));
+                    }
+                    if clock <= s.clock {
+                        violations.push(format!(
+                            "rank {rank}: recv of {peer}:{idx} has clk={clock} <= send \
+                             clk={}",
+                            s.clock
+                        ));
+                    }
+                    edges.push(((peer, s.pos), (rank, pos)));
+                }
+            }
+            if let Some(prev) = consumed.insert((peer, idx), rank) {
+                violations
+                    .push(format!("send {peer}:{idx} consumed twice (ranks {prev} and {rank})"));
+            }
+        }
+
+        // Belt and braces: an explicit topological check over program
+        // order + message edges. Monotone clocks already imply acyclicity;
+        // this verifies it without trusting the stamps.
+        if let Some(cycle_at) = find_cycle(trace, &edges) {
+            violations.push(format!(
+                "happens-before graph has a cycle through rank {} event {}",
+                cycle_at.0, cycle_at.1
+            ));
+        }
+
+        let chains = extract_chains(&sends, &waits);
+        CausalChains { violations, chains, total_wait_us, matched_edges: edges.len() }
+    }
+
+    /// Whether the trace is causally consistent.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The recorded consistency violations (empty for a clean run).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// All blame chains, longest summed wait first (one per late-sender
+    /// wait in the trace).
+    pub fn chains(&self) -> &[BlameChain] {
+        &self.chains
+    }
+
+    /// The chain with the largest summed wait.
+    pub fn longest(&self) -> Option<&BlameChain> {
+        self.chains.first()
+    }
+
+    /// The `k` longest chains.
+    pub fn top(&self, k: usize) -> &[BlameChain] {
+        &self.chains[..k.min(self.chains.len())]
+    }
+
+    /// Total late-sender wait across the trace (µs).
+    pub fn total_wait_us(&self) -> u64 {
+        self.total_wait_us
+    }
+
+    /// Number of receives matched back to their send.
+    pub fn matched_edges(&self) -> usize {
+        self.matched_edges
+    }
+
+    /// Summed terminal-wait blame per `(coll, key)` of the chain terminals,
+    /// heaviest first: which collective on which supernode the serialized
+    /// stalls end at.
+    pub fn blame_by_kind(&self) -> Vec<((CollKind, u64), u64)> {
+        let mut acc: Vec<((CollKind, u64), u64)> = Vec::new();
+        for c in &self.chains {
+            let t = c.terminal();
+            match acc.iter_mut().find(|(k, _)| *k == (t.coll, t.key)) {
+                Some((_, us)) => *us += c.wait_us(),
+                None => acc.push(((t.coll, t.key), c.wait_us())),
+            }
+        }
+        acc.sort_by_key(|&(_, us)| std::cmp::Reverse(us));
+        acc
+    }
+
+    /// ASCII report: validation verdict and the top chains.
+    pub fn ascii(&self, top: usize) -> String {
+        let mut out = format!(
+            "causal chains: {} matched edges, {} chains, total late-sender wait {} µs\n",
+            self.matched_edges,
+            self.chains.len(),
+            self.total_wait_us
+        );
+        if self.is_valid() {
+            out.push_str("happens-before: consistent (acyclic, clocks monotone)\n");
+        } else {
+            out.push_str(&format!("happens-before: {} VIOLATIONS\n", self.violations.len()));
+            for v in &self.violations {
+                out.push_str(&format!("  !! {v}\n"));
+            }
+        }
+        for (i, c) in self.top(top).iter().enumerate() {
+            let t = c.terminal();
+            out.push_str(&format!(
+                "  #{} {} µs ending in {} key={} on rank {} ({} links)\n",
+                i + 1,
+                c.wait_us(),
+                t.coll.name(),
+                key_str(t.key),
+                t.rank,
+                c.links.len()
+            ));
+            for l in &c.links {
+                out.push_str(&format!(
+                    "     [{} µs] rank {} waited {} µs (+{} µs transfer) in {} key={}\n",
+                    l.ts_us,
+                    l.rank,
+                    l.wait_us,
+                    l.transfer_us,
+                    l.coll.name(),
+                    key_str(l.key)
+                ));
+            }
+        }
+        out
+    }
+
+    /// JSON rendering (validation verdict plus the top `top` chains).
+    pub fn json(&self, top: usize) -> Json {
+        let chains = self
+            .top(top)
+            .iter()
+            .map(|c| {
+                let links = c
+                    .links
+                    .iter()
+                    .map(|l| {
+                        Json::obj([
+                            ("rank", l.rank.into()),
+                            ("coll", l.coll.name().into()),
+                            ("key", l.key.into()),
+                            ("wait_us", l.wait_us.into()),
+                            ("transfer_us", l.transfer_us.into()),
+                            ("ts_us", l.ts_us.into()),
+                        ])
+                    })
+                    .collect();
+                Json::obj([("wait_us", c.wait_us().into()), ("links", Json::Arr(links))])
+            })
+            .collect();
+        Json::obj([
+            ("valid", self.is_valid().into()),
+            (
+                "violations",
+                Json::Arr(self.violations.iter().map(|v| Json::from(v.as_str())).collect()),
+            ),
+            ("matched_edges", self.matched_edges.into()),
+            ("total_wait_us", self.total_wait_us.into()),
+            ("chains", Json::Arr(chains)),
+        ])
+    }
+}
+
+/// A `(rank, event position)` node of the happens-before graph.
+type Node = (usize, usize);
+
+/// Kahn's algorithm over program order + message edges. Returns a node on
+/// a cycle if one exists.
+fn find_cycle(trace: &Trace, edges: &[(Node, Node)]) -> Option<Node> {
+    // Node id = (rank slot, event pos) flattened. Program-order edges are
+    // implicit (pos -> pos + 1 within a rank).
+    let slot: HashMap<usize, usize> =
+        trace.ranks.iter().enumerate().map(|(i, r)| (r.rank, i)).collect();
+    let lens: Vec<usize> = trace.ranks.iter().map(|r| r.events.len()).collect();
+    let base: Vec<usize> = lens
+        .iter()
+        .scan(0usize, |acc, &l| {
+            let b = *acc;
+            *acc += l;
+            Some(b)
+        })
+        .collect();
+    let n: usize = lens.iter().sum();
+    let id = |rank: usize, pos: usize| base[slot[&rank]] + pos;
+    let mut indeg = vec![0u32; n];
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (s, l) in lens.iter().enumerate() {
+        for p in 1..*l {
+            indeg[base[s] + p] += 1;
+            out[base[s] + p - 1].push((base[s] + p) as u32);
+        }
+    }
+    for &((sr, sp), (dr, dp)) in edges {
+        if !slot.contains_key(&sr) || !slot.contains_key(&dr) {
+            continue; // dangling edge already reported as a violation
+        }
+        indeg[id(dr, dp)] += 1;
+        out[id(sr, sp)].push(id(dr, dp) as u32);
+    }
+    let mut stack: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+    let mut seen = 0usize;
+    while let Some(v) = stack.pop() {
+        seen += 1;
+        for &w in &out[v as usize] {
+            indeg[w as usize] -= 1;
+            if indeg[w as usize] == 0 {
+                stack.push(w);
+            }
+        }
+    }
+    if seen == n {
+        return None;
+    }
+    let bad = indeg.iter().position(|&d| d > 0).unwrap();
+    let s = base.partition_point(|&b| b <= bad) - 1;
+    Some((trace.ranks[s].rank, bad - base[s]))
+}
+
+/// Builds one blame chain per late-sender wait: each wait names the send
+/// that ended it; the sender's own last wait *before issuing that send* is
+/// the upstream link.
+fn extract_chains(sends: &HashMap<(usize, u64), SendRec>, waits: &[WaitRec]) -> Vec<BlameChain> {
+    // Per-rank wait positions, ascending, for "last wait before pos".
+    let mut by_rank: HashMap<usize, Vec<usize>> = HashMap::new(); // rank -> wait indices
+    for (i, w) in waits.iter().enumerate() {
+        by_rank.entry(w.rank).or_default().push(i);
+    }
+    let pred = |w: &WaitRec| -> Option<usize> {
+        let (s, i) = w.cause?;
+        let send = sends.get(&(s, i))?;
+        let ws = by_rank.get(&s)?;
+        // Last wait on the sender recorded before the send.
+        let k = ws.partition_point(|&wi| waits[wi].pos < send.pos);
+        (k > 0).then(|| ws[k - 1])
+    };
+    let mut chains = Vec::new();
+    for (i, w) in waits.iter().enumerate() {
+        if w.wait_us == 0 {
+            continue; // pure transfer blocking: nobody was late
+        }
+        let mut rev: Vec<usize> = vec![i];
+        let mut visited = vec![i];
+        let mut cur = i;
+        while let Some(p) = pred(&waits[cur]) {
+            if visited.contains(&p) {
+                break; // defensive: a cyclic trace is already a violation
+            }
+            visited.push(p);
+            rev.push(p);
+            cur = p;
+        }
+        let links = rev
+            .into_iter()
+            .rev()
+            .map(|wi| {
+                let w = &waits[wi];
+                BlameLink {
+                    rank: w.rank,
+                    coll: w.coll,
+                    key: w.key,
+                    wait_us: w.wait_us,
+                    transfer_us: w.transfer_us,
+                    ts_us: w.ts_us,
+                }
+            })
+            .collect();
+        chains.push(BlameChain { links });
+    }
+    chains.sort_by(|a, b| {
+        b.wait_us().cmp(&a.wait_us()).then_with(|| b.links.len().cmp(&a.links.len()))
+    });
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pselinv_trace::{collect, RankTracer};
+
+    /// Two ranks, one message, one caused wait: the minimal causal trace.
+    fn minimal() -> Trace {
+        let mut a = RankTracer::manual(0);
+        a.set_time_us(5);
+        a.msg_send(1, 7, 64, 1, 0);
+        let mut b = RankTracer::manual(1);
+        b.set_time_us(9);
+        b.recv_wait(0, 5, Some((0, 0))); // posted 0, sent 5, done 9
+        b.msg_recv(0, 7, 64, 2, 0);
+        collect("causal/minimal", vec![a, b]).unwrap()
+    }
+
+    #[test]
+    fn minimal_trace_is_valid_with_one_chain() {
+        let cc = CausalChains::from_trace(&minimal());
+        assert!(cc.is_valid(), "{:?}", cc.violations());
+        assert_eq!(cc.matched_edges(), 1);
+        assert_eq!(cc.chains().len(), 1);
+        let c = cc.longest().unwrap();
+        assert_eq!(c.wait_us(), 5);
+        assert_eq!(c.terminal().rank, 1);
+        assert_eq!(cc.total_wait_us(), 5);
+    }
+
+    #[test]
+    fn chains_follow_cause_links_upstream() {
+        // rank 0 waits 10 for rank 2's send idx 0, then sends idx 0 to
+        // rank 1; rank 1 waits 7 for it. The rank-1 chain must include the
+        // upstream rank-0 wait: 17 µs total.
+        let mut c2 = RankTracer::manual(2);
+        c2.set_time_us(3);
+        c2.msg_send(0, 1, 8, 1, 0);
+        let mut a = RankTracer::manual(0);
+        a.set_time_us(13);
+        a.recv_wait(3, 13, Some((2, 0)));
+        a.msg_recv(2, 1, 8, 2, 0);
+        a.msg_send(1, 2, 8, 3, 0);
+        let mut b = RankTracer::manual(1);
+        b.set_time_us(20);
+        b.recv_wait(6, 13, Some((0, 0)));
+        b.msg_recv(0, 2, 8, 4, 0);
+        let t = collect("causal/chain", vec![c2, a, b]).unwrap();
+        let cc = CausalChains::from_trace(&t);
+        assert!(cc.is_valid(), "{:?}", cc.violations());
+        assert_eq!(cc.chains().len(), 2);
+        let longest = cc.longest().unwrap();
+        assert_eq!(longest.links.len(), 2);
+        assert_eq!(longest.wait_us(), 17);
+        assert_eq!(longest.rank_sequence(), vec![0, 1]);
+        // Both chains terminate in (Other, NO_KEY), so their totals
+        // aggregate under that one blame bucket: 17 + 10.
+        let blame = cc.blame_by_kind();
+        assert_eq!(blame.len(), 1);
+        assert_eq!(blame[0].1, 27);
+    }
+
+    #[test]
+    fn non_monotone_clock_is_flagged() {
+        let mut a = RankTracer::manual(0);
+        a.msg_send(1, 0, 8, 5, 0);
+        a.msg_send(1, 1, 8, 5, 1); // clock did not advance
+        let t = collect("causal/clock", vec![a]).unwrap();
+        let cc = CausalChains::from_trace(&t);
+        assert!(!cc.is_valid());
+        assert!(cc.violations()[0].contains("does not exceed"), "{:?}", cc.violations());
+    }
+
+    #[test]
+    fn recv_clock_not_after_send_is_flagged() {
+        let mut a = RankTracer::manual(0);
+        a.msg_send(1, 0, 8, 9, 0);
+        let mut b = RankTracer::manual(1);
+        b.msg_recv(0, 0, 8, 9, 0); // merged clock must be > 9
+        let t = collect("causal/merge", vec![a, b]).unwrap();
+        let cc = CausalChains::from_trace(&t);
+        assert!(!cc.is_valid());
+        assert!(
+            cc.violations().iter().any(|v| v.contains("clk=9 <= send clk=9")),
+            "{:?}",
+            cc.violations()
+        );
+    }
+
+    #[test]
+    fn double_consumption_and_missing_send_are_flagged() {
+        let mut a = RankTracer::manual(0);
+        a.msg_send(1, 0, 8, 1, 0);
+        let mut b = RankTracer::manual(1);
+        b.msg_recv(0, 0, 8, 2, 0);
+        b.msg_recv(0, 0, 8, 3, 0); // duplicate consumption of 0:0
+        b.msg_recv(2, 0, 8, 4, 5); // no rank-2 send event at all
+        let t = collect("causal/dup", vec![a, b]).unwrap();
+        let cc = CausalChains::from_trace(&t);
+        assert!(!cc.is_valid());
+        assert!(cc.violations().iter().any(|v| v.contains("consumed twice")));
+        assert!(cc.violations().iter().any(|v| v.contains("no matching send")));
+    }
+
+    #[test]
+    fn renders_ascii_and_json() {
+        let cc = CausalChains::from_trace(&minimal());
+        let text = cc.ascii(5);
+        assert!(text.contains("causal chains:"), "{text}");
+        assert!(text.contains("consistent"), "{text}");
+        let doc = Json::parse(&cc.json(5).to_string_pretty()).unwrap();
+        assert_eq!(doc.get("valid"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("total_wait_us").unwrap().as_f64(), Some(5.0));
+        assert_eq!(doc.get("chains").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

@@ -218,11 +218,11 @@ mod tests {
     fn trace_2x2() -> Trace {
         let mut tracers: Vec<RankTracer> = (0..4).map(RankTracer::manual).collect();
         tracers[0].push_scope(CollKind::ColBcast, 0);
-        tracers[0].msg_send(1, 1, 1000);
-        tracers[0].msg_send(2, 1, 1000);
+        tracers[0].msg_send(1, 1, 1000, 1, 0);
+        tracers[0].msg_send(2, 1, 1000, 2, 1);
         tracers[0].pop_scope();
         tracers[3].push_scope(CollKind::RowReduce, 0);
-        tracers[3].msg_recv(1, 2, 500);
+        tracers[3].msg_recv(1, 2, 500, 3, 0);
         tracers[3].pop_scope();
         collect("unit/2x2", tracers).unwrap()
     }

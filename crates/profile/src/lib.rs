@@ -13,6 +13,11 @@
 //!   *transfer* (the message was already in flight), per rank and per
 //!   collective kind. Both backends stamp the same vocabulary, so the
 //!   reports are directly comparable.
+//! * [`causal`] — happens-before reconstruction from the Lamport clock
+//!   and `(sender, send idx)` provenance both backends stamp on every
+//!   message: validates the run (no cycles, monotone clocks — a free
+//!   ordering detector for the async engine) and extracts the longest
+//!   *blame chains* of causally linked late-sender waits.
 //! * [`critpath`] — the longest weighted path through the simulated
 //!   schedule, extracted from the DES engine's [`SimProfile`]: which
 //!   tasks, transfers and idle gaps actually bound the makespan, with a
@@ -23,10 +28,12 @@
 //!
 //! [`SimProfile`]: pselinv_des::SimProfile
 
+pub mod causal;
 pub mod critpath;
 pub mod hotspots;
 pub mod waitstate;
 
+pub use causal::{BlameChain, BlameLink, CausalChains};
 pub use critpath::{CritStep, CriticalPath, StepKind};
 pub use hotspots::{HotspotReport, Imbalance, KindLoad};
 pub use waitstate::WaitReport;

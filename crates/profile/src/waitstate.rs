@@ -147,9 +147,9 @@ mod tests {
         let mut b = RankTracer::manual(1);
         b.push_scope(CollKind::ColBcast, 0);
         b.set_time_us(60);
-        b.recv_wait(0, 40); // wait 40, transfer 20
+        b.recv_wait(0, 40, None); // wait 40, transfer 20
         b.pop_scope();
-        b.wait_at(CollKind::RowReduce, 1, 60, 70); // wait 10
+        b.wait_at(CollKind::RowReduce, 1, 60, 70, None); // wait 10
         collect("unit/wait", vec![a, b]).unwrap()
     }
 

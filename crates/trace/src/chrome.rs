@@ -40,7 +40,7 @@ pub fn to_chrome(trace: &Trace) -> Json {
                         ("args", Json::Obj(args)),
                     ]));
                 }
-                EventKind::MsgSend { peer, tag, bytes, coll } => {
+                EventKind::MsgSend { peer, tag, bytes, coll, clock, idx } => {
                     events.push(Json::obj([
                         ("name", "send".into()),
                         ("cat", "msg".into()),
@@ -56,11 +56,13 @@ pub fn to_chrome(trace: &Trace) -> Json {
                                 ("tag", (*tag).into()),
                                 ("bytes", (*bytes).into()),
                                 ("kind", coll.name().into()),
+                                ("clock", (*clock).into()),
+                                ("idx", (*idx).into()),
                             ]),
                         ),
                     ]));
                 }
-                EventKind::MsgRecv { peer, tag, bytes, coll } => {
+                EventKind::MsgRecv { peer, tag, bytes, coll, clock, idx } => {
                     events.push(Json::obj([
                         ("name", "recv".into()),
                         ("cat", "msg".into()),
@@ -76,6 +78,8 @@ pub fn to_chrome(trace: &Trace) -> Json {
                                 ("tag", (*tag).into()),
                                 ("bytes", (*bytes).into()),
                                 ("kind", coll.name().into()),
+                                ("clock", (*clock).into()),
+                                ("idx", (*idx).into()),
                             ]),
                         ),
                     ]));
@@ -114,7 +118,7 @@ pub fn to_chrome(trace: &Trace) -> Json {
                         ("args", Json::obj([("peer", (*peer).into()), ("tag", (*tag).into())])),
                     ]));
                 }
-                EventKind::Wait { coll, key, wait_us, transfer_us } => {
+                EventKind::Wait { coll, key, wait_us, transfer_us, cause } => {
                     let mut args = vec![
                         ("kind".to_string(), Json::from(coll.name())),
                         ("wait_us".to_string(), Json::from(*wait_us)),
@@ -122,6 +126,10 @@ pub fn to_chrome(trace: &Trace) -> Json {
                     ];
                     if *key != NO_KEY {
                         args.push(("supernode".to_string(), Json::from(*key)));
+                    }
+                    if let Some((r, i)) = cause {
+                        args.push(("cause_rank".to_string(), Json::from(*r)));
+                        args.push(("cause_idx".to_string(), Json::from(*i)));
                     }
                     events.push(Json::obj([
                         ("name", format!("wait:{}", coll.name()).into()),
@@ -185,13 +193,13 @@ mod tests {
         let mut a = RankTracer::manual(0);
         a.set_time_us(1);
         a.push_scope(CollKind::ColBcast, 4);
-        a.msg_send(1, 99, 256);
+        a.msg_send(1, 99, 256, 1, 0);
         a.set_time_us(8);
         a.pop_scope();
         a.stash_depth(2);
         let mut b = RankTracer::manual(1);
         b.set_time_us(3);
-        b.msg_recv(0, 99, 256);
+        b.msg_recv(0, 99, 256, 2, 0);
         collect("test/flat", vec![a, b]).unwrap()
     }
 
@@ -227,7 +235,7 @@ mod tests {
         // Labels are free-form: quotes, backslashes and newlines must be
         // escaped in the serialized document and survive a parse cycle.
         let mut t = RankTracer::manual(0);
-        t.msg_send(0, 0, 8);
+        t.msg_send(0, 0, 8, 1, 0);
         let label = "evil \"label\"\\ with\nnewline\tand unicode é";
         let trace = collect(label, vec![t]).unwrap().with_meta("scheme", "a \"quoted\" value");
         let doc = to_chrome(&trace);
@@ -253,10 +261,10 @@ mod tests {
         let mut t = RankTracer::manual(2);
         t.set_time_us(1);
         t.push_scope(CollKind::RowReduce, 1);
-        t.msg_send(0, 3, 64);
-        t.msg_recv(0, 4, 32);
+        t.msg_send(0, 3, 64, 1, 0);
+        t.msg_recv(0, 4, 32, 2, 0);
         t.set_time_us(9);
-        t.recv_wait(2, 5);
+        t.recv_wait(2, 5, None);
         t.pop_scope();
         t.stash_depth(1);
         let doc = to_chrome(&collect("dup", vec![t]).unwrap());
@@ -276,7 +284,7 @@ mod tests {
         let mut t = RankTracer::manual(0);
         t.push_scope(CollKind::ColBcast, 6);
         t.set_time_us(40);
-        t.recv_wait(10, 30);
+        t.recv_wait(10, 30, Some((3, 9)));
         t.pop_scope();
         let doc = to_chrome(&collect("w", vec![t]).unwrap());
         validate_chrome(&doc).unwrap();

@@ -131,10 +131,17 @@ pub struct TraceEvent {
 pub enum EventKind {
     /// A completed span: a collective keyed by `(coll, key)` or a task.
     Span { coll: CollKind, key: u64, end_us: u64 },
-    /// A point-to-point message left this rank.
-    MsgSend { peer: usize, tag: u64, bytes: u64, coll: CollKind },
-    /// A point-to-point message was consumed on this rank.
-    MsgRecv { peer: usize, tag: u64, bytes: u64, coll: CollKind },
+    /// A point-to-point message left this rank. `clock` is the sender's
+    /// Lamport clock at the send instant and `idx` the sender's monotonic
+    /// send index, so `(rank, idx)` names this send uniquely across the
+    /// whole run.
+    MsgSend { peer: usize, tag: u64, bytes: u64, coll: CollKind, clock: u64, idx: u64 },
+    /// A point-to-point message was consumed on this rank. `clock` is the
+    /// receiver's Lamport clock *after* merging the sender's (`max + 1`);
+    /// `idx` is the matching send's index on `peer`, making the pair
+    /// `(peer, idx)` the causal edge back to the originating
+    /// [`EventKind::MsgSend`].
+    MsgRecv { peer: usize, tag: u64, bytes: u64, coll: CollKind, clock: u64, idx: u64 },
     /// The out-of-order stash changed size (emitted on change only).
     StashDepth { depth: usize },
     /// The number of nonblocking collectives in flight on this rank
@@ -146,8 +153,10 @@ pub enum EventKind {
     /// matching send was even issued), `transfer_us` is the remainder of
     /// the blocked interval (the message was in flight / being drained).
     /// `ts_us` is the moment the receive was posted (mpisim) or the rank
-    /// went idle (DES).
-    Wait { coll: CollKind, key: u64, wait_us: u64, transfer_us: u64 },
+    /// went idle (DES). `cause`, when known, is the `(sender rank, send
+    /// idx)` of the message whose arrival ended the wait — the causal edge
+    /// blame-chain extraction follows upstream.
+    Wait { coll: CollKind, key: u64, wait_us: u64, transfer_us: u64, cause: Option<(usize, u64)> },
     /// A fault was injected on (or masked by) this rank.
     Fault { what: FaultKind, peer: usize, tag: u64 },
 }
@@ -161,19 +170,26 @@ impl TraceEvent {
             EventKind::Span { coll, key, end_us } => {
                 format!("[{t} µs] span {} key={key} ({} µs)", coll.name(), end_us - t)
             }
-            EventKind::MsgSend { peer, tag, bytes, coll } => {
-                format!("[{t} µs] send -> {peer} tag={tag} {bytes} B ({})", coll.name())
+            EventKind::MsgSend { peer, tag, bytes, coll, clock, idx } => {
+                format!(
+                    "[{t} µs] send -> {peer} tag={tag} {bytes} B ({}) clk={clock} idx={idx}",
+                    coll.name()
+                )
             }
-            EventKind::MsgRecv { peer, tag, bytes, coll } => {
-                format!("[{t} µs] recv <- {peer} tag={tag} {bytes} B ({})", coll.name())
+            EventKind::MsgRecv { peer, tag, bytes, coll, clock, idx } => {
+                format!(
+                    "[{t} µs] recv <- {peer} tag={tag} {bytes} B ({}) clk={clock} idx={idx}",
+                    coll.name()
+                )
             }
             EventKind::StashDepth { depth } => format!("[{t} µs] stash depth {depth}"),
             EventKind::Outstanding { count } => {
                 format!("[{t} µs] outstanding collectives {count}")
             }
-            EventKind::Wait { coll, wait_us, transfer_us, .. } => {
+            EventKind::Wait { coll, wait_us, transfer_us, cause, .. } => {
+                let by = cause.map_or(String::new(), |(r, i)| format!(", ended by {r}:{i}"));
                 format!(
-                    "[{t} µs] blocked {} µs (wait {wait_us} + transfer {transfer_us}, {})",
+                    "[{t} µs] blocked {} µs (wait {wait_us} + transfer {transfer_us}, {}{by})",
                     wait_us + transfer_us,
                     coll.name()
                 )

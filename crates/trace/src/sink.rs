@@ -167,26 +167,32 @@ impl RankTracer {
         }
     }
 
-    /// Records a message leaving this rank.
-    pub fn msg_send(&mut self, peer: usize, tag: u64, bytes: u64) {
+    /// Records a message leaving this rank. `clock` is the sender's Lamport
+    /// clock at the send, `idx` its per-rank monotonic send index (pass 0
+    /// for both when no causal layer is in play, e.g. unit fixtures).
+    pub fn msg_send(&mut self, peer: usize, tag: u64, bytes: u64, clock: u64, idx: u64) {
         if let Some(inner) = self.0.as_deref_mut() {
             let coll = inner.scopes.last().map_or(CollKind::Other, |s| s.coll);
             let ts_us = inner.clock.now_us();
-            inner
-                .events
-                .push(TraceEvent { ts_us, kind: EventKind::MsgSend { peer, tag, bytes, coll } });
+            inner.events.push(TraceEvent {
+                ts_us,
+                kind: EventKind::MsgSend { peer, tag, bytes, coll, clock, idx },
+            });
             inner.metrics.on_send(coll, bytes, inner.depth);
         }
     }
 
-    /// Records a message consumed on this rank.
-    pub fn msg_recv(&mut self, peer: usize, tag: u64, bytes: u64) {
+    /// Records a message consumed on this rank. `clock` is the receiver's
+    /// Lamport clock after merging the sender's; `idx` is the matching
+    /// send's index on `peer`.
+    pub fn msg_recv(&mut self, peer: usize, tag: u64, bytes: u64, clock: u64, idx: u64) {
         if let Some(inner) = self.0.as_deref_mut() {
             let coll = inner.scopes.last().map_or(CollKind::Other, |s| s.coll);
             let ts_us = inner.clock.now_us();
-            inner
-                .events
-                .push(TraceEvent { ts_us, kind: EventKind::MsgRecv { peer, tag, bytes, coll } });
+            inner.events.push(TraceEvent {
+                ts_us,
+                kind: EventKind::MsgRecv { peer, tag, bytes, coll, clock, idx },
+            });
             inner.metrics.on_recv(coll, bytes);
         }
     }
@@ -210,8 +216,10 @@ impl RankTracer {
     /// the same clock). The blocked interval splits Scalasca-style into
     /// late-sender wait (posted before the send was issued) and transfer
     /// (the message was in flight); the two always sum to the blocked
-    /// duration. Attributed to the innermost open scope's kind.
-    pub fn recv_wait(&mut self, posted_us: u64, sent_us: u64) {
+    /// duration. Attributed to the innermost open scope's kind. `cause`,
+    /// when known, names the `(sender rank, send idx)` of the message whose
+    /// arrival ended the wait.
+    pub fn recv_wait(&mut self, posted_us: u64, sent_us: u64, cause: Option<(usize, u64)>) {
         if let Some(inner) = self.0.as_deref_mut() {
             let done_us = inner.clock.now_us().max(posted_us);
             let wait_us = sent_us.min(done_us).saturating_sub(posted_us);
@@ -220,7 +228,7 @@ impl RankTracer {
                 inner.scopes.last().map_or((CollKind::Other, NO_KEY), |s| (s.coll, s.key));
             inner.events.push(TraceEvent {
                 ts_us: posted_us,
-                kind: EventKind::Wait { coll, key, wait_us, transfer_us },
+                kind: EventKind::Wait { coll, key, wait_us, transfer_us, cause },
             });
             inner.metrics.on_wait(coll, wait_us, transfer_us);
         }
@@ -228,13 +236,21 @@ impl RankTracer {
 
     /// Records an idle-wait span with explicit timestamps and kind (used by
     /// the DES backend: the core sat idle in `[start_us, end_us)` before a
-    /// task of kind `coll` could start).
-    pub fn wait_at(&mut self, coll: CollKind, key: u64, start_us: u64, end_us: u64) {
+    /// task of kind `coll` could start). `cause` as in
+    /// [`RankTracer::recv_wait`].
+    pub fn wait_at(
+        &mut self,
+        coll: CollKind,
+        key: u64,
+        start_us: u64,
+        end_us: u64,
+        cause: Option<(usize, u64)>,
+    ) {
         if let Some(inner) = self.0.as_deref_mut() {
             let wait_us = end_us.saturating_sub(start_us);
             inner.events.push(TraceEvent {
                 ts_us: start_us,
-                kind: EventKind::Wait { coll, key, wait_us, transfer_us: 0 },
+                kind: EventKind::Wait { coll, key, wait_us, transfer_us: 0, cause },
             });
             inner.metrics.on_wait(coll, wait_us, 0);
         }
@@ -300,6 +316,7 @@ impl RankTracer {
     /// Records a message event with the attribution kind supplied by the
     /// caller instead of the ambient scope (used by the DES backend, whose
     /// edges carry their own `(coll, supernode)` task tags).
+    #[allow(clippy::too_many_arguments)]
     pub fn msg_send_as(
         &mut self,
         coll: CollKind,
@@ -307,23 +324,35 @@ impl RankTracer {
         tag: u64,
         bytes: u64,
         depth: Option<usize>,
+        clock: u64,
+        idx: u64,
     ) {
         if let Some(inner) = self.0.as_deref_mut() {
             let ts_us = inner.clock.now_us();
-            inner
-                .events
-                .push(TraceEvent { ts_us, kind: EventKind::MsgSend { peer, tag, bytes, coll } });
+            inner.events.push(TraceEvent {
+                ts_us,
+                kind: EventKind::MsgSend { peer, tag, bytes, coll, clock, idx },
+            });
             inner.metrics.on_send(coll, bytes, depth);
         }
     }
 
     /// Receive-side counterpart of [`RankTracer::msg_send_as`].
-    pub fn msg_recv_as(&mut self, coll: CollKind, peer: usize, tag: u64, bytes: u64) {
+    pub fn msg_recv_as(
+        &mut self,
+        coll: CollKind,
+        peer: usize,
+        tag: u64,
+        bytes: u64,
+        clock: u64,
+        idx: u64,
+    ) {
         if let Some(inner) = self.0.as_deref_mut() {
             let ts_us = inner.clock.now_us();
-            inner
-                .events
-                .push(TraceEvent { ts_us, kind: EventKind::MsgRecv { peer, tag, bytes, coll } });
+            inner.events.push(TraceEvent {
+                ts_us,
+                kind: EventKind::MsgRecv { peer, tag, bytes, coll, clock, idx },
+            });
             inner.metrics.on_recv(coll, bytes);
         }
     }
@@ -519,16 +548,20 @@ impl Trace {
             hwms.len()
         );
         // Overlap signal from the async engine: how many nonblocking
-        // collectives any rank ever had in flight at once (1 ≡ synchronous).
+        // collectives any rank ever had in flight at once (1 ≡ synchronous,
+        // 0 ≡ the run never used the nonblocking engine). Printed
+        // unconditionally so mpisim and DES summaries have the same shape.
         let o_max = self.ranks.iter().map(|r| r.metrics.outstanding_hwm).max().unwrap_or(0);
-        if o_max > 0 {
-            let o_mean = self.ranks.iter().map(|r| r.metrics.outstanding_hwm).sum::<usize>() as f64
-                / self.ranks.len() as f64;
-            let _ = writeln!(
-                out,
-                "outstanding collectives high-water: max {o_max}, mean {o_mean:.2} across ranks"
-            );
-        }
+        let o_mean = if self.ranks.is_empty() {
+            0.0
+        } else {
+            self.ranks.iter().map(|r| r.metrics.outstanding_hwm).sum::<usize>() as f64
+                / self.ranks.len() as f64
+        };
+        let _ = writeln!(
+            out,
+            "outstanding collectives high-water: max {o_max}, mean {o_mean:.2} across ranks"
+        );
         out
     }
 }
@@ -558,7 +591,7 @@ mod tests {
         let mut t = RankTracer::disabled();
         assert!(!t.is_enabled());
         t.push_scope(CollKind::ColBcast, 1);
-        t.msg_send(1, 7, 100);
+        t.msg_send(1, 7, 100, 0, 0);
         t.pop_scope();
         assert!(t.metrics().is_none());
         assert!(t.finish().is_none());
@@ -569,7 +602,7 @@ mod tests {
         let mut t = RankTracer::manual(3);
         t.set_time_us(10);
         t.push_scope(CollKind::ColBcast, 5);
-        t.msg_send(1, 42, 100);
+        t.msg_send(1, 42, 100, 3, 1);
         t.set_time_us(25);
         t.pop_scope();
         let r = t.finish().unwrap();
@@ -588,13 +621,13 @@ mod tests {
         // Bare collective: pushes its own scope.
         let pushed = t.coll_enter(CollKind::Bcast, 9, Some(1));
         assert!(pushed);
-        t.msg_send(1, 0, 10);
+        t.msg_send(1, 0, 10, 1, 1);
         t.coll_exit(pushed);
         // Inside a phase scope: keeps the ambient attribution.
         t.push_scope(CollKind::ColBcast, 2);
         let pushed = t.coll_enter(CollKind::Bcast, 9, Some(0));
         assert!(!pushed);
-        t.msg_send(1, 0, 20);
+        t.msg_send(1, 0, 20, 2, 2);
         t.coll_exit(pushed);
         t.pop_scope();
         let r = t.finish().unwrap();
@@ -607,7 +640,7 @@ mod tests {
     #[test]
     fn recv_undo_reverses_accounting() {
         let mut t = RankTracer::manual(0);
-        t.msg_recv(2, 5, 64);
+        t.msg_recv(2, 5, 64, 1, 0);
         t.msg_recv_undo();
         let r = t.finish().unwrap();
         assert_eq!(r.metrics.kind(CollKind::Other).msgs_recv, 0);
@@ -632,11 +665,11 @@ mod tests {
     fn trace_summary_and_stats() {
         let mut a = RankTracer::manual(1);
         a.push_scope(CollKind::ColBcast, 0);
-        a.msg_send(0, 0, 300);
+        a.msg_send(0, 0, 300, 1, 0);
         a.pop_scope();
         let mut b = RankTracer::manual(0);
         b.push_scope(CollKind::ColBcast, 0);
-        b.msg_send(1, 0, 100);
+        b.msg_send(1, 0, 100, 1, 0);
         b.pop_scope();
         let trace = collect("unit", vec![a, b, RankTracer::disabled()]).unwrap();
         // Sorted by rank: rank 0 first.
@@ -656,7 +689,7 @@ mod tests {
         let mut t = RankTracer::manual(0);
         t.push_scope(CollKind::RowReduce, 7);
         t.set_time_us(45);
-        t.recv_wait(10, 30);
+        t.recv_wait(10, 30, Some((2, 11)));
         t.pop_scope();
         let r = t.finish().unwrap();
         let k = r.metrics.kind(CollKind::RowReduce);
@@ -665,7 +698,13 @@ mod tests {
         assert_eq!(k.wait_us + k.transfer_us, 35);
         assert!(r.events.iter().any(|e| matches!(
             e.kind,
-            EventKind::Wait { coll: CollKind::RowReduce, key: 7, wait_us: 20, transfer_us: 15 }
+            EventKind::Wait {
+                coll: CollKind::RowReduce,
+                key: 7,
+                wait_us: 20,
+                transfer_us: 15,
+                cause: Some((2, 11)),
+            }
         ) && e.ts_us == 10));
     }
 
@@ -674,7 +713,7 @@ mod tests {
         // The send predates the post: no late-sender component.
         let mut t = RankTracer::manual(0);
         t.set_time_us(50);
-        t.recv_wait(20, 5);
+        t.recv_wait(20, 5, None);
         let r = t.finish().unwrap();
         let k = r.metrics.kind(CollKind::Other);
         assert_eq!(k.wait_us, 0);
@@ -684,7 +723,7 @@ mod tests {
     #[test]
     fn wait_at_and_transfer_as_accumulate() {
         let mut t = RankTracer::manual(0);
-        t.wait_at(CollKind::ColBcast, 3, 100, 140);
+        t.wait_at(CollKind::ColBcast, 3, 100, 140, Some((1, 4)));
         t.transfer_as(CollKind::ColBcast, 9);
         let r = t.finish().unwrap();
         assert_eq!(r.metrics.kind(CollKind::ColBcast).wait_us, 40);
@@ -697,10 +736,48 @@ mod tests {
                     coll: CollKind::ColBcast,
                     key: 3,
                     wait_us: 40,
-                    transfer_us: 0
+                    transfer_us: 0,
+                    cause: Some((1, 4)),
                 }
             }]
         );
+    }
+
+    #[test]
+    fn summary_table_golden_format() {
+        // Golden test for the full table shape, including the two
+        // unconditional footer lines (stash and outstanding HWM) that must
+        // appear on both backends whether or not anything was stashed or in
+        // flight.
+        let mut a = RankTracer::manual(0);
+        a.push_scope(CollKind::ColBcast, 0);
+        a.msg_send(1, 0, 100, 1, 0);
+        a.set_time_us(10);
+        a.pop_scope();
+        let mut b = RankTracer::manual(1);
+        b.push_scope(CollKind::ColBcast, 0);
+        b.msg_send(0, 0, 300, 1, 0);
+        b.set_time_us(10);
+        b.pop_scope();
+        let trace = collect("golden", vec![a, b]).unwrap().with_meta("backend", "unit");
+        let expect = "\
+trace summary: golden (2 ranks)
+run metadata: backend=unit
+phase                msgs   sent.min B   sent.max B  sent.mean B   sent.sigma    time µs    wait µs    xfer µs
+ColBcast                2          100          300        200.0        100.0         20          0          0
+stash high-water: max 0 at rank 0, mean 0.00, 0/2 ranks ever stashed
+outstanding collectives high-water: max 0, mean 0.00 across ranks
+";
+        assert_eq!(trace.summary_table(), expect);
+    }
+
+    #[test]
+    fn summary_footer_lines_are_unconditional() {
+        // Even an empty, metadata-free trace prints both HWM footer lines —
+        // this is what keeps DES and mpisim summaries shape-compatible.
+        let table = Trace::new("empty", vec![]).summary_table();
+        assert!(table.contains("stash high-water:"), "{table}");
+        assert!(table.contains("outstanding collectives high-water:"), "{table}");
     }
 
     #[test]
@@ -736,7 +813,7 @@ mod tests {
         let mut t = RankTracer::manual(2);
         t.set_time_us(7);
         t.fault(FaultKind::Delayed, 5, 42);
-        t.msg_send(5, 42, 16);
+        t.msg_send(5, 42, 16, 1, 1);
         let tail = t.tail(10);
         assert_eq!(tail.len(), 2);
         assert!(tail[0].contains("fault delayed peer=5 tag=42"), "{tail:?}");
