@@ -41,6 +41,8 @@ measured targets (archived into results/runs/):
   perf       blocked-kernel throughput, zero-copy accounting, selinv walls
   async      async-engine overlap sweep
   faults     degraded-tree resilience under rank crashes
+  recovery   live broadcast storm with online crash recovery (asserts
+             100% survivor delivery vs the no-rebuild stranded baseline)
   ablation-nic|ablation-shift|ablation-arity  model ablations
 
 perf-regression sentinel:
@@ -98,6 +100,7 @@ fn main() {
             "bench-smoke",
             "perf",
             "faults",
+            "recovery",
             "async",
             "ablation-nic",
             "ablation-shift",
@@ -129,6 +132,7 @@ fn main() {
             "bench-smoke" => experiments::bench_smoke(&out),
             "perf" => experiments::perf(&out),
             "faults" => experiments::faults(&out),
+            "recovery" => experiments::recovery(&out),
             "async" => experiments::async_overlap(&out),
             "ablation-nic" => experiments::ablation_nic(&out),
             "ablation-shift" => experiments::ablation_shift(&out),
@@ -155,6 +159,7 @@ fn main() {
             "perf" => Some(&["BENCH_perf.json", "perf.txt"]),
             "async" => Some(&["BENCH_async.json", "async_overlap.txt"]),
             "faults" => Some(&["BENCH_fault.json", "faults.txt"]),
+            "recovery" => Some(&["BENCH_recovery.json", "recovery.txt"]),
             "trace" => Some(&[
                 "trace_profile.txt",
                 "trace_flat_tree.trace.json",

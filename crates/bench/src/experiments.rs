@@ -1061,6 +1061,203 @@ pub fn faults(out: &OutDir) -> std::io::Result<String> {
     Ok(txt)
 }
 
+/// Online crash-recovery experiment (`figures -- recovery`): the degraded-
+/// tree broadcast storm of [`faults`] (48 broadcasts × 64 ranks, the same
+/// seed-deterministic pair of ranks crashed at t = 0), but run **live** on
+/// the mpisim runtime with the reliable transport and online recovery
+/// enabled, per scheme.
+///
+/// Where [`faults`] could only *measure* how much of the storm an offline
+/// rebuild would have saved, this experiment performs the rescue online:
+/// orphaned survivors suspect their silent parent, consult the crash
+/// board, re-home onto the `rebuild_excluding` tree and pull the payload
+/// from their rebuilt parent under a bumped epoch. The experiment
+/// **asserts** the recovery contract — every survivor delivers every
+/// live-root broadcast (the only stranded tree is the one rooted at a
+/// casualty) and the [`pselinv_mpisim::RecoveryReport`] is populated —
+/// and contrasts the survivors' 100% with the no-rebuild stranded
+/// baseline the DES replay assigns each scheme (deep trees lose whole
+/// dependency cones).
+///
+/// Emits `BENCH_recovery.json` (uploaded by the CI `recovery` job and
+/// archived into `results/runs/`) plus `recovery.txt`.
+pub fn recovery(out: &OutDir) -> std::io::Result<String> {
+    use pselinv_mpisim::{try_run_recover, Recovery, RecoveryConfig, ReliableConfig, RunOptions};
+    use std::time::Duration;
+
+    const DIM: usize = 8;
+    const NRANKS: usize = DIM * DIM;
+    const N_BCASTS: usize = 48;
+    const PAYLOAD: u64 = 2 << 20; // DES-baseline bytes per tree edge
+    const PAYLOAD_F64: usize = 256; // live-run payload (2 KiB per edge)
+    const FLOPS: f64 = 2e8;
+    const K_FAULTS: usize = 2;
+    const FAULT_SEED: u64 = 0xfa17;
+
+    // The same seed-deterministic dead set as `faults`, so the two
+    // artifacts describe one storm.
+    let mut dead: Vec<usize> = Vec::new();
+    let mut draw = 0u64;
+    while dead.len() < K_FAULTS {
+        let r = (pselinv_trees::rng::hash2(FAULT_SEED, draw) as usize) % NRANKS;
+        draw += 1;
+        if r != 0 && !dead.contains(&r) {
+            dead.push(r);
+        }
+    }
+    dead.sort_unstable();
+    let live_roots = (0..N_BCASTS).filter(|k| !dead.contains(&(k % NRANKS))).count() as u64;
+    let stranded_tags: Vec<u64> =
+        (0..N_BCASTS).filter(|k| dead.contains(&(k % NRANKS))).map(|k| k as u64).collect();
+
+    let cfg = workloads::des_machine(0);
+    let mut des_crash_plan = FaultPlan::new(FAULT_SEED);
+    let mut live_crash_plan = FaultPlan::new(FAULT_SEED);
+    for &r in &dead {
+        des_crash_plan = des_crash_plan
+            .with_rank(r, FaultSpec { crash_at_s: Some(0.0), ..FaultSpec::default() });
+        live_crash_plan = live_crash_plan
+            .with_rank(r, FaultSpec { crash_after_ops: Some(0), ..FaultSpec::default() });
+    }
+    let opts = RunOptions {
+        watchdog: Some(Duration::from_secs(60)),
+        poll: Duration::from_millis(2),
+        faults: Some(live_crash_plan),
+        reliable: Some(ReliableConfig {
+            rto: Duration::from_millis(5),
+            ..ReliableConfig::default()
+        }),
+        recovery: true,
+        ..RunOptions::default()
+    };
+    let rec_cfg = RecoveryConfig {
+        suspect_after: Duration::from_millis(25),
+        slice: Duration::from_millis(2),
+    };
+
+    let mut txt = format!(
+        "Online crash recovery: {N_BCASTS} broadcasts x {NRANKS} ranks, \
+         ranks {dead:?} crashed at t=0, recovery on\n"
+    );
+    let _ = writeln!(
+        txt,
+        "{:<22} {:>10} {:>10} {:>8} {:>8} {:>12}",
+        "Communication tree", "stranded", "recovered", "joins", "rebuilt", "re-sent"
+    );
+    let mut rows = Vec::new();
+    for (name, scheme) in schemes_with_names() {
+        let builder = TreeBuilder::new(scheme, TREE_SEED);
+        let all: Vec<usize> = (0..NRANKS).collect();
+        let trees: Vec<CollectiveTree> = (0..N_BCASTS)
+            .map(|k| {
+                let root = k % NRANKS;
+                let receivers: Vec<usize> = all.iter().copied().filter(|&r| r != root).collect();
+                builder.build(root, &receivers, k as u64)
+            })
+            .collect();
+
+        // The no-rebuild stranded baseline: what the scheme loses when the
+        // dead ranks silently take their subtrees with them.
+        let g = bcast_storm_graph(NRANKS, &trees, PAYLOAD, FLOPS);
+        let baseline = simulate_with_faults(&g, cfg, &des_crash_plan).completed_frac();
+
+        // Whether any survivor sits below a casualty in some live-root
+        // tree: only then must the recovery layer have re-homed anyone (a
+        // flat tree has no interior ranks, so casualties orphan nobody).
+        fn below_dead(t: &CollectiveTree, mut r: usize, dead: &[usize]) -> bool {
+            while let Some(p) = t.parent_of(r) {
+                if dead.contains(&p) {
+                    return true;
+                }
+                r = p;
+            }
+            false
+        }
+        let orphans_exist = trees
+            .iter()
+            .filter(|t| !dead.contains(&t.root()))
+            .any(|t| (0..NRANKS).any(|r| !dead.contains(&r) && below_dead(t, r, &dead)));
+
+        // The live storm with online recovery.
+        let trees = &trees;
+        let builder = &builder;
+        let (results, _, report) = try_run_recover(NRANKS, &opts, move |ctx| {
+            let mut rec = Recovery::new(rec_cfg);
+            let mut delivered = 0u64;
+            for (k, tree) in trees.iter().enumerate() {
+                let root = tree.root();
+                let data = (ctx.rank() == root).then(|| vec![k as f64 + 0.5; PAYLOAD_F64]);
+                if let Some(p) = rec.bcast(ctx, builder, tree, k as u64, k as u64, data) {
+                    assert_eq!(p.len(), PAYLOAD_F64);
+                    assert_eq!(p[0], k as f64 + 0.5, "wrong payload for tree {k}");
+                    delivered += 1;
+                }
+            }
+            rec.finish(ctx);
+            delivered
+        })
+        .unwrap_or_else(|e| panic!("recovery storm wedged under {name}: {e}"));
+
+        // The recovery contract, asserted per scheme.
+        assert_eq!(report.dead_ranks, dead, "{name}: confirmed-dead set");
+        assert_eq!(
+            report.stranded_supernodes, stranded_tags,
+            "{name}: exactly the dead-root trees strand"
+        );
+        for (rank, r) in results.iter().enumerate() {
+            if dead.contains(&rank) {
+                assert!(r.is_none(), "{name}: casualty {rank} must have no result");
+            } else {
+                assert_eq!(
+                    *r,
+                    Some(live_roots),
+                    "{name}: survivor {rank} must deliver every live-root broadcast"
+                );
+            }
+        }
+        if orphans_exist {
+            assert!(report.joins > 0, "{name}: orphans must have re-homed");
+        }
+
+        let _ = writeln!(
+            txt,
+            "{:<22} {:>9.1}% {:>9.1}% {:>8} {:>8} {:>10} B",
+            name,
+            baseline * 100.0,
+            100.0,
+            report.joins,
+            report.rebuilt_trees,
+            report.reissued_bytes,
+        );
+        rows.push(Json::obj([
+            ("scheme", Json::from(name)),
+            ("delivered_frac_no_rebuild", baseline.into()),
+            ("survivor_delivered_frac", 1.0.into()),
+            ("joins", report.joins.into()),
+            ("rebuilt_trees", report.rebuilt_trees.into()),
+            ("reissued_bytes", report.reissued_bytes.into()),
+            (
+                "stranded_supernodes",
+                Json::Arr(report.stranded_supernodes.iter().map(|&t| Json::from(t)).collect()),
+            ),
+        ]));
+    }
+    let doc = Json::obj([
+        ("bench", "recovery".into()),
+        ("grid", format!("{DIM}x{DIM}").into()),
+        ("bcasts", (N_BCASTS as u64).into()),
+        ("live_root_bcasts", live_roots.into()),
+        ("payload_f64", (PAYLOAD_F64 as u64).into()),
+        ("tree_seed", TREE_SEED.into()),
+        ("fault_seed", FAULT_SEED.into()),
+        ("crashed_ranks", Json::Arr(dead.iter().map(|&d| Json::from(d as u64)).collect())),
+        ("schemes", Json::Arr(rows)),
+    ]);
+    out.write_json("BENCH_recovery.json", &doc)?;
+    out.write_text("recovery.txt", &txt)?;
+    Ok(txt)
+}
+
 /// Sync-vs-async numeric engine comparison (`figures -- async`).
 ///
 /// Runs the *real* numeric selected inversion on the mpisim backend per
@@ -1297,6 +1494,43 @@ mod tests {
             frac(1),
             frac(0)
         );
+    }
+
+    #[test]
+    fn recovery_experiment_delivers_every_live_root_broadcast() {
+        let out = tmp();
+        // The experiment itself asserts the recovery contract (100%
+        // survivor delivery, exact stranded set) per scheme; reaching the
+        // artifact checks below means those held.
+        let txt = recovery(&out).unwrap();
+        assert!(txt.contains("recovery on"), "{txt}");
+        let doc = std::fs::read_to_string(out.0.join("BENCH_recovery.json")).unwrap();
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("crashed_ranks").unwrap().as_arr().unwrap().len(), 2);
+        let schemes = parsed.get("schemes").unwrap().as_arr().unwrap();
+        assert_eq!(schemes.len(), 3);
+        for s in schemes {
+            let name = s.get("scheme").unwrap();
+            assert_eq!(
+                s.get("survivor_delivered_frac").unwrap().as_f64().unwrap(),
+                1.0,
+                "{name:?}: recovery must deliver every live-root broadcast"
+            );
+            let baseline = s.get("delivered_frac_no_rebuild").unwrap().as_f64().unwrap();
+            assert!(
+                baseline < 1.0,
+                "{name:?}: the no-rebuild baseline must strand part of the storm, got {baseline}"
+            );
+            assert_eq!(s.get("stranded_supernodes").unwrap().as_arr().unwrap().len(), 1);
+        }
+        // Deep trees orphan whole subtrees, so their rescue must have
+        // involved actual re-homing (a flat tree legitimately needs none).
+        for i in [1usize, 2] {
+            assert!(
+                schemes[i].get("joins").unwrap().as_f64().unwrap() > 0.0,
+                "deep scheme {i} must have re-homed orphans"
+            );
+        }
     }
 
     #[test]

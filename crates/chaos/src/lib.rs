@@ -43,6 +43,12 @@ pub struct FaultSpec {
     pub reorder_permille: u16,
     /// Per-message probability (‰) that a sent message is delivered twice.
     pub duplicate_permille: u16,
+    /// Per-message probability (‰) that a sent message is lost in flight
+    /// (mpisim drops it at `deliver()`, the DES engine never schedules the
+    /// arrival). Unlike duplication and reordering, loss is *not* benign on
+    /// its own: without a reliable transport retransmitting the message,
+    /// data is gone and the receiver hangs or the task graph strands.
+    pub drop_permille: u16,
     /// Service-time multiplier for this rank (≥ 1.0 slows it down).
     pub slowdown: f64,
     /// DES: the rank stops making progress at this simulated time but is
@@ -67,6 +73,7 @@ impl Default for FaultSpec {
             jitter_us: 0,
             reorder_permille: 0,
             duplicate_permille: 0,
+            drop_permille: 0,
             slowdown: 1.0,
             stall_at_s: None,
             crash_at_s: None,
@@ -77,10 +84,22 @@ impl Default for FaultSpec {
 }
 
 impl FaultSpec {
-    /// `true` when this spec can never stall or crash its rank (delay,
+    /// `true` when this spec can never lose data on its own (delay,
     /// jitter, reordering, duplication and slowdown are all benign: they
-    /// perturb timing and delivery order but lose nothing).
+    /// perturb timing and delivery order but lose nothing). Message loss
+    /// (`drop_permille`) is **not** benign here: without a reliable
+    /// transport retransmitting lost messages, a dropped delivery is data
+    /// loss exactly like a crash. Use
+    /// [`FaultSpec::is_benign_under_reliable`] when the run layers a
+    /// retransmitting transport under the collectives.
     pub fn is_benign(&self) -> bool {
+        self.drop_permille == 0 && self.is_benign_under_reliable()
+    }
+
+    /// Like [`FaultSpec::is_benign`], but treats message loss as benign —
+    /// valid only when a reliable (ack + retransmit) transport recovers
+    /// every dropped delivery, as `pselinv-mpisim`'s `reliable` layer does.
+    pub fn is_benign_under_reliable(&self) -> bool {
         self.stall_at_s.is_none()
             && self.crash_at_s.is_none()
             && self.stall_after_ops.is_none()
@@ -94,6 +113,7 @@ impl FaultSpec {
             && self.jitter_us == 0
             && self.reorder_permille == 0
             && self.duplicate_permille == 0
+            && self.drop_permille == 0
             && self.slowdown == 1.0
     }
 }
@@ -102,6 +122,8 @@ impl FaultSpec {
 const SALT_JITTER: u64 = 0x6a17_7e2b;
 const SALT_DUP: u64 = 0xd0b1_e5e5;
 const SALT_REORDER: u64 = 0x0c0d_e12f;
+const SALT_DROP: u64 = 0xd709_1055;
+const SALT_BACKOFF: u64 = 0x00ba_c0ff;
 
 /// A complete fault schedule: a seed, a default per-rank spec, and
 /// per-rank overrides. Pure data — cloning or sharing it across backends
@@ -184,6 +206,25 @@ impl FaultPlan {
         p > 0 && self.draw(SALT_REORDER, src, dst, seq) % 1000 < p as u64
     }
 
+    /// Whether message `seq` from `src` to `dst` is lost in flight — an
+    /// independent draw stream with the same determinism contract as
+    /// [`FaultPlan::duplicates`] / [`FaultPlan::reorders`].
+    pub fn drops(&self, src: usize, dst: usize, seq: u64) -> bool {
+        let p = self.spec(src).drop_permille;
+        p > 0 && self.draw(SALT_DROP, src, dst, seq) % 1000 < p as u64
+    }
+
+    /// Deterministic jitter (µs, in `0..=cap_us`) mixed into retransmit
+    /// attempt `attempt` of the `src -> dst` reliable stream, so the
+    /// exponential-backoff deadlines desynchronize without introducing a
+    /// wall-clock RNG.
+    pub fn backoff_jitter_us(&self, src: usize, dst: usize, attempt: u64, cap_us: u64) -> u64 {
+        if cap_us == 0 {
+            return 0;
+        }
+        self.draw(SALT_BACKOFF, src, dst, attempt) % (cap_us + 1)
+    }
+
     /// Service-time multiplier of `rank`.
     pub fn slowdown(&self, rank: usize) -> f64 {
         self.spec(rank).slowdown
@@ -201,11 +242,21 @@ impl FaultPlan {
         s.stall_at_s.is_some() || s.crash_at_s.is_some()
     }
 
-    /// `true` when no rank can stall or crash under this plan — the
-    /// precondition for the masking guarantee (bit-identical results to
-    /// the fault-free run).
+    /// `true` when no rank can stall, crash or lose data under this plan —
+    /// the precondition for the masking guarantee (bit-identical results
+    /// to the fault-free run) on a *raw* transport. A plan that injects
+    /// loss is only safe with a reliable transport underneath; see
+    /// [`FaultPlan::is_crash_free_under_reliable`].
     pub fn is_crash_free(&self) -> bool {
         self.base.is_benign() && self.overrides.values().all(FaultSpec::is_benign)
+    }
+
+    /// Like [`FaultPlan::is_crash_free`], but assumes a reliable
+    /// (ack + retransmit) transport recovers every dropped message, so
+    /// loss no longer voids the masking guarantee.
+    pub fn is_crash_free_under_reliable(&self) -> bool {
+        self.base.is_benign_under_reliable()
+            && self.overrides.values().all(FaultSpec::is_benign_under_reliable)
     }
 
     /// `true` when the plan injects nothing at all.
@@ -289,6 +340,68 @@ mod tests {
         assert!(p.ever_down(5));
         assert!(!p.ever_down(3));
         assert_eq!(p.overridden_ranks().collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    fn loss_is_non_benign_without_reliable_transport() {
+        let lossy = FaultSpec { drop_permille: 50, ..FaultSpec::default() };
+        assert!(!lossy.is_benign(), "loss loses data on a raw transport");
+        assert!(lossy.is_benign_under_reliable(), "retransmission recovers every drop");
+        assert!(!lossy.is_noop());
+        let p = FaultPlan::new(3).with_default(lossy);
+        assert!(!p.is_crash_free());
+        assert!(p.is_crash_free_under_reliable());
+        assert!(!p.is_noop());
+        // A crash override stays unsafe even under a reliable transport.
+        let p = p.with_rank(2, FaultSpec { crash_after_ops: Some(1), ..FaultSpec::default() });
+        assert!(!p.is_crash_free_under_reliable());
+    }
+
+    #[test]
+    fn noop_requires_zero_loss() {
+        let s = FaultSpec { drop_permille: 1, ..FaultSpec::default() };
+        assert!(!s.is_noop());
+        let s = FaultSpec { drop_permille: 0, ..FaultSpec::default() };
+        assert!(s.is_noop());
+        assert!(!FaultPlan::new(0)
+            .with_rank(1, FaultSpec { drop_permille: 1000, ..FaultSpec::default() })
+            .is_noop());
+    }
+
+    #[test]
+    fn drop_draws_are_deterministic_and_plausible() {
+        let p = FaultPlan::new(0x10c4)
+            .with_default(FaultSpec { drop_permille: 200, ..FaultSpec::default() });
+        let q = p.clone();
+        let mut losses = 0u32;
+        for seq in 0..1000 {
+            assert_eq!(p.drops(0, 1, seq), q.drops(0, 1, seq));
+            losses += p.drops(0, 1, seq) as u32;
+        }
+        assert!((100..350).contains(&losses), "200‰ loss drew {losses}/1000");
+        // The loss stream is independent of the duplication stream.
+        let with_dup = FaultPlan::new(0x10c4).with_default(FaultSpec {
+            drop_permille: 200,
+            duplicate_permille: 500,
+            ..FaultSpec::default()
+        });
+        for seq in 0..200 {
+            assert_eq!(p.drops(0, 1, seq), with_dup.drops(0, 1, seq));
+        }
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_and_bounded() {
+        let p = FaultPlan::new(77);
+        for attempt in 0..32 {
+            let j = p.backoff_jitter_us(1, 2, attempt, 500);
+            assert!(j <= 500);
+            assert_eq!(j, p.backoff_jitter_us(1, 2, attempt, 500));
+        }
+        assert_eq!(p.backoff_jitter_us(1, 2, 0, 0), 0);
+        let differs = (0..32)
+            .any(|a| p.backoff_jitter_us(1, 2, a, 1000) != p.backoff_jitter_us(2, 1, a, 1000));
+        assert!(differs, "per-pair backoff streams must be independent");
     }
 
     #[test]

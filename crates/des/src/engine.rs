@@ -528,6 +528,16 @@ fn simulate_impl(
                         // global message counter doubles as the draw
                         // sequence number (event order is deterministic).
                         let arrive = arrive + plan.map_or(0.0, |p| p.delay_s(r, dst, messages));
+                        // Injected loss: the send happened (its NIC/wire
+                        // occupancy and volume accounting stand), but the
+                        // arrival is never scheduled — the DES has no
+                        // retransmitting transport, so the destination
+                        // task's dependency cone is stranded, exactly the
+                        // non-benign semantics `FaultSpec::is_benign`
+                        // assigns to loss on a raw transport.
+                        if plan.is_some_and(|p| p.drops(r, dst, messages)) {
+                            continue;
+                        }
                         push(
                             &mut heap,
                             arrive,
@@ -962,6 +972,46 @@ mod tests {
         assert!(!r.is_complete());
         assert!((r.completed_frac() - 1.0 / 3.0).abs() < 1e-12);
         assert!((r.result.makespan - 1.0).abs() < 1e-9, "makespan {}", r.result.makespan);
+    }
+
+    #[test]
+    fn injected_loss_strands_arrivals_deterministically() {
+        use pselinv_chaos::{FaultPlan, FaultSpec};
+        // 0 --msg--> 1 --msg--> 2 under certain loss: the root's message
+        // never arrives, so exactly the root task completes. The DES has
+        // no retransmitting transport — loss is lethal here by design.
+        let mut b = toy::Builder::new();
+        let t0 = b.task(0, 10e9);
+        let t1 = b.task(1, 10e9);
+        let t2 = b.task(2, 10e9);
+        b.edge(t0, t1, 3_000_000_000);
+        b.edge(t1, t2, 3_000_000_000);
+        let g = b.build(3);
+        let plan = FaultPlan::new(7)
+            .with_default(FaultSpec { drop_permille: 1000, ..FaultSpec::default() });
+        let r = simulate_with_faults(&g, flat_cfg(), &plan);
+        assert_eq!(r.completed, 1, "only the root task survives total loss");
+        assert!(!r.is_complete());
+        // The send itself still happened: volume accounting is unchanged.
+        assert_eq!(r.result.messages, 1);
+        assert_eq!(r.result.bytes, 3_000_000_000);
+
+        // Partial loss on a real graph strands a deterministic subset:
+        // same plan, same casualty list, bit-identical result.
+        let w = gen::grid_laplacian_2d(10, 10);
+        let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+        let layout = Layout::new(sf, Grid2D::new(2, 2));
+        let g = selinv_graph(&layout, &GraphOptions::default());
+        let cfg = MachineConfig { seed: 5, ..Default::default() };
+        let plan = || {
+            FaultPlan::new(0xd70)
+                .with_default(FaultSpec { drop_permille: 300, ..FaultSpec::default() })
+        };
+        let a = simulate_with_faults(&g, cfg, &plan());
+        let b = simulate_with_faults(&g, cfg, &plan());
+        assert!(a.completed < a.total, "300‰ loss must strand part of the graph");
+        assert_eq!(a.completed, b.completed, "loss schedule is a pure function of the plan");
+        assert_eq!(a.result.makespan, b.result.makespan);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod collectives;
 pub mod grid;
 pub mod nb;
 pub mod payload;
+pub mod reliable;
 pub mod requests;
 pub mod runtime;
 pub mod telemetry;
@@ -29,9 +30,11 @@ pub mod telemetry;
 pub use grid::Grid2D;
 pub use nb::{TreeBcastNb, TreeReduceNb};
 pub use payload::{IntoPayload, Payload};
+pub use reliable::{Recovery, RecoveryConfig, ReliableConfig};
 pub use requests::{tree_barrier, wait_any, RecvRequest, BARRIER_DOWN_LANE, BARRIER_UP_LANE};
 pub use runtime::{
-    run, run_traced, try_run, try_run_traced, BlockedOn, Message, RankCtx, RankVolume, RecvTimeout,
-    RunError, RunOptions, StallDiagnostic, NO_SEQ,
+    run, run_traced, try_run, try_run_recover, try_run_traced, BlockedOn, Message, RankCtx,
+    RankVolume, RecoverOutcome, RecoveryReport, RecvTimeout, RunError, RunOptions, StallDiagnostic,
+    ACK_LANE, JOIN_LANE, LANE_MASK, NO_SEQ, REPAIR_LANE,
 };
 pub use telemetry::{Telemetry, TelemetrySample};

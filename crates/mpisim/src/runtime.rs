@@ -61,6 +61,13 @@ pub struct Message {
     /// uniquely for the whole run, which is the provenance causal tracing
     /// records on the matching receive.
     pub idx: u64,
+    /// Sender's recovery epoch at the send instant: the number of confirmed
+    /// rank deaths the sender had incorporated. A header like `seq`:
+    /// excluded from [`Message::bytes`]. Always 0 outside recovery. A
+    /// receiver that re-homed an edge after a rebuild raises the edge's
+    /// minimum epoch ([`RankCtx::expect_epoch`]); an in-sequence delivery
+    /// below that minimum is then discarded with its accounting reversed.
+    pub epoch: u64,
     /// Payload (shared; cloning the message never copies the buffer).
     pub data: Payload,
 }
@@ -88,6 +95,12 @@ pub struct RankVolume {
     /// payloads — every interior hop of a tree broadcast — adds nothing
     /// here; `sent`/`received` still count the full logical volume.
     pub copied: u64,
+    /// Control-plane bytes the reliable transport originated on this rank:
+    /// retransmitted payload copies plus cumulative-ack messages. Kept
+    /// strictly separate from the logical `sent`/`received` volumes, so a
+    /// lossy-but-reliable run reports exactly the fault-free logical
+    /// volume with the recovery overhead isolated here.
+    pub retransmitted: u64,
 }
 
 /// What a rank is currently blocked on (for the watchdog's wait-for graph).
@@ -240,6 +253,23 @@ pub struct RunOptions {
     /// `None` (the default) keeps the hot send/recv path entirely free of
     /// gauge updates — the same single-branch guard as the trace layer.
     pub telemetry: Option<Telemetry>,
+    /// Reliable-transport configuration. When set, every sequenced send is
+    /// tracked in a per-`(dst, tag)` retransmission buffer until the
+    /// receiver's cumulative ack covers it; unacked messages are re-sent
+    /// after a deadline with exponential backoff (deterministic jitter from
+    /// the fault plan's seed). This is what makes an injected
+    /// `drop_permille` loss fault maskable: with it, collective results are
+    /// bit-identical to the fault-free run. `None` (the default) keeps the
+    /// hot path free of any tracking.
+    pub reliable: Option<crate::reliable::ReliableConfig>,
+    /// Online crash recovery: when `true`, a rank panic no longer aborts
+    /// the run — the rank is marked crashed on a shared board, survivors
+    /// keep running (the recovery collectives in [`crate::reliable`]
+    /// consult the board to rebuild trees around the dead), and
+    /// [`try_run_recover`] returns the survivors' results plus a
+    /// [`RecoveryReport`]. Off by default: a panic then aborts the run
+    /// exactly as before.
+    pub recovery: bool,
 }
 
 impl Default for RunOptions {
@@ -249,6 +279,8 @@ impl Default for RunOptions {
             poll: Duration::from_millis(25),
             faults: None,
             telemetry: None,
+            reliable: None,
+            recovery: false,
         }
     }
 }
@@ -266,6 +298,9 @@ pub(crate) struct RankState {
     /// inbox; the monitor detects stalls as "no counter moved".
     pub(crate) progress: AtomicU64,
     done: AtomicBool,
+    /// Set (before `done`) when this rank died under recovery mode: the
+    /// confirmed-death board survivors consult to rebuild trees.
+    crashed: AtomicBool,
     pub(crate) blocked: Mutex<Option<BlockedOn>>,
     /// `(src, tag)` of stashed messages, refreshed on stash changes.
     pub(crate) stash: Mutex<Vec<(usize, u64)>>,
@@ -295,10 +330,22 @@ pub(crate) struct Shared {
     /// Whether telemetry gauges are maintained. Checked with one branch on
     /// the hot paths, exactly like the disabled trace sink.
     telemetry: bool,
+    /// Whether rank panics are absorbed as crashes instead of aborting.
+    recovery: bool,
+    /// Ranks whose user function has returned (recovery epilogue gate: a
+    /// finished survivor keeps serving repair requests until every
+    /// survivor is here).
+    user_done: AtomicUsize,
+    /// Aggregated recovery accounting, assembled into a [`RecoveryReport`]
+    /// by [`try_run_recover`].
+    rebuilt: Mutex<std::collections::BTreeSet<u64>>,
+    stranded: Mutex<std::collections::BTreeSet<u64>>,
+    reissued_bytes: AtomicU64,
+    joins: AtomicU64,
 }
 
 impl Shared {
-    fn new(nranks: usize, watchdog: bool, telemetry: bool) -> Self {
+    fn new(nranks: usize, watchdog: bool, telemetry: bool, recovery: bool) -> Self {
         Self {
             states: (0..nranks).map(|_| RankState::default()).collect(),
             abort: AtomicBool::new(false),
@@ -309,6 +356,12 @@ impl Shared {
             cv: Condvar::new(),
             watchdog,
             telemetry,
+            recovery,
+            user_done: AtomicUsize::new(0),
+            rebuilt: Mutex::new(std::collections::BTreeSet::new()),
+            stranded: Mutex::new(std::collections::BTreeSet::new()),
+            reissued_bytes: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
         }
     }
 
@@ -376,7 +429,37 @@ pub struct RankCtx {
     clock: u64,
     /// Monotonic send counter ([`Message::idx`] provenance).
     sends: u64,
+    /// Reliable-transport state (retransmission buffers), when enabled.
+    reliable: Option<crate::reliable::ReliableState>,
+    /// This rank's recovery epoch: confirmed rank deaths incorporated so
+    /// far. Stamped on every outgoing message; 0 outside recovery.
+    epoch: u64,
+    /// Receiver-side minimum acceptable epoch per `(src, tag)` edge
+    /// ([`RankCtx::expect_epoch`]): in-sequence deliveries below it are
+    /// discarded with their accounting reversed.
+    min_epoch: HashMap<(usize, u64), u64>,
 }
+
+/// High-byte lane mask of the tag space: the runtime's control traffic and
+/// the barrier/repair protocols each own one 8-bit lane, and user tags stay
+/// below `1 << 56`.
+pub const LANE_MASK: u64 = 0xFF << 56;
+
+/// Tag of reliable-transport cumulative-ack messages. Acks are pure control
+/// traffic: sent outside the fault interposer (never dropped, duplicated or
+/// reordered), intercepted at every inbox read (never stashed or matched),
+/// and accounted only in [`RankVolume::retransmitted`].
+pub const ACK_LANE: u64 = 0xAC << 56;
+
+/// Lane of recovery JOIN requests: an orphaned rank asks its rebuilt-tree
+/// parent to re-issue a collective's payload (`JOIN_LANE | tag`).
+pub const JOIN_LANE: u64 = 0xCA << 56;
+
+/// Lane the re-issued payload answering a JOIN travels on
+/// (`REPAIR_LANE | tag`): a fresh sequenced edge, so the repair is masked
+/// like any collective hop and cannot collide with in-flight traffic of the
+/// original tree.
+pub const REPAIR_LANE: u64 = 0xDA << 56;
 
 /// Duration slice for "block forever" receives; abort checks run every
 /// `poll` regardless.
@@ -513,7 +596,7 @@ impl RankCtx {
     fn deliver(&mut self, dst: usize, msg: Message) {
         // Draw every fault decision up front from a borrowed plan — no
         // per-message Arc clone on the delivery hot path.
-        let (delay, slow, dup, reord) = match self.plan.as_deref() {
+        let (delay, slow, dup, reord, drop) = match self.plan.as_deref() {
             None => return self.push_raw(dst, msg),
             Some(plan) => {
                 let cseq = self.msg_seq[dst];
@@ -523,6 +606,7 @@ impl RankCtx {
                     plan.slowdown(self.rank).max(0.0),
                     plan.duplicates(self.rank, dst, cseq),
                     plan.reorders(self.rank, dst, cseq),
+                    plan.drops(self.rank, dst, cseq),
                 )
             }
         };
@@ -531,6 +615,20 @@ impl RankCtx {
             std::thread::sleep(Duration::from_micros((delay as f64 * slow) as u64));
         }
         let masked = msg.seq != NO_SEQ;
+        if masked && drop {
+            // Lost in flight. Only sequenced messages are droppable (like
+            // dup/reorder): the reliable transport's retransmission buffer
+            // is keyed by sequence number, so only a sequenced loss is
+            // repairable — and an unrepairable loss would silently corrupt
+            // plain-send runs that never opted into any masking. A held-
+            // back reorder victim is still released below: it was delayed,
+            // not lost.
+            self.tracer.fault(FaultKind::Dropped, dst, msg.tag);
+            if let Some(prev) = self.held[dst].take() {
+                self.push_raw(dst, prev);
+            }
+            return;
+        }
         if masked && dup {
             self.tracer.fault(FaultKind::Duplicated, dst, msg.tag);
             // The clone shares the payload buffer: a duplicate costs a
@@ -602,6 +700,7 @@ impl RankCtx {
             seq,
             clock: self.clock,
             idx,
+            epoch: self.epoch,
             data,
         };
         self.volume.sent += msg.bytes();
@@ -610,8 +709,156 @@ impl RankCtx {
         if self.shared.telemetry {
             self.shared.states[self.rank].sent_bytes.fetch_add(msg.bytes(), Ordering::Relaxed);
         }
+        if seq != NO_SEQ && self.reliable.is_some() {
+            // Buffer a clone (shared payload — a header copy, not a block
+            // copy) until the receiver's cumulative ack covers it. Tracking
+            // happens before the fault interposer, so a dropped first copy
+            // is still retransmittable.
+            let jitter = self.backoff_jitter(dst, 0);
+            if let Some(rel) = self.reliable.as_mut() {
+                rel.track(dst, tag, msg.clone(), jitter);
+            }
+        }
         self.deliver(dst, msg);
         self.bump_progress();
+        self.reliable_tick();
+    }
+
+    /// Deterministic backoff jitter for `(self.rank, dst)` at `attempt`,
+    /// drawn from the fault plan's seed (0 without a plan).
+    fn backoff_jitter(&self, dst: usize, attempt: u32) -> Duration {
+        let cap = self.reliable.as_ref().map_or(0, |r| r.cfg.jitter_cap_us);
+        let us = self
+            .plan
+            .as_deref()
+            .map_or(0, |p| p.backoff_jitter_us(self.rank, dst, attempt as u64, cap));
+        Duration::from_micros(us)
+    }
+
+    /// Consumes a control-plane message (currently: cumulative acks),
+    /// returning `None` if it was one. Called at every inbox read point, so
+    /// control traffic is never stashed, matched or accounted.
+    fn ingest_control(&mut self, m: Message) -> Option<Message> {
+        if m.tag != ACK_LANE {
+            return Some(m);
+        }
+        let tag = m.data.first().map_or(0, |v| v.to_bits());
+        let cum = m.data.get(1).map_or(0, |v| v.to_bits());
+        let peer_epoch = m.data.get(2).map_or(0, |v| v.to_bits());
+        let jitter = self.backoff_jitter(m.src, 0);
+        if let Some(rel) = self.reliable.as_mut() {
+            rel.ack(m.src, tag, cum, jitter);
+        }
+        // Epoch piggyback: an ack from a rank that already incorporated
+        // more deaths tells us to consult the crash board.
+        if peer_epoch > self.epoch && self.shared.recovery {
+            self.epoch = self.epoch.max(self.crashed_ranks().len() as u64);
+        }
+        None
+    }
+
+    /// Sends the cumulative ack for edge `(src → me, tag)`: everything
+    /// below `cum` is received. Pure control traffic — bypasses the fault
+    /// interposer and the logical volume counters.
+    fn send_ack(&mut self, src: usize, tag: u64, cum: u64) {
+        if self.reliable.is_none() || src == self.rank {
+            return;
+        }
+        let (data, _) = vec![f64::from_bits(tag), f64::from_bits(cum), f64::from_bits(self.epoch)]
+            .into_payload();
+        let msg = Message {
+            src: self.rank,
+            tag: ACK_LANE,
+            sent_us: self.tracer.now_us(),
+            seq: NO_SEQ,
+            clock: self.clock,
+            idx: u64::MAX,
+            epoch: self.epoch,
+            data,
+        };
+        self.volume.retransmitted += msg.bytes();
+        self.push_raw(src, msg);
+    }
+
+    /// Re-sends every unacked message whose stream deadline expired, with
+    /// exponential backoff. Runs at sends, at every blocking poll slice and
+    /// in the finish-time flush; a no-op without reliable transport.
+    fn reliable_tick(&mut self) {
+        if self.reliable.as_ref().is_none_or(|r| r.streams.is_empty()) {
+            return;
+        }
+        let Some(mut rel) = self.reliable.take() else { return };
+        let cfg = rel.cfg;
+        let now = Instant::now();
+        rel.streams.retain(|&(dst, _), s| {
+            // A finished receiver consumed everything it wanted: further
+            // retransmission could never be acked. Drop the stream, like a
+            // wire flush to a closed endpoint.
+            if self.shared.states[dst].done.load(Ordering::Acquire) {
+                return false;
+            }
+            if s.unacked.is_empty() {
+                return false;
+            }
+            if now < s.deadline {
+                return true;
+            }
+            for m in s.unacked.values() {
+                let bytes = m.bytes();
+                self.volume.retransmitted += bytes;
+                self.tracer.retransmit(dst, m.tag, bytes);
+                self.push_raw_keep(dst, m.clone());
+            }
+            s.attempts += 1;
+            let exp = s.attempts.min(cfg.max_backoff_exp);
+            let rto = cfg.rto * 2u32.saturating_pow(exp);
+            let us = self.plan.as_deref().map_or(0, |p| {
+                p.backoff_jitter_us(self.rank, dst, s.attempts as u64, cfg.jitter_cap_us)
+            });
+            s.deadline = now + rto + Duration::from_micros(us);
+            true
+        });
+        self.reliable = Some(rel);
+    }
+
+    /// [`RankCtx::push_raw`] for retransmissions: `&self`-compatible
+    /// delivery that silently drops sends to departed receivers (a
+    /// retransmission racing the receiver's exit is expected, not fatal).
+    fn push_raw_keep(&self, dst: usize, msg: Message) {
+        if self.shared.telemetry {
+            self.shared.states[dst].inbox_len.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.senders[dst].send(msg).is_err() && self.shared.telemetry {
+            self.shared.states[dst].inbox_len.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Finish-time reliable flush: keeps retransmitting and draining acks
+    /// until every stream is acked or its receiver finished. Runs after the
+    /// rank's user function returns, so a loss on the last message of a
+    /// collective is still repaired instead of hanging the receiver.
+    fn reliable_flush(&mut self) {
+        if self.reliable.is_none() {
+            return;
+        }
+        loop {
+            while let Ok(m) = self.inbox.try_recv() {
+                self.note_inbox_pop();
+                if let Some(m) = self.ingest_control(m) {
+                    // Late data (e.g. a surplus duplicate): park it; the
+                    // stash dies with the rank.
+                    self.stash.push_back(m);
+                }
+            }
+            self.reliable_tick();
+            if self.reliable.as_ref().is_none_or(|r| r.streams.is_empty()) {
+                return;
+            }
+            if self.shared.abort.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(self.poll.min(Duration::from_millis(2)));
+        }
     }
 
     /// Buffered non-blocking send (≈ `MPI_Isend` whose buffer is owned by
@@ -667,6 +914,7 @@ impl RankCtx {
                 Ok(m) => {
                     self.bump_progress();
                     self.note_inbox_pop();
+                    let Some(m) = self.ingest_control(m) else { continue };
                     if m.src == src && m.tag == tag {
                         self.clear_blocked();
                         self.tracer.recv_wait(posted_us, m.sent_us, Some((m.src, m.idx)));
@@ -676,7 +924,10 @@ impl RankCtx {
                     self.tracer.stash_depth(self.stash.len());
                     self.snapshot_stash();
                 }
-                Err(RecvTimeoutError::Timeout) => self.check_abort(),
+                Err(RecvTimeoutError::Timeout) => {
+                    self.check_abort();
+                    self.reliable_tick();
+                }
                 Err(RecvTimeoutError::Disconnected) => {
                     self.check_abort();
                     std::thread::sleep(self.poll);
@@ -723,26 +974,70 @@ impl RankCtx {
     /// persist across collective calls on the same edge, which is what
     /// makes repeated collectives on a reused tag safe under duplication.
     pub fn recv_seq(&mut self, src: usize, tag: u64) -> Payload {
-        let c = self.seq_rx.entry((src, tag)).or_insert(0);
-        let want = *c;
-        *c += 1;
-        if let Some(m) = self.early.get_mut(&(src, tag)).and_then(|b| b.remove(&want)) {
-            return self.account_recv(m).data;
-        }
         loop {
-            let Ok(m) = self.recv_msg_timeout(src, tag, FOREVER) else { continue };
+            if let Ok(p) = self.recv_seq_timeout(src, tag, FOREVER) {
+                return p;
+            }
+        }
+    }
+
+    /// [`RankCtx::recv_seq`] with a deadline: the suspicion primitive of
+    /// the recovery layer. A timeout consumes nothing — the edge's sequence
+    /// counter only advances when a message is actually taken, so the call
+    /// can be retried (or the edge abandoned for a rebuilt parent) without
+    /// corrupting the masking state.
+    pub fn recv_seq_timeout(
+        &mut self,
+        src: usize,
+        tag: u64,
+        dur: Duration,
+    ) -> Result<Payload, RecvTimeout> {
+        let start = Instant::now();
+        loop {
+            let want = self.seq_rx.get(&(src, tag)).copied().unwrap_or(0);
+            let min_epoch = self.min_epoch.get(&(src, tag)).copied().unwrap_or(0);
+            if let Some(m) = self.early.get_mut(&(src, tag)).and_then(|b| b.remove(&want)) {
+                self.seq_rx.insert((src, tag), want + 1);
+                if m.epoch < min_epoch {
+                    // Stale-epoch delivery: the slot is consumed (the
+                    // re-issue arrives with a later sequence number), but
+                    // the data is discarded. Early-buffered messages were
+                    // never accounted, so there is nothing to reverse.
+                    self.tracer.fault(FaultKind::Dropped, src, tag);
+                    self.send_ack(src, tag, want + 1);
+                    continue;
+                }
+                let m = self.account_recv(m);
+                self.send_ack(src, tag, want + 1);
+                return Ok(m.data);
+            }
+            let Some(remaining) = dur.checked_sub(start.elapsed()) else {
+                return Err(RecvTimeout { src, tag, waited: start.elapsed() });
+            };
+            let m = self.recv_msg_timeout(src, tag, remaining)?;
             assert_ne!(
                 m.seq, NO_SEQ,
                 "unsequenced message from {src} tag {tag} on a masked receive"
             );
             if m.seq == want {
-                return m.data;
+                self.seq_rx.insert((src, tag), want + 1);
+                self.send_ack(src, tag, want + 1);
+                if m.epoch < min_epoch {
+                    // Stale-epoch delivery consumed in sequence: reverse
+                    // the accounting recv_msg_timeout did and wait for the
+                    // bumped-epoch re-issue.
+                    self.unaccount_recv(&m);
+                    self.tracer.fault(FaultKind::Dropped, src, tag);
+                    continue;
+                }
+                return Ok(m.data);
             }
             // Not our turn: reverse the accounting recv_msg_timeout did.
             self.unaccount_recv(&m);
             if m.seq < want {
                 // Stale duplicate of an already-consumed message.
                 self.tracer.fault(FaultKind::DuplicateSuppressed, src, tag);
+                self.send_ack(src, tag, want);
             } else if self.early.entry((src, tag)).or_default().insert(m.seq, m).is_some() {
                 // Duplicate of a message already buffered ahead.
                 self.tracer.fault(FaultKind::DuplicateSuppressed, src, tag);
@@ -766,11 +1061,15 @@ impl RankCtx {
                 Ok(m) => {
                     self.bump_progress();
                     self.note_inbox_pop();
+                    let Some(m) = self.ingest_control(m) else { continue };
                     self.clear_blocked();
                     self.tracer.recv_wait(posted_us, m.sent_us, Some((m.src, m.idx)));
                     return self.account_recv(m);
                 }
-                Err(RecvTimeoutError::Timeout) => self.check_abort(),
+                Err(RecvTimeoutError::Timeout) => {
+                    self.check_abort();
+                    self.reliable_tick();
+                }
                 Err(RecvTimeoutError::Disconnected) => {
                     self.check_abort();
                     std::thread::sleep(self.poll);
@@ -785,19 +1084,19 @@ impl RankCtx {
     pub fn try_recv_any(&mut self) -> Option<Message> {
         self.check_abort();
         self.flush_held();
+        self.reliable_tick();
         if let Some(m) = self.stash.pop_front() {
             self.tracer.stash_depth(self.stash.len());
             self.snapshot_stash();
             return Some(self.account_recv(m));
         }
-        match self.inbox.try_recv() {
-            Ok(m) => {
-                self.bump_progress();
-                self.note_inbox_pop();
-                Some(self.account_recv(m))
-            }
-            Err(_) => None,
+        while let Ok(m) = self.inbox.try_recv() {
+            self.bump_progress();
+            self.note_inbox_pop();
+            let Some(m) = self.ingest_control(m) else { continue };
+            return Some(self.account_recv(m));
         }
+        None
     }
 
     /// Non-blocking match of `(src, tag)`: drains any queued arrivals into
@@ -815,54 +1114,77 @@ impl RankCtx {
     pub fn try_match(&mut self, src: usize, tag: u64) -> Option<Payload> {
         self.check_abort();
         self.flush_held();
-        let want = self.seq_rx.get(&(src, tag)).copied().unwrap_or(0);
-        // A sequenced message already held for this edge has its turn now.
-        if let Some(m) = self.early.get_mut(&(src, tag)).and_then(|b| b.remove(&want)) {
-            self.seq_rx.insert((src, tag), want + 1);
-            return Some(self.account_recv(m).data);
-        }
-        let mut drained = false;
-        while let Ok(m) = self.inbox.try_recv() {
-            self.bump_progress();
-            self.note_inbox_pop();
-            self.stash.push_back(m);
+        self.reliable_tick();
+        loop {
+            let want = self.seq_rx.get(&(src, tag)).copied().unwrap_or(0);
+            let min_epoch = self.min_epoch.get(&(src, tag)).copied().unwrap_or(0);
+            // A sequenced message already held for this edge has its turn
+            // now.
+            if let Some(m) = self.early.get_mut(&(src, tag)).and_then(|b| b.remove(&want)) {
+                self.seq_rx.insert((src, tag), want + 1);
+                if m.epoch < min_epoch {
+                    // Stale-epoch delivery: slot consumed, data discarded
+                    // (never accounted — it came from the early buffer).
+                    self.tracer.fault(FaultKind::Dropped, src, tag);
+                    self.send_ack(src, tag, want + 1);
+                    continue;
+                }
+                self.send_ack(src, tag, want + 1);
+                return Some(self.account_recv(m).data);
+            }
+            let mut drained = false;
+            while let Ok(m) = self.inbox.try_recv() {
+                self.bump_progress();
+                self.note_inbox_pop();
+                let Some(m) = self.ingest_control(m) else { continue };
+                self.stash.push_back(m);
+                self.tracer.stash_depth(self.stash.len());
+                drained = true;
+            }
+            if drained {
+                self.snapshot_stash();
+            }
+            let mut i = 0;
+            let mut matched = None;
+            while i < self.stash.len() {
+                if self.stash[i].src != src || self.stash[i].tag != tag {
+                    i += 1;
+                    continue;
+                }
+                // `remove` keeps the rest of the stash in arrival order,
+                // preserving per-(src, tag) FIFO delivery.
+                let m = self.stash.remove(i).unwrap();
+                if m.seq == NO_SEQ || m.seq == want {
+                    if m.seq == want {
+                        self.seq_rx.insert((src, tag), want + 1);
+                        self.send_ack(src, tag, want + 1);
+                    }
+                    matched = Some(m);
+                    break;
+                } else if m.seq < want {
+                    // Stale duplicate of an already-consumed message. Stash
+                    // entries carry no receive accounting yet, so dropping
+                    // it here leaves the volume counters exactly as if the
+                    // duplicate had been accounted and then reversed.
+                    self.tracer.fault(FaultKind::DuplicateSuppressed, src, tag);
+                    self.send_ack(src, tag, want);
+                } else if self.early.entry((src, tag)).or_default().insert(m.seq, m).is_some() {
+                    // Duplicate of a message already buffered ahead.
+                    self.tracer.fault(FaultKind::DuplicateSuppressed, src, tag);
+                }
+                // The removal shifted the deque; re-inspect index `i`.
+            }
             self.tracer.stash_depth(self.stash.len());
-            drained = true;
-        }
-        if drained {
             self.snapshot_stash();
-        }
-        let mut i = 0;
-        let mut matched = None;
-        while i < self.stash.len() {
-            if self.stash[i].src != src || self.stash[i].tag != tag {
-                i += 1;
+            let m = matched?;
+            if m.seq != NO_SEQ && m.epoch < min_epoch {
+                // Stale-epoch delivery taken from the stash: never
+                // accounted, so discarding it is already reversal-exact.
+                self.tracer.fault(FaultKind::Dropped, src, tag);
                 continue;
             }
-            // `remove` keeps the rest of the stash in arrival order,
-            // preserving per-(src, tag) FIFO delivery.
-            let m = self.stash.remove(i).unwrap();
-            if m.seq == NO_SEQ || m.seq == want {
-                if m.seq == want {
-                    self.seq_rx.insert((src, tag), want + 1);
-                }
-                matched = Some(m);
-                break;
-            } else if m.seq < want {
-                // Stale duplicate of an already-consumed message. Stash
-                // entries carry no receive accounting yet, so dropping it
-                // here leaves the volume counters exactly as if the
-                // duplicate had been accounted and then reversed.
-                self.tracer.fault(FaultKind::DuplicateSuppressed, src, tag);
-            } else if self.early.entry((src, tag)).or_default().insert(m.seq, m).is_some() {
-                // Duplicate of a message already buffered ahead.
-                self.tracer.fault(FaultKind::DuplicateSuppressed, src, tag);
-            }
-            // The removal shifted the deque; re-inspect index `i`.
+            return Some(self.account_recv(m).data);
         }
-        self.tracer.stash_depth(self.stash.len());
-        self.snapshot_stash();
-        matched.map(|m| self.account_recv(m).data)
     }
 
     /// Blocks until at least one *new* message arrives and stashes it
@@ -883,6 +1205,7 @@ impl RankCtx {
                 Ok(m) => {
                     self.bump_progress();
                     self.note_inbox_pop();
+                    let Some(m) = self.ingest_control(m) else { continue };
                     self.clear_blocked();
                     self.tracer.recv_wait(posted_us, m.sent_us, Some((m.src, m.idx)));
                     self.stash.push_back(m);
@@ -890,7 +1213,10 @@ impl RankCtx {
                     self.snapshot_stash();
                     return;
                 }
-                Err(RecvTimeoutError::Timeout) => self.check_abort(),
+                Err(RecvTimeoutError::Timeout) => {
+                    self.check_abort();
+                    self.reliable_tick();
+                }
                 Err(RecvTimeoutError::Disconnected) => {
                     self.check_abort();
                     std::thread::sleep(self.poll);
@@ -941,6 +1267,109 @@ impl RankCtx {
     /// Counters so far.
     pub fn volume(&self) -> RankVolume {
         self.volume
+    }
+
+    /// This rank's current recovery epoch (confirmed deaths incorporated).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Raises this rank's recovery epoch (never lowers it): subsequent
+    /// sends carry the new stamp.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
+    }
+
+    /// Raises the minimum acceptable epoch of edge `(src, tag)`: an
+    /// in-sequence delivery stamped below it is discarded (with its
+    /// accounting reversed) instead of returned. The recovery layer calls
+    /// this when it re-homes an edge after a rebuild, so in-flight
+    /// pre-crash traffic cannot race the re-issued payload.
+    pub fn expect_epoch(&mut self, src: usize, tag: u64, epoch: u64) {
+        let e = self.min_epoch.entry((src, tag)).or_insert(0);
+        *e = (*e).max(epoch);
+    }
+
+    /// Ranks confirmed dead on the shared crash board (recovery mode only;
+    /// always empty otherwise). This is the ground truth a suspicion
+    /// timeout is checked against: a slow rank is never on it.
+    pub fn crashed_ranks(&self) -> Vec<usize> {
+        self.shared
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.crashed.load(Ordering::Acquire))
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// Whether `rank` is confirmed dead on the crash board.
+    pub fn is_crashed(&self, rank: usize) -> bool {
+        self.shared.states[rank].crashed.load(Ordering::Acquire)
+    }
+
+    /// Takes the oldest available message whose tag lies in `lane`
+    /// (`tag & LANE_MASK == lane`), draining the inbox first. The recovery
+    /// layer polls this for JOIN requests between receive slices.
+    pub fn try_take_lane(&mut self, lane: u64) -> Option<Message> {
+        self.check_abort();
+        self.flush_held();
+        self.reliable_tick();
+        while let Ok(m) = self.inbox.try_recv() {
+            self.bump_progress();
+            self.note_inbox_pop();
+            let Some(m) = self.ingest_control(m) else { continue };
+            self.stash.push_back(m);
+            self.tracer.stash_depth(self.stash.len());
+        }
+        let i = self.stash.iter().position(|m| m.tag & LANE_MASK == lane)?;
+        let m = self.stash.remove(i).unwrap();
+        self.tracer.stash_depth(self.stash.len());
+        self.snapshot_stash();
+        Some(self.account_recv(m))
+    }
+
+    /// Marks this rank's user function as logically complete (recovery
+    /// epilogue gate; see [`RankCtx::all_user_done`]). Idempotence is the
+    /// caller's duty: call it exactly once per rank.
+    pub(crate) fn mark_user_done(&self) {
+        self.shared.user_done.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Whether every survivor's user function is complete: the recovery
+    /// epilogue serves repair requests until this turns true.
+    pub(crate) fn all_user_done(&self) -> bool {
+        let crashed =
+            self.shared.states.iter().filter(|s| s.crashed.load(Ordering::Acquire)).count();
+        self.shared.user_done.load(Ordering::Acquire) + crashed >= self.size
+    }
+
+    /// Records that the recovery layer rebuilt the tree of collective
+    /// `tag` somewhere (aggregated into [`RecoveryReport::rebuilt_trees`]).
+    pub(crate) fn note_rebuild(&self, tag: u64) {
+        self.shared.rebuilt.lock().unwrap().insert(tag);
+    }
+
+    /// Records a stranded collective: its payload source died, so no
+    /// survivor can deliver it.
+    pub(crate) fn note_stranded(&self, tag: u64) {
+        self.shared.stranded.lock().unwrap().insert(tag);
+    }
+
+    /// Records `bytes` of re-issued payload answering a JOIN.
+    pub(crate) fn note_reissue(&self, bytes: u64) {
+        self.shared.reissued_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one JOIN request sent.
+    pub(crate) fn note_join(&self) {
+        self.shared.joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The run's poll granularity (the recovery layer slices its waits on
+    /// the same cadence).
+    pub fn poll_interval(&self) -> Duration {
+        self.poll
     }
 }
 
@@ -1015,10 +1444,12 @@ fn stall_error(
 }
 
 /// The watchdog monitor: observes per-rank progress counters; on zero
-/// progress it inspects the wait-for graph. A wait-for cycle stable across
-/// three consecutive no-progress polls aborts immediately (deadlock); any
-/// global stall aborts after the full `stall` duration.
-fn monitor(shared: &Shared, nranks: usize, stall: Duration, poll: Duration) {
+/// progress it inspects the wait-for graph. With `fast_cycle` (no reliable
+/// transport), a wait-for cycle stable across three consecutive
+/// no-progress polls aborts immediately (deadlock); any global stall
+/// aborts after the full `stall` duration. A reliable transport disables
+/// the fast path: blocked cycles are routinely broken by retransmission.
+fn monitor(shared: &Shared, nranks: usize, stall: Duration, poll: Duration, fast_cycle: bool) {
     let mut last = vec![u64::MAX; nranks];
     let mut last_change = Instant::now();
     let mut stable_cycle: Option<(Vec<usize>, u32)> = None;
@@ -1041,7 +1472,7 @@ fn monitor(shared: &Shared, nranks: usize, stall: Duration, poll: Duration) {
             shared.states.iter().map(|s| s.done.load(Ordering::Acquire)).collect();
         let blocked: Vec<Option<BlockedOn>> =
             shared.states.iter().map(|s| *s.blocked.lock().unwrap()).collect();
-        if let Some(c) = find_cycle(&blocked, &done) {
+        if let Some(c) = find_cycle(&blocked, &done).filter(|_| fast_cycle) {
             match &mut stable_cycle {
                 Some((prev, seen)) if *prev == c => {
                     *seen += 1;
@@ -1092,7 +1523,7 @@ fn run_impl<R, F, M>(
     opts: &RunOptions,
     f: &F,
     mk: &M,
-) -> Result<Vec<RankOutput<R>>, RunError>
+) -> Result<Vec<Option<RankOutput<R>>>, RunError>
 where
     R: Send,
     F: Fn(&mut RankCtx) -> R + Sync,
@@ -1100,7 +1531,29 @@ where
 {
     assert!(nranks > 0);
     let plan = opts.faults.as_ref().map(|p| Arc::new(p.clone()));
-    let shared = Arc::new(Shared::new(nranks, opts.watchdog.is_some(), opts.telemetry.is_some()));
+    let shared = Arc::new(Shared::new(
+        nranks,
+        opts.watchdog.is_some(),
+        opts.telemetry.is_some(),
+        opts.recovery,
+    ));
+    run_impl_shared(nranks, opts, f, mk, plan, &shared)
+}
+
+fn run_impl_shared<R, F, M>(
+    nranks: usize,
+    opts: &RunOptions,
+    f: &F,
+    mk: &M,
+    plan: Option<Arc<FaultPlan>>,
+    shared: &Arc<Shared>,
+) -> Result<Vec<Option<RankOutput<R>>>, RunError>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+    M: Fn(usize) -> RankTracer + Sync,
+{
+    let shared = shared.clone();
     let epoch = Instant::now();
     let mut senders = Vec::with_capacity(nranks);
     let mut receivers = Vec::with_capacity(nranks);
@@ -1116,6 +1569,7 @@ where
             let shared = shared.clone();
             let plan = plan.clone();
             let poll = opts.poll;
+            let reliable = opts.reliable;
             joins.push(scope.spawn(move || {
                 let mut ctx = RankCtx {
                     rank,
@@ -1136,16 +1590,28 @@ where
                     early: HashMap::new(),
                     clock: 0,
                     sends: 0,
+                    reliable: reliable.map(crate::reliable::ReliableState::new),
+                    epoch: 0,
+                    min_epoch: HashMap::new(),
                 };
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
                 match result {
                     Ok(r) => {
                         ctx.flush_held();
+                        ctx.reliable_flush();
                         shared.rank_finished(rank);
                         Some((r, ctx.volume, ctx.tracer.finish()))
                     }
                     Err(payload) => {
-                        if payload.downcast_ref::<Aborted>().is_none() {
+                        let aborted = payload.downcast_ref::<Aborted>().is_some();
+                        if shared.recovery && !aborted {
+                            // Online recovery: absorb the death instead of
+                            // aborting the run. The crash flag must be
+                            // visible before `done`, so survivors reading
+                            // the board never see a finished-but-unlisted
+                            // casualty.
+                            shared.states[rank].crashed.store(true, Ordering::Release);
+                        } else if !aborted {
                             shared.record_verdict(RunError::RankPanic {
                                 rank,
                                 message: panic_message(payload.as_ref()),
@@ -1160,7 +1626,12 @@ where
         if let Some(stall) = opts.watchdog {
             let shared = shared.clone();
             let poll = opts.poll;
-            scope.spawn(move || monitor(&shared, nranks, stall, poll));
+            // Under a reliable transport a wait-for cycle is not proof of
+            // deadlock: a lost message leaves both ends blocked until the
+            // retransmission deadline fires and breaks the cycle. Only the
+            // full stall timeout is trustworthy there.
+            let fast_cycle = opts.reliable.is_none();
+            scope.spawn(move || monitor(&shared, nranks, stall, poll, fast_cycle));
         }
         if let Some(tel) = opts.telemetry.clone() {
             let shared = shared.clone();
@@ -1176,7 +1647,7 @@ where
         }
         return Err(e);
     }
-    Ok(out.into_iter().map(|o| o.expect("rank aborted without a verdict")).collect())
+    Ok(out)
 }
 
 /// Fallible form of [`run`]: executes `f` on `nranks` rank threads under
@@ -1194,7 +1665,8 @@ where
     let handles = run_impl(nranks, opts, &f, &|_| RankTracer::disabled())?;
     let mut results = Vec::with_capacity(nranks);
     let mut volumes = Vec::with_capacity(nranks);
-    for (r, v, _) in handles {
+    for h in handles {
+        let (r, v, _) = h.expect("rank aborted without a verdict");
         results.push(r);
         volumes.push(v);
     }
@@ -1218,12 +1690,81 @@ where
     let mut results = Vec::with_capacity(nranks);
     let mut volumes = Vec::with_capacity(nranks);
     let mut traces = Vec::with_capacity(nranks);
-    for (r, v, t) in handles {
+    for h in handles {
+        let (r, v, t) = h.expect("rank aborted without a verdict");
         results.push(r);
         volumes.push(v);
         traces.extend(t);
     }
     Ok((results, volumes, Trace::new(label, traces)))
+}
+
+/// What online crash recovery did during a [`try_run_recover`] run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Ranks confirmed dead on the crash board, ascending.
+    pub dead_ranks: Vec<usize>,
+    /// Distinct collectives whose tree some survivor rebuilt around the
+    /// dead set.
+    pub rebuilt_trees: u64,
+    /// Payload bytes re-issued in answer to orphan JOIN requests.
+    pub reissued_bytes: u64,
+    /// JOIN requests orphans sent to their rebuilt-tree parents.
+    pub joins: u64,
+    /// Tags of collectives no survivor could deliver because the payload
+    /// source itself died (the irreducibly lost work), ascending.
+    pub stranded_supernodes: Vec<u64>,
+}
+
+/// What a recovery-mode run yields: per-rank results (`None` for
+/// casualties), per-rank volumes (zero for casualties) and the populated
+/// [`RecoveryReport`].
+pub type RecoverOutcome<R> = (Vec<Option<R>>, Vec<RankVolume>, RecoveryReport);
+
+/// Recovery-mode run: executes `f` on `nranks` rank threads with
+/// [`RunOptions::recovery`] forced on, absorbing rank deaths instead of
+/// aborting — an `Err` now only means an unrecoverable failure (a global
+/// stall the watchdog caught).
+pub fn try_run_recover<R, F>(
+    nranks: usize,
+    opts: &RunOptions,
+    f: F,
+) -> Result<RecoverOutcome<R>, RunError>
+where
+    R: Send,
+    F: Fn(&mut RankCtx) -> R + Sync,
+{
+    let mut opts = opts.clone();
+    opts.recovery = true;
+    assert!(nranks > 0);
+    let plan = opts.faults.as_ref().map(|p| Arc::new(p.clone()));
+    let shared =
+        Arc::new(Shared::new(nranks, opts.watchdog.is_some(), opts.telemetry.is_some(), true));
+    let handles = run_impl_shared(nranks, &opts, &f, &|_| RankTracer::disabled(), plan, &shared)?;
+    let mut results = Vec::with_capacity(nranks);
+    let mut volumes = Vec::with_capacity(nranks);
+    for h in handles {
+        match h {
+            Some((r, v, _)) => {
+                results.push(Some(r));
+                volumes.push(v);
+            }
+            None => {
+                results.push(None);
+                volumes.push(RankVolume::default());
+            }
+        }
+    }
+    let report = RecoveryReport {
+        dead_ranks: (0..nranks)
+            .filter(|&r| shared.states[r].crashed.load(Ordering::Acquire))
+            .collect(),
+        rebuilt_trees: shared.rebuilt.lock().unwrap().len() as u64,
+        reissued_bytes: shared.reissued_bytes.load(Ordering::Relaxed),
+        joins: shared.joins.load(Ordering::Relaxed),
+        stranded_supernodes: shared.stranded.lock().unwrap().iter().copied().collect(),
+    };
+    Ok((results, volumes, report))
 }
 
 /// Runs `f` on `nranks` rank threads and returns each rank's result plus

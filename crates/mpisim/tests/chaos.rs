@@ -19,6 +19,7 @@ fn chaos_opts(plan: FaultPlan) -> RunOptions {
         poll: Duration::from_millis(5),
         faults: Some(plan),
         telemetry: None,
+        ..RunOptions::default()
     }
 }
 

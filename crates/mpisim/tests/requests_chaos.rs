@@ -1,11 +1,13 @@
 //! Chaos coverage for the nonblocking receive path: sequenced edges driven
 //! through `RecvRequest::test` / `wait_any` must mask duplication and
-//! reordering exactly like the blocking `recv_seq` path does, and the
-//! sender-side reorder hold-back slot must be flushed when a rank returns.
+//! reordering exactly like the blocking `recv_seq` path does — and, with
+//! the reliable transport underneath, injected loss composed with both —
+//! and the sender-side reorder hold-back slot must be flushed when a rank
+//! returns.
 
 use proptest::prelude::*;
 use pselinv_chaos::{FaultPlan, FaultSpec};
-use pselinv_mpisim::{try_run, wait_any, RecvRequest, RunOptions};
+use pselinv_mpisim::{try_run, wait_any, RecvRequest, ReliableConfig, RunOptions};
 use std::time::Duration;
 
 fn chaos_opts(plan: FaultPlan) -> RunOptions {
@@ -14,6 +16,7 @@ fn chaos_opts(plan: FaultPlan) -> RunOptions {
         poll: Duration::from_millis(5),
         faults: Some(plan),
         telemetry: None,
+        ..RunOptions::default()
     }
 }
 
@@ -77,6 +80,75 @@ proptest! {
             prop_assert!(r.is_ok(), "{}", r.unwrap_err());
         }
     }
+
+    /// Loss composed with duplication and reordering, observed through the
+    /// nonblocking request path. The `wait_any` polling loop must keep the
+    /// sender's retransmission timers ticking (a `RecvRequest` never
+    /// blocks in `recv_msg_timeout`, so the tick has to run from the
+    /// nonblocking entry points), or a dropped message wedges the run.
+    #[test]
+    fn requests_mask_loss_composed_with_dup_and_reorder(
+        seed in 0u64..1_000_000,
+        n_msgs in 4usize..16,
+        drop in 1u16..201,
+        dup in 0u16..400,
+        reorder in 0u16..400,
+    ) {
+        const N_TAGS: u64 = 2;
+        let plan = FaultPlan::new(seed).with_default(FaultSpec {
+            drop_permille: drop,
+            duplicate_permille: dup,
+            reorder_permille: reorder,
+            ..FaultSpec::default()
+        });
+        let opts = RunOptions {
+            reliable: Some(ReliableConfig {
+                rto: Duration::from_millis(4),
+                ..ReliableConfig::default()
+            }),
+            ..chaos_opts(plan)
+        };
+        let (results, volumes) = try_run(2, &opts, move |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..n_msgs {
+                    ctx.send_seq(1, i as u64 % N_TAGS, vec![i as f64]);
+                }
+                Ok(())
+            } else {
+                let mut reqs: Vec<RecvRequest> =
+                    (0..n_msgs).map(|i| RecvRequest::post(0, i as u64 % N_TAGS)).collect();
+                let mut seen: Vec<Vec<f64>> = vec![Vec::new(); N_TAGS as usize];
+                while !reqs.is_empty() {
+                    let i = wait_any(ctx, &mut reqs);
+                    let req = reqs.remove(i);
+                    let tag = req.tag;
+                    let data = req.take().expect("wait_any returned a done request");
+                    seen[tag as usize].push(data[0]);
+                }
+                for tag in 0..N_TAGS {
+                    let sent: Vec<f64> = (0..n_msgs)
+                        .filter(|i| *i as u64 % N_TAGS == tag)
+                        .map(|i| i as f64)
+                        .collect();
+                    if seen[tag as usize] != sent {
+                        return Err(format!(
+                            "tag {tag}: got {:?}, sent {sent:?}",
+                            seen[tag as usize]
+                        ));
+                    }
+                }
+                Ok(())
+            }
+        })
+        .expect("the reliable transport must mask loss on the nonblocking path");
+        for r in results {
+            prop_assert!(r.is_ok(), "{}", r.unwrap_err());
+        }
+        // Logical volumes are loss-independent: the receiver consumed
+        // exactly the sent stream, all recovery traffic is accounted apart.
+        prop_assert_eq!(volumes[1].msgs_received, n_msgs as u64);
+        prop_assert_eq!(volumes[1].received, n_msgs as u64 * 8);
+    }
 }
 
 #[test]
@@ -93,6 +165,7 @@ fn rank_epilogue_flushes_the_reorder_holdback_slot() {
         poll: Duration::from_millis(5),
         faults: Some(plan),
         telemetry: None,
+        ..RunOptions::default()
     };
     let (results, _) = try_run(2, &opts, |ctx| {
         if ctx.rank() == 0 {

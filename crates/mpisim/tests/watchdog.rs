@@ -14,6 +14,7 @@ fn short_watchdog() -> RunOptions {
         poll: Duration::from_millis(10),
         faults: None,
         telemetry: None,
+        ..RunOptions::default()
     }
 }
 
@@ -73,6 +74,7 @@ fn rank_panic_unwinds_siblings_with_original_message() {
             poll: Duration::from_millis(10),
             faults: None,
             telemetry: None,
+            ..RunOptions::default()
         },
         |ctx| {
             if ctx.rank() == 2 {
@@ -128,6 +130,7 @@ fn injected_crash_surfaces_as_rank_panic() {
         poll: Duration::from_millis(10),
         faults: Some(plan),
         telemetry: None,
+        ..RunOptions::default()
     };
     let err = try_run(3, &opts, |ctx| {
         let me = ctx.rank();
@@ -160,6 +163,7 @@ fn injected_stall_trips_the_watchdog() {
         poll: Duration::from_millis(10),
         faults: Some(plan),
         telemetry: None,
+        ..RunOptions::default()
     };
     let err = try_run(4, &opts, |ctx| {
         let me = ctx.rank();
@@ -189,6 +193,7 @@ fn recv_timeout_escapes_a_missing_sender() {
             poll: Duration::from_millis(5),
             faults: None,
             telemetry: None,
+            ..RunOptions::default()
         },
         |ctx| {
             if ctx.rank() == 0 {

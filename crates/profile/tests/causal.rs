@@ -93,6 +93,7 @@ fn chaos_runs_reconstruct_valid_causal_orders() {
             poll: Duration::from_millis(2),
             faults: Some(plan),
             telemetry: None,
+            ..RunOptions::default()
         };
         let (_, _, trace) = try_distributed_selinv_traced(
             &f,

@@ -106,6 +106,17 @@ pub fn to_chrome(trace: &Trace) -> Json {
                         ("args", Json::obj([("count", (*count).into())])),
                     ]));
                 }
+                EventKind::Retransmits { count } => {
+                    events.push(Json::obj([
+                        ("name", "retransmits".into()),
+                        ("cat", "retransmit".into()),
+                        ("ph", "C".into()),
+                        ("pid", 0u64.into()),
+                        ("tid", tid.clone()),
+                        ("ts", e.ts_us.into()),
+                        ("args", Json::obj([("count", (*count).into())])),
+                    ]));
+                }
                 EventKind::Fault { what, peer, tag } => {
                     events.push(Json::obj([
                         ("name", format!("fault:{}", what.name()).into()),
@@ -318,6 +329,29 @@ mod tests {
         assert_eq!(f.get("ts").unwrap().as_f64(), Some(12.0));
         assert_eq!(f.get("args").unwrap().get("peer").unwrap().as_f64(), Some(3.0));
         assert_eq!(f.get("args").unwrap().get("tag").unwrap().as_f64(), Some(77.0));
+    }
+
+    #[test]
+    fn retransmit_counter_exports_as_counter_track() {
+        let mut t = RankTracer::manual(0);
+        t.set_time_us(4);
+        t.retransmit(2, 9, 128);
+        let doc = to_chrome(&collect("r", vec![t]).unwrap());
+        validate_chrome(&doc).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        let c = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("retransmit"))
+            .expect("a retransmit counter event");
+        assert_eq!(c.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(c.get("ts").unwrap().as_f64(), Some(4.0));
+        assert_eq!(c.get("args").unwrap().get("count").unwrap().as_f64(), Some(1.0));
+        // The companion fault instant rides the existing fault track.
+        let f = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("fault"))
+            .expect("a fault instant");
+        assert_eq!(f.get("name").unwrap().as_str(), Some("fault:retransmit"));
     }
 
     #[test]

@@ -101,6 +101,13 @@ pub enum FaultKind {
     Crashed,
     /// This rank stopped making progress (injected).
     Stalled,
+    /// A message was lost in flight (injected loss), or a stale-epoch
+    /// delivery was discarded by the recovery layer with its accounting
+    /// reversed.
+    Dropped,
+    /// The reliable transport re-sent an unacknowledged message after its
+    /// retransmission deadline expired.
+    Retransmit,
 }
 
 impl FaultKind {
@@ -113,6 +120,8 @@ impl FaultKind {
             FaultKind::DuplicateSuppressed => "dup-suppressed",
             FaultKind::Crashed => "crashed",
             FaultKind::Stalled => "stalled",
+            FaultKind::Dropped => "dropped",
+            FaultKind::Retransmit => "retransmit",
         }
     }
 }
@@ -148,6 +157,10 @@ pub enum EventKind {
     /// changed (emitted on change only) — the async engine's
     /// communication/computation overlap counter.
     Outstanding { count: usize },
+    /// The running total of reliable-transport retransmissions issued by
+    /// this rank changed (emitted once per retransmission) — the loss-
+    /// recovery counter track.
+    Retransmits { count: u64 },
     /// Time this rank spent blocked waiting for a message, classified
     /// Scalasca-style: `wait_us` is late-sender time (blocked before the
     /// matching send was even issued), `transfer_us` is the remainder of
@@ -185,6 +198,9 @@ impl TraceEvent {
             EventKind::StashDepth { depth } => format!("[{t} µs] stash depth {depth}"),
             EventKind::Outstanding { count } => {
                 format!("[{t} µs] outstanding collectives {count}")
+            }
+            EventKind::Retransmits { count } => {
+                format!("[{t} µs] retransmissions so far {count}")
             }
             EventKind::Wait { coll, wait_us, transfer_us, cause, .. } => {
                 let by = cause.map_or(String::new(), |(r, i)| format!(", ended by {r}:{i}"));

@@ -51,6 +51,15 @@ pub struct RankMetrics {
     /// data-movement cost the zero-copy paths avoid — distinct from the
     /// logical `bytes_sent`/`bytes_recv` volumes, which are unaffected.
     pub bytes_copied: u64,
+    /// Messages the reliable transport re-sent from this rank after a
+    /// retransmission deadline expired. Control-plane accounting only:
+    /// never added to the logical `bytes_sent`/`msgs_sent` volumes, so
+    /// every trace==replay identity stays bit-exact under loss.
+    pub retransmits: u64,
+    /// Payload bytes carried by those retransmissions plus ack traffic,
+    /// kept strictly separate from the logical volumes like
+    /// [`RankMetrics::retransmits`].
+    pub retrans_bytes: u64,
 }
 
 impl Default for RankMetrics {
@@ -63,6 +72,8 @@ impl Default for RankMetrics {
             stash_hwm: 0,
             outstanding_hwm: 0,
             bytes_copied: 0,
+            retransmits: 0,
+            retrans_bytes: 0,
         }
     }
 }
@@ -140,6 +151,15 @@ impl RankMetrics {
     /// Records `bytes` of physical payload copying.
     pub fn on_copy(&mut self, bytes: u64) {
         self.bytes_copied += bytes;
+    }
+
+    /// Records one reliable-transport retransmission (or ack) of `bytes`
+    /// control-plane traffic. Returns the new retransmission total so the
+    /// sink can emit a counter event without re-reading the registry.
+    pub fn on_retransmit(&mut self, bytes: u64) -> u64 {
+        self.retransmits += 1;
+        self.retrans_bytes += bytes;
+        self.retransmits
     }
 
     /// Total bytes sent across all kinds.

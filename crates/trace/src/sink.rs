@@ -367,6 +367,22 @@ impl RankTracer {
         }
     }
 
+    /// Records one reliable-transport retransmission of `bytes` toward
+    /// `peer`: a [`FaultKind::Retransmit`] instant plus a
+    /// [`EventKind::Retransmits`] counter sample. Control-plane metrics
+    /// only — the logical traffic counters never move.
+    pub fn retransmit(&mut self, peer: usize, tag: u64, bytes: u64) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            let ts_us = inner.clock.now_us();
+            inner.events.push(TraceEvent {
+                ts_us,
+                kind: EventKind::Fault { what: FaultKind::Retransmit, peer, tag },
+            });
+            let count = inner.metrics.on_retransmit(bytes);
+            inner.events.push(TraceEvent { ts_us, kind: EventKind::Retransmits { count } });
+        }
+    }
+
     /// The last `n` recorded events, formatted one per line (oldest first).
     /// Used by the mpisim watchdog to attach a per-rank trace tail to its
     /// stall diagnostic. Empty when disabled.
@@ -561,6 +577,21 @@ impl Trace {
         let _ = writeln!(
             out,
             "outstanding collectives high-water: max {o_max}, mean {o_mean:.2} across ranks"
+        );
+        // Reliable-transport recovery work: retransmissions per rank (0
+        // everywhere on a lossless run). Printed unconditionally so lossy
+        // and lossless summaries have the same shape.
+        let r_total: u64 = self.ranks.iter().map(|r| r.metrics.retransmits).sum();
+        let r_bytes: u64 = self.ranks.iter().map(|r| r.metrics.retrans_bytes).sum();
+        let (r_rank, r_max) = self
+            .ranks
+            .iter()
+            .map(|r| (r.rank, r.metrics.retransmits))
+            .max_by_key(|&(rank, n)| (n, std::cmp::Reverse(rank)))
+            .unwrap_or((0, 0));
+        let _ = writeln!(
+            out,
+            "retransmits: total {r_total} ({r_bytes} B control traffic), max {r_max} at rank {r_rank}"
         );
         out
     }
@@ -767,6 +798,7 @@ phase                msgs   sent.min B   sent.max B  sent.mean B   sent.sigma   
 ColBcast                2          100          300        200.0        100.0         20          0          0
 stash high-water: max 0 at rank 0, mean 0.00, 0/2 ranks ever stashed
 outstanding collectives high-water: max 0, mean 0.00 across ranks
+retransmits: total 0 (0 B control traffic), max 0 at rank 0
 ";
         assert_eq!(trace.summary_table(), expect);
     }
@@ -778,6 +810,50 @@ outstanding collectives high-water: max 0, mean 0.00 across ranks
         let table = Trace::new("empty", vec![]).summary_table();
         assert!(table.contains("stash high-water:"), "{table}");
         assert!(table.contains("outstanding collectives high-water:"), "{table}");
+        assert!(table.contains("retransmits: total 0"), "{table}");
+    }
+
+    #[test]
+    fn retransmit_hook_counts_control_traffic_only() {
+        let mut a = RankTracer::manual(0);
+        a.set_time_us(5);
+        a.retransmit(1, 7, 64);
+        a.retransmit(1, 7, 64);
+        let mut b = RankTracer::manual(1);
+        b.retransmit(0, 7, 24);
+        let trace = collect("retrans", vec![a, b]).unwrap();
+        // Control-plane counters move; the logical volumes never do.
+        assert_eq!(trace.ranks[0].metrics.retransmits, 2);
+        assert_eq!(trace.ranks[0].metrics.retrans_bytes, 128);
+        assert_eq!(trace.ranks[0].metrics.total_sent_bytes(), 0);
+        assert_eq!(trace.ranks[0].metrics.total_sent_msgs(), 0);
+        // Each retransmission emits a fault instant plus a counter sample.
+        let faults = trace.ranks[0]
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, EventKind::Fault { what: FaultKind::Retransmit, peer: 1, tag: 7 })
+            })
+            .count();
+        assert_eq!(faults, 2);
+        let counters: Vec<u64> = trace.ranks[0]
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Retransmits { count } => Some(count),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(counters, vec![1, 2]);
+        let table = trace.summary_table();
+        assert!(
+            table.contains("retransmits: total 3 (152 B control traffic), max 2 at rank 0"),
+            "{table}"
+        );
+        // Disabled tracer: no-op.
+        let mut d = RankTracer::disabled();
+        d.retransmit(0, 0, 8);
+        assert!(d.finish().is_none());
     }
 
     #[test]
