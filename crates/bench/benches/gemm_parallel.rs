@@ -1,0 +1,66 @@
+//! Pool-parallel GEMM vs the serial blocked kernel, at the square sizes
+//! where the window products of the selected inversion actually land.
+//! `gemm_pool` must be bit-identical to `gemm` (chunk boundaries are
+//! register-block aligned), so the only question criterion answers is
+//! what the persistent pool buys — or costs — per shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pselinv_dense::{gemm, gemm_pool, Mat, Transpose};
+use pselinv_pool::Pool;
+use std::hint::black_box;
+
+fn mat(n: usize, m: usize, seed: u64) -> Mat {
+    let mut state = seed | 1;
+    let mut out = Mat::zeros(n, m);
+    for j in 0..m {
+        for i in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            out[(i, j)] = (state as f64 / u64::MAX as f64) - 0.5;
+        }
+    }
+    out
+}
+
+fn bench_gemm_parallel(c: &mut Criterion) {
+    let pool = Pool::new(4);
+    let mut g = c.benchmark_group("gemm_parallel");
+    g.sample_size(10);
+    for &n in &[128usize, 256, 512] {
+        let a = mat(n, n, 1);
+        let b = mat(n, n, 2);
+        let mut cs = Mat::zeros(n, n);
+        let mut cp = Mat::zeros(n, n);
+        g.bench_with_input(BenchmarkId::new("serial", n), &n, |bch, _| {
+            bch.iter(|| {
+                gemm(1.0, black_box(&a), Transpose::No, black_box(&b), Transpose::No, 0.0, &mut cs)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("pool4", n), &n, |bch, _| {
+            bch.iter(|| {
+                gemm_pool(
+                    &pool,
+                    1.0,
+                    black_box(&a),
+                    Transpose::No,
+                    black_box(&b),
+                    Transpose::No,
+                    0.0,
+                    &mut cp,
+                )
+            })
+        });
+        // Not a benchmark, but free to check here: the two kernels must
+        // agree to the bit.
+        for j in 0..n {
+            for i in 0..n {
+                assert_eq!(cs[(i, j)].to_bits(), cp[(i, j)].to_bits(), "({i},{j}) at n={n}");
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm_parallel);
+criterion_main!(benches);

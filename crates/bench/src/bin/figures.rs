@@ -9,7 +9,7 @@
 //! ```
 //!
 //! Artifacts (text + JSON/CSV) land in `target/figures/` by default. The
-//! measured targets (`perf`, `async`, `faults`, `trace`) additionally
+//! measured targets (`perf`, `async`, `pool`, `faults`, `trace`) additionally
 //! archive their machine-readable outputs into `results/runs/` so that
 //! `regress` can diff the newest perf run against the committed baseline
 //! (`results/baseline.json`); `regress` exits nonzero on regression.
@@ -40,6 +40,9 @@ profiling & runtime:
 measured targets (archived into results/runs/):
   perf       blocked-kernel throughput, zero-copy accounting, selinv walls
   async      async-engine overlap sweep
+  pool       intra-rank task runtime: serial vs fork-join vs work-stealing
+             pool wall times across thread counts (PSELINV_POOL_THREADS
+             restricts the sweep), with bit-identity asserted per point
   faults     degraded-tree resilience under rank crashes
   recovery   live broadcast storm with online crash recovery (asserts
              100% survivor delivery vs the no-rebuild stranded baseline)
@@ -102,6 +105,7 @@ fn main() {
             "faults",
             "recovery",
             "async",
+            "pool",
             "ablation-nic",
             "ablation-shift",
             "ablation-arity",
@@ -134,6 +138,7 @@ fn main() {
             "faults" => experiments::faults(&out),
             "recovery" => experiments::recovery(&out),
             "async" => experiments::async_overlap(&out),
+            "pool" => experiments::pool_runtime(&out),
             "ablation-nic" => experiments::ablation_nic(&out),
             "ablation-shift" => experiments::ablation_shift(&out),
             "ablation-arity" => experiments::ablation_arity(&out),
@@ -158,6 +163,7 @@ fn main() {
         let archived: Option<&[&str]> = match t.as_str() {
             "perf" => Some(&["BENCH_perf.json", "perf.txt"]),
             "async" => Some(&["BENCH_async.json", "async_overlap.txt"]),
+            "pool" => Some(&["BENCH_pool.json", "pool.txt"]),
             "faults" => Some(&["BENCH_fault.json", "faults.txt"]),
             "recovery" => Some(&["BENCH_recovery.json", "recovery.txt"]),
             "trace" => Some(&[

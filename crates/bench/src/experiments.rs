@@ -462,7 +462,8 @@ pub fn trace_profile(out: &OutDir) -> std::io::Result<String> {
     for (name, scheme) in
         [("Flat-Tree", TreeScheme::Flat), ("Shifted Binary-Tree", TreeScheme::ShiftedBinary)]
     {
-        let opts = DistOptions { scheme, seed: TREE_SEED, threads: 1, lookahead: 1 };
+        let opts =
+            DistOptions { scheme, seed: TREE_SEED, threads: 1, lookahead: 1, ..Default::default() };
         let (_, _, trace) = distributed_selinv_traced(&f, grid, &opts, name);
         // Measured bytes must equal the structural prediction exactly.
         let layout = Layout::new(sf.clone(), grid);
@@ -825,7 +826,8 @@ pub fn perf(out: &OutDir) -> std::io::Result<String> {
     let layout = Layout::new(sf.clone(), grid);
     let mut selinv_rows = Vec::new();
     for (name, scheme) in schemes_with_names() {
-        let opts = DistOptions { scheme, seed: TREE_SEED, threads: 1, lookahead: 1 };
+        let opts =
+            DistOptions { scheme, seed: TREE_SEED, threads: 1, lookahead: 1, ..Default::default() };
         let t0 = Instant::now();
         let (_, vols, trace) = distributed_selinv_traced(&f, grid, &opts, name);
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -1296,7 +1298,13 @@ pub fn async_overlap(out: &OutDir) -> std::io::Result<String> {
     );
     let mut rows: Vec<Json> = Vec::new();
     for (name, scheme) in schemes_with_names() {
-        let mk = |lookahead| DistOptions { scheme, seed: TREE_SEED, threads: 1, lookahead };
+        let mk = |lookahead| DistOptions {
+            scheme,
+            seed: TREE_SEED,
+            threads: 1,
+            lookahead,
+            ..Default::default()
+        };
         let t0 = Instant::now();
         let (sync, sync_vol, sync_trace) =
             distributed_selinv_traced(&f, grid, &mk(1), &format!("{name}/sync"));
@@ -1370,6 +1378,184 @@ pub fn async_overlap(out: &OutDir) -> std::io::Result<String> {
     ]);
     out.write_json("BENCH_async.json", &doc)?;
     out.write_text("async_overlap.txt", &txt)?;
+    Ok(txt)
+}
+
+/// Intra-rank task-runtime comparison (`figures -- pool`).
+///
+/// Runs the real numeric selected inversion of the 46×46 grid Laplacian
+/// (n = 2,116) on a 2×2 mpisim grid, per tree scheme, under the three
+/// local executors — serial (`threads = 1`), the historical fork-join
+/// `thread::scope` splitter, and the persistent work-stealing pool — and
+/// sweeps the worker count. Reported per point: wall time, the pool's
+/// speedup over fork-join (the tentpole claim: the persistent pool
+/// amortizes the per-window spawn/join cost that fork-join pays on every
+/// supernode), the pool's executed/stolen task counters and its busy-time
+/// utilization. Along the way it *asserts* the runtime contract — panels
+/// bit-identical to the serial run and per-rank volume counters exactly
+/// equal for every executor, scheme and thread count.
+///
+/// `PSELINV_POOL_THREADS` (comma-separated, e.g. `2,4`) restricts the
+/// sweep — the CI threads matrix sets it so each job measures one point.
+///
+/// Emits `BENCH_pool.json` (archived into `results/runs/` and checked by
+/// `figures -- regress`) plus `pool.txt`.
+pub fn pool_runtime(out: &OutDir) -> std::io::Result<String> {
+    use pselinv_dist::{distributed_selinv_traced, DistOptions, TaskRuntime};
+    use pselinv_order::{analyze, AnalyzeOptions};
+    use pselinv_selinv::SelectedInverse;
+    use pselinv_trace::Trace;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let w = pselinv_sparse::gen::grid_laplacian_2d(46, 46);
+    let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
+    let f = pselinv_factor::factorize(&w.matrix, sf.clone()).expect("Laplacian must factor");
+    let grid = Grid2D::new(2, 2);
+    let nranks = grid.pr * grid.pc;
+    const LOOKAHEAD: usize = 4;
+    const REPS: usize = 2;
+
+    let threads_sweep: Vec<usize> = std::env::var("PSELINV_POOL_THREADS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![2, 4, 8]);
+
+    fn assert_bits(a: &SelectedInverse, b: &SelectedInverse, what: &str) {
+        let sf = &a.symbolic;
+        for s in 0..sf.num_supernodes() {
+            for j in 0..sf.width(s) {
+                for i in 0..sf.width(s) {
+                    assert_eq!(
+                        a.panels[s].diag[(i, j)].to_bits(),
+                        b.panels[s].diag[(i, j)].to_bits(),
+                        "{what}: diag {s} diverged"
+                    );
+                }
+                for i in 0..sf.rows_of(s).len() {
+                    assert_eq!(
+                        a.panels[s].below[(i, j)].to_bits(),
+                        b.panels[s].below[(i, j)].to_bits(),
+                        "{what}: below {s} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    // Best-of-REPS wall time; keeps the last run's outputs for the
+    // identity checks and counters.
+    let bench = |opts: &DistOptions,
+                 label: &str|
+     -> (f64, SelectedInverse, Vec<pselinv_mpisim::RankVolume>, Trace) {
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let r = distributed_selinv_traced(&f, grid, opts, label);
+            best = best.min(t0.elapsed().as_secs_f64());
+            last = Some(r);
+        }
+        let (inv, vols, trace) = last.unwrap();
+        (best * 1e3, inv, vols, trace)
+    };
+
+    let mut txt = format!(
+        "Intra-rank task runtime: {} (n = {}) on a {}x{} grid, lookahead {LOOKAHEAD}\n\n\
+         {:<22} {:>7} {:>11} {:>11} {:>11} {:>8} {:>9} {:>7} {:>6}\n",
+        w.name,
+        w.matrix.nrows(),
+        grid.pr,
+        grid.pc,
+        "scheme",
+        "threads",
+        "serial ms",
+        "forkjoin ms",
+        "pool ms",
+        "speedup",
+        "executed",
+        "stolen",
+        "util"
+    );
+    let mut scheme_rows: Vec<Json> = Vec::new();
+    for (name, scheme) in
+        [("Flat-Tree", TreeScheme::Flat), ("Shifted Binary-Tree", TreeScheme::ShiftedBinary)]
+    {
+        let mk = |threads, runtime| DistOptions {
+            scheme,
+            seed: TREE_SEED,
+            threads,
+            runtime,
+            lookahead: LOOKAHEAD,
+        };
+        let (serial_ms, serial, serial_vol, _) =
+            bench(&mk(1, TaskRuntime::Pool), &format!("{name}/serial"));
+        let mut points: Vec<Json> = Vec::new();
+        for &t in &threads_sweep {
+            let (fj_ms, fj, fj_vol, _) =
+                bench(&mk(t, TaskRuntime::ForkJoin), &format!("{name}/forkjoin{t}"));
+            let (pool_ms, pool, pool_vol, pool_trace) =
+                bench(&mk(t, TaskRuntime::Pool), &format!("{name}/pool{t}"));
+
+            // The runtime contract: scheduling only, never arithmetic or
+            // communication.
+            assert_bits(&serial, &fj, &format!("{name} forkjoin t={t}"));
+            assert_bits(&serial, &pool, &format!("{name} pool t={t}"));
+            assert_eq!(serial_vol, fj_vol, "{name} t={t}: fork-join volumes diverged");
+            assert_eq!(serial_vol, pool_vol, "{name} t={t}: pool volumes diverged");
+
+            let executed: u64 = pool_trace.ranks.iter().map(|r| r.metrics.pool_executed).sum();
+            let stolen: u64 = pool_trace.ranks.iter().map(|r| r.metrics.pool_stolen).sum();
+            let busy_us: u64 = pool_trace.ranks.iter().map(|r| r.metrics.pool_busy_us).sum();
+            assert!(executed > 0, "{name} t={t}: pool executed no tasks");
+            // Fraction of the sweep point's worker-time spent inside tasks
+            // (scheduling-time accounting; the ranks time-share one host).
+            let util = busy_us as f64 / (pool_ms * 1e3 * (nranks * t) as f64);
+            let speedup = fj_ms / pool_ms;
+            let _ = writeln!(
+                txt,
+                "{name:<22} {t:>7} {serial_ms:>11.1} {fj_ms:>11.1} {pool_ms:>11.1} \
+                 {speedup:>7.2}x {executed:>9} {stolen:>7} {util:>6.3}"
+            );
+            points.push(Json::obj([
+                ("threads", t.into()),
+                ("serial_wall_ms", serial_ms.into()),
+                ("forkjoin_wall_ms", fj_ms.into()),
+                ("pool_wall_ms", pool_ms.into()),
+                ("pool_speedup_vs_forkjoin", speedup.into()),
+                ("pool_executed", executed.into()),
+                ("pool_stolen", stolen.into()),
+                ("pool_busy_us", busy_us.into()),
+                ("pool_utilization", util.into()),
+                ("bit_identical", true.into()),
+                ("volumes_identical", true.into()),
+            ]));
+        }
+        scheme_rows.push(Json::obj([
+            ("scheme", Json::from(name)),
+            ("serial_wall_ms", serial_ms.into()),
+            ("points", Json::Arr(points)),
+        ]));
+    }
+    let _ = writeln!(
+        txt,
+        "\n(speedup = fork-join wall / pool wall at equal thread count; util =\n\
+         pool busy-µs / (wall x ranks x threads); panels asserted bit-identical\n\
+         and volumes exactly equal to the serial run at every point)"
+    );
+    let doc = Json::obj([
+        ("bench", "pool".into()),
+        ("matrix", w.name.as_str().into()),
+        ("n", w.matrix.nrows().into()),
+        ("grid", format!("{}x{}", grid.pr, grid.pc).into()),
+        ("lookahead", (LOOKAHEAD as u64).into()),
+        ("tree_seed", TREE_SEED.into()),
+        ("threads_sweep", Json::Arr(threads_sweep.iter().map(|&t| Json::from(t as u64)).collect())),
+        ("schemes", Json::Arr(scheme_rows)),
+    ]);
+    out.write_json("BENCH_pool.json", &doc)?;
+    out.write_text("pool.txt", &txt)?;
     Ok(txt)
 }
 

@@ -1,11 +1,12 @@
 //! Perf-regression sentinel: a run registry plus a baseline differ.
 //!
-//! Every `figures -- perf|async|faults|trace` invocation archives its
+//! Every `figures -- perf|async|pool|faults|trace` invocation archives its
 //! machine-readable artifacts into `results/runs/<NNN>-<target>/` next
 //! to a `meta.json` (git revision, target, backend/seed context), so the
 //! repository accumulates an append-only history of measured runs.
 //! `figures -- regress` then extracts a fixed set of scalar metrics from
-//! the newest archived perf run, compares each against the committed
+//! the newest archived perf run (plus the newest pool run, when one has
+//! been archived), compares each against the committed
 //! baseline (`results/baseline.json`) under per-metric relative
 //! thresholds, and reports pass/fail — the CI gate exits nonzero on any
 //! regression.
@@ -111,6 +112,59 @@ pub fn perf_metrics(doc: &Json) -> Option<Vec<Metric>> {
     Some(m)
 }
 
+/// Extracts the sentinel's metric set from a `BENCH_pool.json` document.
+///
+/// Returns `None` when the document does not look like a pool run. The
+/// headline band guards the tentpole claim: the persistent pool's wall-
+/// time advantage over per-window fork-join at 4 workers must not
+/// collapse. Timing-based, so the floor only catches the pool degrading
+/// to (or below) fork-join cost, not run-to-run noise.
+pub fn pool_metrics(doc: &Json) -> Option<Vec<Metric>> {
+    if doc.get("bench").and_then(Json::as_str) != Some("pool") {
+        return None;
+    }
+    let mut m = Vec::new();
+    let mut speedups_t4 = Vec::new();
+    for s in doc.get("schemes")?.as_arr()? {
+        for p in s.get("points")?.as_arr()? {
+            if f(p, "threads") == Some(4.0) {
+                speedups_t4.extend(f(p, "pool_speedup_vs_forkjoin"));
+            }
+        }
+    }
+    let min_speedup = speedups_t4.iter().copied().fold(f64::INFINITY, f64::min);
+    if min_speedup.is_finite() {
+        // A same-machine ratio, so portable across runners (absolute wall
+        // times are deliberately not tracked). The 0.66 floor pins the
+        // acceptance bar: with the ~2.3x baseline the pool must stay at
+        // least ~1.5x ahead of fork-join.
+        m.push(Metric {
+            name: "pool_min_speedup_vs_fj_t4",
+            value: min_speedup,
+            min_ratio: Some(0.66),
+            max_ratio: None,
+        });
+    }
+    (!m.is_empty()).then_some(m)
+}
+
+/// Every metric the sentinel tracks: the newest archived perf run
+/// (required) plus, when one has been archived, the newest pool run.
+fn all_metrics(runs_dir: &Path) -> std::io::Result<(PathBuf, Vec<Metric>)> {
+    let (dir, doc) = latest_artifact(runs_dir, "BENCH_perf.json").ok_or_else(|| {
+        std::io::Error::other(format!(
+            "no archived perf run under {}; run `figures -- perf` first",
+            runs_dir.display()
+        ))
+    })?;
+    let mut metrics = perf_metrics(&doc)
+        .ok_or_else(|| std::io::Error::other("archived BENCH_perf.json is not a perf document"))?;
+    if let Some((_, pdoc)) = latest_artifact(runs_dir, "BENCH_pool.json") {
+        metrics.extend(pool_metrics(&pdoc).unwrap_or_default());
+    }
+    Ok((dir, metrics))
+}
+
 fn git_rev() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
@@ -185,13 +239,10 @@ pub fn latest_artifact(runs_dir: &Path, artifact: &str) -> Option<(PathBuf, Json
     Json::parse(&text).ok().map(|j| (dir, j))
 }
 
-/// Writes `results/baseline.json` from the newest archived perf run.
+/// Writes `results/baseline.json` from the newest archived perf run
+/// (plus the newest pool run, when one exists).
 pub fn write_baseline(runs_dir: &Path, baseline: &Path) -> std::io::Result<String> {
-    let (dir, doc) = latest_artifact(runs_dir, "BENCH_perf.json").ok_or_else(|| {
-        std::io::Error::other(format!("no archived perf run under {}", runs_dir.display()))
-    })?;
-    let metrics = perf_metrics(&doc)
-        .ok_or_else(|| std::io::Error::other("archived BENCH_perf.json is not a perf document"))?;
+    let (dir, metrics) = all_metrics(runs_dir)?;
     let entries: Vec<(String, Json)> = metrics
         .iter()
         .map(|m| {
@@ -272,14 +323,7 @@ pub fn regress(runs_dir: &Path, baseline: &Path) -> std::io::Result<(String, boo
     let base_metrics = base
         .get("metrics")
         .ok_or_else(|| std::io::Error::other("baseline has no `metrics` object"))?;
-    let (dir, doc) = latest_artifact(runs_dir, "BENCH_perf.json").ok_or_else(|| {
-        std::io::Error::other(format!(
-            "no archived perf run under {}; run `figures -- perf` first",
-            runs_dir.display()
-        ))
-    })?;
-    let metrics = perf_metrics(&doc)
-        .ok_or_else(|| std::io::Error::other("archived BENCH_perf.json is not a perf document"))?;
+    let (dir, metrics) = all_metrics(runs_dir)?;
 
     let mut txt =
         format!("Perf regression check: {} vs baseline {}\n", dir.display(), baseline.display());
@@ -332,6 +376,66 @@ mod tests {
                 ])]),
             ),
         ])
+    }
+
+    fn pool_doc(speedup: f64) -> Json {
+        Json::obj([
+            ("bench", "pool".into()),
+            (
+                "schemes",
+                Json::from(vec![Json::obj([
+                    ("scheme", "Flat-Tree".into()),
+                    (
+                        "points",
+                        Json::from(vec![
+                            Json::obj([
+                                ("threads", 2.0.into()),
+                                ("pool_speedup_vs_forkjoin", (speedup * 3.0).into()),
+                            ]),
+                            Json::obj([
+                                ("threads", 4.0.into()),
+                                ("pool_speedup_vs_forkjoin", speedup.into()),
+                            ]),
+                        ]),
+                    ),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn pool_metric_extraction_reads_the_threads4_point() {
+        let m = pool_metrics(&pool_doc(2.4)).unwrap();
+        let by_name = |n: &str| m.iter().find(|x| x.name == n).unwrap().value;
+        assert_eq!(by_name("pool_min_speedup_vs_fj_t4"), 2.4);
+        assert!(pool_metrics(&Json::obj([("bench", "perf".into())])).is_none());
+    }
+
+    #[test]
+    fn regress_covers_an_archived_pool_run() {
+        let tmp = std::env::temp_dir().join("pselinv_regress_pool_test");
+        let _ = fs::remove_dir_all(&tmp);
+        let runs = tmp.join("runs");
+        let out = tmp.join("figures");
+        fs::create_dir_all(&out).unwrap();
+        fs::write(out.join("BENCH_perf.json"), perf_doc(100.0, 2.0).to_string_pretty()).unwrap();
+        archive_run(&out, &runs, "perf", &["BENCH_perf.json"]).unwrap();
+        fs::write(out.join("BENCH_pool.json"), pool_doc(2.4).to_string_pretty()).unwrap();
+        archive_run(&out, &runs, "pool", &["BENCH_pool.json"]).unwrap();
+
+        let baseline = tmp.join("baseline.json");
+        write_baseline(&runs, &baseline).unwrap();
+        let (report, ok) = regress(&runs, &baseline).unwrap();
+        assert!(ok, "self-compare must pass:\n{report}");
+        assert!(report.contains("pool_min_speedup_vs_fj_t4"));
+
+        // The pool's fork-join advantage collapsing must fail the gate.
+        fs::write(out.join("BENCH_pool.json"), pool_doc(0.9).to_string_pretty()).unwrap();
+        archive_run(&out, &runs, "pool", &["BENCH_pool.json"]).unwrap();
+        let (report, ok) = regress(&runs, &baseline).unwrap();
+        assert!(!ok, "collapsed pool speedup must fail:\n{report}");
+        assert!(report.contains("pool_min_speedup_vs_fj_t4"));
+        let _ = fs::remove_dir_all(&tmp);
     }
 
     #[test]

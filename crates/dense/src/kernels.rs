@@ -36,18 +36,18 @@ pub enum Transpose {
 // in L2; the MR strip of the current iteration lives in L1.
 
 /// Rows of one packed A panel.
-const MC: usize = 128;
+pub(crate) const MC: usize = 128;
 /// Shared (inner) dimension of one packing round.
-const KC: usize = 256;
+pub(crate) const KC: usize = 256;
 /// Columns of one packed B panel.
-const NC: usize = 4096;
+pub(crate) const NC: usize = 4096;
 /// Microkernel tile rows (contiguous in packed A and in column-major C).
-const MR: usize = 8;
+pub(crate) const MR: usize = 8;
 /// Microkernel tile columns.
-const NR: usize = 4;
+pub(crate) const NR: usize = 4;
 /// Below this many multiply-adds the packed path costs more than it saves
 /// (packing + buffer allocation); fall through to the scalar kernels.
-const SMALL_FLOPS: usize = 24 * 24 * 24;
+pub(crate) const SMALL_FLOPS: usize = 24 * 24 * 24;
 /// Column-block width of the blocked triangular solves.
 const TRSM_NB: usize = 48;
 
@@ -233,13 +233,29 @@ unsafe fn microkernel_body(
     }
 }
 
+std::thread_local! {
+    /// Per-thread packing arenas reused across every blocked-GEMM call on
+    /// this thread (including pool workers), so steady-state kernels do no
+    /// heap allocation. Grow-only; stale contents past the packed prefix
+    /// are never read (`pack_a`/`pack_b` overwrite, zero-pad included,
+    /// exactly the region the microkernels consume).
+    static PACK_ARENA: std::cell::RefCell<(Vec<f64>, Vec<f64>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
+fn arena_reserve(buf: &mut Vec<f64>, len: usize) {
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+}
+
 /// Packed, blocked `C += alpha * op(A) · op(B)` over raw column-major
 /// buffers with leading dimensions.
 ///
 /// # Safety
 /// `a`/`b`/`c` must cover `op(A)` (`m×k`), `op(B)` (`k×n`) and `C` (`m×n`)
 /// under their leading dimensions; `c` must not overlap `a` or `b`.
-unsafe fn gemm_blocked(
+pub(crate) unsafe fn gemm_blocked(
     m: usize,
     n: usize,
     k: usize,
@@ -253,11 +269,38 @@ unsafe fn gemm_blocked(
     c: *mut f64,
     ldc: usize,
 ) {
-    let mc_cap = MC.min(m).next_multiple_of(MR);
-    let kc_cap = KC.min(k);
-    let nc_cap = NC.min(n).next_multiple_of(NR);
-    let mut apack = vec![0.0f64; mc_cap * kc_cap];
-    let mut bpack = vec![0.0f64; kc_cap * nc_cap];
+    PACK_ARENA.with(|cell| {
+        let (apack, bpack) = &mut *cell.borrow_mut();
+        let mc_cap = MC.min(m).next_multiple_of(MR);
+        let kc_cap = KC.min(k);
+        let nc_cap = NC.min(n).next_multiple_of(NR);
+        arena_reserve(apack, mc_cap * kc_cap);
+        arena_reserve(bpack, kc_cap * nc_cap);
+        gemm_blocked_with(m, n, k, alpha, a, lda, ta, b, ldb, tb, c, ldc, apack, bpack)
+    })
+}
+
+/// [`gemm_blocked`] against caller-provided packing buffers.
+///
+/// # Safety
+/// As [`gemm_blocked`]; the buffers must hold at least one MC×KC (KC×NC)
+/// packing round for the clipped block sizes.
+unsafe fn gemm_blocked_with(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: *const f64,
+    lda: usize,
+    ta: Transpose,
+    b: *const f64,
+    ldb: usize,
+    tb: Transpose,
+    c: *mut f64,
+    ldc: usize,
+    apack: &mut [f64],
+    bpack: &mut [f64],
+) {
     let fma = use_fma_kernel();
 
     let mut jc = 0;
@@ -266,11 +309,11 @@ unsafe fn gemm_blocked(
         let mut pc = 0;
         while pc < k {
             let kc = KC.min(k - pc);
-            pack_b(&mut bpack, b, ldb, tb, pc, kc, jc, nc);
+            pack_b(bpack, b, ldb, tb, pc, kc, jc, nc);
             let mut ic = 0;
             while ic < m {
                 let mc = MC.min(m - ic);
-                pack_a(&mut apack, a, lda, ta, ic, mc, pc, kc);
+                pack_a(apack, a, lda, ta, ic, mc, pc, kc);
                 let mut jr = 0;
                 while jr < nc {
                     let nr = NR.min(nc - jr);
@@ -359,7 +402,7 @@ unsafe fn gemm_scalar(
 ///
 /// # Safety
 /// The region must be inside `c`'s allocation.
-unsafe fn scale_c(m: usize, n: usize, beta: f64, c: *mut f64, ldc: usize) {
+pub(crate) unsafe fn scale_c(m: usize, n: usize, beta: f64, c: *mut f64, ldc: usize) {
     if beta == 1.0 {
         return;
     }

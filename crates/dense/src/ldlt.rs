@@ -1,7 +1,23 @@
 //! LDLᵀ factorization and symmetric inversion of dense diagonal blocks.
+//!
+//! [`ldlt_factor`] is blocked: panels of [`FACTOR_NB`] columns are
+//! pre-updated from the already-factored columns by one call into the
+//! packed GEMM core, the small diagonal chunk is factored by the retained
+//! scalar loops, and the sub-diagonal panel is solved by the blocked
+//! right-TRSM — so the `O(n³)` work runs at blocked-kernel speed instead of
+//! the seed's scalar jki loops. The seed algorithm is kept verbatim as
+//! [`ldlt_factor_naive`]: it is the equivalence reference for the property
+//! tests (LDLᵀ without pivoting is unique, so the two factors agree up to
+//! rounding).
 
-use crate::kernels::{trsm_left_lower, trsm_left_lower_trans};
+use crate::kernels::{
+    gemm, gemm_raw, trsm_left_lower, trsm_left_lower_trans, trsm_right_lower_trans, Transpose,
+};
 use crate::mat::Mat;
+
+/// Panel width of the blocked factorizations (LDLᵀ and LU): matches the
+/// blocked-TRSM block size so panel solves hit their fast path.
+pub(crate) const FACTOR_NB: usize = 48;
 
 /// Error for a numerically singular diagonal block.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,7 +43,118 @@ impl std::error::Error for SingularBlock {}
 /// untouched. No pivoting is performed: the supernodal driver guarantees
 /// (via the SPD workload generators) that pivots stay away from zero; a
 /// tiny pivot returns [`SingularBlock`].
+///
+/// Blocked left-looking panels (see module docs); agrees with
+/// [`ldlt_factor_naive`] up to floating-point reordering.
 pub fn ldlt_factor(a: &mut Mat) -> Result<(), SingularBlock> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "ldlt_factor requires a square block");
+    if n <= FACTOR_NB {
+        return ldlt_factor_naive(a);
+    }
+    let mut k0 = 0;
+    while k0 < n {
+        let k1 = (k0 + FACTOR_NB).min(n);
+        let nb = k1 - k0;
+        if k0 > 0 {
+            // Pre-update the panel from the factored columns 0..k0:
+            //   A[k0.., k0..k1) -= L[k0.., 0..k0] · D · L[k0..k1, 0..k0]ᵀ.
+            // W = L[k0..k1, 0..k0] · D is formed once; the diagonal chunk
+            // goes through a temp so the strictly upper triangle of `a`
+            // stays untouched, the below-chunk rectangle goes straight
+            // through the packed GEMM core.
+            let mut ltop = Mat::zeros(nb, k0);
+            let mut w = Mat::zeros(nb, k0);
+            for kk in 0..k0 {
+                let d = a[(kk, kk)];
+                for i in 0..nb {
+                    let l = a[(k0 + i, kk)];
+                    ltop[(i, kk)] = l;
+                    w[(i, kk)] = l * d;
+                }
+            }
+            let mut s = Mat::zeros(nb, nb);
+            gemm(1.0, &w, Transpose::No, &ltop, Transpose::Yes, 0.0, &mut s);
+            for j in 0..nb {
+                for i in j..nb {
+                    a[(k0 + i, k0 + j)] -= s[(i, j)];
+                }
+            }
+            if k1 < n {
+                // SAFETY: reads columns 0..k0 of `a` and the temp `w`,
+                // writes the disjoint column range k0..k1 (rows k1..n).
+                unsafe {
+                    let base = a.data_mut().as_mut_ptr();
+                    gemm_raw(
+                        n - k1,
+                        nb,
+                        k0,
+                        -1.0,
+                        base.add(k1).cast_const(),
+                        n,
+                        Transpose::No,
+                        w.data().as_ptr(),
+                        nb,
+                        Transpose::Yes,
+                        1.0,
+                        base.add(k0 * n + k1),
+                        n,
+                    );
+                }
+            }
+        }
+        // Factor the nb×nb diagonal chunk with the scalar loops (updates
+        // restricted to within-panel columns; earlier panels are already
+        // applied).
+        for j in k0..k1 {
+            let mut d = a[(j, j)];
+            for k in k0..j {
+                let l = a[(j, k)];
+                d -= l * l * a[(k, k)];
+            }
+            if d.abs() < f64::EPSILON * 16.0 {
+                return Err(SingularBlock { pivot: j, value: d });
+            }
+            a[(j, j)] = d;
+            for i in (j + 1)..k1 {
+                let mut s = a[(i, j)];
+                for k in k0..j {
+                    s -= a[(i, k)] * a[(j, k)] * a[(k, k)];
+                }
+                a[(i, j)] = s / d;
+            }
+        }
+        // Panel solve below the chunk via the blocked TRSM:
+        //   L21 = A21 · L11⁻ᵀ · D⁻¹.
+        if k1 < n {
+            let mut l11 = Mat::zeros(nb, nb);
+            for j in 0..nb {
+                for i in j..nb {
+                    l11[(i, j)] = a[(k0 + i, k0 + j)];
+                }
+            }
+            let mut a21 = Mat::zeros(n - k1, nb);
+            for j in 0..nb {
+                for i in 0..(n - k1) {
+                    a21[(i, j)] = a[(k1 + i, k0 + j)];
+                }
+            }
+            trsm_right_lower_trans(&mut a21, &l11, true);
+            for j in 0..nb {
+                let inv_d = 1.0 / a[(k0 + j, k0 + j)];
+                for i in 0..(n - k1) {
+                    a[(k1 + i, k0 + j)] = a21[(i, j)] * inv_d;
+                }
+            }
+        }
+        k0 = k1;
+    }
+    Ok(())
+}
+
+/// The seed's scalar jki-loop LDLᵀ, retained as the equivalence reference
+/// for [`ldlt_factor`].
+pub fn ldlt_factor_naive(a: &mut Mat) -> Result<(), SingularBlock> {
     let n = a.nrows();
     assert_eq!(a.ncols(), n, "ldlt_factor requires a square block");
     for j in 0..n {

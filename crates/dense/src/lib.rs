@@ -17,12 +17,14 @@ pub mod kernels;
 pub mod ldlt;
 pub mod lu;
 pub mod mat;
+pub mod parallel;
 
 pub use kernels::{
     gemm, gemm_naive, trsm_left_lower, trsm_left_lower_naive, trsm_left_lower_trans,
     trsm_left_lower_trans_naive, trsm_right_lower, trsm_right_lower_naive, trsm_right_lower_trans,
     trsm_right_lower_trans_naive, Transpose,
 };
-pub use ldlt::{ldlt_factor, ldlt_invert, ldlt_solve};
-pub use lu::{lu_factor, lu_invert, lu_solve};
+pub use ldlt::{ldlt_factor, ldlt_factor_naive, ldlt_invert, ldlt_solve};
+pub use lu::{lu_factor, lu_factor_naive, lu_invert, lu_solve};
 pub use mat::Mat;
+pub use parallel::gemm_pool;

@@ -5,6 +5,8 @@
 //! dense kernels for that extension here and a sequential unsymmetric
 //! selected inversion in `pselinv-selinv`.
 
+use crate::kernels::{gemm_raw, trsm_left_lower, Transpose};
+use crate::ldlt::FACTOR_NB;
 use crate::mat::Mat;
 
 /// Error for a numerically singular block (no admissible pivot).
@@ -26,7 +28,114 @@ impl std::error::Error for SingularLu {}
 /// triangular (strictly lower part of the result) and `U` upper triangular
 /// (upper part including diagonal). Returns the pivot row permutation:
 /// `pivots[k]` is the row swapped into position `k` at step `k`.
+///
+/// Blocked right-looking panels: the rank-1 updates of the scalar loop are
+/// restricted to the current [`FACTOR_NB`]-column panel; the off-panel
+/// columns are updated once per panel via the blocked left-TRSM (`U₁₂`)
+/// and the packed GEMM core (Schur complement `A₂₂ -= L₂₁·U₁₂`). The
+/// seed's scalar elimination is retained as [`lu_factor_naive`]; both
+/// produce the same `P`, `L`, `U` up to floating-point reordering.
 pub fn lu_factor(a: &mut Mat) -> Result<Vec<usize>, SingularLu> {
+    let n = a.nrows();
+    assert_eq!(a.ncols(), n, "lu_factor requires a square block");
+    if n <= FACTOR_NB {
+        return lu_factor_naive(a);
+    }
+    let mut pivots = vec![0usize; n];
+    let mut k0 = 0;
+    while k0 < n {
+        let k1 = (k0 + FACTOR_NB).min(n);
+        let nb = k1 - k0;
+        // Unblocked panel factorization with partial pivoting; row swaps
+        // apply to the whole matrix so `pivots` keeps the naive semantics.
+        for k in k0..k1 {
+            let mut p = k;
+            let mut best = a[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = a[(i, k)].abs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best < f64::EPSILON * 16.0 {
+                return Err(SingularLu { col: k });
+            }
+            pivots[k] = p;
+            if p != k {
+                for j in 0..n {
+                    let t = a[(k, j)];
+                    a[(k, j)] = a[(p, j)];
+                    a[(p, j)] = t;
+                }
+            }
+            let d = a[(k, k)];
+            for i in (k + 1)..n {
+                a[(i, k)] /= d;
+            }
+            // Rank-1 update of the remaining panel columns only.
+            for j in (k + 1)..k1 {
+                let ukj = a[(k, j)];
+                if ukj == 0.0 {
+                    continue;
+                }
+                for i in (k + 1)..n {
+                    let lik = a[(i, k)];
+                    a[(i, j)] -= lik * ukj;
+                }
+            }
+        }
+        if k1 < n {
+            // U₁₂ := L₁₁⁻¹ · A[k0..k1, k1..n) via the blocked TRSM.
+            let mut l11 = Mat::zeros(nb, nb);
+            for j in 0..nb {
+                for i in j..nb {
+                    l11[(i, j)] = a[(k0 + i, k0 + j)];
+                }
+            }
+            let mut u12 = Mat::zeros(nb, n - k1);
+            for j in 0..(n - k1) {
+                for i in 0..nb {
+                    u12[(i, j)] = a[(k0 + i, k1 + j)];
+                }
+            }
+            trsm_left_lower(&l11, &mut u12, true);
+            for j in 0..(n - k1) {
+                for i in 0..nb {
+                    a[(k0 + i, k1 + j)] = u12[(i, j)];
+                }
+            }
+            // Schur complement through the packed GEMM core:
+            //   A[k1.., k1..) -= L₂₁ · U₁₂.
+            // SAFETY: reads columns k0..k1 of `a` and the temp `u12`,
+            // writes the disjoint region (rows ≥ k1) × (columns ≥ k1).
+            unsafe {
+                let base = a.data_mut().as_mut_ptr();
+                gemm_raw(
+                    n - k1,
+                    n - k1,
+                    nb,
+                    -1.0,
+                    base.add(k0 * n + k1).cast_const(),
+                    n,
+                    Transpose::No,
+                    u12.data().as_ptr(),
+                    nb,
+                    Transpose::No,
+                    1.0,
+                    base.add(k1 * n + k1),
+                    n,
+                );
+            }
+        }
+        k0 = k1;
+    }
+    Ok(pivots)
+}
+
+/// The seed's scalar right-looking elimination, retained as the
+/// equivalence reference for [`lu_factor`].
+pub fn lu_factor_naive(a: &mut Mat) -> Result<Vec<usize>, SingularLu> {
     let n = a.nrows();
     assert_eq!(a.ncols(), n, "lu_factor requires a square block");
     let mut pivots = vec![0usize; n];

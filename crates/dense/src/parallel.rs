@@ -1,0 +1,219 @@
+//! Pool-parallel GEMM.
+//!
+//! [`gemm_pool`] splits `C` into a grid of row/column chunks and runs the
+//! full blocked update of each chunk (the complete `pc` loop over `K`) as
+//! one task on a [`pselinv_pool::Pool`]. Because
+//!
+//! * every `C` element has exactly one writing task,
+//! * each task accumulates its `KC`-steps in the same ascending order as
+//!   the serial blocked kernel, and
+//! * chunk boundaries are multiples of the `MR`/`NR` register-tile grid,
+//!   so each microkernel tile sees byte-identical packed operands,
+//!
+//! the result is **bit-identical** to the serial [`crate::gemm`] for every
+//! thread count and schedule — scheduling never reorders floating-point
+//! arithmetic, it only reorders which chunk finishes first. Each worker
+//! packs into its own thread-local arena (reused across calls), trading a
+//! little redundant `B`-packing between row chunks for zero cross-task
+//! coordination.
+
+use crate::kernels::{gemm_blocked, scale_c, Transpose, MR, NR, SMALL_FLOPS};
+use crate::mat::Mat;
+use pselinv_pool::Pool;
+
+/// Rows of `C` per task: one packed `MC` panel, so a task is exactly one
+/// L2-resident packing round of the serial kernel.
+const TM: usize = 128;
+/// Columns of `C` per task. Much smaller than the serial `NC` (4096) so
+/// square problems still decompose; must stay a multiple of `NR`.
+const TN: usize = 256;
+
+/// Raw operand pointers smuggled into pool tasks. Tasks write disjoint
+/// regions of `c` and only read `a`/`b`, so sharing them is safe under the
+/// fork-join barrier of [`Pool::run`].
+#[derive(Clone, Copy)]
+struct RawOperands {
+    a: *const f64,
+    lda: usize,
+    ta: Transpose,
+    b: *const f64,
+    ldb: usize,
+    tb: Transpose,
+    c: *mut f64,
+    ldc: usize,
+    k: usize,
+    alpha: f64,
+}
+
+unsafe impl Send for RawOperands {}
+unsafe impl Sync for RawOperands {}
+
+/// `C = alpha * op(A) * op(B) + beta * C`, parallelized over `C` chunks on
+/// `pool`. Bit-identical to [`crate::gemm`] (see module docs). Problems too
+/// small to beat the scalar kernel, or a single-thread pool, fall through
+/// to the serial path.
+#[allow(clippy::too_many_arguments)] // mirrors the 8-operand BLAS gemm signature
+pub fn gemm_pool(
+    pool: &Pool,
+    alpha: f64,
+    a: &Mat,
+    ta: Transpose,
+    b: &Mat,
+    tb: Transpose,
+    beta: f64,
+    c: &mut Mat,
+) {
+    let (m, ka) = match ta {
+        Transpose::No => (a.nrows(), a.ncols()),
+        Transpose::Yes => (a.ncols(), a.nrows()),
+    };
+    let (kb, n) = match tb {
+        Transpose::No => (b.nrows(), b.ncols()),
+        Transpose::Yes => (b.ncols(), b.nrows()),
+    };
+    assert_eq!(ka, kb, "gemm_pool inner dimensions differ: {ka} vs {kb}");
+    assert_eq!(c.nrows(), m, "gemm_pool C row mismatch");
+    assert_eq!(c.ncols(), n, "gemm_pool C col mismatch");
+    let k = ka;
+
+    // The serial kernel would take the scalar path (different accumulation
+    // order from the blocked one) below SMALL_FLOPS, and one chunk has no
+    // parallelism anyway: both cases defer to `gemm` verbatim.
+    if pool.threads() <= 1 || m * n * k <= SMALL_FLOPS || (m <= TM && n <= TN) {
+        crate::kernels::gemm(alpha, a, ta, b, tb, beta, c);
+        return;
+    }
+
+    let raw = RawOperands {
+        a: a.data().as_ptr(),
+        lda: a.nrows(),
+        ta,
+        b: b.data().as_ptr(),
+        ldb: b.nrows(),
+        tb,
+        c: c.data_mut().as_mut_ptr(),
+        ldc: c.nrows(),
+        k,
+        alpha,
+    };
+
+    let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
+    let mut jc = 0;
+    while jc < n {
+        let nc = TN.min(n - jc);
+        let mut ic = 0;
+        while ic < m {
+            let mc = TM.min(m - ic);
+            tasks.push(Box::new(move || {
+                // Capture the whole Send wrapper, not its raw-pointer
+                // fields (2021 disjoint capture would strip `Send`).
+                let raw = raw;
+                // SAFETY: the chunk rectangle [ic, ic+mc) × [jc, jc+nc) is
+                // inside C and disjoint from every other task's rectangle;
+                // a/b are read-only; Pool::run joins before gemm_pool
+                // returns, so the borrows outlive every task.
+                unsafe {
+                    let cptr = raw.c.add(jc * raw.ldc + ic);
+                    scale_c(mc, nc, beta, cptr, raw.ldc);
+                    if raw.alpha == 0.0 || raw.k == 0 {
+                        return;
+                    }
+                    let aptr = match raw.ta {
+                        Transpose::No => raw.a.add(ic),
+                        Transpose::Yes => raw.a.add(ic * raw.lda),
+                    };
+                    let bptr = match raw.tb {
+                        Transpose::No => raw.b.add(jc * raw.ldb),
+                        Transpose::Yes => raw.b.add(jc),
+                    };
+                    gemm_blocked(
+                        mc, nc, raw.k, raw.alpha, aptr, raw.lda, raw.ta, bptr, raw.ldb, raw.tb,
+                        cptr, raw.ldc,
+                    );
+                }
+            }));
+            ic += TM;
+        }
+        jc += TN;
+    }
+    pool.run(tasks);
+}
+
+// Compile-time guards for the bit-identity argument in the module docs.
+const _: () = assert!(TM.is_multiple_of(MR), "row chunks must align to the MR tile grid");
+const _: () = assert!(TN.is_multiple_of(NR), "column chunks must align to the NR tile grid");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Mat {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1) | 1;
+        let mut a = Mat::zeros(m, n);
+        for j in 0..n {
+            for i in 0..m {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                a[(i, j)] = (state as f64 / u64::MAX as f64) * 2.0 - 1.0;
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn pool_gemm_is_bit_identical_to_serial() {
+        // Shapes straddling the chunk grid, including uneven edges.
+        let shapes = [(130, 260, 96), (256, 256, 64), (140, 300, 130), (64, 520, 80)];
+        for threads in [1usize, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            for (ti, &(m, n, k)) in shapes.iter().enumerate() {
+                for (ta, tb) in [
+                    (Transpose::No, Transpose::No),
+                    (Transpose::Yes, Transpose::No),
+                    (Transpose::No, Transpose::Yes),
+                    (Transpose::Yes, Transpose::Yes),
+                ] {
+                    let seed = (ti as u64 + 1) * 31;
+                    let a = match ta {
+                        Transpose::No => rand_mat(m, k, seed),
+                        Transpose::Yes => rand_mat(k, m, seed),
+                    };
+                    let b = match tb {
+                        Transpose::No => rand_mat(k, n, seed + 7),
+                        Transpose::Yes => rand_mat(n, k, seed + 7),
+                    };
+                    let mut c_serial = rand_mat(m, n, seed + 13);
+                    let mut c_pool = c_serial.clone();
+                    crate::kernels::gemm(0.5, &a, ta, &b, tb, -0.25, &mut c_serial);
+                    gemm_pool(&pool, 0.5, &a, ta, &b, tb, -0.25, &mut c_pool);
+                    for j in 0..n {
+                        for i in 0..m {
+                            assert_eq!(
+                                c_serial[(i, j)].to_bits(),
+                                c_pool[(i, j)].to_bits(),
+                                "threads={threads} shape=({m},{n},{k}) ta={ta:?} tb={tb:?} ({i},{j})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_problems_fall_through_to_serial() {
+        let pool = Pool::new(4);
+        let a = rand_mat(8, 8, 3);
+        let b = rand_mat(8, 8, 4);
+        let mut c1 = rand_mat(8, 8, 5);
+        let mut c2 = c1.clone();
+        crate::kernels::gemm(1.0, &a, Transpose::No, &b, Transpose::No, 1.0, &mut c1);
+        gemm_pool(&pool, 1.0, &a, Transpose::No, &b, Transpose::No, 1.0, &mut c2);
+        for j in 0..8 {
+            for i in 0..8 {
+                assert_eq!(c1[(i, j)].to_bits(), c2[(i, j)].to_bits());
+            }
+        }
+    }
+}

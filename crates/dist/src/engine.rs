@@ -42,14 +42,17 @@
 //! rank can always advance it; induction drains the schedule.
 
 use crate::numeric::{
-    find_block, local_gemms, pack, share, tag, unpack, RankState, PHASE_AINV_TRANS,
-    PHASE_COL_BCAST, PHASE_DIAG_REDUCE, PHASE_ROW_REDUCE, PHASE_TRANSPOSE,
+    diag_contrib, find_block, gemm_task_specs, local_gemms, pack, share, tag, unpack, LocalExec,
+    RankState, PHASE_AINV_TRANS, PHASE_COL_BCAST, PHASE_DIAG_REDUCE, PHASE_ROW_REDUCE,
+    PHASE_TRANSPOSE,
 };
 use crate::plan::SupernodePlan;
 use pselinv_dense::{gemm, ldlt_invert, Mat, Transpose};
 use pselinv_mpisim::{Payload, RankCtx, RecvRequest, TreeBcastNb, TreeReduceNb};
+use pselinv_pool::Batch;
 use pselinv_trace::CollKind;
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// Ancestor data a supernode's GEMM stage reads from [`RankState`], i.e.
 /// an output of an earlier (higher-indexed) supernode's task on this rank.
@@ -115,6 +118,11 @@ struct SnTask {
     /// Ancestor `A⁻¹` data the GEMM stage needs (deduplicated).
     needs: Vec<Need>,
     gemm_done: bool,
+    /// In-flight pool batch of this supernode's GEMM tasks. While it runs
+    /// on the workers, the submitting thread keeps polling the nonblocking
+    /// collectives of every active supernode — the intra-rank
+    /// communication/computation overlap.
+    gemm_batch: Option<Batch<(usize, Mat)>>,
     contrib: HashMap<usize, Mat>,
     rr: Vec<Rr>,
     /// Block indices whose `Row-Reduce` roots on this rank (the owned
@@ -244,6 +252,7 @@ impl SnTask {
             cb,
             needs,
             gemm_done: false,
+            gemm_batch: None,
             contrib: HashMap::new(),
             rr,
             owned_bids,
@@ -270,7 +279,7 @@ impl SnTask {
         ctx: &mut RankCtx,
         st: &mut RankState<'_>,
         sp: &SupernodePlan,
-        threads: usize,
+        exec: &LocalExec,
     ) -> bool {
         let k = self.k;
         let sf = st.sf;
@@ -330,13 +339,55 @@ impl SnTask {
         }
 
         // Step 1: the local GEMMs, once every Û block and every ancestor
-        // A⁻¹ piece this rank reads is available.
+        // A⁻¹ piece this rank reads is available. Under the pool executor
+        // the inputs are gathered here (cheap index-copies and shared-Mat
+        // clones) and the GEMMs are submitted as an owned-input batch: the
+        // rank thread returns to polling collectives while workers
+        // compute, and a later poll collects the results.
         if !self.gemm_done
+            && self.gemm_batch.is_none()
             && self.t_recvs.is_empty()
             && self.cb.iter().all(|c| matches!(c, Cb::Out | Cb::Done))
             && self.needs.iter().all(|n| n.satisfied(st))
         {
-            self.contrib = local_gemms(st, &self.ucur, blocks, k, w, threads);
+            let specs = gemm_task_specs(st, blocks);
+            match exec.pool() {
+                Some(pool) if pool.threads() > 1 && specs.len() > 1 => {
+                    let tasks: Vec<Box<dyn FnOnce() -> (usize, Mat) + Send + 'static>> = specs
+                        .into_iter()
+                        .map(|(bj_i, bi_list)| {
+                            let bj = &blocks[bj_i];
+                            let nrows = bj.nrows();
+                            // (A⁻¹[RJ,RI], Û_{K,I}) operand pairs in the
+                            // fixed ascending ancestor order.
+                            let inputs: Vec<(Mat, Mat)> = bi_list
+                                .into_iter()
+                                .map(|bi_i| {
+                                    (st.gather_sub(k, bj, &blocks[bi_i]), self.ucur[&bi_i].clone())
+                                })
+                                .collect();
+                            Box::new(move || {
+                                let mut c = Mat::zeros(nrows, w);
+                                for (s, u) in &inputs {
+                                    gemm(-1.0, s, Transpose::No, u, Transpose::No, 1.0, &mut c);
+                                }
+                                (bj_i, c)
+                            })
+                                as Box<dyn FnOnce() -> (usize, Mat) + Send + 'static>
+                        })
+                        .collect();
+                    self.gemm_batch = Some(pool.submit(tasks));
+                }
+                _ => {
+                    self.contrib = local_gemms(st, &self.ucur, blocks, k, w, exec);
+                    self.gemm_done = true;
+                }
+            }
+            progressed = true;
+        }
+        if self.gemm_batch.as_ref().is_some_and(Batch::try_done) {
+            let batch = self.gemm_batch.take().expect("checked above");
+            self.contrib = batch.wait().into_iter().collect();
             self.gemm_done = true;
             progressed = true;
         }
@@ -385,18 +436,7 @@ impl SnTask {
             && self.owned_bids.iter().all(|bid| st.ainv_lower.contains_key(bid))
         {
             ctx.tracer().push_scope(CollKind::DiagReduce, k as u64);
-            let mut dcon = Mat::zeros(w, w);
-            for &bid in &self.owned_bids {
-                gemm(
-                    1.0,
-                    &st.lhat[&bid],
-                    Transpose::Yes,
-                    &st.ainv_lower[&bid],
-                    Transpose::No,
-                    1.0,
-                    &mut dcon,
-                );
-            }
+            let dcon = diag_contrib(st, &self.owned_bids, w, exec);
             if sp.diag_reduce.is_empty() {
                 if is_diag_owner {
                     finish_diag(st, k, w, dcon.into_vec());
@@ -511,7 +551,7 @@ pub(crate) fn phase2_async(
     ctx: &mut RankCtx,
     st: &mut RankState<'_>,
     plans: &[SupernodePlan],
-    threads: usize,
+    exec: &LocalExec,
     lookahead: usize,
 ) {
     debug_assert!(lookahead >= 2, "the synchronous loop handles lookahead <= 1");
@@ -534,16 +574,27 @@ pub(crate) fn phase2_async(
         }
         ctx.outstanding(active.len());
         for t in &mut active {
-            progressed |= t.poll(ctx, st, &plans[t.k], threads);
+            progressed |= t.poll(ctx, st, &plans[t.k], exec);
         }
         let before = active.len();
         active.retain(|t| !t.is_done());
         progressed |= active.len() != before;
         if !progressed {
-            // Nothing moved and the window is as full as it can get: every
-            // pending stage awaits a message. Park on the inbox so the
-            // watchdog sees a blocked rank instead of a hot spin.
-            ctx.wait_for_arrival();
+            if active.iter().any(|t| t.gemm_batch.is_some()) {
+                // A GEMM batch is on the workers. Help execute queued
+                // tasks; when the queues are dry (workers own the tail),
+                // take a *bounded* park so the rank wakes promptly for
+                // either a message or batch completion.
+                let helped = exec.pool().is_some_and(pselinv_pool::Pool::help_one);
+                if !helped {
+                    ctx.wait_for_arrival_timeout(Duration::from_micros(200));
+                }
+            } else {
+                // Nothing moved and the window is as full as it can get:
+                // every pending stage awaits a message. Park on the inbox
+                // so the watchdog sees a blocked rank, not a hot spin.
+                ctx.wait_for_arrival();
+            }
         }
     }
     ctx.outstanding(0);

@@ -30,7 +30,7 @@ pub mod volume;
 pub use layout::Layout;
 pub use numeric::{
     distributed_selinv, distributed_selinv_traced, try_distributed_selinv,
-    try_distributed_selinv_traced, DistOptions,
+    try_distributed_selinv_traced, DistOptions, TaskRuntime,
 };
 pub use plan::{CommPlan, SupernodePlan};
 pub use volume::{replay_volumes, VolumeReport};

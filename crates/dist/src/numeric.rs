@@ -19,10 +19,29 @@ use pselinv_mpisim::collectives::{tree_bcast, tree_reduce};
 use pselinv_mpisim::{Grid2D, Payload, RankCtx, RankVolume};
 use pselinv_order::symbolic::SnBlock;
 use pselinv_order::SymbolicFactor;
+use pselinv_pool::Pool;
 use pselinv_selinv::SelectedInverse;
 use pselinv_trace::{CollKind, Trace};
 use pselinv_trees::TreeBuilder;
 use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// How a rank parallelizes its local compute (window GEMMs and diagonal
+/// contributions) when [`DistOptions::threads`] asks for more than one
+/// thread.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TaskRuntime {
+    /// Persistent per-rank work-stealing pool (`pselinv-pool`): workers
+    /// live for the rank's whole lifetime, idle workers steal queued
+    /// tasks, and the asynchronous engine keeps polling its nonblocking
+    /// collectives on the submitting thread while workers compute.
+    #[default]
+    Pool,
+    /// The historical per-call `std::thread::scope` fork-join, retained as
+    /// the baseline that `figures -- pool` measures the pool against. Pays
+    /// thread spawn plus a full barrier on every GEMM step.
+    ForkJoin,
+}
 
 /// Options for a distributed run.
 #[derive(Clone, Copy, Debug)]
@@ -31,11 +50,17 @@ pub struct DistOptions {
     pub scheme: pselinv_trees::TreeScheme,
     /// Global seed for the shifted/random schemes.
     pub seed: u64,
-    /// Worker threads for each rank's local GEMM step (`<= 1` computes
-    /// inline). Target blocks have independent accumulators, so they are
-    /// farmed out to scoped threads without changing the accumulation
-    /// order — results stay bit-identical to the single-threaded run.
+    /// Worker threads for each rank's local GEMM step. `0` and `1` both
+    /// mean "compute inline, no workers" — every consumer reads the knob
+    /// through [`DistOptions::worker_threads`], which owns that
+    /// normalization. Target blocks have independent accumulators merged
+    /// in a fixed ascending order, so any thread count and either
+    /// [`TaskRuntime`] produce bit-identical results.
     pub threads: usize,
+    /// Which intra-rank task runtime executes the local compute when
+    /// `threads > 1`. Defaults to the persistent work-stealing pool;
+    /// [`TaskRuntime::ForkJoin`] is kept for benchmarking against it.
+    pub runtime: TaskRuntime,
     /// How many descending supernodes may be in flight at once in phase 2.
     /// `1` (the default) runs the synchronous engine — supernodes strictly
     /// one at a time with blocking collectives. `>= 2` runs the
@@ -53,7 +78,56 @@ impl Default for DistOptions {
             scheme: pselinv_trees::TreeScheme::ShiftedBinary,
             seed: 0x5e11,
             threads: 1,
+            runtime: TaskRuntime::Pool,
             lookahead: 1,
+        }
+    }
+}
+
+impl DistOptions {
+    /// The effective worker-thread count: [`DistOptions::threads`] with
+    /// `0` normalized to `1`. This is the single place that normalization
+    /// happens — both engines and the executor constructor call it, so
+    /// `threads: 0` can never reach a `div_ceil(0)` or a zero-worker pool.
+    pub fn worker_threads(&self) -> usize {
+        self.threads.max(1)
+    }
+}
+
+/// One rank's local-compute executor, built once per rank in
+/// [`rank_entry`] and threaded through both phase-2 engines.
+pub(crate) enum LocalExec {
+    /// Compute inline on the rank thread.
+    Serial,
+    /// Per-call scoped fork-join over `threads` threads (the
+    /// [`TaskRuntime::ForkJoin`] baseline).
+    ForkJoin { threads: usize },
+    /// Persistent work-stealing pool, with its busy gauge wired into the
+    /// rank's telemetry.
+    Pool(Pool),
+}
+
+impl LocalExec {
+    pub(crate) fn new(ctx: &RankCtx, opts: &DistOptions) -> LocalExec {
+        let threads = opts.worker_threads();
+        if threads <= 1 {
+            return LocalExec::Serial;
+        }
+        match opts.runtime {
+            TaskRuntime::ForkJoin => LocalExec::ForkJoin { threads },
+            TaskRuntime::Pool => {
+                let pool = Pool::new(threads);
+                pool.set_busy_gauge(ctx.pool_busy_gauge());
+                LocalExec::Pool(pool)
+            }
+        }
+    }
+
+    /// The pool, when this executor is the pool runtime.
+    pub(crate) fn pool(&self) -> Option<&Pool> {
+        match self {
+            LocalExec::Pool(p) => Some(p),
+            _ => None,
         }
     }
 }
@@ -303,23 +377,14 @@ fn assemble(factor: &LdlFactor, layout: &Layout, outputs: Vec<RankOutput>) -> Se
     SelectedInverse { symbolic: sf, panels }
 }
 
-/// Step 1 of Algorithm 1 on one rank: for every target block `J` of
-/// supernode `k` whose GEMM participants include this rank, accumulate
-/// `−A⁻¹[RJ,RI]·L̂_{I,K}` over the ancestor blocks `I`. Each target block
-/// has its own accumulator and the per-target accumulation order is fixed
-/// (ascending `I`), so targets are distributed over `threads` scoped
-/// worker threads with bit-identical results to the inline path.
-pub(crate) fn local_gemms(
-    st: &RankState<'_>,
-    ucur: &HashMap<usize, Mat>,
-    blocks: &[SnBlock],
-    k: usize,
-    w: usize,
-    threads: usize,
-) -> HashMap<usize, Mat> {
+/// The `(target block, participating ancestor blocks)` pairs of supernode
+/// `k`'s local GEMM step on this rank — the single source of truth for
+/// both engines and every executor, so the task set cannot drift between
+/// them. Ancestor lists are ascending: that order is the fixed per-target
+/// accumulation order of the bit-identity contract.
+pub(crate) fn gemm_task_specs(st: &RankState<'_>, blocks: &[SnBlock]) -> Vec<(usize, Vec<usize>)> {
     let me = st.me;
     let layout = st.layout;
-    // (target block index, participating ancestor block indices)
     let mut tasks: Vec<(usize, Vec<usize>)> = Vec::new();
     for (bj_i, bj) in blocks.iter().enumerate() {
         let prow_j = layout.grid.prow_of_block(bj.sn);
@@ -332,7 +397,68 @@ pub(crate) fn local_gemms(
             tasks.push((bj_i, mine));
         }
     }
-    let run_task = |task: &(usize, Vec<usize>)| -> (usize, Mat) {
+    tasks
+}
+
+/// Runs one closure per item on `exec`, writing results into per-item
+/// slots; returns them in item order regardless of which worker ran what.
+/// The fork-join arm keeps the historical contiguous-chunk split; the pool
+/// arm submits one task per item so idle workers steal load dynamically.
+pub(crate) fn run_on_exec<T, I, F>(exec: &LocalExec, items: &[I], f: F) -> Vec<T>
+where
+    T: Send,
+    I: Sync,
+    F: Fn(&I) -> T + Sync,
+{
+    match exec {
+        _ if items.len() <= 1 => items.iter().map(&f).collect(),
+        LocalExec::Serial => items.iter().map(&f).collect(),
+        LocalExec::ForkJoin { threads } => std::thread::scope(|scope| {
+            let f = &f;
+            let per = items.len().div_ceil(*threads);
+            let handles: Vec<_> = items
+                .chunks(per)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<_>>()))
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        }),
+        LocalExec::Pool(pool) => {
+            let slots: Vec<Mutex<Option<T>>> = items.iter().map(|_| Mutex::new(None)).collect();
+            let f = &f;
+            let work: Vec<Box<dyn FnOnce() + Send + '_>> = items
+                .iter()
+                .zip(&slots)
+                .map(|(item, slot)| {
+                    Box::new(move || {
+                        *slot.lock().unwrap() = Some(f(item));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run(work);
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().unwrap().expect("pool task left its slot empty"))
+                .collect()
+        }
+    }
+}
+
+/// Step 1 of Algorithm 1 on one rank: for every target block `J` of
+/// supernode `k` whose GEMM participants include this rank, accumulate
+/// `−A⁻¹[RJ,RI]·L̂_{I,K}` over the ancestor blocks `I`. Each target block
+/// has its own accumulator and the per-target accumulation order is fixed
+/// (ascending `I`), so targets are farmed out to `exec` with bit-identical
+/// results to the inline path.
+pub(crate) fn local_gemms(
+    st: &RankState<'_>,
+    ucur: &HashMap<usize, Mat>,
+    blocks: &[SnBlock],
+    k: usize,
+    w: usize,
+    exec: &LocalExec,
+) -> HashMap<usize, Mat> {
+    let tasks = gemm_task_specs(st, blocks);
+    let computed = run_on_exec(exec, &tasks, |task: &(usize, Vec<usize>)| {
         let (bj_i, bi_list) = task;
         let bj = &blocks[*bj_i];
         let mut c = Mat::zeros(bj.nrows(), w);
@@ -341,21 +467,31 @@ pub(crate) fn local_gemms(
             gemm(-1.0, &s, Transpose::No, &ucur[&bi_i], Transpose::No, 1.0, &mut c);
         }
         (*bj_i, c)
-    };
-    let computed: Vec<(usize, Mat)> = if threads <= 1 || tasks.len() <= 1 {
-        tasks.iter().map(run_task).collect()
-    } else {
-        let run_task = &run_task;
-        std::thread::scope(|scope| {
-            let per = tasks.len().div_ceil(threads);
-            let handles: Vec<_> = tasks
-                .chunks(per)
-                .map(|chunk| scope.spawn(move || chunk.iter().map(run_task).collect::<Vec<_>>()))
-                .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
-        })
-    };
+    });
     computed.into_iter().collect()
+}
+
+/// Step 2's diagonal contribution `Σ L̂ᵀ_{I,K}·A⁻¹_{I,K}` over this rank's
+/// owned blocks of supernode `k`. Each block gets its own `w×w`
+/// accumulator (a pool task under the pool executor); the partial results
+/// are merged elementwise in ascending block order, so the sum is
+/// deterministic and identical across executors and engines.
+pub(crate) fn diag_contrib(
+    st: &RankState<'_>,
+    owned_bids: &[usize],
+    w: usize,
+    exec: &LocalExec,
+) -> Mat {
+    let parts = run_on_exec(exec, owned_bids, |&bid: &usize| {
+        let mut t = Mat::zeros(w, w);
+        gemm(1.0, &st.lhat[&bid], Transpose::Yes, &st.ainv_lower[&bid], Transpose::No, 0.0, &mut t);
+        t
+    });
+    let mut dcon = Mat::zeros(w, w);
+    for t in &parts {
+        dcon.axpy(1.0, t);
+    }
+    dcon
 }
 
 /// Entry point of one rank: phase 1 always runs synchronously; phase 2 is
@@ -378,11 +514,28 @@ pub(crate) fn rank_entry(
         ainv_upper: HashMap::new(),
         ainv_diag: HashMap::new(),
     };
+    let exec = LocalExec::new(ctx, opts);
+    // Pool spans are stamped relative to pool creation; remember where
+    // that sits on the tracer clock so worker spans align with the
+    // communication spans in the timeline.
+    let pool_epoch_us = ctx.tracer().now_us();
     phase1(ctx, &mut st, plans);
     if opts.lookahead <= 1 {
-        phase2_sync(ctx, &mut st, plans, opts.threads);
+        phase2_sync(ctx, &mut st, plans, &exec);
     } else {
-        crate::engine::phase2_async(ctx, &mut st, plans, opts.threads, opts.lookahead);
+        crate::engine::phase2_async(ctx, &mut st, plans, &exec, opts.lookahead);
+    }
+    if let LocalExec::Pool(pool) = &exec {
+        let stats = pool.stats();
+        ctx.tracer().pool_stats(stats.executed(), stats.stolen(), stats.busy_us(), pool.threads());
+        for (worker, start_us, end_us) in pool.take_spans() {
+            ctx.tracer().span_at(
+                CollKind::Compute,
+                worker as u64,
+                pool_epoch_us + start_us,
+                pool_epoch_us + end_us,
+            );
+        }
     }
     (st.ainv_diag, st.ainv_lower)
 }
@@ -437,7 +590,12 @@ pub(crate) fn phase1(ctx: &mut RankCtx, st: &mut RankState<'_>, plans: &[Superno
 
 /// Phase 2 (descending): Algorithm 1, steps 3–5, synchronous schedule —
 /// supernodes strictly one at a time with blocking collectives.
-fn phase2_sync(ctx: &mut RankCtx, st: &mut RankState<'_>, plans: &[SupernodePlan], threads: usize) {
+fn phase2_sync(
+    ctx: &mut RankCtx,
+    st: &mut RankState<'_>,
+    plans: &[SupernodePlan],
+    exec: &LocalExec,
+) {
     let sf = st.sf;
     let me = st.me;
     let layout = st.layout;
@@ -484,7 +642,7 @@ fn phase2_sync(ctx: &mut RankCtx, st: &mut RankState<'_>, plans: &[SupernodePlan
         ctx.tracer().pop_scope();
 
         // Step 1 (local GEMMs): contributions −A⁻¹[RJ,RI]·L̂_{I,K}.
-        let mut contrib = local_gemms(st, &ucur, blocks, k, w, threads);
+        let mut contrib = local_gemms(st, &ucur, blocks, k, w, exec);
 
         // Step b: Row-Reduce each target block onto the owner of A⁻¹_{J,K}.
         ctx.tracer().push_scope(CollKind::RowReduce, k as u64);
@@ -508,22 +666,13 @@ fn phase2_sync(ctx: &mut RankCtx, st: &mut RankState<'_>, plans: &[SupernodePlan
         let in_dreduce = sp.diag_reduce.members().contains(&me);
         ctx.tracer().push_scope(CollKind::DiagReduce, k as u64);
         if is_diag_owner || in_dreduce {
-            let mut dcon = Mat::zeros(w, w);
-            for (bi, b) in blocks.iter().enumerate() {
-                if layout.lower_owner(b, k) != me {
-                    continue;
-                }
-                let bid = sf.blocks_ptr[k] + bi;
-                gemm(
-                    1.0,
-                    &st.lhat[&bid],
-                    Transpose::Yes,
-                    &st.ainv_lower[&bid],
-                    Transpose::No,
-                    1.0,
-                    &mut dcon,
-                );
-            }
+            let owned_bids: Vec<usize> = blocks
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| layout.lower_owner(b, k) == me)
+                .map(|(bi, _)| sf.blocks_ptr[k] + bi)
+                .collect();
+            let dcon = diag_contrib(st, &owned_bids, w, exec);
             let total = if sp.diag_reduce.is_empty() {
                 Some(dcon.into_vec())
             } else if in_dreduce {
@@ -592,7 +741,7 @@ mod tests {
         let (dist, _) = distributed_selinv(
             &f,
             grid,
-            &DistOptions { scheme, seed: 7, threads: 1, lookahead: 1 },
+            &DistOptions { scheme, seed: 7, threads: 1, lookahead: 1, ..Default::default() },
         );
         for s in 0..sf.num_supernodes() {
             let d = (&seq.panels[s].diag, &dist.panels[s].diag);
@@ -675,6 +824,7 @@ mod tests {
             seed: 7,
             threads,
             lookahead: 1,
+            ..Default::default()
         };
         let (base, vol1) = distributed_selinv(&f, grid, &mk(1));
         for threads in [2, 4] {
@@ -709,8 +859,13 @@ mod tests {
         let sf = Arc::new(analyze(&w.matrix.pattern(), &AnalyzeOptions::default()));
         let f = pselinv_factor::factorize(&w.matrix, sf.clone()).unwrap();
         let grid = Grid2D::new(3, 3);
-        let opts =
-            DistOptions { scheme: TreeScheme::ShiftedBinary, seed: 7, threads: 1, lookahead: 1 };
+        let opts = DistOptions {
+            scheme: TreeScheme::ShiftedBinary,
+            seed: 7,
+            threads: 1,
+            lookahead: 1,
+            ..Default::default()
+        };
         let (_, volumes) = distributed_selinv(&f, grid, &opts);
         let layout = Layout::new(sf, grid);
         let rep = crate::volume::replay_volumes(&layout, TreeBuilder::new(opts.scheme, opts.seed));
@@ -787,7 +942,8 @@ mod tests {
         let f = pselinv_factor::factorize(&w.matrix, sf.clone()).unwrap();
         let grid = Grid2D::new(3, 3);
         for scheme in [TreeScheme::Flat, TreeScheme::ShiftedBinary] {
-            let opts = DistOptions { scheme, seed: 7, threads: 1, lookahead: 1 };
+            let opts =
+                DistOptions { scheme, seed: 7, threads: 1, lookahead: 1, ..Default::default() };
             let (_, _, trace) = distributed_selinv_traced(&f, grid, &opts, "unit");
             let layout = Layout::new(sf.clone(), grid);
             let rep =

@@ -314,6 +314,10 @@ pub(crate) struct RankState {
     pub(crate) sent_bytes: AtomicU64,
     /// Running total of payload bytes physically copied (telemetry gauge).
     pub(crate) copied_bytes: AtomicU64,
+    /// Tasks of the intra-rank work-stealing pool currently executing on
+    /// this rank (telemetry gauge; the pool itself maintains it through
+    /// the handle from [`RankCtx::pool_busy_gauge`]).
+    pub(crate) pool_busy: Arc<AtomicUsize>,
 }
 
 /// Run-global state shared by rank threads, the monitor and the sampler.
@@ -673,6 +677,16 @@ impl RankCtx {
                 self.shared.states[self.rank].copied_bytes.fetch_add(bytes, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Shared handle to this rank's pool-busy telemetry gauge. Hand it to
+    /// `Pool::set_busy_gauge` so the sampler sees how many pool tasks are
+    /// executing at each snapshot. Maintained by the pool itself, so it
+    /// stays live (unlike the other gauges) even when telemetry is off —
+    /// two relaxed atomic bumps per task is below the noise floor of a
+    /// GEMM-sized task body.
+    pub fn pool_busy_gauge(&self) -> Arc<AtomicUsize> {
+        Arc::clone(&self.shared.states[self.rank].pool_busy)
     }
 
     /// Reports the number of nonblocking collectives currently in flight on
@@ -1230,6 +1244,49 @@ impl RankCtx {
     /// [`RankCtx::wait_for_arrival_as`] with a wildcard blocked-on report.
     pub fn wait_for_arrival(&mut self) {
         self.wait_for_arrival_as(BlockedOn { src: None, tag: None });
+    }
+
+    /// Bounded [`RankCtx::wait_for_arrival`]: parks until a new message is
+    /// stashed or `timeout` elapses, whichever comes first; returns whether
+    /// a message arrived. The async engine calls this while intra-rank pool
+    /// batches are in flight — the rank must wake promptly for *either* a
+    /// message or batch completion, so it cannot block on the inbox alone.
+    pub fn wait_for_arrival_timeout(&mut self, timeout: Duration) -> bool {
+        self.chaos_op();
+        self.flush_held();
+        let posted_us = self.tracer.now_us();
+        let deadline = Instant::now() + timeout;
+        self.set_blocked(BlockedOn { src: None, tag: None });
+        loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                self.clear_blocked();
+                return false;
+            }
+            match self.inbox.recv_timeout(left.min(self.poll)) {
+                Ok(m) => {
+                    self.bump_progress();
+                    self.note_inbox_pop();
+                    let Some(m) = self.ingest_control(m) else { continue };
+                    self.clear_blocked();
+                    self.tracer.recv_wait(posted_us, m.sent_us, Some((m.src, m.idx)));
+                    self.stash.push_back(m);
+                    self.tracer.stash_depth(self.stash.len());
+                    self.snapshot_stash();
+                    return true;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    self.check_abort();
+                    self.reliable_tick();
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.check_abort();
+                    std::thread::sleep(self.poll);
+                    self.check_abort();
+                    panic!("all senders hung up while receiving");
+                }
+            }
+        }
     }
 
     /// Returns a message taken with [`RankCtx::recv_any`] to the stash

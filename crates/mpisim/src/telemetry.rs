@@ -47,6 +47,9 @@ pub struct TelemetrySample {
     pub copied_bytes: u64,
     /// The rank's progress counter (sends + inbox pops so far).
     pub progress: u64,
+    /// Intra-rank pool tasks executing at the sampling instant (0 both
+    /// when the pool is idle and when the run never used a pool).
+    pub pool_busy: usize,
 }
 
 impl TelemetrySample {
@@ -62,6 +65,7 @@ impl TelemetrySample {
             ("sent_bytes", self.sent_bytes.into()),
             ("copied_bytes", self.copied_bytes.into()),
             ("progress", self.progress.into()),
+            ("pool_busy", self.pool_busy.into()),
         ])
     }
 }
@@ -132,7 +136,7 @@ impl Telemetry {
             latest[s.rank] = s;
         }
         type Gauge = fn(&TelemetrySample) -> u64;
-        let gauges: [(&str, Gauge); 7] = [
+        let gauges: [(&str, Gauge); 8] = [
             ("inbox_depth", |s| s.inbox as u64),
             ("stash_depth", |s| s.stash as u64),
             ("outstanding", |s| s.outstanding as u64),
@@ -140,6 +144,7 @@ impl Telemetry {
             ("copied_bytes", |s| s.copied_bytes),
             ("progress", |s| s.progress),
             ("blocked", |s| u64::from(s.blocked.is_some())),
+            ("pool_busy", |s| s.pool_busy as u64),
         ];
         let mut out = String::new();
         for (name, get) in gauges {
@@ -167,6 +172,7 @@ fn snapshot(shared: &Shared, nranks: usize, t_us: u64) -> Vec<TelemetrySample> {
                 sent_bytes: st.sent_bytes.load(Ordering::Relaxed),
                 copied_bytes: st.copied_bytes.load(Ordering::Relaxed),
                 progress: st.progress.load(Ordering::Relaxed),
+                pool_busy: st.pool_busy.load(Ordering::Relaxed),
             }
         })
         .collect()
@@ -212,6 +218,7 @@ mod tests {
             sent_bytes: 400,
             copied_bytes: 50,
             progress: 6,
+            pool_busy: 0,
         }
     }
 

@@ -1,0 +1,256 @@
+//! Chase–Lev work-stealing deque.
+//!
+//! One *owner* thread pushes and pops at the bottom; any number of *thief*
+//! threads steal from the top with a CAS. The implementation follows the
+//! C11 formulation of Lê, Pop, Cohen & Zappa Nardelli, "Correct and
+//! Efficient Work-Stealing for Weak Memory Models" (PPoPP 2013): a single
+//! `SeqCst` fence orders the owner's speculative `bottom` decrement against
+//! thieves' `top` reads, and the `top` CAS arbitrates the one-element race.
+//!
+//! Elements are opaque `usize` values (the pool stores type-erased job
+//! pointers). The deque never frees a buffer while the pool is live:
+//! `grow` retires the old buffer into a side list instead of dropping it,
+//! because a concurrent thief that loaded the old buffer pointer may still
+//! be reading a slot from it. Retired buffers are reclaimed when the deque
+//! itself drops, at which point no thief can be active.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const MIN_CAP: usize = 64;
+
+struct Buffer {
+    cap: usize,
+    slots: Box<[AtomicUsize]>,
+}
+
+impl Buffer {
+    fn alloc(cap: usize) -> *mut Buffer {
+        debug_assert!(cap.is_power_of_two());
+        let slots: Box<[AtomicUsize]> = (0..cap).map(|_| AtomicUsize::new(0)).collect();
+        Box::into_raw(Box::new(Buffer { cap, slots }))
+    }
+
+    #[inline]
+    fn read(&self, i: isize) -> usize {
+        self.slots[i as usize & (self.cap - 1)].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn write(&self, i: isize, v: usize) {
+        self.slots[i as usize & (self.cap - 1)].store(v, Ordering::Relaxed);
+    }
+}
+
+/// Outcome of a steal attempt.
+pub(crate) enum Steal {
+    /// The deque looked empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Stole one element.
+    Success(usize),
+}
+
+pub(crate) struct ChaseLev {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buf: AtomicPtr<Buffer>,
+    /// Buffers replaced by `grow`, kept alive until `Drop` (see module docs).
+    retired: Mutex<Vec<*mut Buffer>>,
+}
+
+// The raw buffer pointers are only dereferenced under the protocol above.
+unsafe impl Send for ChaseLev {}
+unsafe impl Sync for ChaseLev {}
+
+impl ChaseLev {
+    pub(crate) fn new() -> Self {
+        ChaseLev {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buf: AtomicPtr::new(Buffer::alloc(MIN_CAP)),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Owner-only: push one element at the bottom.
+    pub(crate) fn push(&self, job: usize) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        if b - t >= buf.cap as isize {
+            self.grow(b, t);
+            buf = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        }
+        buf.write(b, job);
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Owner-only: pop one element from the bottom (LIFO).
+    pub(crate) fn pop(&self) -> Option<usize> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let job = buf.read(b);
+            if t == b {
+                // Last element: race the thieves for it via the top CAS.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    Some(job)
+                } else {
+                    None
+                }
+            } else {
+                Some(job)
+            }
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: steal one element from the top (FIFO).
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let buf = unsafe { &*self.buf.load(Ordering::Acquire) };
+        let job = buf.read(t);
+        if self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok() {
+            Steal::Success(job)
+        } else {
+            Steal::Retry
+        }
+    }
+
+    /// Owner-only slow path: double the buffer, retiring the old one.
+    fn grow(&self, b: isize, t: isize) {
+        let old_ptr = self.buf.load(Ordering::Relaxed);
+        let old = unsafe { &*old_ptr };
+        let new_ptr = Buffer::alloc(old.cap * 2);
+        let new = unsafe { &*new_ptr };
+        for i in t..b {
+            new.write(i, old.read(i));
+        }
+        self.buf.store(new_ptr, Ordering::Release);
+        self.retired.lock().unwrap().push(old_ptr);
+    }
+}
+
+impl Drop for ChaseLev {
+    fn drop(&mut self) {
+        // The pool drains every queue before dropping its deques; anything
+        // still here would be a leaked type-erased job allocation.
+        debug_assert!(self.pop().is_none(), "deque dropped with pending jobs");
+        unsafe {
+            drop(Box::from_raw(self.buf.load(Ordering::Relaxed)));
+            for p in self.retired.lock().unwrap().drain(..) {
+                drop(Box::from_raw(p));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    #[test]
+    fn owner_lifo_pop_when_uncontended() {
+        let d = ChaseLev::new();
+        for v in 1..=5usize {
+            d.push(v);
+        }
+        assert_eq!(d.pop(), Some(5));
+        assert_eq!(d.pop(), Some(4));
+        assert_eq!(d.pop(), Some(3));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), Some(1));
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn growth_preserves_every_element() {
+        let d = ChaseLev::new();
+        let n = MIN_CAP * 4 + 7;
+        for v in 1..=n {
+            d.push(v);
+        }
+        let mut got = Vec::new();
+        while let Some(v) = d.pop() {
+            got.push(v);
+        }
+        got.sort_unstable();
+        assert_eq!(got, (1..=n).collect::<Vec<_>>());
+    }
+
+    /// Hammer one owner (push + occasional pop) against several thieves and
+    /// check that every element is consumed exactly once.
+    #[test]
+    fn concurrent_steals_consume_each_element_once() {
+        const N: usize = 20_000;
+        const THIEVES: usize = 3;
+        let d = Arc::new(ChaseLev::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..THIEVES {
+            let d = Arc::clone(&d);
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match d.steal() {
+                        Steal::Success(v) => got.push(v),
+                        Steal::Retry => std::hint::spin_loop(),
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) {
+                                // One final sweep after the owner finished.
+                                while let Steal::Success(v) = d.steal() {
+                                    got.push(v);
+                                }
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                got
+            }));
+        }
+        let mut owner_got = Vec::new();
+        for v in 1..=N {
+            d.push(v);
+            if v % 5 == 0 {
+                if let Some(x) = d.pop() {
+                    owner_got.push(x);
+                }
+            }
+        }
+        while let Some(x) = d.pop() {
+            owner_got.push(x);
+        }
+        done.store(true, Ordering::Release);
+        let mut all: Vec<usize> = owner_got;
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        assert_eq!(all.len(), N, "every pushed element consumed exactly once");
+        let uniq: HashSet<usize> = all.iter().copied().collect();
+        assert_eq!(uniq.len(), N, "no element consumed twice");
+    }
+}

@@ -60,6 +60,20 @@ pub struct RankMetrics {
     /// kept strictly separate from the logical volumes like
     /// [`RankMetrics::retransmits`].
     pub retrans_bytes: u64,
+    /// Tasks executed by this rank's intra-rank work-stealing pool.
+    /// Scheduling-only accounting: the pool never reorders floating-point
+    /// arithmetic, so these counters carry no numerical meaning — they
+    /// measure how the local compute was spread over workers.
+    pub pool_executed: u64,
+    /// Of [`RankMetrics::pool_executed`], tasks obtained by stealing from
+    /// another worker's deque (the load-balancing traffic of the pool).
+    pub pool_stolen: u64,
+    /// Total wall time pool participants spent inside task bodies, in
+    /// microseconds (summed across workers, so it can exceed the run's
+    /// elapsed time — that excess IS the intra-rank parallelism).
+    pub pool_busy_us: u64,
+    /// Number of pool participants (workers + the submitting thread).
+    pub pool_workers: usize,
 }
 
 impl Default for RankMetrics {
@@ -74,6 +88,10 @@ impl Default for RankMetrics {
             bytes_copied: 0,
             retransmits: 0,
             retrans_bytes: 0,
+            pool_executed: 0,
+            pool_stolen: 0,
+            pool_busy_us: 0,
+            pool_workers: 0,
         }
     }
 }
@@ -160,6 +178,16 @@ impl RankMetrics {
         self.retransmits += 1;
         self.retrans_bytes += bytes;
         self.retransmits
+    }
+
+    /// Folds one run's intra-rank pool totals into the registry. Counters
+    /// accumulate (a rank may run several pool epochs per trace); the
+    /// worker count keeps the maximum seen.
+    pub fn on_pool(&mut self, executed: u64, stolen: u64, busy_us: u64, workers: usize) {
+        self.pool_executed += executed;
+        self.pool_stolen += stolen;
+        self.pool_busy_us += busy_us;
+        self.pool_workers = self.pool_workers.max(workers);
     }
 
     /// Total bytes sent across all kinds.
@@ -255,6 +283,17 @@ mod tests {
         assert_eq!(m.kind(CollKind::RowReduce).transfer_us, 7);
         assert_eq!(m.total_wait_us(), 15);
         assert_eq!(m.total_transfer_us(), 10);
+    }
+
+    #[test]
+    fn pool_accounting_accumulates() {
+        let mut m = RankMetrics::default();
+        m.on_pool(10, 3, 500, 4);
+        m.on_pool(6, 0, 200, 2);
+        assert_eq!(m.pool_executed, 16);
+        assert_eq!(m.pool_stolen, 3);
+        assert_eq!(m.pool_busy_us, 700);
+        assert_eq!(m.pool_workers, 4, "worker count keeps the maximum");
     }
 
     #[test]

@@ -383,6 +383,16 @@ impl RankTracer {
         }
     }
 
+    /// Folds the intra-rank task-pool totals for this run into the rank's
+    /// metrics (typically called once at rank exit with
+    /// `Pool::stats()` sums). Per-worker busy intervals go in separately
+    /// via [`RankTracer::span_at`] with [`CollKind::Compute`].
+    pub fn pool_stats(&mut self, executed: u64, stolen: u64, busy_us: u64, workers: usize) {
+        if let Some(inner) = self.0.as_deref_mut() {
+            inner.metrics.on_pool(executed, stolen, busy_us, workers);
+        }
+    }
+
     /// The last `n` recorded events, formatted one per line (oldest first).
     /// Used by the mpisim watchdog to attach a per-rank trace tail to its
     /// stall diagnostic. Empty when disabled.
@@ -593,6 +603,20 @@ impl Trace {
             out,
             "retransmits: total {r_total} ({r_bytes} B control traffic), max {r_max} at rank {r_rank}"
         );
+        // Intra-rank task pool: how much local compute ran as stolen-or-not
+        // pool tasks (all zeros when the run used the fork-join path).
+        // Printed unconditionally so pooled and unpooled summaries have the
+        // same shape.
+        let p_exec: u64 = self.ranks.iter().map(|r| r.metrics.pool_executed).sum();
+        let p_stolen: u64 = self.ranks.iter().map(|r| r.metrics.pool_stolen).sum();
+        let p_busy: u64 = self.ranks.iter().map(|r| r.metrics.pool_busy_us).sum();
+        let p_workers = self.ranks.iter().map(|r| r.metrics.pool_workers).max().unwrap_or(0);
+        let steal_pct = if p_exec == 0 { 0.0 } else { 100.0 * p_stolen as f64 / p_exec as f64 };
+        let _ = writeln!(
+            out,
+            "pool tasks: executed {p_exec}, stolen {p_stolen} ({steal_pct:.1}%), \
+             busy {p_busy} µs, {p_workers} workers/rank"
+        );
         out
     }
 }
@@ -799,6 +823,7 @@ ColBcast                2          100          300        200.0        100.0   
 stash high-water: max 0 at rank 0, mean 0.00, 0/2 ranks ever stashed
 outstanding collectives high-water: max 0, mean 0.00 across ranks
 retransmits: total 0 (0 B control traffic), max 0 at rank 0
+pool tasks: executed 0, stolen 0 (0.0%), busy 0 µs, 0 workers/rank
 ";
         assert_eq!(trace.summary_table(), expect);
     }
@@ -811,6 +836,7 @@ retransmits: total 0 (0 B control traffic), max 0 at rank 0
         assert!(table.contains("stash high-water:"), "{table}");
         assert!(table.contains("outstanding collectives high-water:"), "{table}");
         assert!(table.contains("retransmits: total 0"), "{table}");
+        assert!(table.contains("pool tasks: executed 0"), "{table}");
     }
 
     #[test]
