@@ -9,7 +9,7 @@
 //! ```
 //!
 //! Artifacts (text + JSON/CSV) land in `target/figures/` by default. The
-//! measured targets (`perf`, `async`, `pool`, `faults`, `trace`) additionally
+//! measured targets (`perf`, `async`, `pool`, `poles`, `faults`, `trace`) additionally
 //! archive their machine-readable outputs into `results/runs/` so that
 //! `regress` can diff the newest perf run against the committed baseline
 //! (`results/baseline.json`); `regress` exits nonzero on regression.
@@ -43,6 +43,11 @@ measured targets (archived into results/runs/):
   pool       intra-rank task runtime: serial vs fork-join vs work-stealing
              pool wall times across thread counts (PSELINV_POOL_THREADS
              restricts the sweep), with bit-identity asserted per point
+  poles      pole-batch engine: batched multi-shift selected inversions vs
+             standalone per-pole runs, both under one modeled NIC latency
+             (PSELINV_POLES_THREADS restricts the sweep,
+             PSELINV_POLES_DELAY_US overrides the latency), with per-pole
+             bit-identity + volume equality asserted
   faults     degraded-tree resilience under rank crashes
   recovery   live broadcast storm with online crash recovery (asserts
              100% survivor delivery vs the no-rebuild stranded baseline)
@@ -106,6 +111,7 @@ fn main() {
             "recovery",
             "async",
             "pool",
+            "poles",
             "ablation-nic",
             "ablation-shift",
             "ablation-arity",
@@ -139,6 +145,7 @@ fn main() {
             "recovery" => experiments::recovery(&out),
             "async" => experiments::async_overlap(&out),
             "pool" => experiments::pool_runtime(&out),
+            "poles" => experiments::poles(&out),
             "ablation-nic" => experiments::ablation_nic(&out),
             "ablation-shift" => experiments::ablation_shift(&out),
             "ablation-arity" => experiments::ablation_arity(&out),
@@ -164,6 +171,7 @@ fn main() {
             "perf" => Some(&["BENCH_perf.json", "perf.txt"]),
             "async" => Some(&["BENCH_async.json", "async_overlap.txt"]),
             "pool" => Some(&["BENCH_pool.json", "pool.txt"]),
+            "poles" => Some(&["BENCH_poles.json", "poles.txt"]),
             "faults" => Some(&["BENCH_fault.json", "faults.txt"]),
             "recovery" => Some(&["BENCH_recovery.json", "recovery.txt"]),
             "trace" => Some(&[

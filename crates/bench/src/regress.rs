@@ -5,8 +5,8 @@
 //! to a `meta.json` (git revision, target, backend/seed context), so the
 //! repository accumulates an append-only history of measured runs.
 //! `figures -- regress` then extracts a fixed set of scalar metrics from
-//! the newest archived perf run (plus the newest pool run, when one has
-//! been archived), compares each against the committed
+//! the newest archived perf run (plus the newest pool and poles runs,
+//! when archived), compares each against the committed
 //! baseline (`results/baseline.json`) under per-metric relative
 //! thresholds, and reports pass/fail — the CI gate exits nonzero on any
 //! regression.
@@ -148,8 +148,42 @@ pub fn pool_metrics(doc: &Json) -> Option<Vec<Metric>> {
     (!m.is_empty()).then_some(m)
 }
 
+/// Extracts the sentinel's metric set from a `BENCH_poles.json` document.
+///
+/// Returns `None` when the document does not look like a poles run. The
+/// band guards the pole-batch claim: batching the poles through one
+/// shared plan must stay well ahead of running them standalone
+/// back-to-back at 4 threads. Timing-based; the floor only catches the
+/// batch's advantage collapsing, not runner noise.
+pub fn poles_metrics(doc: &Json) -> Option<Vec<Metric>> {
+    if doc.get("bench").and_then(Json::as_str) != Some("poles") {
+        return None;
+    }
+    let mut best = f64::NEG_INFINITY;
+    for p in doc.get("points")?.as_arr()? {
+        // Only points where poles may actually race: `max_inflight == 1`
+        // is the batch degraded to back-to-back poles, not the claim.
+        if f(p, "threads") == Some(4.0) && f(p, "max_inflight").is_some_and(|m| m > 1.0) {
+            best = best.max(f(p, "batched_speedup_vs_sequential")?);
+        }
+    }
+    let mut m = Vec::new();
+    if best.is_finite() {
+        // Same-machine ratio like the pool metric. With the ~1.5x
+        // acceptance bar, the 0.6 floor trips once batching stops paying
+        // for itself (speedup near or below 1.0).
+        m.push(Metric {
+            name: "poles_batched_speedup_t4",
+            value: best,
+            min_ratio: Some(0.6),
+            max_ratio: None,
+        });
+    }
+    (!m.is_empty()).then_some(m)
+}
+
 /// Every metric the sentinel tracks: the newest archived perf run
-/// (required) plus, when one has been archived, the newest pool run.
+/// (required) plus, when archived, the newest pool and poles runs.
 fn all_metrics(runs_dir: &Path) -> std::io::Result<(PathBuf, Vec<Metric>)> {
     let (dir, doc) = latest_artifact(runs_dir, "BENCH_perf.json").ok_or_else(|| {
         std::io::Error::other(format!(
@@ -161,6 +195,9 @@ fn all_metrics(runs_dir: &Path) -> std::io::Result<(PathBuf, Vec<Metric>)> {
         .ok_or_else(|| std::io::Error::other("archived BENCH_perf.json is not a perf document"))?;
     if let Some((_, pdoc)) = latest_artifact(runs_dir, "BENCH_pool.json") {
         metrics.extend(pool_metrics(&pdoc).unwrap_or_default());
+    }
+    if let Some((_, pdoc)) = latest_artifact(runs_dir, "BENCH_poles.json") {
+        metrics.extend(poles_metrics(&pdoc).unwrap_or_default());
     }
     Ok((dir, metrics))
 }
@@ -401,6 +438,70 @@ mod tests {
                 ])]),
             ),
         ])
+    }
+
+    fn poles_doc(speedup: f64) -> Json {
+        Json::obj([
+            ("bench", "poles".into()),
+            (
+                "points",
+                Json::from(vec![
+                    // Degraded point (no racing) must be ignored…
+                    Json::obj([
+                        ("threads", 4.0.into()),
+                        ("max_inflight", 1.0.into()),
+                        ("batched_speedup_vs_sequential", (speedup * 4.0).into()),
+                    ]),
+                    // …as must other thread counts.
+                    Json::obj([
+                        ("threads", 2.0.into()),
+                        ("max_inflight", 6.0.into()),
+                        ("batched_speedup_vs_sequential", (speedup * 3.0).into()),
+                    ]),
+                    Json::obj([
+                        ("threads", 4.0.into()),
+                        ("max_inflight", 6.0.into()),
+                        ("batched_speedup_vs_sequential", speedup.into()),
+                    ]),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn poles_metric_extraction_reads_racing_threads4_points() {
+        let m = poles_metrics(&poles_doc(1.8)).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].name, "poles_batched_speedup_t4");
+        assert_eq!(m[0].value, 1.8);
+        assert!(poles_metrics(&Json::obj([("bench", "pool".into())])).is_none());
+    }
+
+    #[test]
+    fn regress_covers_an_archived_poles_run() {
+        let tmp = std::env::temp_dir().join("pselinv_regress_poles_test");
+        let _ = fs::remove_dir_all(&tmp);
+        let runs = tmp.join("runs");
+        let out = tmp.join("figures");
+        fs::create_dir_all(&out).unwrap();
+        fs::write(out.join("BENCH_perf.json"), perf_doc(100.0, 2.0).to_string_pretty()).unwrap();
+        archive_run(&out, &runs, "perf", &["BENCH_perf.json"]).unwrap();
+        fs::write(out.join("BENCH_poles.json"), poles_doc(1.8).to_string_pretty()).unwrap();
+        archive_run(&out, &runs, "poles", &["BENCH_poles.json"]).unwrap();
+
+        let baseline = tmp.join("baseline.json");
+        write_baseline(&runs, &baseline).unwrap();
+        let (report, ok) = regress(&runs, &baseline).unwrap();
+        assert!(ok, "self-compare must pass:\n{report}");
+        assert!(report.contains("poles_batched_speedup_t4"));
+
+        // The batch's advantage collapsing must fail the gate.
+        fs::write(out.join("BENCH_poles.json"), poles_doc(0.8).to_string_pretty()).unwrap();
+        archive_run(&out, &runs, "poles", &["BENCH_poles.json"]).unwrap();
+        let (report, ok) = regress(&runs, &baseline).unwrap();
+        assert!(!ok, "collapsed pole-batch speedup must fail:\n{report}");
+        assert!(report.contains("poles_batched_speedup_t4"));
+        let _ = fs::remove_dir_all(&tmp);
     }
 
     #[test]

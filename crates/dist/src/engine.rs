@@ -40,10 +40,20 @@
 //! full window would imply an unfinished task above `k*`). Its stage
 //! dependencies reach only finished supernodes and `k*` itself, so some
 //! rank can always advance it; induction drains the schedule.
+//!
+//! The multi-query driver ([`phase2_multi`]) extends the argument across
+//! the pole batch: every rank admits queries in ascending query order,
+//! bounded by `max_inflight` *unfinished* admitted queries. Consider the
+//! lowest-indexed globally-unfinished query `q*`: every earlier query is
+//! finished on every rank, so each rank's unfinished-admitted count ignores
+//! them and `q*` is admitted everywhere (admission is ascending). Within
+//! `q*` the single-query argument applies, and [`crate::numeric::tag_q`]'s
+//! query lane keeps its messages from cross-matching with any other
+//! in-flight query.
 
 use crate::numeric::{
-    diag_contrib, find_block, gemm_task_specs, local_gemms, pack, share, tag, unpack, LocalExec,
-    RankState, PHASE_AINV_TRANS, PHASE_COL_BCAST, PHASE_DIAG_REDUCE, PHASE_ROW_REDUCE,
+    diag_contrib, find_block, gemm_task_specs, local_gemms, pack, share, span_key, tag_q, unpack,
+    LocalExec, RankState, PHASE_AINV_TRANS, PHASE_COL_BCAST, PHASE_DIAG_REDUCE, PHASE_ROW_REDUCE,
     PHASE_TRANSPOSE,
 };
 use crate::plan::SupernodePlan;
@@ -148,7 +158,7 @@ impl SnTask {
         // Step a': transpose sends fire immediately (L̂ is shared storage
         // from phase 1, so each send is a reference-count bump); receives
         // are posted as requests for the progress loop.
-        ctx.tracer().push_scope(CollKind::Transpose, k as u64);
+        ctx.tracer().push_scope(CollKind::Transpose, span_key(st.qid, k));
         let mut ucur: HashMap<usize, Mat> = HashMap::new();
         let mut t_recvs = Vec::new();
         for (bi, _b) in blocks.iter().enumerate() {
@@ -160,16 +170,16 @@ impl SnTask {
                 }
             } else if me == src {
                 let data = pack(ctx, &st.lhat[&bid]);
-                ctx.send(dst, tag(PHASE_TRANSPOSE, k, bi), data);
+                ctx.send(dst, tag_q(st.qid, PHASE_TRANSPOSE, k, bi), data);
             } else if me == dst {
-                t_recvs.push((bi, RecvRequest::post(src, tag(PHASE_TRANSPOSE, k, bi))));
+                t_recvs.push((bi, RecvRequest::post(src, tag_q(st.qid, PHASE_TRANSPOSE, k, bi))));
             }
         }
         ctx.tracer().pop_scope();
 
         // Step a: non-root Col-Bcast members post their parent receive now;
         // a root waits until the transpose delivers its Û block.
-        ctx.tracer().push_scope(CollKind::ColBcast, k as u64);
+        ctx.tracer().push_scope(CollKind::ColBcast, span_key(st.qid, k));
         let cb: Vec<Cb> = (0..blocks.len())
             .map(|bi| {
                 let tree = &sp.col_bcasts[bi];
@@ -181,7 +191,7 @@ impl SnTask {
                     Cb::Run(TreeBcastNb::start(
                         ctx,
                         tree,
-                        tag(PHASE_COL_BCAST, k, bi),
+                        tag_q(st.qid, PHASE_COL_BCAST, k, bi),
                         None::<Payload>,
                     ))
                 }
@@ -241,7 +251,8 @@ impl SnTask {
             if me == src {
                 at_pending.push(bj_i);
             } else if me == dst {
-                at_recvs.push((bj_i, RecvRequest::post(src, tag(PHASE_AINV_TRANS, k, bj_i))));
+                at_recvs
+                    .push((bj_i, RecvRequest::post(src, tag_q(st.qid, PHASE_AINV_TRANS, k, bj_i))));
             }
         }
 
@@ -290,7 +301,7 @@ impl SnTask {
 
         // Step a': drain arrived transposes into Û.
         if !self.t_recvs.is_empty() {
-            ctx.tracer().push_scope(CollKind::Transpose, k as u64);
+            ctx.tracer().push_scope(CollKind::Transpose, span_key(st.qid, k));
             let ucur = &mut self.ucur;
             self.t_recvs.retain_mut(|(bi, req)| {
                 if req.test(ctx) {
@@ -313,17 +324,21 @@ impl SnTask {
             let tree = &sp.col_bcasts[bi];
             match &mut self.cb[bi] {
                 Cb::Root if self.ucur.contains_key(&bi) => {
-                    ctx.tracer().push_scope(CollKind::ColBcast, k as u64);
+                    ctx.tracer().push_scope(CollKind::ColBcast, span_key(st.qid, k));
                     let payload = pack(ctx, &self.ucur[&bi]);
-                    let nb =
-                        TreeBcastNb::start(ctx, tree, tag(PHASE_COL_BCAST, k, bi), Some(payload));
+                    let nb = TreeBcastNb::start(
+                        ctx,
+                        tree,
+                        tag_q(st.qid, PHASE_COL_BCAST, k, bi),
+                        Some(payload),
+                    );
                     debug_assert!(nb.is_done(), "the root side completes at start");
                     ctx.tracer().pop_scope();
                     self.cb[bi] = Cb::Done;
                     progressed = true;
                 }
                 Cb::Run(nb) => {
-                    ctx.tracer().push_scope(CollKind::ColBcast, k as u64);
+                    ctx.tracer().push_scope(CollKind::ColBcast, span_key(st.qid, k));
                     if nb.poll(ctx, tree) {
                         let data = std::mem::replace(&mut self.cb[bi], Cb::Done);
                         if let Cb::Run(nb) = data {
@@ -398,13 +413,13 @@ impl SnTask {
             let tree = &sp.row_reduces[bj_i];
             match &mut self.rr[bj_i] {
                 Rr::Wait if self.gemm_done => {
-                    ctx.tracer().push_scope(CollKind::RowReduce, k as u64);
+                    ctx.tracer().push_scope(CollKind::RowReduce, span_key(st.qid, k));
                     let local =
                         self.contrib.remove(&bj_i).unwrap_or_else(|| Mat::zeros(bj.nrows(), w));
                     let nb = TreeReduceNb::start(
                         ctx,
                         tree,
-                        tag(PHASE_ROW_REDUCE, k, bj_i),
+                        tag_q(st.qid, PHASE_ROW_REDUCE, k, bj_i),
                         local.into_vec(),
                     );
                     ctx.tracer().pop_scope();
@@ -414,7 +429,7 @@ impl SnTask {
                 _ => {}
             }
             if let Rr::Run(nb) = &mut self.rr[bj_i] {
-                ctx.tracer().push_scope(CollKind::RowReduce, k as u64);
+                ctx.tracer().push_scope(CollKind::RowReduce, span_key(st.qid, k));
                 if nb.poll(ctx, tree) {
                     if let Rr::Run(nb) = std::mem::replace(&mut self.rr[bj_i], Rr::Done) {
                         if me == tree.root() {
@@ -435,7 +450,7 @@ impl SnTask {
             && self.gemm_done
             && self.owned_bids.iter().all(|bid| st.ainv_lower.contains_key(bid))
         {
-            ctx.tracer().push_scope(CollKind::DiagReduce, k as u64);
+            ctx.tracer().push_scope(CollKind::DiagReduce, span_key(st.qid, k));
             let dcon = diag_contrib(st, &self.owned_bids, w, exec);
             if sp.diag_reduce.is_empty() {
                 if is_diag_owner {
@@ -446,7 +461,7 @@ impl SnTask {
                 let nb = TreeReduceNb::start(
                     ctx,
                     &sp.diag_reduce,
-                    tag(PHASE_DIAG_REDUCE, k, 0),
+                    tag_q(st.qid, PHASE_DIAG_REDUCE, k, 0),
                     dcon.into_vec(),
                 );
                 self.dr = Dr::Run(nb);
@@ -455,7 +470,7 @@ impl SnTask {
             progressed = true;
         }
         if let Dr::Run(nb) = &mut self.dr {
-            ctx.tracer().push_scope(CollKind::DiagReduce, k as u64);
+            ctx.tracer().push_scope(CollKind::DiagReduce, span_key(st.qid, k));
             if nb.poll(ctx, &sp.diag_reduce) {
                 if let Dr::Run(nb) = std::mem::replace(&mut self.dr, Dr::Done) {
                     if is_diag_owner {
@@ -472,7 +487,7 @@ impl SnTask {
         // Step 3': A⁻¹ transposes — sends fire as soon as the Row-Reduce
         // lands the owned block; receives drain as they arrive.
         if !self.at_pending.is_empty() || !self.at_recvs.is_empty() {
-            ctx.tracer().push_scope(CollKind::AinvTranspose, k as u64);
+            ctx.tracer().push_scope(CollKind::AinvTranspose, span_key(st.qid, k));
             let mut still = Vec::with_capacity(self.at_pending.len());
             for bj_i in self.at_pending.drain(..) {
                 let (src, dst) = sp.ainv_transposes[bj_i];
@@ -486,7 +501,7 @@ impl SnTask {
                     st.ainv_upper.insert(bid, m);
                 } else {
                     let data = pack(ctx, &st.ainv_lower[&bid]);
-                    ctx.send(dst, tag(PHASE_AINV_TRANS, k, bj_i), data);
+                    ctx.send(dst, tag_q(st.qid, PHASE_AINV_TRANS, k, bj_i), data);
                 }
                 progressed = true;
             }
@@ -554,33 +569,82 @@ pub(crate) fn phase2_async(
     exec: &LocalExec,
     lookahead: usize,
 ) {
+    phase2_multi(ctx, std::slice::from_mut(st), plans, exec, lookahead, 1);
+}
+
+/// One query's descending-supernode window inside [`phase2_multi`].
+struct QueryRun {
+    /// Supernodes `next..ns` are activated or skipped for this query.
+    next: usize,
+    active: Vec<SnTask>,
+}
+
+impl QueryRun {
+    fn is_finished(&self) -> bool {
+        self.next == 0 && self.active.is_empty()
+    }
+}
+
+/// Phase 2 for a batch of queries sharing one symbolic analysis and one
+/// communication plan: each query runs the asynchronous sliding-window
+/// engine over its own [`RankState`] (whose `qid` namespaces every tag and
+/// span), and one progress loop per rank drives them all — the collectives
+/// of one pole overlap the local GEMMs of another on the same shared pool.
+///
+/// Admission control: queries are admitted in ascending index order, with
+/// at most `max_inflight` *unfinished* admitted queries at a time. Every
+/// rank computes admission from its local completion state, which is a
+/// restriction of the same global order — see the module-level
+/// deadlock-freedom argument.
+pub(crate) fn phase2_multi(
+    ctx: &mut RankCtx,
+    states: &mut [RankState<'_>],
+    plans: &[SupernodePlan],
+    exec: &LocalExec,
+    lookahead: usize,
+    max_inflight: usize,
+) {
     debug_assert!(lookahead >= 2, "the synchronous loop handles lookahead <= 1");
-    let ns = st.sf.num_supernodes();
-    let mut next = ns; // supernodes next..ns are activated or skipped
-    let mut active: Vec<SnTask> = Vec::new();
+    let max_inflight = max_inflight.max(1);
+    let ns = states.first().map_or(0, |st| st.sf.num_supernodes());
+    let mut runs: Vec<QueryRun> =
+        states.iter().map(|_| QueryRun { next: ns, active: Vec::new() }).collect();
+    let mut admitted = 0usize; // queries 0..admitted have entered the race
     loop {
         let mut progressed = false;
-        // Grow the window in descending supernode order.
-        while active.len() < lookahead && next > 0 {
-            let k = next - 1;
-            if participates(st, &plans[k], k) {
-                active.push(SnTask::activate(ctx, st, &plans[k], k));
-                progressed = true;
+        let arrivals = ctx.arrivals();
+        // Admission in ascending query order, bounded by unfinished count.
+        let mut running = runs[..admitted].iter().filter(|r| !r.is_finished()).count();
+        while admitted < runs.len() && running < max_inflight {
+            admitted += 1;
+            running += 1;
+            progressed = true;
+        }
+        // Grow every admitted query's window in descending supernode order.
+        for (st, run) in states[..admitted].iter_mut().zip(&mut runs) {
+            while run.active.len() < lookahead && run.next > 0 {
+                let k = run.next - 1;
+                if participates(st, &plans[k], k) {
+                    run.active.push(SnTask::activate(ctx, st, &plans[k], k));
+                    progressed = true;
+                }
+                run.next -= 1;
             }
-            next -= 1;
         }
-        if active.is_empty() {
-            break; // next == 0 and nothing in flight
+        if admitted == runs.len() && runs.iter().all(QueryRun::is_finished) {
+            break;
         }
-        ctx.outstanding(active.len());
-        for t in &mut active {
-            progressed |= t.poll(ctx, st, &plans[t.k], exec);
+        ctx.outstanding(runs.iter().map(|r| r.active.len()).sum());
+        for (st, run) in states[..admitted].iter_mut().zip(&mut runs) {
+            for t in &mut run.active {
+                progressed |= t.poll(ctx, st, &plans[t.k], exec);
+            }
+            let before = run.active.len();
+            run.active.retain(|t| !t.is_done());
+            progressed |= run.active.len() != before;
         }
-        let before = active.len();
-        active.retain(|t| !t.is_done());
-        progressed |= active.len() != before;
         if !progressed {
-            if active.iter().any(|t| t.gemm_batch.is_some()) {
+            if runs.iter().any(|r| r.active.iter().any(|t| t.gemm_batch.is_some())) {
                 // A GEMM batch is on the workers. Help execute queued
                 // tasks; when the queues are dry (workers own the tail),
                 // take a *bounded* park so the rank wakes promptly for
@@ -589,10 +653,19 @@ pub(crate) fn phase2_async(
                 if !helped {
                     ctx.wait_for_arrival_timeout(Duration::from_micros(200));
                 }
+            } else if ctx.arrivals() != arrivals {
+                // A message was accepted off the inbox mid-pass (a task's
+                // `try_match` drains *all* queued arrivals into the stash
+                // before scanning for its own tag, so the message may
+                // belong to a task polled earlier in this same pass). The
+                // stash never wakes `wait_for_arrival` — parking here
+                // would sleep through locally available work, and if every
+                // rank does so the run deadlocks. Re-poll instead.
             } else {
-                // Nothing moved and the window is as full as it can get:
-                // every pending stage awaits a message. Park on the inbox
-                // so the watchdog sees a blocked rank, not a hot spin.
+                // Nothing moved, no arrival was stashed mid-pass, and every
+                // window is as full as it can get: every pending stage
+                // awaits a message. Park on the inbox so the watchdog sees
+                // a blocked rank, not a hot spin.
                 ctx.wait_for_arrival();
             }
         }

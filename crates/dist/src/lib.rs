@@ -18,8 +18,14 @@
 //! * [`taskgraph`] — generation of the full asynchronous task DAG (compute
 //!   tasks + messages) consumed by the `pselinv-des` machine simulator for
 //!   the strong-scaling and time-breakdown experiments (Figs. 8–9), plus a
-//!   SuperLU-style factorization DAG for the reference curve.
+//!   SuperLU-style factorization DAG for the reference curve;
+//! * [`batch`] — the pole-batch engine: many shifted selected inversions
+//!   (`H − σ_k I`, the PEXSI pole expansion) driven concurrently over one
+//!   shared symbolic analysis and communication plan, with per-query tag
+//!   namespacing, per-pole volume attribution and an admission-control
+//!   knob bounding how many poles race at once.
 
+pub mod batch;
 pub mod engine;
 pub mod layout;
 pub mod numeric;
@@ -27,6 +33,10 @@ pub mod plan;
 pub mod taskgraph;
 pub mod volume;
 
+pub use batch::{
+    batched_selinv, batched_selinv_traced, factor_poles, pole_summary_table, try_batched_selinv,
+    try_batched_selinv_traced, BatchOptions, BatchRun,
+};
 pub use layout::Layout;
 pub use numeric::{
     distributed_selinv, distributed_selinv_traced, try_distributed_selinv,

@@ -139,19 +139,41 @@ pub(crate) const PHASE_ROW_REDUCE: u64 = 4 << 56;
 pub(crate) const PHASE_DIAG_REDUCE: u64 = 5 << 56;
 pub(crate) const PHASE_AINV_TRANS: u64 = 6 << 56;
 
-/// Packs `(phase, supernode, block)` into one message tag: the phase in the
-/// top byte, the supernode in bits 24..56, the block index in bits 0..24.
-/// The fields must stay inside their lanes or tags of different collectives
-/// collide and messages cross-match; the debug assertions catch any workload
-/// large enough to overflow.
-pub(crate) fn tag(phase: u64, k: usize, bi: usize) -> u64 {
+/// Packs `(query, phase, supernode, block)` into one message tag: the phase
+/// in the top byte, the query id in bits 48..56, the supernode in bits
+/// 24..48, the block index in bits 0..24. The query lane is what lets the
+/// pole-batch engine interleave the collectives of many concurrent selected
+/// inversions over one runtime — two queries at the same `(phase, k, bi)`
+/// still get distinct tags, so their messages can never cross-match in the
+/// runtime's `(src, tag)` matching. The fields must stay inside their lanes
+/// or tags of different collectives collide; the debug assertions catch any
+/// workload large enough to overflow.
+pub(crate) fn tag_q(qid: u64, phase: u64, k: usize, bi: usize) -> u64 {
     debug_assert!(
         phase != 0 && phase.trailing_zeros() >= 56,
         "phase {phase:#x} outside the top byte"
     );
-    debug_assert!((k as u64) < (1 << 32), "supernode {k} overflows its 32-bit tag lane");
+    debug_assert!(qid < (1 << 8), "query {qid} overflows its 8-bit tag lane");
+    debug_assert!((k as u64) < (1 << 24), "supernode {k} overflows its 24-bit tag lane");
     debug_assert!((bi as u64) < (1 << 24), "block index {bi} overflows its 24-bit tag lane");
-    phase | ((k as u64) << 24) | bi as u64
+    phase | (qid << 48) | ((k as u64) << 24) | bi as u64
+}
+
+/// [`tag_q`] for single-query runs (query id 0) — tag values are unchanged
+/// from before the query lane existed. Production call sites all thread the
+/// query id through [`RankState`]; this shorthand anchors the
+/// backwards-compatibility tests.
+#[cfg(test)]
+pub(crate) fn tag(phase: u64, k: usize, bi: usize) -> u64 {
+    tag_q(0, phase, k, bi)
+}
+
+/// Trace-scope key for supernode `k` of query `qid`: the supernode in the
+/// low bits, the query id above the supernode lane — the same namespacing as
+/// [`tag_q`], so per-query spans stay distinguishable in a batched trace.
+/// Query 0 keys equal the bare supernode, preserving single-run traces.
+pub(crate) fn span_key(qid: u64, k: usize) -> u64 {
+    (qid << 48) | k as u64
 }
 
 /// Finds the block of supernode `col_sn` whose ancestor is `row_sn`
@@ -196,6 +218,10 @@ pub(crate) struct RankState<'a> {
     pub(crate) factor: &'a LdlFactor,
     pub(crate) layout: &'a Layout,
     pub(crate) me: usize,
+    /// Query id namespacing every tag ([`tag_q`]) and trace-scope key
+    /// ([`span_key`]) this state produces: `0` for standalone runs, the
+    /// pole index in a batched run.
+    pub(crate) qid: u64,
     /// `L̂` blocks this rank owns, keyed by global block index.
     pub(crate) lhat: HashMap<usize, Mat>,
     /// Computed `A⁻¹` lower blocks, keyed by global block index.
@@ -354,7 +380,11 @@ pub fn try_distributed_selinv_traced(
 }
 
 /// Assembles the per-rank output pieces into a [`SelectedInverse`].
-fn assemble(factor: &LdlFactor, layout: &Layout, outputs: Vec<RankOutput>) -> SelectedInverse {
+pub(crate) fn assemble(
+    factor: &LdlFactor,
+    layout: &Layout,
+    outputs: Vec<RankOutput>,
+) -> SelectedInverse {
     let sf = factor.symbolic.clone();
     let mut panels: Vec<Panel> = (0..sf.num_supernodes()).map(|s| Panel::zeros(&sf, s)).collect();
     for (rank, (diags, lowers)) in outputs.into_iter().enumerate() {
@@ -509,6 +539,7 @@ pub(crate) fn rank_entry(
         factor,
         layout,
         me: ctx.rank(),
+        qid: 0,
         lhat: HashMap::new(),
         ainv_lower: HashMap::new(),
         ainv_upper: HashMap::new(),
@@ -558,17 +589,21 @@ pub(crate) fn phase1(ctx: &mut RankCtx, st: &mut RankState<'_>, plans: &[Superno
         }
         // Obtain the diagonal block (unit-lower L_{K,K} in its strict lower
         // part; the diagonal holds D and is ignored by the unit trsm).
-        ctx.tracer().push_scope(CollKind::DiagBcast, k as u64);
+        ctx.tracer().push_scope(CollKind::DiagBcast, span_key(st.qid, k));
         let diag = if layout.diag_owner(k) == me {
             let d = st.factor_diag(k);
             if !sp.diag_bcast.is_empty() {
                 let p = pack(ctx, &d);
-                tree_bcast(ctx, &sp.diag_bcast, tag(PHASE_DIAG_BCAST, k, 0), Some(p));
+                tree_bcast(ctx, &sp.diag_bcast, tag_q(st.qid, PHASE_DIAG_BCAST, k, 0), Some(p));
             }
             Some(d)
         } else if in_bcast {
-            let data =
-                tree_bcast(ctx, &sp.diag_bcast, tag(PHASE_DIAG_BCAST, k, 0), None::<Payload>);
+            let data = tree_bcast(
+                ctx,
+                &sp.diag_bcast,
+                tag_q(st.qid, PHASE_DIAG_BCAST, k, 0),
+                None::<Payload>,
+            );
             Some(unpack(w, w, data))
         } else {
             None
@@ -608,7 +643,7 @@ fn phase2_sync(
         // Step a': transpose sends L̂_{I,K} → Û position (K, I). The L̂
         // blocks live in shared storage, so the same-rank case and every
         // send are reference-count bumps on the phase-1 buffer.
-        ctx.tracer().push_scope(CollKind::Transpose, k as u64);
+        ctx.tracer().push_scope(CollKind::Transpose, span_key(st.qid, k));
         let mut ucur: HashMap<usize, Mat> = HashMap::new(); // key: bi
         for (bi, b) in blocks.iter().enumerate() {
             let (src, dst) = sp.transposes[bi];
@@ -619,9 +654,9 @@ fn phase2_sync(
                 }
             } else if me == src {
                 let data = pack(ctx, &st.lhat[&bid]);
-                ctx.send(dst, tag(PHASE_TRANSPOSE, k, bi), data);
+                ctx.send(dst, tag_q(st.qid, PHASE_TRANSPOSE, k, bi), data);
             } else if me == dst {
-                let data = ctx.recv(src, tag(PHASE_TRANSPOSE, k, bi));
+                let data = ctx.recv(src, tag_q(st.qid, PHASE_TRANSPOSE, k, bi));
                 ucur.insert(bi, unpack(b.nrows(), w, data));
             }
         }
@@ -629,14 +664,14 @@ fn phase2_sync(
 
         // Step a: Col-Bcast of Û_{K,I} within pc(I). The root re-shares
         // the transpose buffer; receivers adopt the broadcast payload.
-        ctx.tracer().push_scope(CollKind::ColBcast, k as u64);
+        ctx.tracer().push_scope(CollKind::ColBcast, span_key(st.qid, k));
         for (bi, b) in blocks.iter().enumerate() {
             let tree = &sp.col_bcasts[bi];
             if !tree.members().contains(&me) {
                 continue;
             }
             let payload = if me == tree.root() { Some(pack(ctx, &ucur[&bi])) } else { None };
-            let data = tree_bcast(ctx, tree, tag(PHASE_COL_BCAST, k, bi), payload);
+            let data = tree_bcast(ctx, tree, tag_q(st.qid, PHASE_COL_BCAST, k, bi), payload);
             ucur.entry(bi).or_insert_with(|| unpack(b.nrows(), w, data));
         }
         ctx.tracer().pop_scope();
@@ -645,14 +680,15 @@ fn phase2_sync(
         let mut contrib = local_gemms(st, &ucur, blocks, k, w, exec);
 
         // Step b: Row-Reduce each target block onto the owner of A⁻¹_{J,K}.
-        ctx.tracer().push_scope(CollKind::RowReduce, k as u64);
+        ctx.tracer().push_scope(CollKind::RowReduce, span_key(st.qid, k));
         for (bj_i, bj) in blocks.iter().enumerate() {
             let tree = &sp.row_reduces[bj_i];
             if !tree.members().contains(&me) {
                 continue;
             }
             let local = contrib.remove(&bj_i).unwrap_or_else(|| Mat::zeros(bj.nrows(), w));
-            let total = tree_reduce(ctx, tree, tag(PHASE_ROW_REDUCE, k, bj_i), local.into_vec());
+            let total =
+                tree_reduce(ctx, tree, tag_q(st.qid, PHASE_ROW_REDUCE, k, bj_i), local.into_vec());
             if let Some(t) = total {
                 let m = share(ctx, Mat::from_vec(bj.nrows(), w, t));
                 st.ainv_lower.insert(sf.blocks_ptr[k] + bj_i, m);
@@ -664,7 +700,7 @@ fn phase2_sync(
         // onto the diagonal owner; then A⁻¹_{K,K} = (LDLᵀ)⁻¹ − Σ.
         let is_diag_owner = layout.diag_owner(k) == me;
         let in_dreduce = sp.diag_reduce.members().contains(&me);
-        ctx.tracer().push_scope(CollKind::DiagReduce, k as u64);
+        ctx.tracer().push_scope(CollKind::DiagReduce, span_key(st.qid, k));
         if is_diag_owner || in_dreduce {
             let owned_bids: Vec<usize> = blocks
                 .iter()
@@ -676,7 +712,12 @@ fn phase2_sync(
             let total = if sp.diag_reduce.is_empty() {
                 Some(dcon.into_vec())
             } else if in_dreduce {
-                tree_reduce(ctx, &sp.diag_reduce, tag(PHASE_DIAG_REDUCE, k, 0), dcon.into_vec())
+                tree_reduce(
+                    ctx,
+                    &sp.diag_reduce,
+                    tag_q(st.qid, PHASE_DIAG_REDUCE, k, 0),
+                    dcon.into_vec(),
+                )
             } else {
                 None
             };
@@ -700,7 +741,7 @@ fn phase2_sync(
         // Step 3': A⁻¹ transposes for the upper storage. Like step a',
         // the blocks are shared, so the same-rank clone and the sends all
         // alias the Row-Reduce result buffer.
-        ctx.tracer().push_scope(CollKind::AinvTranspose, k as u64);
+        ctx.tracer().push_scope(CollKind::AinvTranspose, span_key(st.qid, k));
         for (bj_i, bj) in blocks.iter().enumerate() {
             let (src, dst) = sp.ainv_transposes[bj_i];
             let bid = sf.blocks_ptr[k] + bj_i;
@@ -711,9 +752,9 @@ fn phase2_sync(
                 }
             } else if me == src {
                 let data = pack(ctx, &st.ainv_lower[&bid]);
-                ctx.send(dst, tag(PHASE_AINV_TRANS, k, bj_i), data);
+                ctx.send(dst, tag_q(st.qid, PHASE_AINV_TRANS, k, bj_i), data);
             } else if me == dst {
-                let data = ctx.recv(src, tag(PHASE_AINV_TRANS, k, bj_i));
+                let data = ctx.recv(src, tag_q(st.qid, PHASE_AINV_TRANS, k, bj_i));
                 st.ainv_upper.insert(bid, unpack(bj.nrows(), w, data));
             }
         }
@@ -875,9 +916,10 @@ mod tests {
 
     #[test]
     fn tag_packing_is_injective() {
-        // Distinct (phase, supernode, block) triples must produce distinct
-        // tags — a collision would let messages of different collectives
-        // cross-match in the runtime's (src, tag) matching.
+        // Distinct (query, phase, supernode, block) tuples must produce
+        // distinct tags — a collision would let messages of different
+        // collectives (or of the same collective in two interleaved pole
+        // queries) cross-match in the runtime's (src, tag) matching.
         use std::collections::HashMap;
         let phases = [
             PHASE_DIAG_BCAST,
@@ -888,20 +930,32 @@ mod tests {
             PHASE_AINV_TRANS,
         ];
         // Sample the corners and interiors of each lane.
-        let ks = [0usize, 1, 2, 1000, (1 << 24) - 1, 1 << 24, u32::MAX as usize];
+        let qids = [0u64, 1, 2, 127, 255];
+        let ks = [0usize, 1, 2, 1000, (1 << 24) - 1];
         let bis = [0usize, 1, 7, 4095, (1 << 24) - 1];
-        let mut seen: HashMap<u64, (u64, usize, usize)> = HashMap::new();
-        for &p in &phases {
-            for &k in &ks {
-                for &bi in &bis {
-                    let t = tag(p, k, bi);
-                    if let Some(prev) = seen.insert(t, (p, k, bi)) {
-                        panic!("tag collision: {prev:?} and ({p:#x},{k},{bi}) -> {t:#x}");
+        let mut seen: HashMap<u64, (u64, u64, usize, usize)> = HashMap::new();
+        for &q in &qids {
+            for &p in &phases {
+                for &k in &ks {
+                    for &bi in &bis {
+                        let t = tag_q(q, p, k, bi);
+                        if let Some(prev) = seen.insert(t, (q, p, k, bi)) {
+                            panic!("tag collision: {prev:?} and ({q},{p:#x},{k},{bi}) -> {t:#x}");
+                        }
                     }
                 }
             }
         }
-        assert_eq!(seen.len(), phases.len() * ks.len() * bis.len());
+        assert_eq!(seen.len(), qids.len() * phases.len() * ks.len() * bis.len());
+        // Query 0 reproduces the pre-batching tag values through the
+        // shorthand, so standalone runs are byte-for-byte unchanged.
+        for &p in &phases {
+            for &k in &ks {
+                for &bi in &bis {
+                    assert_eq!(tag(p, k, bi), tag_q(0, p, k, bi));
+                }
+            }
+        }
         // The runtime's barrier owns two reserved values in the same top
         // byte. They must never land in one of our six phase lanes, for any
         // low-56-bit caller tag — the barrier's original design (flipping
@@ -911,18 +965,28 @@ mod tests {
             for &p in &phases {
                 assert_ne!(lane >> 56, p >> 56, "barrier lane collides with phase {p:#x}");
             }
-            for &k in &ks {
-                for &bi in &bis {
-                    // Low-56-bit part of any phase tag.
-                    let caller = ((k as u64) << 24) | bi as u64;
-                    assert!(
-                        !seen.contains_key(&(lane | caller)),
-                        "barrier tag {:#x} collides with a phase tag",
-                        lane | caller
-                    );
+            for &q in &qids {
+                for &k in &ks {
+                    for &bi in &bis {
+                        // Low-56-bit part of any phase tag.
+                        let caller = (q << 48) | ((k as u64) << 24) | bi as u64;
+                        assert!(
+                            !seen.contains_key(&(lane | caller)),
+                            "barrier tag {:#x} collides with a phase tag",
+                            lane | caller
+                        );
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn span_key_namespaces_queries() {
+        assert_eq!(span_key(0, 17), 17, "query 0 keeps bare supernode keys");
+        assert_ne!(span_key(1, 17), span_key(0, 17));
+        assert_ne!(span_key(1, 17), span_key(2, 17));
+        assert_eq!(span_key(3, 17) & ((1 << 48) - 1), 17);
     }
 
     #[test]
@@ -930,6 +994,20 @@ mod tests {
     #[cfg(debug_assertions)]
     fn tag_rejects_block_index_overflow() {
         let _ = tag(PHASE_COL_BCAST, 0, 1 << 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "supernode")]
+    #[cfg(debug_assertions)]
+    fn tag_rejects_supernode_overflow() {
+        let _ = tag(PHASE_COL_BCAST, 1 << 24, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "8-bit tag lane")]
+    #[cfg(debug_assertions)]
+    fn tag_rejects_query_overflow() {
+        let _ = tag_q(256, PHASE_COL_BCAST, 0, 0);
     }
 
     #[test]

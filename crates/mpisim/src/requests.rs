@@ -77,10 +77,19 @@ impl RecvRequest {
 pub fn wait_any(ctx: &mut RankCtx, reqs: &mut [RecvRequest]) -> usize {
     assert!(!reqs.is_empty(), "wait_any on an empty request set");
     loop {
+        let arrivals = ctx.arrivals();
         for (i, r) in reqs.iter_mut().enumerate() {
             if r.test(ctx) {
                 return i;
             }
+        }
+        // Testing request j drains the whole inbox into the stash, so a
+        // message for request i < j can land *after* i was tested this
+        // sweep. Parking would lose that wakeup — `wait_for_arrival_as`
+        // only wakes on new inbox traffic, never on the stash — so re-sweep
+        // whenever anything was accepted off the inbox mid-sweep.
+        if ctx.arrivals() != arrivals {
+            continue;
         }
         // Nothing matched, so every request is still pending. Report the
         // sharpest wait-for edge the set allows: a single awaited source

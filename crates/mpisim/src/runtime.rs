@@ -442,6 +442,72 @@ pub struct RankCtx {
     /// ([`RankCtx::expect_epoch`]): in-sequence deliveries below it are
     /// discarded with their accounting reversed.
     min_epoch: HashMap<(usize, u64), u64>,
+    /// Per-channel logical-volume split, when the rank entry enabled it
+    /// ([`RankCtx::enable_channel_accounting`]).
+    channels: Option<ChannelAccounting>,
+    /// Monotonic count of data messages accepted off the inbox (consumed
+    /// *or* stashed). Progress loops snapshot it before a poll pass and
+    /// compare at their park decision ([`RankCtx::arrivals`]): a message
+    /// drained into the stash mid-pass — e.g. by [`RankCtx::try_match`]
+    /// testing an unrelated `(src, tag)` — bumps the counter but matches no
+    /// request in the rest of that pass, and [`RankCtx::wait_for_arrival`]
+    /// only ever wakes on *new* inbox traffic, so parking on a moved
+    /// counter would lose the wakeup for good.
+    arrivals: u64,
+    /// Hand-off to this rank's courier thread, present on fault runs: data
+    /// messages ride it so injected delays are spent in flight (in the
+    /// courier) instead of in a sender-side sleep.
+    courier: Option<Sender<Flight>>,
+}
+
+/// One outgoing data message in a courier's queue: forwarded to `dst` at
+/// `at` (immediately when `None`).
+struct Flight {
+    dst: usize,
+    msg: Message,
+    at: Option<Instant>,
+}
+
+/// Per-rank courier: receives the rank's outgoing data messages in send
+/// order and forwards each once its in-flight delay elapses, sleeping
+/// *here* so the sending rank keeps computing while messages fly. Draining
+/// in hand-off order preserves per-`(src, dst)` FIFO delivery even under
+/// per-message jitter. Exits when the rank drops its sending handle; an
+/// aborting run skips the remaining sleeps so teardown is not gated on
+/// queued flight time.
+fn courier(rx: &Receiver<Flight>, senders: &[Sender<Message>], shared: &Shared) {
+    while let Ok(Flight { dst, msg, at }) = rx.recv() {
+        if let Some(at) = at {
+            if !shared.abort.load(Ordering::Acquire) {
+                let now = Instant::now();
+                if at > now {
+                    std::thread::sleep(at - now);
+                }
+            }
+        }
+        if shared.telemetry {
+            shared.states[dst].inbox_len.fetch_add(1, Ordering::Relaxed);
+        }
+        // A receiver that already finished dropped its inbox; the message
+        // is dropped like a wire delivery racing completion.
+        if senders[dst].send(msg).is_err() && shared.telemetry {
+            shared.states[dst].inbox_len.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Splits a rank's *logical* traffic counters (`sent`/`received`/message
+/// counts) across application-defined channels keyed on the message tag —
+/// e.g. one channel per pole-expansion query. Physical counters (`copied`,
+/// `retransmitted`) have no tag at their accounting points and stay
+/// aggregate-only; control traffic (acks, retransmits) bypasses the send
+/// path entirely, so a channel's counters are exactly the collective traffic
+/// its tags describe.
+struct ChannelAccounting {
+    /// Maps a tag to its channel index, or `None` for traffic that belongs
+    /// to no channel (control lanes, barrier traffic).
+    classify: fn(u64) -> Option<usize>,
+    volumes: Vec<RankVolume>,
 }
 
 /// High-byte lane mask of the tag space: the runtime's control traffic and
@@ -597,6 +663,15 @@ impl RankCtx {
     /// message; duplication and reordering only to sequenced messages,
     /// which the masked receive path can repair (plain sends keep exactly
     /// MPI's ordering guarantee, faults or not).
+    ///
+    /// An injected delay is *in-flight* time, matching the DES backend's
+    /// semantics: the message spends it in this rank's courier queue, not
+    /// in a sender-side sleep — so the sending rank keeps computing while
+    /// the message flies, and latency can be hidden by overlapping work.
+    /// The courier forwards in hand-off order, so per-`(src, dst)` FIFO
+    /// delivery is preserved even under per-message jitter; to keep that
+    /// guarantee across mixed delays, *every* data message of a fault run
+    /// rides the courier (a zero-delay message forwards immediately).
     fn deliver(&mut self, dst: usize, msg: Message) {
         // Draw every fault decision up front from a borrowed plan — no
         // per-message Arc clone on the delivery hot path.
@@ -614,9 +689,9 @@ impl RankCtx {
                 )
             }
         };
+        let fly = Duration::from_micros((delay as f64 * slow) as u64);
         if delay > 0 {
             self.tracer.fault(FaultKind::Delayed, dst, msg.tag);
-            std::thread::sleep(Duration::from_micros((delay as f64 * slow) as u64));
         }
         let masked = msg.seq != NO_SEQ;
         if masked && drop {
@@ -629,7 +704,7 @@ impl RankCtx {
             // not lost.
             self.tracer.fault(FaultKind::Dropped, dst, msg.tag);
             if let Some(prev) = self.held[dst].take() {
-                self.push_raw(dst, prev);
+                self.push_flight(dst, prev, Duration::ZERO);
             }
             return;
         }
@@ -637,22 +712,47 @@ impl RankCtx {
             self.tracer.fault(FaultKind::Duplicated, dst, msg.tag);
             // The clone shares the payload buffer: a duplicate costs a
             // header, not a block copy.
-            self.push_raw(dst, msg.clone());
-            self.push_raw(dst, msg);
+            self.push_flight(dst, msg.clone(), fly);
+            self.push_flight(dst, msg, fly);
             return;
         }
         if masked && reord {
             self.tracer.fault(FaultKind::Reordered, dst, msg.tag);
             if let Some(prev) = self.held[dst].replace(msg) {
-                self.push_raw(dst, prev);
+                self.push_flight(dst, prev, Duration::ZERO);
             }
             return;
         }
-        self.push_raw(dst, msg);
+        self.push_flight(dst, msg, fly);
         if let Some(prev) = self.held[dst].take() {
             // The held message is now overtaken: release it.
-            self.push_raw(dst, prev);
+            self.push_flight(dst, prev, Duration::ZERO);
         }
+    }
+
+    /// Hands a data message to this rank's courier to become visible at
+    /// `now + fly` (immediately for `Duration::ZERO` — still through the
+    /// courier, so it cannot overtake an earlier delayed message). Falls
+    /// back to an inline sleep + direct push when no courier is running
+    /// (fault-free runs never delay, so the fallback only covers courier
+    /// teardown races).
+    fn push_flight(&mut self, dst: usize, msg: Message, fly: Duration) {
+        if let Some(tx) = &self.courier {
+            let at = (!fly.is_zero()).then(|| Instant::now() + fly);
+            match tx.send(Flight { dst, msg, at }) {
+                Ok(()) => return,
+                Err(std::sync::mpsc::SendError(flight)) => {
+                    if !fly.is_zero() {
+                        std::thread::sleep(fly);
+                    }
+                    return self.push_raw(dst, flight.msg);
+                }
+            }
+        }
+        if !fly.is_zero() {
+            std::thread::sleep(fly);
+        }
+        self.push_raw(dst, msg);
     }
 
     /// Releases every held-back message. Runs before any blocking wait and
@@ -661,7 +761,7 @@ impl RankCtx {
     fn flush_held(&mut self) {
         for dst in 0..self.size {
             if let Some(m) = self.held[dst].take() {
-                self.push_raw(dst, m);
+                self.push_flight(dst, m, Duration::ZERO);
             }
         }
     }
@@ -719,6 +819,10 @@ impl RankCtx {
         };
         self.volume.sent += msg.bytes();
         self.volume.msgs_sent += 1;
+        if let Some(v) = self.channel_for(tag) {
+            v.sent += msg.bytes();
+            v.msgs_sent += 1;
+        }
         self.tracer.msg_send(dst, tag, msg.bytes(), self.clock, idx);
         if self.shared.telemetry {
             self.shared.states[self.rank].sent_bytes.fetch_add(msg.bytes(), Ordering::Relaxed);
@@ -754,6 +858,7 @@ impl RankCtx {
     /// control traffic is never stashed, matched or accounted.
     fn ingest_control(&mut self, m: Message) -> Option<Message> {
         if m.tag != ACK_LANE {
+            self.arrivals += 1;
             return Some(m);
         }
         let tag = m.data.first().map_or(0, |v| v.to_bits());
@@ -1289,6 +1394,21 @@ impl RankCtx {
         }
     }
 
+    /// Monotonic count of data messages this rank has accepted off its
+    /// inbox (whether consumed on the spot or parked in the stash).
+    ///
+    /// This is the park guard for every progress loop built on
+    /// [`RankCtx::try_match`] + [`RankCtx::wait_for_arrival`]: `try_match`
+    /// drains the *entire* inbox into the stash before scanning for its own
+    /// `(src, tag)`, so testing one request can stash a message that an
+    /// earlier-tested request wanted. The pass then ends "without
+    /// progress", and `wait_for_arrival` blocks on *new* inbox traffic
+    /// only — the stashed message can never wake it. Snapshot this counter
+    /// before the test sweep and re-poll instead of parking when it moved.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
     /// Returns a message taken with [`RankCtx::recv_any`] to the stash
     /// (un-receives it), reversing its accounting. Used by `wait_any` when
     /// an arrival matches none of the posted requests yet.
@@ -1306,6 +1426,10 @@ impl RankCtx {
     fn account_recv(&mut self, m: Message) -> Message {
         self.volume.received += m.bytes();
         self.volume.msgs_received += 1;
+        if let Some(v) = self.channel_for(m.tag) {
+            v.received += m.bytes();
+            v.msgs_received += 1;
+        }
         // Lamport merge at the consumption point. An un-received message
         // (stash_back / sequenced re-stash) leaves the clock elevated,
         // which is still a valid Lamport history: later receives only ever
@@ -1318,12 +1442,50 @@ impl RankCtx {
     fn unaccount_recv(&mut self, m: &Message) {
         self.volume.received -= m.bytes();
         self.volume.msgs_received -= 1;
+        if let Some(v) = self.channel_for(m.tag) {
+            v.received -= m.bytes();
+            v.msgs_received -= 1;
+        }
         self.tracer.msg_recv_undo();
     }
 
     /// Counters so far.
     pub fn volume(&self) -> RankVolume {
         self.volume
+    }
+
+    /// Splits this rank's logical traffic counters across `nchannels`
+    /// application channels: every subsequent send and consumed receive
+    /// whose tag `classify`s to `Some(i)` is additionally charged to channel
+    /// `i`'s [`RankVolume`]. Un-received messages (stash-backs, sequenced
+    /// re-stashes) reverse their channel charge the same way the aggregate
+    /// counters reverse, so a channel's totals are exact logical volumes,
+    /// not delivery-order artifacts. Only `sent`/`received` and the message
+    /// counts are split; `copied` and `retransmitted` remain aggregate.
+    ///
+    /// Calling it again resets the per-channel counters (the aggregate
+    /// [`RankCtx::volume`] is untouched).
+    pub fn enable_channel_accounting(
+        &mut self,
+        nchannels: usize,
+        classify: fn(u64) -> Option<usize>,
+    ) {
+        self.channels =
+            Some(ChannelAccounting { classify, volumes: vec![RankVolume::default(); nchannels] });
+    }
+
+    /// Per-channel counters so far (empty when channel accounting was never
+    /// enabled).
+    pub fn channel_volumes(&self) -> Vec<RankVolume> {
+        self.channels.as_ref().map(|c| c.volumes.clone()).unwrap_or_default()
+    }
+
+    /// The channel counter a tag belongs to, if accounting is on and the
+    /// classifier claims it.
+    fn channel_for(&mut self, tag: u64) -> Option<&mut RankVolume> {
+        let c = self.channels.as_mut()?;
+        let i = (c.classify)(tag)?;
+        c.volumes.get_mut(i)
     }
 
     /// This rank's current recovery epoch (confirmed deaths incorporated).
@@ -1627,6 +1789,16 @@ where
             let plan = plan.clone();
             let poll = opts.poll;
             let reliable = opts.reliable;
+            // Fault runs get one courier per rank so injected delays are
+            // in-flight time instead of sender-side sleeps. The courier
+            // exits when the rank drops `ctx` (and with it the handle).
+            let courier_tx = plan.is_some().then(|| {
+                let (tx, rx) = channel::<Flight>();
+                let senders = senders.clone();
+                let shared = shared.clone();
+                scope.spawn(move || courier(&rx, &senders, &shared));
+                tx
+            });
             joins.push(scope.spawn(move || {
                 let mut ctx = RankCtx {
                     rank,
@@ -1650,6 +1822,9 @@ where
                     reliable: reliable.map(crate::reliable::ReliableState::new),
                     epoch: 0,
                     min_epoch: HashMap::new(),
+                    channels: None,
+                    arrivals: 0,
+                    courier: courier_tx,
                 };
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
                 match result {
@@ -1945,6 +2120,46 @@ mod tests {
         for v in &volumes[1..] {
             assert_eq!(v.sent, 800);
         }
+    }
+
+    #[test]
+    fn channel_accounting_splits_logical_volumes() {
+        // Tags 0..8 map to channel tag/4; tag 100 is unclassified. The
+        // per-channel counters must tile the aggregate logical counters
+        // (minus unclassified traffic), even when receives arrive out of
+        // order and bounce through the stash.
+        fn classify(tag: u64) -> Option<usize> {
+            (tag < 8).then_some((tag / 4) as usize)
+        }
+        let (results, volumes) = run(2, |ctx| {
+            ctx.enable_channel_accounting(2, classify);
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, vec![1.0; 3]); // channel 0, 24 B
+                ctx.send(1, 5, vec![2.0; 5]); // channel 1, 40 B
+                ctx.send(1, 100, vec![3.0]); // unclassified, 8 B
+                ctx.send(1, 4, vec![4.0; 2]); // channel 1, 16 B
+            } else {
+                // Reverse order forces stash traffic through the matcher.
+                ctx.recv(0, 4);
+                ctx.recv(0, 100);
+                ctx.recv(0, 5);
+                ctx.recv(0, 1);
+            }
+            ctx.channel_volumes()
+        });
+        let tx = &results[0];
+        assert_eq!((tx[0].sent, tx[0].msgs_sent), (24, 1));
+        assert_eq!((tx[1].sent, tx[1].msgs_sent), (56, 2));
+        assert_eq!(tx[0].received + tx[1].received, 0);
+        let rx = &results[1];
+        assert_eq!((rx[0].received, rx[0].msgs_received), (24, 1));
+        assert_eq!((rx[1].received, rx[1].msgs_received), (56, 2));
+        // Aggregate counters keep counting everything, channels or not.
+        assert_eq!(volumes[0].sent, 88);
+        assert_eq!(volumes[1].received, 88);
+        // Ranks that never enabled accounting report nothing.
+        let (r, _) = run(1, |ctx| ctx.channel_volumes());
+        assert!(r[0].is_empty());
     }
 
     #[test]

@@ -31,10 +31,14 @@ pub enum TreeScheme {
     /// baseline the paper rejects for destroying locality.
     RandomPerm,
     /// [`TreeScheme::Flat`] when the participant count (root included) is
-    /// at most `flat_threshold`, otherwise [`TreeScheme::ShiftedBinary`] —
-    /// the hybrid suggested in the paper's closing discussion.
+    /// below `flat_threshold`, otherwise [`TreeScheme::ShiftedBinary`] —
+    /// the hybrid suggested in the paper's closing discussion. The
+    /// threshold counts *participants* (receivers plus the root), matching
+    /// the crate-level description; a collective with
+    /// `flat_threshold` participants is already routed through the tree.
     Hybrid {
-        /// Largest participant count still routed flat.
+        /// Participant count (root included) at which routing switches to
+        /// the shifted binary tree; anything below it stays flat.
         flat_threshold: usize,
     },
 }
@@ -92,23 +96,45 @@ impl TreeBuilder {
     /// assert_eq!(builder.build(4, &[1, 2, 3, 5, 6], 0), tree);
     /// ```
     pub fn build(&self, root: usize, receivers: &[usize], key: u64) -> CollectiveTree {
-        debug_assert!(!receivers.contains(&root), "root must not appear among receivers");
+        assert!(!receivers.contains(&root), "root must not appear among receivers");
         let mut sorted: Vec<usize> = receivers.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), receivers.len(), "duplicate receiver ranks");
 
-        let scheme = match self.scheme {
+        let scheme = self.resolve_scheme(sorted.len() + 1);
+        self.build_resolved(scheme, root, sorted, key)
+    }
+
+    /// Resolves [`TreeScheme::Hybrid`] to a concrete scheme for a
+    /// collective with `participants` members (receivers plus root). The
+    /// hybrid routes flat strictly below the threshold and through the
+    /// shifted binary tree at or above it; every other scheme is already
+    /// concrete. Exposed so degraded-tree rebuilds can pin the scheme at
+    /// the *original* build size instead of re-resolving as survivors
+    /// shrink.
+    pub fn resolve_scheme(&self, participants: usize) -> TreeScheme {
+        match self.scheme {
             TreeScheme::Hybrid { flat_threshold } => {
-                if sorted.len() < flat_threshold {
+                if participants < flat_threshold {
                     TreeScheme::Flat
                 } else {
                     TreeScheme::ShiftedBinary
                 }
             }
             s => s,
-        };
+        }
+    }
 
+    /// Builds with an already-resolved (non-hybrid) scheme over a sorted,
+    /// deduplicated receiver list.
+    fn build_resolved(
+        &self,
+        scheme: TreeScheme,
+        root: usize,
+        mut sorted: Vec<usize>,
+        key: u64,
+    ) -> CollectiveTree {
         match scheme {
             TreeScheme::Flat => Self::build_flat(root, &sorted),
             TreeScheme::Binary => Self::build_kary(root, &sorted, 2),
@@ -139,7 +165,7 @@ impl TreeBuilder {
                 }
                 Self::build_kary(root, &sorted, 2)
             }
-            TreeScheme::Hybrid { .. } => unreachable!("resolved above"),
+            TreeScheme::Hybrid { .. } => unreachable!("resolve_scheme returns concrete schemes"),
         }
     }
 
@@ -148,6 +174,11 @@ impl TreeBuilder {
     /// survivor derives the identical degraded tree locally once the fault
     /// set is known. If the root itself died, the lowest surviving member
     /// is promoted to root (a reduction's final value then lands there).
+    ///
+    /// A [`TreeScheme::Hybrid`] is resolved at the tree's *original*
+    /// participant count, not the survivor count: a recovery must never
+    /// silently switch routing scheme (and with it the hop-accounted
+    /// volumes) just because the survivors crossed the flat threshold.
     ///
     /// Panics if no member survives.
     pub fn rebuild_excluding(
@@ -164,8 +195,10 @@ impl TreeBuilder {
         } else {
             tree.root()
         };
-        let receivers: Vec<usize> = survivors.into_iter().filter(|&m| m != root).collect();
-        self.build(root, &receivers, key)
+        let scheme = self.resolve_scheme(tree.len());
+        let mut receivers: Vec<usize> = survivors.into_iter().filter(|&m| m != root).collect();
+        receivers.sort_unstable();
+        self.build_resolved(scheme, root, receivers, key)
     }
 
     fn build_flat(root: usize, receivers: &[usize]) -> CollectiveTree {
@@ -330,14 +363,87 @@ mod tests {
     #[test]
     fn hybrid_switches_on_threshold() {
         let b = TreeBuilder::new(TreeScheme::Hybrid { flat_threshold: 5 }, 0);
-        let small = b.build(0, &[1, 2, 3], 0); // 4 participants ≤ 5 → flat
+        let small = b.build(0, &[1, 2, 3], 0); // 4 participants < 5 → flat
         assert_eq!(small.depth(), 1);
         let recv: Vec<usize> = (1..20).collect();
-        let large = b.build(0, &recv, 0); // 20 participants > 5 → binary
+        let large = b.build(0, &recv, 0); // 20 participants ≥ 5 → binary
         assert!(large.depth() > 1);
         for &m in large.members() {
             assert!(large.children_of(m).len() <= 2);
         }
+    }
+
+    fn is_star(t: &CollectiveTree) -> bool {
+        t.depth() <= 1 && t.children_of(t.root()).len() == t.len() - 1
+    }
+
+    fn is_binaryish(t: &CollectiveTree) -> bool {
+        t.depth() > 1 && t.members().iter().all(|&m| t.children_of(m).len() <= 2)
+    }
+
+    #[test]
+    fn hybrid_boundary_counts_participants_not_receivers() {
+        // The threshold counts participants (receivers + root), per the
+        // crate doc. With flat_threshold = 5:
+        //   3 receivers → 4 participants < 5  → flat
+        //   4 receivers → 5 participants == 5 → tree (the boundary the old
+        //                 receiver-count comparison got wrong)
+        //   5 receivers → 6 participants > 5  → tree
+        let b = TreeBuilder::new(TreeScheme::Hybrid { flat_threshold: 5 }, 9);
+        let t = b.build(0, &[1, 2, 3], 2);
+        check_valid(&t);
+        assert!(is_star(&t), "threshold−1 participants must stay flat");
+
+        let t = b.build(0, &[1, 2, 3, 4], 2);
+        check_valid(&t);
+        assert!(is_binaryish(&t), "exactly threshold participants must route through the tree");
+
+        let t = b.build(0, &[1, 2, 3, 4, 5], 2);
+        check_valid(&t);
+        assert!(is_binaryish(&t), "threshold+1 participants must route through the tree");
+    }
+
+    #[test]
+    fn hybrid_resolution_matches_resolve_scheme() {
+        let b = TreeBuilder::new(TreeScheme::Hybrid { flat_threshold: 5 }, 9);
+        assert_eq!(b.resolve_scheme(4), TreeScheme::Flat);
+        assert_eq!(b.resolve_scheme(5), TreeScheme::ShiftedBinary);
+        assert_eq!(b.resolve_scheme(6), TreeScheme::ShiftedBinary);
+        // Concrete schemes pass through untouched.
+        let b = TreeBuilder::new(TreeScheme::Kary { arity: 3 }, 9);
+        assert_eq!(b.resolve_scheme(2), TreeScheme::Kary { arity: 3 });
+    }
+
+    #[test]
+    fn rebuild_excluding_pins_hybrid_scheme_at_original_size() {
+        // 8 participants ≥ 6 → the original collective routes through the
+        // shifted binary tree. Killing three ranks leaves 5 survivors —
+        // *below* the flat threshold — but the rebuild must keep the
+        // original scheme rather than silently collapsing to a star
+        // mid-recovery.
+        let b = TreeBuilder::new(TreeScheme::Hybrid { flat_threshold: 6 }, 13);
+        let recv: Vec<usize> = (1..8).collect();
+        let t = b.build(0, &recv, 4);
+        check_valid(&t);
+        assert!(is_binaryish(&t), "original build is above threshold");
+
+        let rebuilt = b.rebuild_excluding(&t, &[2, 5, 7], 4);
+        check_valid(&rebuilt);
+        assert_eq!(rebuilt.len(), 5);
+        assert!(
+            is_binaryish(&rebuilt),
+            "degraded tree must keep the original shifted-binary routing, got a star"
+        );
+        // Deterministic: every survivor derives the same degraded tree.
+        assert_eq!(b.rebuild_excluding(&t, &[2, 5, 7], 4), rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "root must not appear among receivers")]
+    fn root_among_receivers_rejected_in_release_too() {
+        // A hard assert (not debug_assert): a malformed tree with the root
+        // duplicated as a receiver must never be constructible.
+        TreeBuilder::new(TreeScheme::Binary, 0).build(3, &[1, 2, 3], 0);
     }
 
     #[test]
